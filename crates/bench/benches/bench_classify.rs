@@ -1,0 +1,33 @@
+//! Table I / Fig. 3: the taxa classification tree — regenerates the
+//! definitions table and benchmarks classification throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_core::taxa::{classify, TaxonFeatures};
+use schevo_report::table1_definitions;
+
+fn bench(c: &mut Criterion) {
+    print_block("Table I — taxa definitions", &table1_definitions());
+    let features: Vec<TaxonFeatures> = paper_study()
+        .profiles
+        .iter()
+        .map(|p| TaxonFeatures {
+            commits: p.commits,
+            active_commits: p.active_commits,
+            total_activity: p.total_activity,
+            reeds: p.reeds,
+        })
+        .collect();
+    c.bench_function("classify/195_projects", |b| {
+        b.iter(|| {
+            features
+                .iter()
+                .map(|&f| classify(f))
+                .filter(|c| c.taxon().is_some())
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figs. 1, 2, 5–9: the per-project exemplars — regenerates each two-panel
+//! figure and benchmarks exemplar mining.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::print_block;
+use schevo_corpus::exemplar::{all_exemplars, build, FigureTag};
+use schevo_report::ProjectSeries;
+
+fn bench(c: &mut Criterion) {
+    for (tag, project) in all_exemplars() {
+        let series = ProjectSeries::mine(&project);
+        let monthly = matches!(tag, FigureTag::Fig1A | FigureTag::Fig1B | FigureTag::Fig9);
+        print_block(tag.label(), &series.render(monthly));
+    }
+    let octav = build(FigureTag::Fig2);
+    c.bench_function("exemplars/mine_fig2", |b| {
+        b.iter(|| ProjectSeries::mine(&octav).heartbeat.len())
+    });
+    c.bench_function("exemplars/build_all", |b| b.iter(|| all_exemplars().len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Extension studies (§VI open paths): foreign-key treatment and
+//! table-level Electrolysis statistics — regenerates the extension table
+//! and benchmarks the per-project analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_core::fk::fk_profile;
+use schevo_core::model::SchemaHistory;
+use schevo_core::tables::table_lives;
+use schevo_corpus::exemplar::{build, FigureTag};
+use schevo_report::extensions_table;
+use schevo_vcs::history::{file_history, WalkStrategy};
+
+fn bench(c: &mut Criterion) {
+    print_block("Extensions — FK & table lives", &extensions_table(paper_study()));
+
+    let project = build(FigureTag::Fig9);
+    let versions =
+        file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent).unwrap();
+    let history = SchemaHistory::from_file_versions("bench", &versions).unwrap();
+    c.bench_function("extensions/table_lives_fig9", |b| {
+        b.iter(|| table_lives(&history).len())
+    });
+    c.bench_function("extensions/fk_profile_fig9", |b| {
+        b.iter(|| fk_profile(&history).fk_births)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 10: the activity × active-commits scatter — regenerates the plot
+//! (ASCII + CSV) and benchmarks the series construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_report::{fig10_csv, fig10_scatter};
+
+fn bench(c: &mut Criterion) {
+    let study = paper_study();
+    print_block("Fig. 10 — scatter", &fig10_scatter(study));
+    let csv = fig10_csv(study);
+    println!("(CSV rows: {})", csv.len());
+    c.bench_function("fig10/render_scatter", |b| {
+        b.iter(|| fig10_scatter(study).len())
+    });
+    c.bench_function("fig10/build_csv", |b| b.iter(|| fig10_csv(study).len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

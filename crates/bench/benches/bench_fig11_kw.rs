@@ -1,0 +1,37 @@
+//! Fig. 11 / §V: the Kruskal–Wallis battery — regenerates the pairwise
+//! matrix plus the overall tests and benchmarks them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_core::taxa::{ProjectClass, Taxon};
+use schevo_report::fig11_matrix;
+use schevo_stats::kruskal::kruskal_wallis;
+use schevo_stats::shapiro::shapiro_wilk;
+
+fn bench(c: &mut Criterion) {
+    let study = paper_study();
+    print_block("Fig. 11 — pairwise KW + §V battery", &fig11_matrix(study));
+
+    let groups: Vec<Vec<f64>> = Taxon::ALL
+        .iter()
+        .map(|&t| {
+            study
+                .profiles
+                .iter()
+                .filter(|p| p.class == ProjectClass::Taxon(t))
+                .map(|p| p.total_activity as f64)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = groups.iter().map(|g| g.as_slice()).collect();
+    c.bench_function("fig11/kw_overall_6_groups", |b| {
+        b.iter(|| kruskal_wallis(&refs).unwrap().statistic)
+    });
+    let activities: Vec<f64> = study.profiles.iter().map(|p| p.total_activity as f64).collect();
+    c.bench_function("fig11/shapiro_wilk_n195", |b| {
+        b.iter(|| shapiro_wilk(&activities).unwrap().w)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 12: quartiles per taxon — regenerates the table and benchmarks the
+//! quartile computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_report::fig12_quartiles;
+use schevo_stats::quantile::Quartiles;
+
+fn bench(c: &mut Criterion) {
+    let study = paper_study();
+    print_block("Fig. 12 — quartiles", &fig12_quartiles(study));
+    let activities: Vec<f64> = study.profiles.iter().map(|p| p.total_activity as f64).collect();
+    c.bench_function("fig12/quartiles_n195", |b| {
+        b.iter(|| Quartiles::of(&activities).unwrap().q2)
+    });
+    c.bench_function("fig12/render", |b| b.iter(|| fig12_quartiles(study).len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

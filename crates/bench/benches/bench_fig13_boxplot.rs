@@ -1,0 +1,32 @@
+//! Fig. 13: the double box plot — regenerates its data table and benchmarks
+//! per-taxon five-number summaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_core::taxa::{ProjectClass, Taxon};
+use schevo_report::fig13_boxplot;
+use schevo_stats::quantile::Quartiles;
+
+fn bench(c: &mut Criterion) {
+    let study = paper_study();
+    print_block("Fig. 13 — double box plot data", &fig13_boxplot(study));
+    c.bench_function("fig13/per_taxon_quartiles", |b| {
+        b.iter(|| {
+            Taxon::NON_FROZEN
+                .iter()
+                .filter_map(|&t| {
+                    let v: Vec<f64> = study
+                        .profiles
+                        .iter()
+                        .filter(|p| p.class == ProjectClass::Taxon(t))
+                        .map(|p| p.total_activity as f64)
+                        .collect();
+                    Quartiles::of(&v)
+                })
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Funnel experiment (§III-A): regenerates the collection-funnel table and
+//! benchmarks a full funnel pass over the 1/10-scale universe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, paper_universe, print_block, small_universe};
+use schevo_pipeline::funnel::run_funnel;
+use schevo_report::funnel_table;
+use schevo_vcs::history::WalkStrategy;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the paper's funnel counts at full scale.
+    print_block("Funnel (§III-A), paper scale", &funnel_table(&paper_study().report));
+    let _ = paper_universe();
+
+    let small = small_universe();
+    c.bench_function("funnel/small_universe_pass", |b| {
+        b.iter(|| {
+            let out = run_funnel(small, WalkStrategy::FirstParent);
+            assert!(out.report.analyzed > 0);
+            out.report
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! §III-B: the reed-limit derivation — regenerates the derived threshold
+//! and benchmarks the percentile split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schevo_bench::{paper_study, print_block};
+use schevo_core::heartbeat::derive_reed_threshold;
+
+fn bench(c: &mut Criterion) {
+    let study = paper_study();
+    print_block(
+        "Reed limit (§III-B)",
+        &format!(
+            "derived from single-active-commit projects: {} (paper: 14; used: {})",
+            study.derived_reed_threshold, study.used_reed_threshold
+        ),
+    );
+    let singles: Vec<u64> = study
+        .profiles
+        .iter()
+        .filter(|p| p.active_commits == 1)
+        .map(|p| p.total_activity)
+        .collect();
+    c.bench_function("reed/derive_threshold", |b| {
+        b.iter(|| derive_reed_threshold(&singles))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

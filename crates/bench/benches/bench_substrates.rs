@@ -1,0 +1,54 @@
+//! Substrate micro-benchmarks: DDL parsing, diffing, SHA-1 hashing, and
+//! history extraction — the building blocks every experiment rests on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use schevo_core::diff::diff;
+use schevo_ddl::parse_schema;
+use schevo_ddl::render::render_schema;
+use schevo_ddl::schema::{Attribute, Schema, Table};
+use schevo_ddl::types::DataType;
+use schevo_vcs::sha1::sha1;
+
+fn sample_schema(tables: usize, arity: usize) -> Schema {
+    let mut s = Schema::new();
+    for t in 0..tables {
+        let mut table = Table::new(format!("table_{t}"));
+        for a in 0..arity {
+            table.push_attribute(Attribute::new(
+                format!("col_{a}"),
+                if a % 2 == 0 { DataType::int() } else { DataType::varchar(255) },
+            ));
+        }
+        table.set_primary_key(vec!["col_0".to_string()]);
+        s.upsert_table(table);
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = sample_schema(40, 12);
+    let sql = render_schema(&schema);
+    let mut g = c.benchmark_group("substrates");
+    g.throughput(Throughput::Bytes(sql.len() as u64));
+    g.bench_function("ddl_parse_40_tables", |b| {
+        b.iter(|| parse_schema(black_box(&sql)).unwrap().table_count())
+    });
+    g.finish();
+
+    let mut grown = schema.clone();
+    let mut extra = Table::new("extra");
+    extra.push_attribute(Attribute::new("id", DataType::int()));
+    grown.upsert_table(extra);
+    c.bench_function("diff_40_tables", |b| {
+        b.iter(|| diff(black_box(&schema), black_box(&grown)).activity())
+    });
+
+    let blob = sql.as_bytes();
+    let mut g = c.benchmark_group("sha1");
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("hash_schema_file", |b| b.iter(|| sha1(black_box(blob))));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! The foreign-key extension study — the paper's second open path
+//! (§VI: "extract the treatment of constraints (esp., foreign keys) in
+//! FOSS projects"), following the cited companion work on schema evolution
+//! and foreign keys.
+//!
+//! Three questions are answered per project:
+//! 1. *Usage*: what fraction of tables declare foreign keys at all?
+//! 2. *Heartbeat of FK change*: how many transitions add/remove FKs?
+//! 3. *Integrity*: how many declared FKs dangle (reference a missing table
+//!    or missing columns) — the "lack of integrity constraints" the earlier
+//!    literature reports?
+
+use crate::diff::diff;
+use crate::model::SchemaHistory;
+use schevo_ddl::Schema;
+use serde::{Deserialize, Serialize};
+
+/// FK statistics of a single schema version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FkSnapshot {
+    /// Tables in the schema.
+    pub tables: usize,
+    /// Tables declaring at least one foreign key.
+    pub tables_with_fk: usize,
+    /// Total declared foreign keys.
+    pub fk_count: usize,
+    /// FKs referencing a table absent from the schema.
+    pub dangling_table: usize,
+    /// FKs whose referenced columns do not exist on the referenced table
+    /// (only checked when the referenced table exists and columns are
+    /// spelled out).
+    pub dangling_columns: usize,
+}
+
+/// Take the FK snapshot of one schema version.
+pub fn fk_snapshot(schema: &Schema) -> FkSnapshot {
+    let mut snap = FkSnapshot {
+        tables: schema.table_count(),
+        ..Default::default()
+    };
+    for table in schema.tables() {
+        if !table.foreign_keys().is_empty() {
+            snap.tables_with_fk += 1;
+        }
+        for fk in table.foreign_keys() {
+            snap.fk_count += 1;
+            match schema.table(&fk.foreign_table) {
+                None => snap.dangling_table += 1,
+                Some(target) => {
+                    if !fk.foreign_columns.is_empty()
+                        && fk
+                            .foreign_columns
+                            .iter()
+                            .any(|c| target.attribute(c).is_none())
+                    {
+                        snap.dangling_columns += 1;
+                    }
+                }
+            }
+        }
+    }
+    snap
+}
+
+/// FK evolution statistics of a whole history.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FkProfile {
+    /// Snapshot at V0.
+    pub start: FkSnapshot,
+    /// Snapshot at the last version.
+    pub end: FkSnapshot,
+    /// Total FK births across all transitions.
+    pub fk_births: usize,
+    /// Total FK deaths across all transitions.
+    pub fk_deaths: usize,
+    /// Transitions that touched at least one FK.
+    pub fk_active_transitions: usize,
+    /// Total transitions.
+    pub transitions: usize,
+}
+
+impl FkProfile {
+    /// Percentage of tables with FKs at the end of history.
+    pub fn end_fk_table_pct(&self) -> f64 {
+        if self.end.tables == 0 {
+            0.0
+        } else {
+            100.0 * self.end.tables_with_fk as f64 / self.end.tables as f64
+        }
+    }
+}
+
+/// Compute the FK profile of a history.
+pub fn fk_profile(history: &SchemaHistory) -> FkProfile {
+    let mut profile = FkProfile {
+        start: history
+            .v0()
+            .map(|v| fk_snapshot(&v.schema))
+            .unwrap_or_default(),
+        end: history
+            .last()
+            .map(|v| fk_snapshot(&v.schema))
+            .unwrap_or_default(),
+        transitions: history.transition_count(),
+        ..Default::default()
+    };
+    for (_, old, new) in history.transitions() {
+        let d = diff(&old.schema, &new.schema);
+        // Count only FK changes on *surviving* tables (as the diff does);
+        // FKs born with a whole table or removed with one follow the table.
+        if !d.fk_added.is_empty() || !d.fk_removed.is_empty() {
+            profile.fk_active_transitions += 1;
+        }
+        profile.fk_births += d.fk_added.len();
+        profile.fk_deaths += d.fk_removed.len();
+    }
+    profile
+}
+
+/// Corpus-level aggregate over many FK profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FkCorpusStats {
+    /// Projects inspected.
+    pub projects: usize,
+    /// Projects declaring any FK at any point.
+    pub projects_with_fks: usize,
+    /// Median percentage of FK-bearing tables at end of history (over
+    /// FK-using projects).
+    pub median_fk_table_pct: f64,
+    /// Total dangling references across final versions.
+    pub dangling_total: usize,
+    /// Projects whose final version has at least one dangling reference.
+    pub projects_with_dangling: usize,
+}
+
+/// Aggregate FK statistics over a corpus of histories.
+pub fn fk_corpus_stats(profiles: &[FkProfile]) -> FkCorpusStats {
+    let using: Vec<&FkProfile> = profiles
+        .iter()
+        .filter(|p| p.end.fk_count > 0 || p.start.fk_count > 0 || p.fk_births > 0)
+        .collect();
+    let pcts: Vec<f64> = using.iter().map(|p| p.end_fk_table_pct()).collect();
+    FkCorpusStats {
+        projects: profiles.len(),
+        projects_with_fks: using.len(),
+        median_fk_table_pct: if pcts.is_empty() {
+            0.0
+        } else {
+            schevo_stats::median(&pcts)
+        },
+        dangling_total: profiles
+            .iter()
+            .map(|p| p.end.dangling_table + p.end.dangling_columns)
+            .sum(),
+        projects_with_dangling: profiles
+            .iter()
+            .filter(|p| p.end.dangling_table + p.end.dangling_columns > 0)
+            .count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommitMeta, SchemaVersion};
+    use schevo_ddl::parse_schema;
+    use schevo_vcs::timestamp::Timestamp;
+
+    fn version(day: i64, sql: &str) -> SchemaVersion {
+        SchemaVersion {
+            meta: CommitMeta {
+                id: format!("c{day}"),
+                timestamp: Timestamp::from_date(2018, 1, 1) + day * 86_400,
+                author: "dev".into(),
+                message: String::new(),
+            },
+            schema: parse_schema(sql).unwrap(),
+            source_len: sql.len(),
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_usage_and_dangling() {
+        let s = parse_schema(
+            "CREATE TABLE p (id INT);\
+             CREATE TABLE c (pid INT, gid INT,\
+               FOREIGN KEY (pid) REFERENCES p (id),\
+               FOREIGN KEY (gid) REFERENCES ghost (id));\
+             CREATE TABLE d (x INT, FOREIGN KEY (x) REFERENCES p (nope));",
+        )
+        .unwrap();
+        let snap = fk_snapshot(&s);
+        assert_eq!(snap.tables, 3);
+        assert_eq!(snap.tables_with_fk, 2);
+        assert_eq!(snap.fk_count, 3);
+        assert_eq!(snap.dangling_table, 1, "ghost reference");
+        assert_eq!(snap.dangling_columns, 1, "p.nope reference");
+    }
+
+    #[test]
+    fn profile_counts_fk_heartbeat() {
+        let h = SchemaHistory {
+            project: "t".into(),
+            versions: vec![
+                version(0, "CREATE TABLE p (id INT); CREATE TABLE c (pid INT);"),
+                version(
+                    10,
+                    "CREATE TABLE p (id INT); CREATE TABLE c (pid INT, \
+                     FOREIGN KEY (pid) REFERENCES p (id));",
+                ),
+                version(20, "CREATE TABLE p (id INT); CREATE TABLE c (pid INT);"),
+            ],
+        };
+        let prof = fk_profile(&h);
+        assert_eq!(prof.fk_births, 1);
+        assert_eq!(prof.fk_deaths, 1);
+        assert_eq!(prof.fk_active_transitions, 2);
+        assert_eq!(prof.transitions, 2);
+        assert_eq!(prof.start.fk_count, 0);
+        assert_eq!(prof.end.fk_count, 0);
+    }
+
+    #[test]
+    fn corpus_stats_aggregate() {
+        let with_fk = FkProfile {
+            end: FkSnapshot {
+                tables: 4,
+                tables_with_fk: 2,
+                fk_count: 2,
+                dangling_table: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let without = FkProfile::default();
+        let stats = fk_corpus_stats(&[with_fk, without]);
+        assert_eq!(stats.projects, 2);
+        assert_eq!(stats.projects_with_fks, 1);
+        assert_eq!(stats.median_fk_table_pct, 50.0);
+        assert_eq!(stats.dangling_total, 1);
+        assert_eq!(stats.projects_with_dangling, 1);
+    }
+
+    #[test]
+    fn empty_history_defaults() {
+        let prof = fk_profile(&SchemaHistory::default());
+        assert_eq!(prof.transitions, 0);
+        assert_eq!(prof.end_fk_table_pct(), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The heartbeat `H = {c_i(e_i, m_i)}` — the ordered list of
+//! (expansion, maintenance) pairs, one per commit — and the reed/turf
+//! vocabulary built on it (§III-B).
+
+use crate::measures::TransitionMeasure;
+use schevo_stats::threshold::reed_limit;
+use serde::{Deserialize, Serialize};
+
+/// The paper's reed limit: commits with total activity **strictly above 14
+/// attributes** are *reeds*; active commits at or below it are *turf*.
+/// Derived from the 85% split of single-active-commit project activities
+/// (see [`derive_reed_threshold`]); the constant is the paper's published
+/// value.
+pub const REED_THRESHOLD: u64 = 14;
+
+/// One heartbeat point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatPoint {
+    /// 1-based transition id.
+    pub transition_id: usize,
+    /// Expansion (attributes added), drawn above the x-axis in the paper.
+    pub expansion: u64,
+    /// Maintenance (deletions, type or PK changes), drawn below the x-axis.
+    pub maintenance: u64,
+}
+
+impl HeartbeatPoint {
+    /// Total activity of the commit.
+    pub fn activity(&self) -> u64 {
+        self.expansion + self.maintenance
+    }
+
+    /// Whether the commit is active.
+    pub fn is_active(&self) -> bool {
+        self.activity() > 0
+    }
+
+    /// Whether the commit is a reed under `threshold`.
+    pub fn is_reed(&self, threshold: u64) -> bool {
+        self.activity() > threshold
+    }
+
+    /// Whether the commit is turf (active but not a reed) under `threshold`.
+    pub fn is_turf(&self, threshold: u64) -> bool {
+        self.is_active() && !self.is_reed(threshold)
+    }
+}
+
+/// The heartbeat of one schema history.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Points in transition order.
+    pub points: Vec<HeartbeatPoint>,
+}
+
+impl Heartbeat {
+    /// Build the heartbeat from measured transitions.
+    pub fn from_measures(measures: &[TransitionMeasure]) -> Heartbeat {
+        Heartbeat {
+            points: measures
+                .iter()
+                .map(|m| HeartbeatPoint {
+                    transition_id: m.transition_id,
+                    expansion: m.expansion(),
+                    maintenance: m.maintenance(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total activity over the whole history.
+    pub fn total_activity(&self) -> u64 {
+        self.points.iter().map(|p| p.activity()).sum()
+    }
+
+    /// Total expansion.
+    pub fn total_expansion(&self) -> u64 {
+        self.points.iter().map(|p| p.expansion).sum()
+    }
+
+    /// Total maintenance.
+    pub fn total_maintenance(&self) -> u64 {
+        self.points.iter().map(|p| p.maintenance).sum()
+    }
+
+    /// Number of active commits.
+    pub fn active_commits(&self) -> u64 {
+        self.points.iter().filter(|p| p.is_active()).count() as u64
+    }
+
+    /// Number of reeds under `threshold`.
+    pub fn reeds(&self, threshold: u64) -> u64 {
+        self.points.iter().filter(|p| p.is_reed(threshold)).count() as u64
+    }
+
+    /// Number of turf commits under `threshold`.
+    pub fn turf(&self, threshold: u64) -> u64 {
+        self.points.iter().filter(|p| p.is_turf(threshold)).count() as u64
+    }
+
+    /// The largest single-commit activity (0 for an empty heartbeat).
+    pub fn peak_activity(&self) -> u64 {
+        self.points.iter().map(|p| p.activity()).max().unwrap_or(0)
+    }
+
+    /// Fraction of total activity concentrated in the single largest commit
+    /// (0.0 for a zero-activity heartbeat) — the "90% of the project's
+    /// post-V0 activity in one reed" observation of §IV-E.
+    pub fn peak_concentration(&self) -> f64 {
+        let total = self.total_activity();
+        if total == 0 {
+            0.0
+        } else {
+            self.peak_activity() as f64 / total as f64
+        }
+    }
+}
+
+/// Derive the reed threshold exactly as §III-B prescribes: take the total
+/// activities of all projects with a **single active commit**, sort them
+/// (a power-law-like distribution), and split at the 85% limit.
+///
+/// Returns [`REED_THRESHOLD`] when fewer than 5 qualifying projects exist
+/// (the derivation is meaningless on tiny corpora).
+pub fn derive_reed_threshold(single_active_commit_activities: &[u64]) -> u64 {
+    if single_active_commit_activities.len() < 5 {
+        return REED_THRESHOLD;
+    }
+    let v: Vec<f64> = single_active_commit_activities
+        .iter()
+        .map(|&a| a as f64)
+        .collect();
+    reed_limit(&v).unwrap_or(REED_THRESHOLD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(points: &[(u64, u64)]) -> Heartbeat {
+        Heartbeat {
+            points: points
+                .iter()
+                .enumerate()
+                .map(|(i, &(e, m))| HeartbeatPoint {
+                    transition_id: i + 1,
+                    expansion: e,
+                    maintenance: m,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_and_counts() {
+        let h = hb(&[(0, 0), (3, 1), (20, 0), (0, 2)]);
+        assert_eq!(h.total_activity(), 26);
+        assert_eq!(h.total_expansion(), 23);
+        assert_eq!(h.total_maintenance(), 3);
+        assert_eq!(h.active_commits(), 3);
+        assert_eq!(h.reeds(REED_THRESHOLD), 1);
+        assert_eq!(h.turf(REED_THRESHOLD), 2);
+    }
+
+    #[test]
+    fn reed_is_strictly_above_threshold() {
+        let h = hb(&[(14, 0), (15, 0), (7, 7), (8, 7)]);
+        // Activities: 14, 15, 14, 15 → two reeds.
+        assert_eq!(h.reeds(14), 2);
+        assert_eq!(h.turf(14), 2);
+    }
+
+    #[test]
+    fn inactive_commits_are_neither_reed_nor_turf() {
+        let p = HeartbeatPoint {
+            transition_id: 1,
+            expansion: 0,
+            maintenance: 0,
+        };
+        assert!(!p.is_active());
+        assert!(!p.is_reed(14));
+        assert!(!p.is_turf(14));
+    }
+
+    #[test]
+    fn peak_concentration() {
+        let h = hb(&[(190, 0), (5, 0), (5, 0)]);
+        assert_eq!(h.peak_activity(), 190);
+        assert!((h.peak_concentration() - 0.95).abs() < 1e-12);
+        assert_eq!(hb(&[]).peak_concentration(), 0.0);
+        assert_eq!(hb(&[(0, 0)]).peak_concentration(), 0.0);
+    }
+
+    #[test]
+    fn derive_threshold_small_corpus_falls_back() {
+        assert_eq!(derive_reed_threshold(&[1, 2, 3]), REED_THRESHOLD);
+        assert_eq!(derive_reed_threshold(&[]), REED_THRESHOLD);
+    }
+
+    #[test]
+    fn derive_threshold_power_law() {
+        // 85 small activities spread over 1..=14, 15 in the long tail.
+        let mut v: Vec<u64> = (0..85).map(|i| (i % 14) + 1).collect();
+        v.extend((0..15).map(|i| 25 + i * 30));
+        let t = derive_reed_threshold(&v);
+        assert!((12..=20).contains(&t), "t = {t}");
+    }
+
+    #[test]
+    fn empty_heartbeat_zeroes() {
+        let h = hb(&[]);
+        assert_eq!(h.total_activity(), 0);
+        assert_eq!(h.active_commits(), 0);
+        assert_eq!(h.peak_activity(), 0);
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-transition measurements — the paper's §III-B "categories of
+//! measurements": timing, schema size, and quantified updates.
+
+use crate::diff::{diff, SchemaDelta};
+use crate::model::SchemaHistory;
+use schevo_vcs::timestamp::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Everything Hecate computes for a single transition `i → i+1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionMeasure {
+    /// 1-based transition id (the heartbeat's x-axis).
+    pub transition_id: usize,
+    /// Commit id of version `i+1`.
+    pub commit: String,
+    /// Commit timestamp of version `i+1`.
+    pub timestamp: Timestamp,
+    /// Distance of the `i+1` commit from V0 in days.
+    pub days_since_v0: i64,
+    /// Running month since V0 (1-based, 30-day windows).
+    pub running_month: i64,
+    /// Running year since V0 (1-based).
+    pub running_year: i64,
+    /// Schema size of the older version: `(tables, attributes)`.
+    pub size_before: (usize, usize),
+    /// Schema size of the newer version: `(tables, attributes)`.
+    pub size_after: (usize, usize),
+    /// The quantified updates.
+    pub delta: SchemaDelta,
+}
+
+impl TransitionMeasure {
+    /// Expansion of this transition in attributes.
+    pub fn expansion(&self) -> u64 {
+        self.delta.expansion()
+    }
+
+    /// Maintenance of this transition in attributes.
+    pub fn maintenance(&self) -> u64 {
+        self.delta.maintenance()
+    }
+
+    /// Total activity of this transition.
+    pub fn activity(&self) -> u64 {
+        self.delta.activity()
+    }
+
+    /// Whether this is an active commit.
+    pub fn is_active(&self) -> bool {
+        self.delta.is_active()
+    }
+}
+
+/// Run the measurement pass over a whole history.
+///
+/// Returns one [`TransitionMeasure`] per transition, in order. A
+/// history-less project yields an empty vector.
+pub fn measure_history(history: &SchemaHistory) -> Vec<TransitionMeasure> {
+    let Some(v0) = history.v0() else {
+        return Vec::new();
+    };
+    let origin = v0.meta.timestamp;
+    history
+        .transitions()
+        .map(|(id, old, new)| TransitionMeasure {
+            transition_id: id,
+            commit: new.meta.id.clone(),
+            timestamp: new.meta.timestamp,
+            days_since_v0: new.meta.timestamp.days_since(origin),
+            running_month: new.meta.timestamp.running_month(origin),
+            running_year: new.meta.timestamp.running_year(origin),
+            size_before: (old.schema.table_count(), old.schema.attribute_count()),
+            size_after: (new.schema.table_count(), new.schema.attribute_count()),
+            delta: diff(&old.schema, &new.schema),
+        })
+        .collect()
+}
+
+/// Aggregate transition measures into per-month `(month, expansion,
+/// maintenance)` rows — the series of the paper's Fig. 1/9 monthly charts.
+/// Months with no activity between active months are included with zeros,
+/// so idle periods are visible.
+pub fn monthly_activity(measures: &[TransitionMeasure]) -> Vec<(i64, u64, u64)> {
+    if measures.is_empty() {
+        return Vec::new();
+    }
+    let last_month = measures.iter().map(|m| m.running_month).max().unwrap_or(1);
+    let mut rows: Vec<(i64, u64, u64)> = (1..=last_month).map(|m| (m, 0, 0)).collect();
+    for m in measures {
+        let slot = &mut rows[(m.running_month - 1) as usize];
+        slot.1 += m.expansion();
+        slot.2 += m.maintenance();
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommitMeta, SchemaVersion};
+    use schevo_ddl::parse_schema;
+
+    fn version(day: i64, sql: &str) -> SchemaVersion {
+        SchemaVersion {
+            meta: CommitMeta {
+                id: format!("c{day}"),
+                timestamp: Timestamp::from_date(2018, 1, 1) + day * 86_400,
+                author: "dev".into(),
+                message: format!("day {day}"),
+            },
+            schema: parse_schema(sql).unwrap(),
+            source_len: sql.len(),
+        }
+    }
+
+    fn history(specs: &[(i64, &str)]) -> SchemaHistory {
+        SchemaHistory {
+            project: "t/p".into(),
+            versions: specs.iter().map(|&(d, s)| version(d, s)).collect(),
+        }
+    }
+
+    #[test]
+    fn measures_timing_and_sizes() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (45, "CREATE TABLE a (x INT, y INT);"),
+            (370, "CREATE TABLE a (x INT, y INT); CREATE TABLE b (z INT);"),
+        ]);
+        let ms = measure_history(&h);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms[0].transition_id, 1);
+        assert_eq!(ms[0].days_since_v0, 45);
+        assert_eq!(ms[0].running_month, 2);
+        assert_eq!(ms[0].running_year, 1);
+        assert_eq!(ms[0].size_before, (1, 1));
+        assert_eq!(ms[0].size_after, (1, 2));
+        assert_eq!(ms[1].days_since_v0, 370);
+        assert_eq!(ms[1].running_year, 2);
+        assert_eq!(ms[1].size_after, (2, 3));
+    }
+
+    #[test]
+    fn active_flag_reflects_delta() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (1, "-- comment only change\nCREATE TABLE a (x INT);"),
+            (2, "CREATE TABLE a (x INT, y INT);"),
+        ]);
+        let ms = measure_history(&h);
+        assert!(!ms[0].is_active(), "comment-only commit is non-active");
+        assert!(ms[1].is_active());
+        assert_eq!(ms[1].expansion(), 1);
+    }
+
+    #[test]
+    fn empty_history_measures_nothing() {
+        let h = SchemaHistory::default();
+        assert!(measure_history(&h).is_empty());
+        assert!(monthly_activity(&[]).is_empty());
+    }
+
+    #[test]
+    fn monthly_aggregation_includes_idle_months() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (10, "CREATE TABLE a (x INT, y INT);"),
+            (100, "CREATE TABLE a (x INT, y INT, z INT);"),
+        ]);
+        let ms = measure_history(&h);
+        let rows = monthly_activity(&ms);
+        // day 10 → month 1, day 100 → month 4; months 2 and 3 idle.
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0], (1, 1, 0));
+        assert_eq!(rows[1], (2, 0, 0));
+        assert_eq!(rows[2], (3, 0, 0));
+        assert_eq!(rows[3], (4, 1, 0));
+    }
+
+    #[test]
+    fn maintenance_aggregates_in_months() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT, y TEXT);"),
+            (5, "CREATE TABLE a (x BIGINT);"),
+        ]);
+        let rows = monthly_activity(&measure_history(&h));
+        // y ejected + x type-changed = 2 maintenance.
+        assert_eq!(rows, vec![(1, 0, 2)]);
+    }
+}

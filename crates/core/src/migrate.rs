@@ -1,0 +1,327 @@
+//! Migration-script generation: turn a schema diff into the `ALTER TABLE` /
+//! `CREATE TABLE` / `DROP TABLE` statements that carry the old version to
+//! the new one.
+//!
+//! This is the constructive counterpart of the mining direction — the study
+//! observes what DBAs did; this module emits what a DBA *would run*. The
+//! generated script is validated by construction: applying it (through the
+//! crate's own tolerant parser) onto the old schema must reproduce the new
+//! logical schema, up to column order (SQL `ADD COLUMN` appends; logical
+//! capacity is order-insensitive).
+//!
+//! Foreign-key alterations are out of scope (the study's measures ignore
+//! them, and dialects diverge wildly in FK DDL); FK changes are reported in
+//! the script as comments.
+
+use crate::diff::diff;
+use schevo_ddl::render::{render_schema_with, RenderOptions};
+use schevo_ddl::schema::Table;
+use schevo_ddl::Schema;
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// One generated migration statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationStep {
+    /// Create a table (rendered as full DDL).
+    CreateTable(String),
+    /// Drop a table.
+    DropTable(String),
+    /// `ALTER TABLE <t> ADD COLUMN ...`.
+    AddColumn {
+        /// Owning table.
+        table: String,
+        /// Statement text.
+        sql: String,
+    },
+    /// `ALTER TABLE <t> DROP COLUMN ...`.
+    DropColumn {
+        /// Owning table.
+        table: String,
+        /// Statement text.
+        sql: String,
+    },
+    /// `ALTER TABLE <t> MODIFY COLUMN ...`.
+    ModifyColumn {
+        /// Owning table.
+        table: String,
+        /// Statement text.
+        sql: String,
+    },
+    /// Primary-key replacement on a table.
+    ReplacePrimaryKey {
+        /// Owning table.
+        table: String,
+        /// Statement text (drop and/or add).
+        sql: String,
+    },
+    /// A change the generator cannot express portably (FKs), as a comment.
+    Note(String),
+}
+
+impl MigrationStep {
+    /// The SQL text (or comment) of this step.
+    pub fn sql(&self) -> &str {
+        match self {
+            MigrationStep::CreateTable(s) | MigrationStep::DropTable(s) => s,
+            MigrationStep::AddColumn { sql, .. }
+            | MigrationStep::DropColumn { sql, .. }
+            | MigrationStep::ModifyColumn { sql, .. }
+            | MigrationStep::ReplacePrimaryKey { sql, .. } => sql,
+            MigrationStep::Note(s) => s,
+        }
+    }
+}
+
+/// A generated migration.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Migration {
+    /// Ordered steps.
+    pub steps: Vec<MigrationStep>,
+}
+
+impl Migration {
+    /// Whether the migration is empty (schemas logically identical).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The full script text.
+    pub fn script(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(s.sql());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn render_column(table: &Table, col: &str) -> Option<String> {
+    let attr = table.attribute(col)?;
+    let mut s = format!("`{}` {}", attr.name, attr.data_type);
+    if attr.not_null {
+        s.push_str(" NOT NULL");
+    }
+    Some(s)
+}
+
+fn render_create_table(table: &Table) -> String {
+    let mut solo = Schema::new();
+    solo.upsert_table(table.clone());
+    render_schema_with(&solo, &RenderOptions::default())
+        .trim_end()
+        .to_string()
+}
+
+/// Generate the migration from `old` to `new`.
+pub fn generate_migration(old: &Schema, new: &Schema) -> Migration {
+    let delta = diff(old, new);
+    let mut steps = Vec::new();
+
+    // 1. New tables (full DDL).
+    for t in &delta.tables_inserted {
+        if let Some(table) = new.table(t) {
+            steps.push(MigrationStep::CreateTable(render_create_table(table)));
+        }
+    }
+    // 2. Column additions.
+    for (t, c) in &delta.injected {
+        if let Some(def) = new.table(t).and_then(|tb| render_column(tb, c)) {
+            steps.push(MigrationStep::AddColumn {
+                table: t.clone(),
+                sql: format!("ALTER TABLE `{t}` ADD COLUMN {def};"),
+            });
+        }
+    }
+    // 3. Type changes.
+    for (t, c) in &delta.type_changed {
+        if let Some(def) = new.table(t).and_then(|tb| render_column(tb, c)) {
+            steps.push(MigrationStep::ModifyColumn {
+                table: t.clone(),
+                sql: format!("ALTER TABLE `{t}` MODIFY COLUMN {def};"),
+            });
+        }
+    }
+    // 4. Primary-key replacement, once per table that changed keys.
+    let pk_tables: BTreeSet<&String> = delta.pk_changed.iter().map(|(t, _)| t).collect();
+    for t in pk_tables {
+        let (Some(old_t), Some(new_t)) = (old.table(t), new.table(t)) else {
+            continue;
+        };
+        let mut sql = String::new();
+        if !old_t.primary_key().is_empty() {
+            let _ = write!(sql, "ALTER TABLE `{t}` DROP PRIMARY KEY;");
+        }
+        if !new_t.primary_key().is_empty() {
+            if !sql.is_empty() {
+                sql.push('\n');
+            }
+            let cols: Vec<String> = new_t
+                .primary_key()
+                .iter()
+                .map(|c| format!("`{c}`"))
+                .collect();
+            let _ = write!(sql, "ALTER TABLE `{t}` ADD PRIMARY KEY ({});", cols.join(", "));
+        }
+        if !sql.is_empty() {
+            steps.push(MigrationStep::ReplacePrimaryKey {
+                table: t.clone(),
+                sql,
+            });
+        }
+    }
+    // 5. Column removals.
+    for (t, c) in &delta.ejected {
+        steps.push(MigrationStep::DropColumn {
+            table: t.clone(),
+            sql: format!("ALTER TABLE `{t}` DROP COLUMN `{c}`;"),
+        });
+    }
+    // 6. Dropped tables.
+    for t in &delta.tables_deleted {
+        steps.push(MigrationStep::DropTable(format!("DROP TABLE `{t}`;")));
+    }
+    // 7. FK changes: noted, not migrated.
+    for (t, fk) in &delta.fk_added {
+        steps.push(MigrationStep::Note(format!(
+            "-- NOTE: add FK on `{t}` ({:?} -> {}) manually",
+            fk.columns, fk.foreign_table
+        )));
+    }
+    for (t, fk) in &delta.fk_removed {
+        steps.push(MigrationStep::Note(format!(
+            "-- NOTE: drop FK on `{t}` ({:?} -> {}) manually",
+            fk.columns, fk.foreign_table
+        )));
+    }
+    Migration { steps }
+}
+
+/// Order-insensitive logical equivalence of two schemas: same tables, each
+/// with the same attribute set (name, type, nullability) and the same
+/// primary-key sequence. Foreign keys are ignored (see module docs).
+pub fn logically_equivalent(a: &Schema, b: &Schema) -> bool {
+    if a.table_count() != b.table_count() {
+        return false;
+    }
+    for ta in a.tables() {
+        let Some(tb) = b.table(&ta.name) else {
+            return false;
+        };
+        if ta.arity() != tb.arity() || ta.primary_key() != tb.primary_key() {
+            return false;
+        }
+        for attr in ta.attributes() {
+            let Some(other) = tb.attribute(&attr.name) else {
+                return false;
+            };
+            if !attr.data_type.logical_eq(&other.data_type) || attr.not_null != other.not_null {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Apply a migration to a schema by rendering the old schema, appending the
+/// script, and re-parsing — i.e., through the same front end the miner uses.
+///
+/// # Errors
+///
+/// Propagates parse errors from the combined script (unreachable for
+/// generator output).
+pub fn apply_migration(old: &Schema, migration: &Migration) -> Result<Schema, schevo_ddl::ParseError> {
+    let mut combined = render_schema_with(old, &RenderOptions::default());
+    combined.push('\n');
+    combined.push_str(&migration.script());
+    schevo_ddl::parse_schema(&combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_ddl::parse_schema;
+
+    fn s(sql: &str) -> Schema {
+        parse_schema(sql).unwrap()
+    }
+
+    #[test]
+    fn empty_migration_for_identical_schemas() {
+        let a = s("CREATE TABLE t (x INT, PRIMARY KEY (x));");
+        let m = generate_migration(&a, &a);
+        assert!(m.is_empty());
+        assert_eq!(m.script(), "");
+    }
+
+    #[test]
+    fn add_table_and_columns() {
+        let old = s("CREATE TABLE t (a INT);");
+        let new = s("CREATE TABLE t (a INT, b TEXT NOT NULL); CREATE TABLE u (x INT, PRIMARY KEY (x));");
+        let m = generate_migration(&old, &new);
+        let script = m.script();
+        assert!(script.contains("CREATE TABLE `u`"));
+        assert!(script.contains("ALTER TABLE `t` ADD COLUMN `b` TEXT NOT NULL;"));
+        let applied = apply_migration(&old, &m).unwrap();
+        assert!(logically_equivalent(&applied, &new));
+    }
+
+    #[test]
+    fn type_change_and_pk_replacement() {
+        let old = s("CREATE TABLE t (a INT, b VARCHAR(10), PRIMARY KEY (a));");
+        let new = s("CREATE TABLE t (a INT, b VARCHAR(255), PRIMARY KEY (a, b));");
+        let m = generate_migration(&old, &new);
+        let script = m.script();
+        assert!(script.contains("MODIFY COLUMN `b` VARCHAR(255)"));
+        assert!(script.contains("DROP PRIMARY KEY"));
+        assert!(script.contains("ADD PRIMARY KEY (`a`, `b`)"));
+        let applied = apply_migration(&old, &m).unwrap();
+        assert!(logically_equivalent(&applied, &new));
+    }
+
+    #[test]
+    fn drops_and_ejections() {
+        let old = s("CREATE TABLE keep (a INT, gone TEXT); CREATE TABLE dead (z INT);");
+        let new = s("CREATE TABLE keep (a INT);");
+        let m = generate_migration(&old, &new);
+        let script = m.script();
+        assert!(script.contains("DROP COLUMN `gone`"));
+        assert!(script.contains("DROP TABLE `dead`;"));
+        let applied = apply_migration(&old, &m).unwrap();
+        assert!(logically_equivalent(&applied, &new));
+    }
+
+    #[test]
+    fn fk_changes_become_notes() {
+        let old = s("CREATE TABLE p (id INT); CREATE TABLE c (pid INT);");
+        let new = s("CREATE TABLE p (id INT); CREATE TABLE c (pid INT, FOREIGN KEY (pid) REFERENCES p (id));");
+        let m = generate_migration(&old, &new);
+        assert!(m.script().contains("-- NOTE: add FK"));
+        // FK-only changes leave the logical capacity untouched.
+        let applied = apply_migration(&old, &m).unwrap();
+        assert!(logically_equivalent(&applied, &old));
+    }
+
+    #[test]
+    fn pk_dropped_entirely() {
+        let old = s("CREATE TABLE t (a INT, PRIMARY KEY (a));");
+        let new = s("CREATE TABLE t (a INT);");
+        let m = generate_migration(&old, &new);
+        assert!(m.script().contains("DROP PRIMARY KEY"));
+        assert!(!m.script().contains("ADD PRIMARY KEY"));
+        let applied = apply_migration(&old, &m).unwrap();
+        assert!(logically_equivalent(&applied, &new));
+    }
+
+    #[test]
+    fn logical_equivalence_is_order_insensitive() {
+        let a = s("CREATE TABLE t (a INT, b TEXT);");
+        let b = s("CREATE TABLE t (b TEXT, a INT);");
+        assert!(logically_equivalent(&a, &b));
+        let c = s("CREATE TABLE t (a BIGINT, b TEXT);");
+        assert!(!logically_equivalent(&a, &c));
+        let d = s("CREATE TABLE t (a INT, b TEXT, c INT);");
+        assert!(!logically_equivalent(&a, &d));
+    }
+}

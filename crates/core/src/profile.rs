@@ -1,0 +1,268 @@
+//! The per-project [`EvolutionProfile`]: every measure of the paper's
+//! Fig. 4, plus the project-level context used by the §IV narratives.
+
+use crate::heartbeat::{Heartbeat, REED_THRESHOLD};
+use crate::measures::{measure_history, TransitionMeasure};
+use crate::model::SchemaHistory;
+use crate::shape::{classify_shape, ShapeClass};
+use crate::taxa::{classify, ProjectClass, TaxonFeatures};
+use serde::{Deserialize, Serialize};
+
+/// Project-level context that comes from the *repository*, not the DDL file:
+/// the Project Update Period and the total number of project commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ProjectContext {
+    /// Project Update Period in months (start to end of project history).
+    pub pup_months: u64,
+    /// Total commits in the repository (all files).
+    pub total_commits: u64,
+}
+
+/// The full statistical profile of one project's schema evolution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionProfile {
+    /// Project name.
+    pub project: String,
+    /// Schema Update Period in months (Fig. 4 row 1).
+    pub sup_months: u64,
+    /// Total activity in updated attributes (row 2).
+    pub total_activity: u64,
+    /// Commits of the DDL file (row 3).
+    pub commits: u64,
+    /// Active commits (row 4).
+    pub active_commits: u64,
+    /// Reeds (row 5).
+    pub reeds: u64,
+    /// Turf commits (row 6).
+    pub turf: u64,
+    /// Tables inserted over the life of the history (row 7).
+    pub table_insertions: u64,
+    /// Tables deleted (row 8).
+    pub table_deletions: u64,
+    /// Tables at V0 (row 9).
+    pub tables_start: u64,
+    /// Tables at the last version (row 10).
+    pub tables_end: u64,
+    /// Attributes at V0.
+    pub attrs_start: u64,
+    /// Attributes at the last version.
+    pub attrs_end: u64,
+    /// Total expansion (attributes).
+    pub expansion: u64,
+    /// Total maintenance (attributes).
+    pub maintenance: u64,
+    /// Shape of the table-count line.
+    pub shape: ShapeClass,
+    /// Fraction of activity in the single largest commit.
+    pub peak_concentration: f64,
+    /// Classification under the taxa tree.
+    pub class: ProjectClass,
+    /// Repository-level context, when known.
+    pub context: Option<ProjectContext>,
+}
+
+impl EvolutionProfile {
+    /// Build the profile of a schema history using the canonical
+    /// [`REED_THRESHOLD`].
+    pub fn of(history: &SchemaHistory) -> EvolutionProfile {
+        Self::with_threshold(history, REED_THRESHOLD)
+    }
+
+    /// Build the profile with an explicit reed threshold (used by the
+    /// threshold-sensitivity ablation).
+    pub fn with_threshold(history: &SchemaHistory, reed_threshold: u64) -> EvolutionProfile {
+        let measures = measure_history(history);
+        Self::from_measures(history, &measures, reed_threshold)
+    }
+
+    /// Build the profile when the measures were already computed.
+    pub fn from_measures(
+        history: &SchemaHistory,
+        measures: &[TransitionMeasure],
+        reed_threshold: u64,
+    ) -> EvolutionProfile {
+        let hb = Heartbeat::from_measures(measures);
+        let table_insertions: u64 = measures.iter().map(|m| m.delta.table_insertions()).sum();
+        let table_deletions: u64 = measures.iter().map(|m| m.delta.table_deletions()).sum();
+        let table_line: Vec<usize> = history
+            .versions
+            .iter()
+            .map(|v| v.schema.table_count())
+            .collect();
+        let features = TaxonFeatures {
+            commits: history.commit_count() as u64,
+            active_commits: hb.active_commits(),
+            total_activity: hb.total_activity(),
+            reeds: hb.reeds(reed_threshold),
+        };
+        EvolutionProfile {
+            project: history.project.clone(),
+            sup_months: history.sup_months(),
+            total_activity: hb.total_activity(),
+            commits: history.commit_count() as u64,
+            active_commits: hb.active_commits(),
+            reeds: hb.reeds(reed_threshold),
+            turf: hb.turf(reed_threshold),
+            table_insertions,
+            table_deletions,
+            tables_start: history.v0().map(|v| v.schema.table_count()).unwrap_or(0) as u64,
+            tables_end: history.last().map(|v| v.schema.table_count()).unwrap_or(0) as u64,
+            attrs_start: history
+                .v0()
+                .map(|v| v.schema.attribute_count())
+                .unwrap_or(0) as u64,
+            attrs_end: history
+                .last()
+                .map(|v| v.schema.attribute_count())
+                .unwrap_or(0) as u64,
+            expansion: hb.total_expansion(),
+            maintenance: hb.total_maintenance(),
+            shape: classify_shape(&table_line),
+            peak_concentration: hb.peak_concentration(),
+            class: classify(features),
+            context: None,
+        }
+    }
+
+    /// Attach repository-level context.
+    pub fn with_context(mut self, context: ProjectContext) -> Self {
+        self.context = Some(context);
+        self
+    }
+
+    /// Share of repository commits that touched the DDL file, in percent
+    /// (the paper's "commits concerning the DDL file amounted to 4–6% of the
+    /// total commits"). `None` without context.
+    pub fn ddl_commit_share(&self) -> Option<f64> {
+        let ctx = self.context?;
+        if ctx.total_commits == 0 {
+            return None;
+        }
+        Some(100.0 * self.commits as f64 / ctx.total_commits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommitMeta, SchemaVersion};
+    use crate::taxa::Taxon;
+    use schevo_ddl::parse_schema;
+    use schevo_vcs::timestamp::Timestamp;
+
+    fn version(day: i64, sql: &str) -> SchemaVersion {
+        SchemaVersion {
+            meta: CommitMeta {
+                id: format!("c{day}"),
+                timestamp: Timestamp::from_date(2018, 1, 1) + day * 86_400,
+                author: "dev".into(),
+                message: String::new(),
+            },
+            schema: parse_schema(sql).unwrap(),
+            source_len: sql.len(),
+        }
+    }
+
+    fn history(specs: &[(i64, &str)]) -> SchemaHistory {
+        SchemaHistory {
+            project: "t/p".into(),
+            versions: specs.iter().map(|&(d, s)| version(d, s)).collect(),
+        }
+    }
+
+    #[test]
+    fn frozen_profile() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (30, "-- touched docs only\nCREATE TABLE a (x INT);"),
+        ]);
+        let p = EvolutionProfile::of(&h);
+        assert_eq!(p.class.taxon(), Some(Taxon::Frozen));
+        assert_eq!(p.total_activity, 0);
+        assert_eq!(p.commits, 2);
+        assert_eq!(p.active_commits, 0);
+        assert_eq!(p.shape, ShapeClass::Flat);
+        assert_eq!((p.tables_start, p.tables_end), (1, 1));
+    }
+
+    #[test]
+    fn almost_frozen_profile() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT, y INT, z INT);"),
+            (10, "CREATE TABLE a (x BIGINT, y TEXT, z DATETIME);"),
+        ]);
+        let p = EvolutionProfile::of(&h);
+        // 3 type changes = 3 maintenance attributes, 1 active commit.
+        assert_eq!(p.class.taxon(), Some(Taxon::AlmostFrozen));
+        assert_eq!(p.total_activity, 3);
+        assert_eq!(p.maintenance, 3);
+        assert_eq!(p.expansion, 0);
+        assert_eq!(p.turf, 1);
+        assert_eq!(p.reeds, 0);
+    }
+
+    #[test]
+    fn focused_shot_frozen_profile() {
+        // One commit births two tables with 16 attributes total (> 14: reed).
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (
+                20,
+                "CREATE TABLE a (x INT);\
+                 CREATE TABLE b (c1 INT, c2 INT, c3 INT, c4 INT, c5 INT, c6 INT, c7 INT, c8 INT);\
+                 CREATE TABLE c (d1 INT, d2 INT, d3 INT, d4 INT, d5 INT, d6 INT, d7 INT, d8 INT);",
+            ),
+        ]);
+        let p = EvolutionProfile::of(&h);
+        assert_eq!(p.total_activity, 16);
+        assert_eq!(p.reeds, 1);
+        assert_eq!(p.class.taxon(), Some(Taxon::FocusedShotFrozen));
+        assert_eq!(p.table_insertions, 2);
+        assert_eq!(p.shape, ShapeClass::SingleStepUp);
+        assert!((p.peak_concentration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moderate_profile_accumulates_turf() {
+        // Five active commits, each injecting 2 attributes: activity 10 with
+        // 5 active commits → Moderate (rule 4 fails: no reeds; rule 5: <90).
+        let steps: Vec<String> = (0..=5)
+            .map(|k| {
+                let cols: Vec<String> = (0..=(2 * k)).map(|i| format!("c{i} INT")).collect();
+                format!("CREATE TABLE a ({});", cols.join(", "))
+            })
+            .collect();
+        let specs: Vec<(i64, &str)> = steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as i64 * 30, s.as_str()))
+            .collect();
+        let h = history(&specs);
+        let p = EvolutionProfile::of(&h);
+        assert_eq!(p.active_commits, 5);
+        assert_eq!(p.total_activity, 10);
+        assert_eq!(p.class.taxon(), Some(Taxon::Moderate));
+        assert_eq!(p.turf, 5);
+        assert_eq!(p.shape, ShapeClass::Flat);
+    }
+
+    #[test]
+    fn context_and_ddl_share() {
+        let h = history(&[(0, "CREATE TABLE a (x INT);"), (5, "CREATE TABLE a (y INT);")]);
+        let p = EvolutionProfile::of(&h).with_context(ProjectContext {
+            pup_months: 30,
+            total_commits: 40,
+        });
+        assert_eq!(p.ddl_commit_share(), Some(5.0));
+        let p0 = EvolutionProfile::of(&h);
+        assert_eq!(p0.ddl_commit_share(), None);
+    }
+
+    #[test]
+    fn empty_history_is_history_less() {
+        let h = SchemaHistory::default();
+        let p = EvolutionProfile::of(&h);
+        assert_eq!(p.class, ProjectClass::HistoryLess);
+        assert_eq!(p.tables_start, 0);
+    }
+}

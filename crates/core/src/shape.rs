@@ -1,0 +1,119 @@
+//! Shapes of the schema-size line over a project's life.
+//!
+//! The paper narrates taxa with phrases like "75% of projects having a flat
+//! schema line", "52% involve a single step-up", "65% of projects have a
+//! rise". This module turns the `#tables` series into that vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+/// The shape class of a schema-size line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeClass {
+    /// The table count never changes.
+    Flat,
+    /// Exactly one increase and no decreases ("a single step-up").
+    SingleStepUp,
+    /// Several increases, no decreases ("ladder up" / rising).
+    MultiStepRise,
+    /// Net shrink: decreases dominate (covers the paper's "massive drop").
+    Dropping,
+    /// Both increases and decreases without a dominant direction.
+    Turbulent,
+}
+
+impl ShapeClass {
+    /// Human label matching the paper's narrative vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShapeClass::Flat => "flat",
+            ShapeClass::SingleStepUp => "single step-up",
+            ShapeClass::MultiStepRise => "rising",
+            ShapeClass::Dropping => "dropping",
+            ShapeClass::Turbulent => "turbulent",
+        }
+    }
+
+    /// Whether this shape involves schema growth.
+    pub fn is_rise(&self) -> bool {
+        matches!(self, ShapeClass::SingleStepUp | ShapeClass::MultiStepRise)
+    }
+}
+
+/// Classify a table-count series into its [`ShapeClass`].
+///
+/// Rules (first match wins):
+/// 1. no changes → `Flat`
+/// 2. exactly one up-step, no down-steps → `SingleStepUp`
+/// 3. only up-steps → `MultiStepRise`
+/// 4. net change < 0 → `Dropping`
+/// 5. otherwise → `Turbulent`
+///
+/// A series with fewer than 2 points is `Flat` (nothing ever moved).
+pub fn classify_shape(table_counts: &[usize]) -> ShapeClass {
+    if table_counts.len() < 2 {
+        return ShapeClass::Flat;
+    }
+    let mut ups = 0usize;
+    let mut downs = 0usize;
+    for w in table_counts.windows(2) {
+        match w[1].cmp(&w[0]) {
+            std::cmp::Ordering::Greater => ups += 1,
+            std::cmp::Ordering::Less => downs += 1,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    let first = table_counts[0] as i64;
+    let last = table_counts[table_counts.len() - 1] as i64;
+    match (ups, downs) {
+        (0, 0) => ShapeClass::Flat,
+        (1, 0) => ShapeClass::SingleStepUp,
+        (_, 0) => ShapeClass::MultiStepRise,
+        _ if last < first => ShapeClass::Dropping,
+        _ => ShapeClass::Turbulent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_lines() {
+        assert_eq!(classify_shape(&[3, 3, 3, 3]), ShapeClass::Flat);
+        assert_eq!(classify_shape(&[5]), ShapeClass::Flat);
+        assert_eq!(classify_shape(&[]), ShapeClass::Flat);
+    }
+
+    #[test]
+    fn single_step_up() {
+        assert_eq!(classify_shape(&[3, 3, 5, 5, 5]), ShapeClass::SingleStepUp);
+        assert_eq!(classify_shape(&[1, 2]), ShapeClass::SingleStepUp);
+    }
+
+    #[test]
+    fn multi_step_rise() {
+        assert_eq!(classify_shape(&[1, 2, 2, 4, 7]), ShapeClass::MultiStepRise);
+    }
+
+    #[test]
+    fn dropping() {
+        assert_eq!(classify_shape(&[10, 10, 4]), ShapeClass::Dropping);
+        // Mixed, but ends below start.
+        assert_eq!(classify_shape(&[10, 12, 3]), ShapeClass::Dropping);
+    }
+
+    #[test]
+    fn turbulent() {
+        assert_eq!(classify_shape(&[5, 8, 3, 9, 6]), ShapeClass::Turbulent);
+        // Mixed ending equal to start is turbulent, not dropping.
+        assert_eq!(classify_shape(&[5, 7, 5]), ShapeClass::Turbulent);
+    }
+
+    #[test]
+    fn labels_and_rise() {
+        assert_eq!(ShapeClass::Flat.label(), "flat");
+        assert!(ShapeClass::SingleStepUp.is_rise());
+        assert!(ShapeClass::MultiStepRise.is_rise());
+        assert!(!ShapeClass::Turbulent.is_rise());
+    }
+}

@@ -1,0 +1,428 @@
+//! Table-level lives — the paper's "open path": *"test the existence of
+//! patterns at the table level"* (§VI), following the Electrolysis pattern
+//! of the cited prior studies: dead tables gravitate to short lives with
+//! little update activity, while survivors concentrate at long durations,
+//! and the more active they are the longer they last.
+//!
+//! For every table that ever existed in a schema history this module
+//! computes its *life*: birth/death versions, duration, and per-table
+//! update activity (attribute injections/ejections/type/PK changes while
+//! the table was alive).
+
+use crate::model::SchemaHistory;
+use schevo_vcs::timestamp::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The fate of a table at the end of the observed history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableFate {
+    /// Present in the last version of the schema.
+    Survivor,
+    /// Removed before the last version.
+    Dead,
+}
+
+/// The life of one table within a schema history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableLife {
+    /// Table name.
+    pub name: String,
+    /// Index of the version where the table first appears (0 = V0).
+    pub birth_version: usize,
+    /// Index of the first version where the table is gone, if it died.
+    pub death_version: Option<usize>,
+    /// Timestamp of birth.
+    pub born_at: Timestamp,
+    /// Timestamp of death (the commit that removed it), if any.
+    pub died_at: Option<Timestamp>,
+    /// Duration in days: birth → death, or birth → end of history.
+    pub duration_days: i64,
+    /// Attributes at birth.
+    pub arity_at_birth: usize,
+    /// Attributes at death or at the end of history.
+    pub arity_at_end: usize,
+    /// Intra-table update activity over the table's life: injections +
+    /// ejections + type changes + PK changes, in attributes.
+    pub update_activity: u64,
+    /// Survivor or dead.
+    pub fate: TableFate,
+}
+
+impl TableLife {
+    /// Whether the table never saw an intra-table update.
+    pub fn is_quiet(&self) -> bool {
+        self.update_activity == 0
+    }
+}
+
+/// Compute the lives of every table that ever appeared in the history.
+///
+/// A table that is dropped and later re-created under the same name gets
+/// **two** lives (matching the table-level studies, which treat re-creation
+/// as a new biography).
+pub fn table_lives(history: &SchemaHistory) -> Vec<TableLife> {
+    let mut lives: Vec<TableLife> = Vec::new();
+    // Open lives by table name → index into `lives`.
+    let mut open: HashMap<String, usize> = HashMap::new();
+    let Some(v0) = history.v0() else {
+        return lives;
+    };
+    let end_ts = history.last().map(|v| v.meta.timestamp).unwrap_or(v0.meta.timestamp);
+    let last_version = history.versions.len() - 1;
+
+    // Birth pass for V0.
+    for table in v0.schema.tables() {
+        open.insert(table.name.clone(), lives.len());
+        lives.push(TableLife {
+            name: table.name.clone(),
+            birth_version: 0,
+            death_version: None,
+            born_at: v0.meta.timestamp,
+            died_at: None,
+            duration_days: 0,
+            arity_at_birth: table.arity(),
+            arity_at_end: table.arity(),
+            update_activity: 0,
+            fate: TableFate::Survivor,
+        });
+    }
+
+    for (idx, old, new) in history.transitions() {
+        let delta = crate::diff::diff(&old.schema, &new.schema);
+        // Deaths.
+        for dead_name in &delta.tables_deleted {
+            if let Some(i) = open.remove(dead_name) {
+                let life = &mut lives[i];
+                life.death_version = Some(idx);
+                life.died_at = Some(new.meta.timestamp);
+                life.fate = TableFate::Dead;
+                life.duration_days = new.meta.timestamp.days_since(life.born_at).max(0);
+                life.arity_at_end = old
+                    .schema
+                    .table(dead_name)
+                    .map(|t| t.arity())
+                    .unwrap_or(life.arity_at_end);
+            }
+        }
+        // Births.
+        for born_name in &delta.tables_inserted {
+            let arity = new
+                .schema
+                .table(born_name)
+                .map(|t| t.arity())
+                .unwrap_or(0);
+            open.insert(born_name.clone(), lives.len());
+            lives.push(TableLife {
+                name: born_name.clone(),
+                birth_version: idx,
+                death_version: None,
+                born_at: new.meta.timestamp,
+                died_at: None,
+                duration_days: 0,
+                arity_at_birth: arity,
+                arity_at_end: arity,
+                update_activity: 0,
+                fate: TableFate::Survivor,
+            });
+        }
+        // Intra-table activity for surviving tables.
+        let credit = |lives: &mut Vec<TableLife>, open: &HashMap<String, usize>, t: &str, n: u64| {
+            if let Some(&i) = open.get(t) {
+                lives[i].update_activity += n;
+            }
+        };
+        for (t, _) in &delta.injected {
+            credit(&mut lives, &open, t, 1);
+        }
+        for (t, _) in &delta.ejected {
+            credit(&mut lives, &open, t, 1);
+        }
+        for (t, _) in &delta.type_changed {
+            credit(&mut lives, &open, t, 1);
+        }
+        for (t, _) in &delta.pk_changed {
+            credit(&mut lives, &open, t, 1);
+        }
+        // Track current arity of open tables.
+        for table in new.schema.tables() {
+            if let Some(&i) = open.get(&table.name) {
+                lives[i].arity_at_end = table.arity();
+            }
+        }
+        let _ = last_version;
+    }
+    // Close survivors at the end of history.
+    for &i in open.values() {
+        let life = &mut lives[i];
+        life.duration_days = end_ts.days_since(life.born_at).max(0);
+    }
+    lives
+}
+
+/// The four Electrolysis quadrants: duration (short/long, split at the
+/// pooled median) × update activity (quiet/active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TableQuadrant {
+    /// Short life, no updates — where dead tables gravitate.
+    ShortQuiet,
+    /// Short life despite updates.
+    ShortActive,
+    /// Long life without updates.
+    LongQuiet,
+    /// Long, actively maintained life — where survivors gravitate.
+    LongActive,
+}
+
+/// Assign each life to a quadrant, splitting duration at the pooled median.
+pub fn quadrants(lives: &[TableLife]) -> Vec<(TableQuadrant, &TableLife)> {
+    if lives.is_empty() {
+        return Vec::new();
+    }
+    let durations: Vec<f64> = lives.iter().map(|l| l.duration_days as f64).collect();
+    let median = schevo_stats::median(&durations);
+    lives
+        .iter()
+        .map(|l| {
+            let long = l.duration_days as f64 > median;
+            let q = match (long, l.is_quiet()) {
+                (false, true) => TableQuadrant::ShortQuiet,
+                (false, false) => TableQuadrant::ShortActive,
+                (true, true) => TableQuadrant::LongQuiet,
+                (true, false) => TableQuadrant::LongActive,
+            };
+            (q, l)
+        })
+        .collect()
+}
+
+/// The fate × activity contingency table `[[dead_quiet, dead_active],
+/// [survivor_quiet, survivor_active]]` — input to the χ² independence test
+/// that makes the Electrolysis claim statistical.
+pub fn fate_activity_table(lives: &[TableLife]) -> [[u64; 2]; 2] {
+    let mut t = [[0u64; 2]; 2];
+    for l in lives {
+        let row = usize::from(l.fate == TableFate::Survivor);
+        let col = usize::from(!l.is_quiet());
+        t[row][col] += 1;
+    }
+    t
+}
+
+/// Aggregate Electrolysis-style statistics over a set of table lives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ElectrolysisStats {
+    /// Total tables observed.
+    pub tables: usize,
+    /// Survivors.
+    pub survivors: usize,
+    /// Dead tables.
+    pub dead: usize,
+    /// Median duration (days) of survivors.
+    pub survivor_median_duration: f64,
+    /// Median duration (days) of dead tables.
+    pub dead_median_duration: f64,
+    /// Share of dead tables that never saw an update (the "quiet death").
+    pub dead_quiet_pct: f64,
+    /// Share of survivors with at least one update.
+    pub survivor_active_pct: f64,
+    /// Median update activity of active survivors.
+    pub active_survivor_median_activity: f64,
+}
+
+/// Compute the Electrolysis aggregate over many lives (typically pooled
+/// across a corpus).
+pub fn electrolysis(lives: &[TableLife]) -> ElectrolysisStats {
+    let survivors: Vec<&TableLife> = lives.iter().filter(|l| l.fate == TableFate::Survivor).collect();
+    let dead: Vec<&TableLife> = lives.iter().filter(|l| l.fate == TableFate::Dead).collect();
+    let med = |v: &[f64]| if v.is_empty() { 0.0 } else { schevo_stats::median(v) };
+    let surv_dur: Vec<f64> = survivors.iter().map(|l| l.duration_days as f64).collect();
+    let dead_dur: Vec<f64> = dead.iter().map(|l| l.duration_days as f64).collect();
+    let active_surv: Vec<f64> = survivors
+        .iter()
+        .filter(|l| l.update_activity > 0)
+        .map(|l| l.update_activity as f64)
+        .collect();
+    ElectrolysisStats {
+        tables: lives.len(),
+        survivors: survivors.len(),
+        dead: dead.len(),
+        survivor_median_duration: med(&surv_dur),
+        dead_median_duration: med(&dead_dur),
+        dead_quiet_pct: if dead.is_empty() {
+            0.0
+        } else {
+            100.0 * dead.iter().filter(|l| l.is_quiet()).count() as f64 / dead.len() as f64
+        },
+        survivor_active_pct: if survivors.is_empty() {
+            0.0
+        } else {
+            100.0 * survivors.iter().filter(|l| !l.is_quiet()).count() as f64
+                / survivors.len() as f64
+        },
+        active_survivor_median_activity: med(&active_surv),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CommitMeta, SchemaVersion};
+    use schevo_ddl::parse_schema;
+
+    fn version(day: i64, sql: &str) -> SchemaVersion {
+        SchemaVersion {
+            meta: CommitMeta {
+                id: format!("c{day}"),
+                timestamp: Timestamp::from_date(2018, 1, 1) + day * 86_400,
+                author: "dev".into(),
+                message: String::new(),
+            },
+            schema: parse_schema(sql).unwrap(),
+            source_len: sql.len(),
+        }
+    }
+
+    fn history(specs: &[(i64, &str)]) -> SchemaHistory {
+        SchemaHistory {
+            project: "t/p".into(),
+            versions: specs.iter().map(|&(d, s)| version(d, s)).collect(),
+        }
+    }
+
+    #[test]
+    fn survivor_and_dead_lives() {
+        let h = history(&[
+            (0, "CREATE TABLE keep (a INT); CREATE TABLE doomed (x INT, y INT);"),
+            (50, "CREATE TABLE keep (a INT, b INT); CREATE TABLE doomed (x INT, y INT);"),
+            (100, "CREATE TABLE keep (a INT, b INT);"),
+        ]);
+        let lives = table_lives(&h);
+        assert_eq!(lives.len(), 2);
+        let keep = lives.iter().find(|l| l.name == "keep").unwrap();
+        assert_eq!(keep.fate, TableFate::Survivor);
+        assert_eq!(keep.duration_days, 100);
+        assert_eq!(keep.update_activity, 1, "one injection");
+        assert_eq!((keep.arity_at_birth, keep.arity_at_end), (1, 2));
+        let doomed = lives.iter().find(|l| l.name == "doomed").unwrap();
+        assert_eq!(doomed.fate, TableFate::Dead);
+        assert_eq!(doomed.death_version, Some(2));
+        assert_eq!(doomed.duration_days, 100);
+        assert!(doomed.is_quiet());
+    }
+
+    #[test]
+    fn mid_life_birth() {
+        let h = history(&[
+            (0, "CREATE TABLE a (x INT);"),
+            (30, "CREATE TABLE a (x INT); CREATE TABLE late (y INT);"),
+            (90, "CREATE TABLE a (x INT); CREATE TABLE late (y INT, z INT);"),
+        ]);
+        let lives = table_lives(&h);
+        let late = lives.iter().find(|l| l.name == "late").unwrap();
+        assert_eq!(late.birth_version, 1);
+        assert_eq!(late.duration_days, 60);
+        assert_eq!(late.update_activity, 1);
+    }
+
+    #[test]
+    fn recreated_table_gets_two_lives() {
+        let h = history(&[
+            (0, "CREATE TABLE t (a INT); CREATE TABLE other (o INT);"),
+            (10, "CREATE TABLE other (o INT);"),
+            (20, "CREATE TABLE t (a INT, b INT); CREATE TABLE other (o INT);"),
+        ]);
+        let lives = table_lives(&h);
+        let t_lives: Vec<&TableLife> = lives.iter().filter(|l| l.name == "t").collect();
+        assert_eq!(t_lives.len(), 2);
+        assert_eq!(t_lives[0].fate, TableFate::Dead);
+        assert_eq!(t_lives[1].fate, TableFate::Survivor);
+        assert_eq!(t_lives[1].arity_at_birth, 2);
+    }
+
+    #[test]
+    fn electrolysis_aggregate() {
+        let h = history(&[
+            (0, "CREATE TABLE s1 (a INT); CREATE TABLE s2 (b INT); CREATE TABLE d (x INT);"),
+            (5, "CREATE TABLE s1 (a INT, a2 INT); CREATE TABLE s2 (b INT); CREATE TABLE d (x INT);"),
+            (400, "CREATE TABLE s1 (a INT, a2 INT); CREATE TABLE s2 (b INT);"),
+        ]);
+        let lives = table_lives(&h);
+        let stats = electrolysis(&lives);
+        assert_eq!(stats.tables, 3);
+        assert_eq!(stats.survivors, 2);
+        assert_eq!(stats.dead, 1);
+        assert_eq!(stats.dead_quiet_pct, 100.0);
+        assert_eq!(stats.survivor_active_pct, 50.0);
+        assert_eq!(stats.survivor_median_duration, 400.0);
+    }
+
+    #[test]
+    fn quadrants_split_at_median_duration() {
+        let mk = |days: i64, activity: u64, fate: TableFate| TableLife {
+            name: "t".into(),
+            birth_version: 0,
+            death_version: None,
+            born_at: Timestamp(0),
+            died_at: None,
+            duration_days: days,
+            arity_at_birth: 1,
+            arity_at_end: 1,
+            update_activity: activity,
+            fate,
+        };
+        let lives = vec![
+            mk(10, 0, TableFate::Dead),
+            mk(20, 5, TableFate::Dead),
+            mk(500, 0, TableFate::Survivor),
+            mk(600, 9, TableFate::Survivor),
+        ];
+        let q = quadrants(&lives);
+        assert_eq!(q[0].0, TableQuadrant::ShortQuiet);
+        assert_eq!(q[1].0, TableQuadrant::ShortActive);
+        assert_eq!(q[2].0, TableQuadrant::LongQuiet);
+        assert_eq!(q[3].0, TableQuadrant::LongActive);
+        let ct = fate_activity_table(&lives);
+        assert_eq!(ct, [[1, 1], [1, 1]]);
+        assert!(quadrants(&[]).is_empty());
+    }
+
+    #[test]
+    fn contingency_feeds_chi2() {
+        // Strong dependence: dead tables quiet, survivors active.
+        let mk = |q: bool, fate: TableFate| TableLife {
+            name: "t".into(),
+            birth_version: 0,
+            death_version: None,
+            born_at: Timestamp(0),
+            died_at: None,
+            duration_days: 100,
+            arity_at_birth: 1,
+            arity_at_end: 1,
+            update_activity: u64::from(!q),
+            fate,
+        };
+        let mut lives = Vec::new();
+        for _ in 0..40 {
+            lives.push(mk(true, TableFate::Dead));
+            lives.push(mk(false, TableFate::Survivor));
+        }
+        for _ in 0..5 {
+            lives.push(mk(false, TableFate::Dead));
+            lives.push(mk(true, TableFate::Survivor));
+        }
+        let ct = fate_activity_table(&lives);
+        let rows: Vec<Vec<u64>> = ct.iter().map(|r| r.to_vec()).collect();
+        let test = schevo_stats::chi2_independence(&rows).unwrap();
+        assert!(test.p_value < 1e-10, "fate and activity are dependent");
+    }
+
+    #[test]
+    fn empty_history_no_lives() {
+        let lives = table_lives(&SchemaHistory::default());
+        assert!(lives.is_empty());
+        let stats = electrolysis(&lives);
+        assert_eq!(stats.tables, 0);
+        assert_eq!(stats.dead_quiet_pct, 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! The taxa of schema evolution and the rule-based classification tree
+//! (the paper's Fig. 3 and Table I).
+//!
+//! Rule order (first match wins), over projects with ≥ 2 commits:
+//!
+//! 1. `active_commits == 0` → **Frozen**
+//! 2. `active_commits ≤ 3 ∧ activity ≤ 10` → **Almost Frozen**
+//! 3. `active_commits ≤ 3 ∧ activity > 10` → **Focused Shot & Frozen**
+//! 4. `4 ≤ active_commits ≤ 10 ∧ 1 ≤ reeds ≤ 2` → **Focused Shot & Low**
+//! 5. `activity < 90` → **Moderate**
+//! 6. otherwise → **Active**
+//!
+//! Interpretive decisions (justified in DESIGN.md §4 by the paper's own
+//! Fig. 4/12 statistics): Focused Shot & Low requires *at least one* reed;
+//! exactly 90 attributes of activity classifies as Active; single-commit
+//! histories are *history-less* and sit outside the taxa.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six taxa of schema evolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Taxon {
+    /// ≥2 commits, zero active commits, zero activity.
+    Frozen,
+    /// ≤3 active commits, ≤10 updated attributes.
+    AlmostFrozen,
+    /// ≤3 active commits, >10 updated attributes (typically a single reed).
+    FocusedShotFrozen,
+    /// None of the rest, <90 updated attributes.
+    Moderate,
+    /// 4–10 active commits with one or two reeds.
+    FocusedShotLow,
+    /// None of the rest, ≥90 updated attributes.
+    Active,
+}
+
+impl Taxon {
+    /// All taxa, in the paper's presentation order (Fig. 4 columns).
+    pub const ALL: [Taxon; 6] = [
+        Taxon::Frozen,
+        Taxon::AlmostFrozen,
+        Taxon::FocusedShotFrozen,
+        Taxon::Moderate,
+        Taxon::FocusedShotLow,
+        Taxon::Active,
+    ];
+
+    /// The taxa that carry nonzero activity (everything but Frozen) — the
+    /// set entering the paper's Kruskal–Wallis analysis.
+    pub const NON_FROZEN: [Taxon; 5] = [
+        Taxon::AlmostFrozen,
+        Taxon::FocusedShotFrozen,
+        Taxon::Moderate,
+        Taxon::FocusedShotLow,
+        Taxon::Active,
+    ];
+
+    /// Full display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Taxon::Frozen => "Frozen",
+            Taxon::AlmostFrozen => "Almost Frozen",
+            Taxon::FocusedShotFrozen => "Focused Shot & Frozen",
+            Taxon::Moderate => "Moderate",
+            Taxon::FocusedShotLow => "Focused Shot & Low",
+            Taxon::Active => "Active",
+        }
+    }
+
+    /// Compact label as used in the paper's Fig. 11/12 headers.
+    pub fn short(&self) -> &'static str {
+        match self {
+            Taxon::Frozen => "Frozen",
+            Taxon::AlmostFrozen => "Alm. Frozen",
+            Taxon::FocusedShotFrozen => "FShot+Frozen",
+            Taxon::Moderate => "Moderate",
+            Taxon::FocusedShotLow => "FShot+Low",
+            Taxon::Active => "Active",
+        }
+    }
+}
+
+impl fmt::Display for Taxon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classification of a project, taxa plus the out-of-scope class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjectClass {
+    /// Only 1 commit of the `.sql` file: no transitions to study (Table I).
+    HistoryLess,
+    /// A proper taxon.
+    Taxon(Taxon),
+}
+
+impl ProjectClass {
+    /// The taxon, if the project has one.
+    pub fn taxon(&self) -> Option<Taxon> {
+        match self {
+            ProjectClass::HistoryLess => None,
+            ProjectClass::Taxon(t) => Some(*t),
+        }
+    }
+}
+
+/// The inputs of the classification tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonFeatures {
+    /// Number of commits of the DDL file (versions), V0 included.
+    pub commits: u64,
+    /// Number of active commits.
+    pub active_commits: u64,
+    /// Total activity in updated attributes.
+    pub total_activity: u64,
+    /// Number of reeds (under the corpus' reed threshold).
+    pub reeds: u64,
+}
+
+/// Classify a project by the tree of Fig. 3 / Table I.
+pub fn classify(f: TaxonFeatures) -> ProjectClass {
+    if f.commits <= 1 {
+        return ProjectClass::HistoryLess;
+    }
+    let taxon = if f.active_commits == 0 {
+        Taxon::Frozen
+    } else if f.active_commits <= 3 {
+        if f.total_activity <= 10 {
+            Taxon::AlmostFrozen
+        } else {
+            Taxon::FocusedShotFrozen
+        }
+    } else if (4..=10).contains(&f.active_commits) && (1..=2).contains(&f.reeds) {
+        Taxon::FocusedShotLow
+    } else if f.total_activity < 90 {
+        Taxon::Moderate
+    } else {
+        Taxon::Active
+    };
+    ProjectClass::Taxon(taxon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(commits: u64, active: u64, activity: u64, reeds: u64) -> TaxonFeatures {
+        TaxonFeatures {
+            commits,
+            active_commits: active,
+            total_activity: activity,
+            reeds,
+        }
+    }
+
+    fn taxon_of(f: TaxonFeatures) -> Taxon {
+        classify(f).taxon().expect("not history-less")
+    }
+
+    #[test]
+    fn history_less() {
+        assert_eq!(classify(feats(1, 0, 0, 0)), ProjectClass::HistoryLess);
+        assert_eq!(classify(feats(0, 0, 0, 0)), ProjectClass::HistoryLess);
+    }
+
+    #[test]
+    fn frozen() {
+        assert_eq!(taxon_of(feats(2, 0, 0, 0)), Taxon::Frozen);
+        assert_eq!(taxon_of(feats(11, 0, 0, 0)), Taxon::Frozen);
+    }
+
+    #[test]
+    fn almost_frozen_boundaries() {
+        assert_eq!(taxon_of(feats(2, 1, 1, 0)), Taxon::AlmostFrozen);
+        assert_eq!(taxon_of(feats(4, 3, 10, 0)), Taxon::AlmostFrozen);
+        // 11 attributes crosses into FS&Frozen.
+        assert_eq!(taxon_of(feats(4, 3, 11, 0)), Taxon::FocusedShotFrozen);
+        // A 4th active commit with small change crosses into Moderate.
+        assert_eq!(taxon_of(feats(5, 4, 10, 0)), Taxon::Moderate);
+    }
+
+    #[test]
+    fn focused_shot_frozen() {
+        assert_eq!(taxon_of(feats(2, 1, 383, 1)), Taxon::FocusedShotFrozen);
+        assert_eq!(taxon_of(feats(4, 2, 23, 1)), Taxon::FocusedShotFrozen);
+    }
+
+    #[test]
+    fn focused_shot_low_needs_a_reed() {
+        // 4–10 active commits, 1–2 reeds → FS&Low.
+        assert_eq!(taxon_of(feats(7, 6, 71, 1)), Taxon::FocusedShotLow);
+        assert_eq!(taxon_of(feats(10, 10, 315, 2)), Taxon::FocusedShotLow);
+        // Same band with zero reeds → Moderate / Active by activity.
+        assert_eq!(taxon_of(feats(7, 6, 71, 0)), Taxon::Moderate);
+        assert_eq!(taxon_of(feats(12, 10, 120, 0)), Taxon::Active);
+        // Three reeds break the band → by activity.
+        assert_eq!(taxon_of(feats(10, 9, 100, 3)), Taxon::Active);
+    }
+
+    #[test]
+    fn moderate_with_reeds_needs_11_plus_active() {
+        // Fig. 4 allows Moderate reeds up to 2 — possible only above the
+        // FS&Low active-commit band.
+        assert_eq!(taxon_of(feats(20, 15, 88, 2)), Taxon::Moderate);
+    }
+
+    #[test]
+    fn activity_90_boundary() {
+        assert_eq!(taxon_of(feats(20, 15, 89, 0)), Taxon::Moderate);
+        assert_eq!(taxon_of(feats(20, 15, 90, 0)), Taxon::Active);
+    }
+
+    #[test]
+    fn active_examples() {
+        assert_eq!(taxon_of(feats(516, 232, 3485, 31)), Taxon::Active);
+        // Few active commits but three reeds: outside the FS&Low band.
+        assert_eq!(taxon_of(feats(9, 7, 112, 3)), Taxon::Active);
+        // Many active commits, one reed: the reed band does not apply.
+        assert_eq!(taxon_of(feats(40, 22, 254, 1)), Taxon::Active);
+    }
+
+    #[test]
+    fn classification_is_total_and_single_valued() {
+        // Disjointness/completeness over a lattice of feature combinations:
+        // every point classifies, and rule order makes the result unique by
+        // construction; spot-check corners.
+        for commits in [2u64, 5, 50] {
+            for active in [0u64, 1, 3, 4, 7, 10, 11, 40] {
+                for activity in [0u64, 1, 10, 11, 89, 90, 1000] {
+                    for reeds in [0u64, 1, 2, 3, 8] {
+                        if active == 0 && activity > 0 {
+                            continue; // impossible: activity implies an active commit
+                        }
+                        if activity == 0 && active > 0 {
+                            continue; // impossible: an active commit has activity ≥ 1
+                        }
+                        if reeds > active {
+                            continue; // impossible: every reed is active
+                        }
+                        if active > commits - 1 {
+                            continue; // impossible: more active commits than transitions
+                        }
+                        let c = classify(feats(commits, active, activity, reeds));
+                        assert!(c.taxon().is_some());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_order() {
+        assert_eq!(Taxon::ALL.len(), 6);
+        assert_eq!(Taxon::NON_FROZEN.len(), 5);
+        assert_eq!(Taxon::FocusedShotFrozen.short(), "FShot+Frozen");
+        assert_eq!(Taxon::FocusedShotLow.to_string(), "Focused Shot & Low");
+    }
+}

@@ -1,0 +1,154 @@
+//! Tempo analysis: the time-density of active commits.
+//!
+//! §IV-F observes that active projects' heartbeats are not homogeneous —
+//! "periods of systematic activity, ... periods of idleness, spikes of
+//! massive maintenance". This module quantifies that narrative: gaps
+//! between active commits, idle periods, and a burstiness coefficient.
+
+use crate::measures::TransitionMeasure;
+use serde::{Deserialize, Serialize};
+
+/// Tempo statistics of one schema history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Tempo {
+    /// Number of active commits observed.
+    pub active_commits: usize,
+    /// Median gap between consecutive active commits, in days.
+    pub median_gap_days: f64,
+    /// Longest gap between consecutive active commits, in days.
+    pub max_gap_days: i64,
+    /// Number of idle periods (gaps longer than `idle_threshold_days`).
+    pub idle_periods: usize,
+    /// The idle threshold used, in days.
+    pub idle_threshold_days: i64,
+    /// Burstiness `B = (σ − μ)/(σ + μ)` of the gap distribution:
+    /// −1 = perfectly regular, 0 = Poisson-like, → 1 = extremely bursty.
+    pub burstiness: f64,
+}
+
+/// Compute tempo statistics over measured transitions. Gaps are measured
+/// between consecutive **active** commits (the heartbeat the paper charts);
+/// histories with fewer than 2 active commits yield a default (zeroed)
+/// tempo with `active_commits` set.
+pub fn tempo(measures: &[TransitionMeasure], idle_threshold_days: i64) -> Tempo {
+    let active_days: Vec<i64> = measures
+        .iter()
+        .filter(|m| m.is_active())
+        .map(|m| m.days_since_v0)
+        .collect();
+    let mut t = Tempo {
+        active_commits: active_days.len(),
+        idle_threshold_days,
+        ..Default::default()
+    };
+    if active_days.len() < 2 {
+        return t;
+    }
+    let gaps: Vec<f64> = active_days
+        .windows(2)
+        .map(|w| (w[1] - w[0]).max(0) as f64)
+        .collect();
+    t.median_gap_days = schevo_stats::median(&gaps);
+    t.max_gap_days = gaps.iter().cloned().fold(0.0, f64::max) as i64;
+    t.idle_periods = gaps
+        .iter()
+        .filter(|&&g| g > idle_threshold_days as f64)
+        .count();
+    let mu = schevo_stats::mean(&gaps);
+    let sigma = schevo_stats::variance(&gaps).sqrt();
+    t.burstiness = if sigma + mu > 0.0 {
+        (sigma - mu) / (sigma + mu)
+    } else {
+        0.0
+    };
+    t
+}
+
+/// The idle threshold the §IV-F narrative implies: half a year.
+pub const IDLE_THRESHOLD_DAYS: i64 = 180;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::measure_history;
+    use crate::model::{CommitMeta, SchemaHistory, SchemaVersion};
+    use schevo_ddl::parse_schema;
+    use schevo_vcs::timestamp::Timestamp;
+
+    fn history(days_and_arities: &[(i64, usize)]) -> SchemaHistory {
+        let versions = days_and_arities
+            .iter()
+            .map(|&(d, arity)| {
+                let cols: Vec<String> = (0..arity).map(|i| format!("c{i} INT")).collect();
+                let sql = format!("CREATE TABLE t ({});", cols.join(", "));
+                SchemaVersion {
+                    meta: CommitMeta {
+                        id: format!("c{d}"),
+                        timestamp: Timestamp::from_date(2018, 1, 1) + d * 86_400,
+                        author: "dev".into(),
+                        message: String::new(),
+                    },
+                    schema: parse_schema(&sql).unwrap(),
+                    source_len: sql.len(),
+                }
+            })
+            .collect();
+        SchemaHistory {
+            project: "t/p".into(),
+            versions,
+        }
+    }
+
+    #[test]
+    fn regular_tempo_has_negative_burstiness() {
+        // Active commits every 30 days, perfectly regular.
+        let specs: Vec<(i64, usize)> = (0..=10).map(|i| (i * 30, (i + 1) as usize)).collect();
+        let h = history(&specs);
+        let t = tempo(&measure_history(&h), IDLE_THRESHOLD_DAYS);
+        assert_eq!(t.active_commits, 10);
+        assert_eq!(t.median_gap_days, 30.0);
+        assert_eq!(t.max_gap_days, 30);
+        assert_eq!(t.idle_periods, 0);
+        assert!(t.burstiness < -0.9, "regular gaps ⇒ B ≈ −1, got {}", t.burstiness);
+    }
+
+    #[test]
+    fn bursty_tempo_with_idleness() {
+        // A burst, a 400-day idle gap, another burst.
+        let specs: Vec<(i64, usize)> = vec![
+            (0, 1),
+            (5, 2),
+            (10, 3),
+            (15, 4),
+            (415, 5),
+            (420, 6),
+            (425, 7),
+        ];
+        let h = history(&specs);
+        let t = tempo(&measure_history(&h), IDLE_THRESHOLD_DAYS);
+        assert_eq!(t.active_commits, 6);
+        assert_eq!(t.idle_periods, 1);
+        assert_eq!(t.max_gap_days, 400);
+        assert!(t.burstiness > 0.3, "bursty gaps ⇒ B > 0, got {}", t.burstiness);
+    }
+
+    #[test]
+    fn degenerate_histories() {
+        let h = history(&[(0, 1), (10, 2)]);
+        let t = tempo(&measure_history(&h), IDLE_THRESHOLD_DAYS);
+        assert_eq!(t.active_commits, 1);
+        assert_eq!(t.median_gap_days, 0.0);
+        let empty = tempo(&[], IDLE_THRESHOLD_DAYS);
+        assert_eq!(empty.active_commits, 0);
+    }
+
+    #[test]
+    fn inactive_commits_do_not_contribute_gaps() {
+        // Same arity twice = inactive middle commit; gap spans across it.
+        let specs: Vec<(i64, usize)> = vec![(0, 1), (50, 2), (100, 2), (150, 3)];
+        let h = history(&specs);
+        let t = tempo(&measure_history(&h), IDLE_THRESHOLD_DAYS);
+        assert_eq!(t.active_commits, 2);
+        assert_eq!(t.median_gap_days, 100.0);
+    }
+}

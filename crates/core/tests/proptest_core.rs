@@ -1,0 +1,148 @@
+//! Property tests for the diff engine, heartbeat, and classifier.
+
+use proptest::prelude::*;
+use schevo_core::diff::diff;
+use schevo_core::heartbeat::{Heartbeat, HeartbeatPoint};
+use schevo_core::taxa::{classify, ProjectClass, Taxon, TaxonFeatures};
+use schevo_ddl::schema::{Attribute, Schema, Table};
+use schevo_ddl::types::DataType;
+
+fn ident(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0u32..12).prop_map(move |i| format!("{prefix}{i}"))
+}
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::int()),
+        Just(DataType::text()),
+        Just(DataType::varchar(64)),
+        Just(DataType::varchar(255)),
+        Just(DataType::datetime()),
+        Just(DataType::from_name("BIGINT")),
+    ]
+}
+
+fn schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::btree_map(
+        ident("t"),
+        proptest::collection::btree_map(ident("c"), data_type(), 1..6),
+        0..5,
+    )
+    .prop_map(|tables| {
+        let mut s = Schema::new();
+        for (tname, cols) in tables {
+            let mut t = Table::new(tname);
+            for (cname, ty) in cols {
+                t.push_attribute(Attribute::new(cname, ty));
+            }
+            s.upsert_table(t);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Diffing a schema against itself is always inactive.
+    #[test]
+    fn self_diff_is_empty(s in schema()) {
+        let d = diff(&s, &s);
+        prop_assert_eq!(d.activity(), 0);
+        prop_assert!(!d.is_active());
+    }
+
+    /// Swapping old/new mirrors the birth/death categories exactly.
+    #[test]
+    fn diff_mirror_symmetry(a in schema(), b in schema()) {
+        let fwd = diff(&a, &b);
+        let rev = diff(&b, &a);
+        prop_assert_eq!(fwd.tables_inserted.len(), rev.tables_deleted.len());
+        prop_assert_eq!(fwd.tables_deleted.len(), rev.tables_inserted.len());
+        prop_assert_eq!(fwd.born.len(), rev.deleted.len());
+        prop_assert_eq!(fwd.deleted.len(), rev.born.len());
+        prop_assert_eq!(fwd.injected.len(), rev.ejected.len());
+        prop_assert_eq!(fwd.ejected.len(), rev.injected.len());
+        // Type/PK changes are symmetric sets.
+        prop_assert_eq!(fwd.type_changed.len(), rev.type_changed.len());
+        prop_assert_eq!(fwd.pk_changed.len(), rev.pk_changed.len());
+        // And total activity is conserved under direction.
+        prop_assert_eq!(fwd.activity(), rev.activity());
+    }
+
+    /// Activity decomposes into expansion + maintenance, always.
+    #[test]
+    fn activity_decomposition(a in schema(), b in schema()) {
+        let d = diff(&a, &b);
+        prop_assert_eq!(d.activity(), d.expansion() + d.maintenance());
+    }
+
+    /// Heartbeat counting identities: reeds + turf = active commits, for any
+    /// threshold; totals decompose.
+    #[test]
+    fn heartbeat_identities(points in proptest::collection::vec((0u64..40, 0u64..40), 0..50),
+                            threshold in 0u64..40) {
+        let hb = Heartbeat {
+            points: points.iter().enumerate().map(|(i, &(e, m))| HeartbeatPoint {
+                transition_id: i + 1, expansion: e, maintenance: m,
+            }).collect(),
+        };
+        prop_assert_eq!(hb.reeds(threshold) + hb.turf(threshold), hb.active_commits());
+        prop_assert_eq!(hb.total_activity(), hb.total_expansion() + hb.total_maintenance());
+        prop_assert!(hb.peak_activity() <= hb.total_activity());
+        let pc = hb.peak_concentration();
+        prop_assert!((0.0..=1.0).contains(&pc));
+    }
+
+    /// The migration generator is sound: for ANY pair of (FK-free) schemas,
+    /// generating the old→new migration and applying it through the parser
+    /// reproduces the new schema up to column order.
+    #[test]
+    fn migration_roundtrip(old in schema(), new in schema()) {
+        use schevo_core::migrate::{apply_migration, generate_migration, logically_equivalent};
+        let m = generate_migration(&old, &new);
+        let applied = apply_migration(&old, &m).unwrap();
+        prop_assert!(
+            logically_equivalent(&applied, &new),
+            "script:\n{}", m.script()
+        );
+        // And migrating a schema onto itself is a no-op.
+        let idm = generate_migration(&old, &old);
+        prop_assert!(idm.is_empty());
+    }
+
+    /// The classifier is total over feasible feature combinations, and its
+    /// outcome is consistent with the definitional constraints of Table I.
+    #[test]
+    fn classifier_total_and_consistent(commits in 2u64..600,
+                                       active in 0u64..300,
+                                       activity in 0u64..4000,
+                                       reeds in 0u64..40) {
+        // Enforce feasibility invariants of real histories.
+        prop_assume!(active < commits);
+        prop_assume!(reeds <= active);
+        prop_assume!((active == 0) == (activity == 0));
+        prop_assume!(activity >= active); // each active commit has ≥1 attribute
+        // A reed implies >14 attributes of activity somewhere.
+        prop_assume!(reeds == 0 || activity >= 15 * reeds + (active - reeds));
+
+        let f = TaxonFeatures { commits, active_commits: active, total_activity: activity, reeds };
+        let ProjectClass::Taxon(t) = classify(f) else {
+            return Err(TestCaseError::fail("≥2 commits must classify"));
+        };
+        match t {
+            Taxon::Frozen => prop_assert!(active == 0 && activity == 0),
+            Taxon::AlmostFrozen => prop_assert!((1..=3).contains(&active) && activity <= 10),
+            Taxon::FocusedShotFrozen => prop_assert!(active <= 3 && activity > 10),
+            Taxon::FocusedShotLow => prop_assert!((4..=10).contains(&active) && (1..=2).contains(&reeds)),
+            Taxon::Moderate => {
+                prop_assert!(active >= 4 && activity < 90);
+                prop_assert!(!((4..=10).contains(&active) && (1..=2).contains(&reeds)));
+            }
+            Taxon::Active => {
+                prop_assert!(active >= 4 && activity >= 90);
+                prop_assert!(!((4..=10).contains(&active) && (1..=2).contains(&reeds)));
+            }
+        }
+    }
+}

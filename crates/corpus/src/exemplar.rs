@@ -1,0 +1,591 @@
+//! Hand-scripted exemplar projects mirroring the paper's per-project
+//! figures (Figs. 1, 2, 5, 6, 7, 8, 9).
+//!
+//! Each exemplar is authored as an explicit op-level schedule through
+//! [`ExemplarBuilder`], then materialized by the standard realizer — so the
+//! figure series are produced by mining real repositories, exactly like the
+//! main corpus.
+
+use crate::plan::{CommitPlan, ProjectPlan, SchemaOp};
+use crate::realize::{realize, GeneratedProject};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schevo_core::heartbeat::REED_THRESHOLD;
+use schevo_core::taxa::Taxon;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Which figure an exemplar reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FigureTag {
+    /// Fig. 1 left project (active; schema size + monthly activity).
+    Fig1A,
+    /// Fig. 1 right project (second active project).
+    Fig1B,
+    /// Fig. 2: the builderscon_octav reference example ("ladder up").
+    Fig2,
+    /// Fig. 5: a typical Almost Frozen schema (one active commit, 3 type
+    /// changes).
+    Fig5,
+    /// Fig. 6: focused expansion of two tables (FS&Frozen).
+    Fig6,
+    /// Fig. 7: moderate tempo (tls-observatory-like).
+    Fig7,
+    /// Fig. 8 top: two-step schema increase with turf (FS&Low, short SUP).
+    Fig8A,
+    /// Fig. 8 bottom: a very large reed with very low other change (FS&Low).
+    Fig8B,
+    /// Fig. 9: high systematic activity with idle periods.
+    Fig9,
+}
+
+impl FigureTag {
+    /// All exemplars in figure order.
+    pub const ALL: [FigureTag; 9] = [
+        FigureTag::Fig1A,
+        FigureTag::Fig1B,
+        FigureTag::Fig2,
+        FigureTag::Fig5,
+        FigureTag::Fig6,
+        FigureTag::Fig7,
+        FigureTag::Fig8A,
+        FigureTag::Fig8B,
+        FigureTag::Fig9,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FigureTag::Fig1A => "Figure 1 (left): active project A",
+            FigureTag::Fig1B => "Figure 1 (right): active project B",
+            FigureTag::Fig2 => "Figure 2: reference example (ladder up)",
+            FigureTag::Fig5 => "Figure 5: almost frozen",
+            FigureTag::Fig6 => "Figure 6: focused expansion of two tables",
+            FigureTag::Fig7 => "Figure 7: moderate tempo",
+            FigureTag::Fig8A => "Figure 8 (top): two-step increase + turf",
+            FigureTag::Fig8B => "Figure 8 (bottom): one very large reed",
+            FigureTag::Fig9 => "Figure 9: high systematic activity",
+        }
+    }
+}
+
+/// Builder for hand-authored schedules with validated ops and exact
+/// expansion/maintenance bookkeeping.
+pub struct ExemplarBuilder {
+    name: String,
+    taxon: Taxon,
+    start_arities: Vec<u64>,
+    arities: BTreeMap<u64, u64>,
+    next_id: u64,
+    schedule: Vec<CommitPlan>,
+}
+
+impl ExemplarBuilder {
+    /// Start a project whose V0 schema has the given table arities
+    /// (tables get ids `0..n`).
+    pub fn new(name: &str, taxon: Taxon, start_arities: &[u64]) -> Self {
+        let mut arities = BTreeMap::new();
+        for (i, &a) in start_arities.iter().enumerate() {
+            assert!(a >= 1, "tables need at least one column");
+            arities.insert(i as u64, a);
+        }
+        ExemplarBuilder {
+            name: name.to_string(),
+            taxon,
+            start_arities: start_arities.to_vec(),
+            next_id: start_arities.len() as u64,
+            arities,
+            schedule: Vec::new(),
+        }
+    }
+
+    /// Allocate the id the next `CreateTable` op must use.
+    pub fn new_table_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Append an active commit at `day` with the given ops; panics if an op
+    /// is inconsistent with the live state (exemplars are hand-authored —
+    /// fail loudly at construction).
+    pub fn commit(&mut self, day: i64, ops: Vec<SchemaOp>) -> &mut Self {
+        let mut expansion = 0u64;
+        let mut maintenance = 0u64;
+        for op in &ops {
+            match *op {
+                SchemaOp::CreateTable { id, arity } => {
+                    assert!(arity >= 1, "born tables need a column");
+                    assert!(
+                        self.arities.insert(id, arity).is_none(),
+                        "table id {id} reused"
+                    );
+                    expansion += arity;
+                }
+                SchemaOp::InjectColumns { table, count } => {
+                    let a = self.arities.get_mut(&table).expect("inject: live table");
+                    *a += count;
+                    expansion += count;
+                }
+                SchemaOp::DropTable { table } => {
+                    let a = self.arities.remove(&table).expect("drop: live table");
+                    assert!(!self.arities.is_empty(), "cannot drop the last table");
+                    maintenance += a;
+                }
+                SchemaOp::EjectColumns { table, count } => {
+                    let a = self.arities.get_mut(&table).expect("eject: live table");
+                    assert!(*a > count, "ejection would empty table {table}");
+                    *a -= count;
+                    maintenance += count;
+                }
+                SchemaOp::ChangeTypes { table, count } => {
+                    let a = self.arities[&table];
+                    assert!(count <= a, "type change beyond arity");
+                    maintenance += count;
+                }
+                SchemaOp::TogglePk { table, count } => {
+                    let a = self.arities[&table];
+                    assert!(count <= a, "pk toggle beyond arity");
+                    maintenance += count;
+                }
+            }
+        }
+        assert!(expansion + maintenance > 0, "use inactive() for empty commits");
+        self.schedule.push(CommitPlan {
+            day,
+            ops,
+            expansion,
+            maintenance,
+        });
+        self
+    }
+
+    /// Append a non-active commit at `day`.
+    pub fn inactive(&mut self, day: i64) -> &mut Self {
+        self.schedule.push(CommitPlan {
+            day,
+            ops: Vec::new(),
+            expansion: 0,
+            maintenance: 0,
+        });
+        self
+    }
+
+    /// Finish into a [`ProjectPlan`]. `index` controls naming/layout.
+    pub fn finish(&mut self, index: usize) -> ProjectPlan {
+        let mut schedule = std::mem::take(&mut self.schedule);
+        schedule.sort_by_key(|c| c.day);
+        let active_commits = schedule.iter().filter(|c| c.activity() > 0).count() as u64;
+        let activity: u64 = schedule.iter().map(|c| c.activity()).sum();
+        let reeds = schedule
+            .iter()
+            .filter(|c| c.activity() > REED_THRESHOLD)
+            .count() as u64;
+        let sup_days = schedule.last().map(|c| c.day as u64).unwrap_or(0);
+        let commits = schedule.len() as u64 + 1;
+        ProjectPlan {
+            index,
+            name: self.name.clone(),
+            taxon: self.taxon,
+            tables_start: self.start_arities.len() as u64,
+            start_arities: self.start_arities.clone(),
+            commits,
+            active_commits,
+            activity,
+            reeds,
+            schedule,
+            sup_days,
+            pup_months: sup_days / 30 + 13,
+            total_commits: commits * 20,
+            contributors: 5,
+            stars: 120,
+            v0_date: (2015, 3, 2),
+        }
+    }
+}
+
+fn create(b: &mut ExemplarBuilder, arity: u64) -> SchemaOp {
+    SchemaOp::CreateTable {
+        id: b.new_table_id(),
+        arity,
+    }
+}
+
+/// Build one exemplar project.
+pub fn build(tag: FigureTag) -> GeneratedProject {
+    let mut rng = StdRng::seed_from_u64(0x5eed ^ tag as u64);
+    let plan = match tag {
+        FigureTag::Fig1A => fig1a(),
+        FigureTag::Fig1B => fig1b(),
+        FigureTag::Fig2 => fig2(),
+        FigureTag::Fig5 => fig5(),
+        FigureTag::Fig6 => fig6(),
+        FigureTag::Fig7 => fig7(),
+        FigureTag::Fig8A => fig8a(),
+        FigureTag::Fig8B => fig8b(),
+        FigureTag::Fig9 => fig9(),
+    };
+    realize(&mut rng, &plan)
+}
+
+/// Build every exemplar.
+pub fn all_exemplars() -> Vec<(FigureTag, GeneratedProject)> {
+    FigureTag::ALL.iter().map(|&t| (t, build(t))).collect()
+}
+
+/// Fig. 1 (left): an active project growing from 12 to ~40 tables over
+/// three years with spikes and steady growth.
+fn fig1a() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("corto/iotdb", Taxon::Active, &[5, 4, 6, 3, 5, 4, 6, 5, 3, 4, 5, 6]);
+    // Year 1: steady monthly growth.
+    for m in 1..=10i64 {
+        let t = create(&mut b, 4);
+        b.commit(m * 30, vec![t]);
+        if m % 3 == 0 {
+            b.inactive(m * 30 + 10);
+        }
+    }
+    // A restructuring spike.
+    let t1 = create(&mut b, 8);
+    let t2 = create(&mut b, 6);
+    b.commit(
+        330,
+        vec![
+            SchemaOp::DropTable { table: 3 },
+            SchemaOp::ChangeTypes { table: 0, count: 4 },
+            t1,
+            t2,
+        ],
+    );
+    // Year 2: idle then steady again.
+    for m in 16..=24i64 {
+        let t = create(&mut b, 3);
+        b.commit(
+            m * 30,
+            vec![t, SchemaOp::InjectColumns { table: 0, count: 1 }],
+        );
+    }
+    // Year 3: maintenance-heavy period.
+    for m in 28..=34i64 {
+        b.commit(
+            m * 30,
+            vec![
+                SchemaOp::ChangeTypes { table: 1, count: 2 },
+                SchemaOp::InjectColumns { table: 2, count: 2 },
+            ],
+        );
+    }
+    b.finish(0)
+}
+
+/// Fig. 1 (right): a second active project with a different rhythm — two
+/// bursts separated by idleness.
+fn fig1b() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("meshping/telemetry", Taxon::Active, &[6, 5, 4, 5, 6, 4, 5, 4]);
+    // Burst one, months 1–4: each commit births two sizable tables (reeds).
+    for m in 1..=4i64 {
+        let t = create(&mut b, 8);
+        let u = create(&mut b, 7);
+        b.commit(m * 30, vec![t, u]);
+    }
+    b.inactive(160).inactive(220).inactive(300);
+    // Burst two, months 13–17, mixing growth with cleanup.
+    for m in 13..=17i64 {
+        let t = create(&mut b, 4);
+        b.commit(
+            m * 30,
+            vec![
+                t,
+                SchemaOp::EjectColumns { table: 0, count: 1 },
+                SchemaOp::TogglePk { table: 1, count: 1 },
+            ],
+        );
+    }
+    // Trailing turf.
+    for m in 20..=26i64 {
+        b.commit(m * 30, vec![SchemaOp::InjectColumns { table: 2, count: 2 }]);
+    }
+    b.finish(1)
+}
+
+/// Fig. 2: the builderscon_octav reference — a focused "ladder up" period
+/// early, then infrequent, smaller commits; many non-active commits.
+fn fig2() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("builderscon/octav", Taxon::Active, &[4, 3, 5]);
+    // The ladder: tables added every few days in a focused window; every
+    // third rung is a double-table step (a reed).
+    for step in 0..8i64 {
+        if step % 3 == 2 {
+            let t = create(&mut b, 8);
+            let u = create(&mut b, 8);
+            b.commit(10 + step * 6, vec![t, u]);
+        } else {
+            let t = create(&mut b, 5);
+            b.commit(10 + step * 6, vec![t]);
+        }
+    }
+    b.inactive(70).inactive(85);
+    // Mid-life: mixed growth and maintenance (one more reed).
+    let t = create(&mut b, 12);
+    b.commit(150, vec![t, SchemaOp::ChangeTypes { table: 0, count: 3 }]);
+    let t = create(&mut b, 6);
+    b.commit(220, vec![t]);
+    b.inactive(300);
+    b.commit(360, vec![SchemaOp::InjectColumns { table: 1, count: 5 }]);
+    // Towards the end: infrequent, small.
+    b.inactive(500);
+    b.commit(600, vec![SchemaOp::InjectColumns { table: 2, count: 1 }]);
+    b.commit(720, vec![SchemaOp::ChangeTypes { table: 2, count: 1 }]);
+    b.finish(2)
+}
+
+/// Fig. 5: Almost Frozen — 8 commits post-V0, clustered in time, exactly
+/// one active commit updating the data type of 3 attributes.
+fn fig5() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("stackline/helpdesk", Taxon::AlmostFrozen, &[5, 4, 6, 3]);
+    b.inactive(3).inactive(5).inactive(6);
+    b.commit(9, vec![SchemaOp::ChangeTypes { table: 1, count: 3 }]);
+    b.inactive(11).inactive(12).inactive(14).inactive(40);
+    b.finish(3)
+}
+
+/// Fig. 6: FS&Frozen — a couple of active commits; the focus is the birth
+/// of two tables (a small step up in the schema line).
+fn fig6() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("jronak/onlinejudge", Taxon::FocusedShotFrozen, &[4, 5, 3]);
+    b.inactive(4);
+    let t1 = create(&mut b, 7);
+    let t2 = create(&mut b, 6);
+    b.commit(20, vec![t1, t2]);
+    b.commit(55, vec![SchemaOp::InjectColumns { table: 0, count: 2 }]);
+    b.inactive(70);
+    b.finish(4)
+}
+
+/// Fig. 7: Moderate — 43 commits post-V0, 22 active, mild attribute
+/// injections at varying time density, all turf.
+fn fig7() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("mozilla/tls-observatory", Taxon::Moderate, &[6, 5, 4, 5]);
+    let mut day = 5i64;
+    let mut actives = 0;
+    let mut k = 0usize;
+    while actives < 22 {
+        // Density varies: early commits close together, later spread out.
+        day += if actives < 10 { 12 } else { 35 };
+        if k.is_multiple_of(2) {
+            let table = (k as u64) % 4;
+            b.commit(day, vec![SchemaOp::InjectColumns { table, count: 1 + (k as u64 % 2) }]);
+            actives += 1;
+        } else {
+            b.inactive(day);
+        }
+        k += 1;
+    }
+    // Remaining non-active commits to reach 43 post-V0.
+    while b.schedule.len() < 43 {
+        day += 10;
+        b.inactive(day);
+    }
+    b.finish(5)
+}
+
+/// Fig. 8 (top): jasdel/harvester-like — a very short SUP with a two-step
+/// schema increase (two reeds) and a few turf commits.
+fn fig8a() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("jasdel/harvester", Taxon::FocusedShotLow, &[5, 4]);
+    let t1 = create(&mut b, 9);
+    let t2 = create(&mut b, 8);
+    b.commit(3, vec![t1, t2]); // reed: 17 born
+    b.commit(6, vec![SchemaOp::InjectColumns { table: 0, count: 3 }]);
+    let t3 = create(&mut b, 10);
+    let t4 = create(&mut b, 7);
+    b.commit(10, vec![t3, t4]); // reed: 17 born
+    b.commit(14, vec![SchemaOp::ChangeTypes { table: 1, count: 2 }]);
+    b.commit(20, vec![SchemaOp::InjectColumns { table: 1, count: 2 }]);
+    b.inactive(25);
+    b.finish(6)
+}
+
+/// Fig. 8 (bottom): OWL-v3-like — one enormous reed (124 expansion + 68
+/// maintenance) that concentrates ~90% of the project's activity.
+fn fig8b() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("talkingdata/owl", Taxon::FocusedShotLow, &[8, 7, 9, 6, 8, 7, 8, 9, 7, 8]);
+    b.inactive(10);
+    b.commit(30, vec![SchemaOp::InjectColumns { table: 0, count: 4 }]);
+    // The monster commit: a sweeping restructure.
+    let mut ops = Vec::new();
+    // 124 attributes of expansion: new tables + injections.
+    for _ in 0..10 {
+        let t = create(&mut b, 10);
+        ops.push(t);
+    }
+    ops.push(SchemaOp::InjectColumns { table: 1, count: 12 });
+    ops.push(SchemaOp::InjectColumns { table: 2, count: 12 });
+    // 68 attributes of maintenance: drops, ejections, type changes.
+    ops.push(SchemaOp::DropTable { table: 3 }); // 6
+    ops.push(SchemaOp::DropTable { table: 9 }); // 8
+    ops.push(SchemaOp::EjectColumns { table: 4, count: 4 });
+    ops.push(SchemaOp::EjectColumns { table: 5, count: 3 });
+    ops.push(SchemaOp::ChangeTypes { table: 0, count: 8 });
+    ops.push(SchemaOp::ChangeTypes { table: 6, count: 8 });
+    ops.push(SchemaOp::ChangeTypes { table: 7, count: 9 });
+    ops.push(SchemaOp::TogglePk { table: 8, count: 7 });
+    ops.push(SchemaOp::TogglePk { table: 4, count: 4 });
+    ops.push(SchemaOp::TogglePk { table: 5, count: 4 });
+    ops.push(SchemaOp::TogglePk { table: 6, count: 7 });
+    b.commit(90, ops);
+    b.commit(160, vec![SchemaOp::InjectColumns { table: 2, count: 3 }]);
+    b.commit(250, vec![SchemaOp::ChangeTypes { table: 1, count: 2 }]);
+    b.inactive(300);
+    b.commit(400, vec![SchemaOp::InjectColumns { table: 0, count: 2 }]);
+    b.finish(7)
+}
+
+/// Fig. 9: systematic high activity — constant turf and minor increases,
+/// large spikes, and visible idle periods, over ~3 years.
+fn fig9() -> ProjectPlan {
+    let mut b = ExemplarBuilder::new("openrange/ocs", Taxon::Active, &[7, 6, 5, 6, 7, 5]);
+    let mut day = 0i64;
+    // Phase 1: constant turf for a year.
+    for m in 1..=12i64 {
+        day = m * 28;
+        b.commit(day, vec![SchemaOp::InjectColumns { table: (m as u64) % 6, count: 2 }]);
+    }
+    // Spike.
+    let t1 = create(&mut b, 12);
+    let t2 = create(&mut b, 9);
+    b.commit(day + 20, vec![t1, t2, SchemaOp::ChangeTypes { table: 0, count: 5 }]);
+    // Idle half-year (only non-active commits).
+    b.inactive(day + 80).inactive(day + 140).inactive(day + 170);
+    // Phase 2: growth resumes with minor increases.
+    let resume = day + 200;
+    for k in 1..=8i64 {
+        let t = create(&mut b, 3);
+        b.commit(resume + k * 25, vec![t]);
+    }
+    // Final spike of maintenance.
+    b.commit(
+        resume + 260,
+        vec![
+            SchemaOp::DropTable { table: 2 },
+            SchemaOp::ChangeTypes { table: 1, count: 4 },
+            SchemaOp::EjectColumns { table: 3, count: 2 },
+            SchemaOp::InjectColumns { table: 4, count: 6 },
+        ],
+    );
+    b.finish(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_core::model::SchemaHistory;
+    use schevo_core::profile::EvolutionProfile;
+    use schevo_core::taxa::ProjectClass;
+    use schevo_vcs::history::{file_history, WalkStrategy};
+
+    fn profile(p: &GeneratedProject) -> EvolutionProfile {
+        let versions = file_history(&p.repo, &p.ddl_path, WalkStrategy::FirstParent).unwrap();
+        let h = SchemaHistory::from_file_versions(p.plan.name.clone(), &versions).unwrap();
+        EvolutionProfile::of(&h)
+    }
+
+    #[test]
+    fn exemplars_classify_as_designed() {
+        for (tag, project) in all_exemplars() {
+            let prof = profile(&project);
+            assert_eq!(
+                prof.class,
+                ProjectClass::Taxon(project.plan.taxon),
+                "{tag:?} ({}) expected {:?}, got {:?} (ac={}, act={}, reeds={})",
+                project.plan.name,
+                project.plan.taxon,
+                prof.class,
+                prof.active_commits,
+                prof.total_activity,
+                prof.reeds
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_narrative_matches_paper() {
+        let p = build(FigureTag::Fig5);
+        let prof = profile(&p);
+        // "8 commits post the original version ... the only active commit
+        // involves the data type update of 3 attributes."
+        assert_eq!(prof.commits, 9);
+        assert_eq!(prof.active_commits, 1);
+        assert_eq!(prof.total_activity, 3);
+        assert_eq!(prof.maintenance, 3);
+        assert_eq!(prof.shape, schevo_core::shape::ShapeClass::Flat);
+    }
+
+    #[test]
+    fn fig8b_reed_concentration() {
+        let p = build(FigureTag::Fig8B);
+        let prof = profile(&p);
+        // The big reed concentrates ~90% of post-V0 activity.
+        assert!(prof.peak_concentration > 0.85, "{}", prof.peak_concentration);
+        assert_eq!(prof.reeds, 1);
+        let versions = file_history(&p.repo, &p.ddl_path, WalkStrategy::FirstParent).unwrap();
+        let h = SchemaHistory::from_file_versions("x", &versions).unwrap();
+        let measures = schevo_core::measures::measure_history(&h);
+        let peak = measures.iter().max_by_key(|m| m.activity()).unwrap();
+        assert_eq!(peak.expansion(), 124);
+        assert_eq!(peak.maintenance(), 68);
+    }
+
+    #[test]
+    fn fig2_has_ladder_up_shape() {
+        let p = build(FigureTag::Fig2);
+        let prof = profile(&p);
+        assert_eq!(prof.shape, schevo_core::shape::ShapeClass::MultiStepRise);
+        assert!(prof.tables_end > prof.tables_start);
+    }
+
+    #[test]
+    fn fig7_is_all_turf() {
+        let p = build(FigureTag::Fig7);
+        let prof = profile(&p);
+        assert_eq!(prof.commits, 44, "43 commits post-V0");
+        assert_eq!(prof.active_commits, 22);
+        assert_eq!(prof.reeds, 0);
+        assert_eq!(prof.turf, 22);
+    }
+
+    #[test]
+    fn fig8a_two_reeds_short_sup() {
+        let p = build(FigureTag::Fig8A);
+        let prof = profile(&p);
+        assert_eq!(prof.reeds, 2);
+        assert!(prof.sup_months <= 2);
+    }
+
+    #[test]
+    fn fig9_has_visible_idleness() {
+        use schevo_core::measures::measure_history;
+        use schevo_core::tempo::{tempo, IDLE_THRESHOLD_DAYS};
+        let p = build(FigureTag::Fig9);
+        let versions = file_history(&p.repo, &p.ddl_path, WalkStrategy::FirstParent).unwrap();
+        let h = SchemaHistory::from_file_versions("fig9", &versions).unwrap();
+        let t = tempo(&measure_history(&h), IDLE_THRESHOLD_DAYS);
+        // "without excluding periods of idleness" (§IV-F / Fig. 9 caption).
+        assert!(t.idle_periods >= 1, "{t:?}");
+        assert!(t.burstiness > -0.5, "not perfectly regular: {t:?}");
+    }
+
+    #[test]
+    fn builder_panics_on_bad_ops() {
+        let result = std::panic::catch_unwind(|| {
+            let mut b = ExemplarBuilder::new("x/y", Taxon::Frozen, &[2]);
+            b.commit(1, vec![SchemaOp::DropTable { table: 0 }]);
+        });
+        assert!(result.is_err(), "dropping the last table must panic");
+        let result = std::panic::catch_unwind(|| {
+            let mut b = ExemplarBuilder::new("x/y", Taxon::Frozen, &[2]);
+            b.commit(1, vec![SchemaOp::EjectColumns { table: 0, count: 2 }]);
+        });
+        assert!(result.is_err(), "emptying a table must panic");
+    }
+}

@@ -1,0 +1,29 @@
+//! # schevo-corpus
+//!
+//! The synthetic stand-in for GitHub Activity + Libraries.io: per-taxon
+//! generative models calibrated to the paper's published statistics, a
+//! planner that compiles target profiles into exact op-level commit
+//! schedules, and a realizer that materializes them as real repositories
+//! with real DDL files on the `schevo-vcs` substrate.
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod names;
+pub mod plan;
+pub mod realize;
+
+pub use plan::{plan_project, CommitPlan, ProjectPlan, SchemaOp};
+pub use realize::{realize, GeneratedProject};
+
+pub mod libio;
+pub mod noise;
+pub mod universe;
+
+pub use libio::LibioRecord;
+pub use noise::{NoiseKind, NoiseProject, TAXON_COUNTS};
+pub use universe::{generate, ExpectedCounts, MaterializedBody, MaterializedRepo, SqlCollectionEntry, Universe, UniverseConfig};
+
+pub mod exemplar;
+
+pub use exemplar::{all_exemplars, build as build_exemplar, ExemplarBuilder, FigureTag};

@@ -1,0 +1,421 @@
+//! Assembly of the full synthetic universe: the SQL-Collection, the
+//! Libraries.io metadata, and the materialized repositories — everything
+//! the collection funnel (in `schevo-pipeline`) consumes.
+//!
+//! The universe carries **ground truth**: which repository was generated
+//! for which taxon or noise class. The funnel never reads the ground truth;
+//! tests compare its output against it.
+
+use crate::libio::LibioRecord;
+use crate::noise::{
+    add_postgres_sibling, empty_file_project, funnel_counts, no_create_table_project,
+    rigid_project, zero_version_project, NoiseKind, NoiseProject, TAXON_COUNTS,
+};
+use crate::plan::plan_project;
+use crate::realize::{realize, GeneratedProject};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schevo_core::taxa::Taxon;
+use std::collections::HashMap;
+
+/// One record of the SQL-Collection: a repository known to contain `.sql`
+/// files, with the file paths GitHub Activity reports for it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlCollectionEntry {
+    /// `owner/repo`.
+    pub repo_name: String,
+    /// Paths of `.sql` files in the repository.
+    pub sql_paths: Vec<String>,
+}
+
+/// Ground truth about a materialized repository.
+#[derive(Debug)]
+pub enum MaterializedBody {
+    /// A schema-evolution project engineered for a taxon.
+    Evo(Box<GeneratedProject>),
+    /// A project destined for exclusion (or the rigid side-line).
+    Noise(NoiseProject),
+}
+
+/// A materialized repository plus its advertised paths.
+#[derive(Debug)]
+pub struct MaterializedRepo {
+    /// The repository and its ground truth.
+    pub body: MaterializedBody,
+    /// Paths advertised in the SQL-Collection for this repository.
+    pub sql_paths: Vec<String>,
+}
+
+impl MaterializedRepo {
+    /// The repository name.
+    pub fn name(&self) -> &str {
+        match &self.body {
+            MaterializedBody::Evo(p) => &p.plan.name,
+            MaterializedBody::Noise(n) => &n.repo.name,
+        }
+    }
+
+    /// The intended taxon, if this is an evolution project.
+    pub fn intended_taxon(&self) -> Option<Taxon> {
+        match &self.body {
+            MaterializedBody::Evo(p) => Some(p.plan.taxon),
+            MaterializedBody::Noise(_) => None,
+        }
+    }
+
+    /// The noise kind, if this is a noise project.
+    pub fn noise_kind(&self) -> Option<NoiseKind> {
+        match &self.body {
+            MaterializedBody::Evo(_) => None,
+            MaterializedBody::Noise(n) => Some(n.kind),
+        }
+    }
+}
+
+/// Configuration of universe generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniverseConfig {
+    /// RNG seed; the same seed reproduces the identical universe.
+    pub seed: u64,
+    /// Divisor applied to every cardinality (1 = the paper's full scale).
+    pub scale_divisor: usize,
+}
+
+impl UniverseConfig {
+    /// The paper-scale universe (133,029 records, 365 materialized repos).
+    pub fn paper(seed: u64) -> Self {
+        UniverseConfig {
+            seed,
+            scale_divisor: 1,
+        }
+    }
+
+    /// A scaled-down universe for fast tests (counts divided by `divisor`).
+    pub fn small(seed: u64, divisor: usize) -> Self {
+        UniverseConfig {
+            seed,
+            scale_divisor: divisor.max(1),
+        }
+    }
+}
+
+/// Expected cardinalities of a universe at a given scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpectedCounts {
+    /// SQL-Collection size.
+    pub sql_collection: usize,
+    /// Lib-io data set size (materialized repositories).
+    pub lib_io: usize,
+    /// Zero-version projects among the materialized.
+    pub zero_version: usize,
+    /// Empty-file + no-CREATE-TABLE projects.
+    pub empty_or_no_ct: usize,
+    /// Cloned survivors.
+    pub cloned: usize,
+    /// Rigid (single-version) projects.
+    pub rigid: usize,
+    /// Final analyzed population.
+    pub analyzed: usize,
+    /// Per-taxon counts, in `Taxon::ALL` order.
+    pub taxa: [usize; 6],
+}
+
+impl ExpectedCounts {
+    /// Scale the paper's counts by the config's divisor.
+    pub fn for_config(config: &UniverseConfig) -> ExpectedCounts {
+        let d = config.scale_divisor;
+        let scale = |n: usize| (n / d).max(1);
+        let taxa = [
+            scale(TAXON_COUNTS[0].1),
+            scale(TAXON_COUNTS[1].1),
+            scale(TAXON_COUNTS[2].1),
+            scale(TAXON_COUNTS[3].1),
+            scale(TAXON_COUNTS[4].1),
+            scale(TAXON_COUNTS[5].1),
+        ];
+        let analyzed: usize = taxa.iter().sum();
+        let rigid = scale(funnel_counts::RIGID);
+        let zero_version = scale(funnel_counts::ZERO_VERSION);
+        let empty_or_no_ct = scale(funnel_counts::EMPTY_OR_NO_CT);
+        let cloned = analyzed + rigid;
+        let lib_io = cloned + zero_version + empty_or_no_ct;
+        ExpectedCounts {
+            sql_collection: scale(funnel_counts::SQL_COLLECTION),
+            lib_io,
+            zero_version,
+            empty_or_no_ct,
+            cloned,
+            rigid,
+            analyzed,
+            taxa,
+        }
+    }
+}
+
+/// The synthetic universe.
+#[derive(Debug)]
+pub struct Universe {
+    /// How the universe was generated.
+    pub config: UniverseConfig,
+    /// Expected cardinalities at this scale.
+    pub expected: ExpectedCounts,
+    /// The SQL-Collection (lightweight records, one per repository).
+    pub sql_collection: Vec<SqlCollectionEntry>,
+    /// Libraries.io metadata, keyed by repository name. Repositories not in
+    /// the map are "not monitored by Libraries.io".
+    pub libio: HashMap<String, LibioRecord>,
+    /// Materialized repositories, keyed by repository name.
+    pub materialized: HashMap<String, MaterializedRepo>,
+}
+
+/// Proportions of the lightweight exclusion classes at full scale. The
+/// residual (SQL_COLLECTION − LIB_IO − the named classes) is "not monitored
+/// by Libraries.io".
+const FORK_COUNT: usize = 30_000;
+const ZERO_STAR_COUNT: usize = 25_000;
+const ONE_CONTRIB_COUNT: usize = 20_000;
+const EXCLUDED_PATH_COUNT: usize = 10_000;
+const MULTI_FILE_COUNT: usize = 7_664;
+
+/// Generate the universe.
+pub fn generate(config: UniverseConfig) -> Universe {
+    let expected = ExpectedCounts::for_config(&config);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sql_collection = Vec::with_capacity(expected.sql_collection);
+    let mut libio = HashMap::new();
+    let mut materialized: HashMap<String, MaterializedRepo> = HashMap::new();
+    let mut index = 0usize;
+    let mut next_index = || {
+        let i = index;
+        index += 1;
+        i
+    };
+
+    // --- materialized evolution projects, per taxon ---
+    for (slot, (taxon, _)) in TAXON_COUNTS.iter().enumerate() {
+        for k in 0..expected.taxa[slot] {
+            let i = next_index();
+            let plan = plan_project(&mut rng, i, *taxon);
+            let mut project = realize(&mut rng, &plan);
+            let mut paths = vec![project.ddl_path.clone()];
+            // Projects realized with a vendor-specific layout (index ≡ 3 mod
+            // 8) carry a postgres sibling file: the funnel must resolve the
+            // vendor choice to MySQL.
+            let _ = k;
+            if project.ddl_path.contains("mysql") {
+                let when = last_timestamp_plus(&project, 3_600);
+                add_postgres_sibling(&mut project.repo, &project.ddl_path, when);
+                paths.push(project.ddl_path.replace("mysql", "postgres"));
+            }
+            let name = plan.name.clone();
+            libio.insert(
+                name.clone(),
+                LibioRecord::new(name.clone(), false, plan.stars.max(1), plan.contributors.max(2)),
+            );
+            sql_collection.push(SqlCollectionEntry {
+                repo_name: name.clone(),
+                sql_paths: paths.clone(),
+            });
+            materialized.insert(
+                name,
+                MaterializedRepo {
+                    body: MaterializedBody::Evo(Box::new(project)),
+                    sql_paths: paths,
+                },
+            );
+        }
+    }
+
+    // --- materialized noise projects ---
+    let push_noise = |noise: NoiseProject,
+                          sql_collection: &mut Vec<SqlCollectionEntry>,
+                          libio: &mut HashMap<String, LibioRecord>,
+                          materialized: &mut HashMap<String, MaterializedRepo>,
+                          rng: &mut StdRng| {
+        use rand::Rng;
+        let name = noise.repo.name.clone();
+        let paths = vec![noise.ddl_path.clone()];
+        libio.insert(
+            name.clone(),
+            LibioRecord::new(name.clone(), false, rng.gen_range(1..200), rng.gen_range(2..20)),
+        );
+        sql_collection.push(SqlCollectionEntry {
+            repo_name: name.clone(),
+            sql_paths: paths.clone(),
+        });
+        materialized.insert(
+            name,
+            MaterializedRepo {
+                body: MaterializedBody::Noise(noise),
+                sql_paths: paths,
+            },
+        );
+    };
+    for _ in 0..expected.rigid {
+        let n = rigid_project(&mut rng, next_index());
+        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+    }
+    for _ in 0..expected.zero_version {
+        let n = zero_version_project(&mut rng, next_index());
+        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+    }
+    // Split the empty/no-CT bucket roughly 40/60.
+    let empty_count = (expected.empty_or_no_ct * 2) / 5;
+    for _ in 0..empty_count {
+        let n = empty_file_project(&mut rng, next_index());
+        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+    }
+    for _ in empty_count..expected.empty_or_no_ct {
+        let n = no_create_table_project(&mut rng, next_index());
+        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+    }
+
+    // --- lightweight excluded records ---
+    use rand::Rng;
+    let d = config.scale_divisor;
+    let scale = |n: usize| (n / d).max(1);
+    let light = |paths: Vec<String>,
+                     meta: Option<LibioRecord>,
+                     sql_collection: &mut Vec<SqlCollectionEntry>,
+                     libio: &mut HashMap<String, LibioRecord>,
+                     i: usize| {
+        let name = crate::names::project_name(i);
+        if let Some(mut m) = meta {
+            m.repo_name = name.clone();
+            m.url = format!("https://github.example/{name}");
+            libio.insert(name.clone(), m);
+        }
+        sql_collection.push(SqlCollectionEntry {
+            repo_name: name,
+            sql_paths: paths,
+        });
+    };
+    for _ in 0..scale(FORK_COUNT) {
+        let i = next_index();
+        let meta = LibioRecord::new("x", true, rng.gen_range(1..500), rng.gen_range(2..30));
+        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+    }
+    for _ in 0..scale(ZERO_STAR_COUNT) {
+        let i = next_index();
+        let meta = LibioRecord::new("x", false, 0, rng.gen_range(2..30));
+        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+    }
+    for _ in 0..scale(ONE_CONTRIB_COUNT) {
+        let i = next_index();
+        let meta = LibioRecord::new("x", false, rng.gen_range(1..500), 1);
+        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+    }
+    for k in 0..scale(EXCLUDED_PATH_COUNT) {
+        let i = next_index();
+        let meta = LibioRecord::new("x", false, rng.gen_range(1..500), rng.gen_range(2..30));
+        let path = match k % 3 {
+            0 => "test/fixtures/schema.sql",
+            1 => "demo/demo_data.sql",
+            _ => "docs/example/schema.sql",
+        };
+        light(vec![path.into()], Some(meta), &mut sql_collection, &mut libio, i);
+    }
+    for k in 0..scale(MULTI_FILE_COUNT) {
+        let i = next_index();
+        let meta = LibioRecord::new("x", false, rng.gen_range(1..500), rng.gen_range(2..30));
+        let paths: Vec<String> = match k % 3 {
+            // File-per-table layouts.
+            0 => (0..4).map(|t| format!("sql/tables/table_{t}.sql")).collect(),
+            // Incremental migrations.
+            1 => (0..5).map(|m| format!("migrations/{m:03}_step.sql")).collect(),
+            // Vendor × language Cartesian products.
+            _ => vec![
+                "sql/en/mysql/schema.sql".into(),
+                "sql/en/postgres/schema.sql".into(),
+                "sql/fr/mysql/schema.sql".into(),
+                "sql/fr/postgres/schema.sql".into(),
+            ],
+        };
+        light(paths, Some(meta), &mut sql_collection, &mut libio, i);
+    }
+    // Remainder: not monitored by Libraries.io at all.
+    while sql_collection.len() < expected.sql_collection {
+        let i = next_index();
+        light(vec!["db/schema.sql".into()], None, &mut sql_collection, &mut libio, i);
+    }
+
+    Universe {
+        config,
+        expected,
+        sql_collection,
+        libio,
+        materialized,
+    }
+}
+
+/// A timestamp safely after every commit the realizer produced.
+fn last_timestamp_plus(project: &GeneratedProject, secs: i64) -> schevo_vcs::timestamp::Timestamp {
+    let (y, m, d) = project.plan.v0_date;
+    let base = schevo_vcs::timestamp::Timestamp::from_datetime(y, m, d, 10, 0, 0);
+    base + (project.plan.pup_months as i64 + 2) * 30 * 86_400 + secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_universe_counts_are_consistent() {
+        let config = UniverseConfig::small(2019, 10);
+        let u = generate(config);
+        assert_eq!(u.sql_collection.len(), u.expected.sql_collection);
+        assert_eq!(u.materialized.len(), u.expected.lib_io);
+        // All materialized repos appear in the collection and in Libraries.io
+        // with passing metadata.
+        for name in u.materialized.keys() {
+            assert!(u.sql_collection.iter().any(|e| &e.repo_name == name));
+            assert!(u.libio[name].passes_selection());
+        }
+    }
+
+    #[test]
+    fn universe_is_deterministic() {
+        let a = generate(UniverseConfig::small(7, 20));
+        let b = generate(UniverseConfig::small(7, 20));
+        assert_eq!(a.sql_collection.len(), b.sql_collection.len());
+        let mut names_a: Vec<&String> = a.materialized.keys().collect();
+        let mut names_b: Vec<&String> = b.materialized.keys().collect();
+        names_a.sort();
+        names_b.sort();
+        assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn ground_truth_taxa_counts() {
+        let u = generate(UniverseConfig::small(3, 10));
+        for (slot, (taxon, _)) in TAXON_COUNTS.iter().enumerate() {
+            let n = u
+                .materialized
+                .values()
+                .filter(|m| m.intended_taxon() == Some(*taxon))
+                .count();
+            assert_eq!(n, u.expected.taxa[slot], "{taxon:?}");
+        }
+        let rigid = u
+            .materialized
+            .values()
+            .filter(|m| m.noise_kind() == Some(NoiseKind::Rigid))
+            .count();
+        assert_eq!(rigid, u.expected.rigid);
+    }
+
+    #[test]
+    fn multi_vendor_projects_have_two_paths() {
+        let u = generate(UniverseConfig::small(5, 5));
+        let multi: Vec<&MaterializedRepo> = u
+            .materialized
+            .values()
+            .filter(|m| m.sql_paths.len() == 2)
+            .collect();
+        assert!(!multi.is_empty(), "expected some multi-vendor projects");
+        for m in multi {
+            assert!(m.sql_paths.iter().any(|p| p.contains("mysql")));
+            assert!(m.sql_paths.iter().any(|p| p.contains("postgres")));
+        }
+    }
+}

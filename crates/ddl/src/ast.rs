@@ -1,0 +1,287 @@
+//! Abstract syntax for the subset of SQL the miner cares about.
+//!
+//! Only `CREATE TABLE` is represented structurally. Every other statement is
+//! recorded as [`Statement::Other`] with the keyword that introduced it, so
+//! callers can still count `INSERT`s, `CREATE INDEX`es and directives — those
+//! are the study's *non-active* change classes.
+
+use crate::types::DataType;
+
+/// A whole parsed script: the ordered list of statements of one version of a
+/// DDL file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Script {
+    /// Statements in file order.
+    pub statements: Vec<Statement>,
+}
+
+impl Script {
+    /// Iterate over the `CREATE TABLE` statements only, in file order.
+    pub fn create_tables(&self) -> impl Iterator<Item = &CreateTable> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::CreateTable(ct) => Some(ct),
+            _ => None,
+        })
+    }
+
+    /// Count the unmodelled statements (the non-logical noise: `INSERT`,
+    /// `SET`, index creation, directives, ...).
+    pub fn other_count(&self) -> usize {
+        self.statements
+            .iter()
+            .filter(|s| matches!(s, Statement::Other { .. }))
+            .count()
+    }
+
+    /// Iterate over the `ALTER TABLE` statements, in file order.
+    pub fn alter_tables(&self) -> impl Iterator<Item = &AlterTable> {
+        self.statements.iter().filter_map(|s| match s {
+            Statement::AlterTable(at) => Some(at),
+            _ => None,
+        })
+    }
+}
+
+/// One top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A fully parsed `CREATE TABLE`.
+    CreateTable(CreateTable),
+    /// A parsed `ALTER TABLE` (schema files occasionally carry trailing
+    /// ALTERs instead of rewriting the CREATE statements).
+    AlterTable(AlterTable),
+    /// A parsed `DROP TABLE`.
+    DropTable {
+        /// Names of the dropped tables.
+        names: Vec<String>,
+    },
+    /// Any other statement, skipped by the tolerant parser.
+    Other {
+        /// The leading keyword(s) identifying the statement, uppercased
+        /// (e.g. `"INSERT"`, `"SET"`, `"CREATE INDEX"`, `"DROP"`).
+        keyword: String,
+    },
+}
+
+/// A parsed `ALTER TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlterTable {
+    /// Target table name (unqualified).
+    pub name: String,
+    /// Alterations in order. Operations the parser does not model are
+    /// dropped (tolerance over completeness, as everywhere in this crate).
+    pub ops: Vec<AlterOp>,
+}
+
+/// One alteration within `ALTER TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlterOp {
+    /// `ADD [COLUMN] <def>`.
+    AddColumn(ColumnDef),
+    /// `DROP [COLUMN] name`.
+    DropColumn(String),
+    /// `MODIFY [COLUMN] <def>` — redefine the column in place.
+    ModifyColumn(ColumnDef),
+    /// `CHANGE [COLUMN] old <def>` — rename + redefine.
+    ChangeColumn {
+        /// The column's previous name.
+        old_name: String,
+        /// The new definition (carrying the new name).
+        def: ColumnDef,
+    },
+    /// `ADD PRIMARY KEY (cols)`.
+    AddPrimaryKey(Vec<String>),
+    /// `DROP PRIMARY KEY`.
+    DropPrimaryKey,
+    /// `RENAME [TO] new_name`.
+    RenameTable(String),
+}
+
+/// A parsed `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name, unqualified (a `db.` qualifier is stripped but recorded).
+    pub name: String,
+    /// Optional schema/database qualifier that preceded the name.
+    pub qualifier: Option<String>,
+    /// Whether `IF NOT EXISTS` was present.
+    pub if_not_exists: bool,
+    /// Whether `TEMPORARY` was present. Temporary tables are excluded from
+    /// the logical schema.
+    pub temporary: bool,
+    /// Column definitions in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints in declaration order.
+    pub constraints: Vec<TableConstraint>,
+    /// Trailing table options (`ENGINE=InnoDB`, `DEFAULT CHARSET=utf8`, ...),
+    /// kept as raw key/value-ish strings for fidelity.
+    pub options: Vec<String>,
+}
+
+impl CreateTable {
+    /// The columns declared `PRIMARY KEY` either inline or via a table-level
+    /// constraint, in key order. Inline declarations win if both exist
+    /// (MySQL rejects that case; we are tolerant and merge).
+    pub fn primary_key_columns(&self) -> Vec<String> {
+        for c in &self.constraints {
+            if let TableConstraint::PrimaryKey { columns, .. } = c {
+                return columns.clone();
+            }
+        }
+        self.columns
+            .iter()
+            .filter(|c| c.inline_primary_key)
+            .map(|c| c.name.clone())
+            .collect()
+    }
+}
+
+/// One column definition inside `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Parsed, normalized data type.
+    pub data_type: DataType,
+    /// `NOT NULL` present.
+    pub not_null: bool,
+    /// Inline `PRIMARY KEY` on the column.
+    pub inline_primary_key: bool,
+    /// `AUTO_INCREMENT` (or dialect equivalents such as `AUTOINCREMENT`).
+    pub auto_increment: bool,
+    /// `UNIQUE` on the column.
+    pub unique: bool,
+    /// `DEFAULT <value>` rendered as text, if present.
+    pub default: Option<String>,
+    /// `COMMENT '<text>'`, if present.
+    pub comment: Option<String>,
+}
+
+impl ColumnDef {
+    /// A minimal column of the given name and type; used by builders/tests.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            not_null: false,
+            inline_primary_key: false,
+            auto_increment: false,
+            unique: false,
+            default: None,
+            comment: None,
+        }
+    }
+}
+
+/// A table-level constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (a, b)`.
+    PrimaryKey {
+        /// Optional constraint name.
+        name: Option<String>,
+        /// Key columns in order.
+        columns: Vec<String>,
+    },
+    /// `UNIQUE [KEY|INDEX] [name] (a, b)`.
+    Unique {
+        /// Optional index name.
+        name: Option<String>,
+        /// Key columns in order.
+        columns: Vec<String>,
+    },
+    /// `[CONSTRAINT name] FOREIGN KEY (a) REFERENCES t (b)`.
+    ForeignKey {
+        /// Optional constraint name.
+        name: Option<String>,
+        /// Referencing columns.
+        columns: Vec<String>,
+        /// Referenced table.
+        foreign_table: String,
+        /// Referenced columns (may be empty when elided).
+        foreign_columns: Vec<String>,
+    },
+    /// `KEY`/`INDEX [name] (a, b)` — a plain secondary index. Changes to
+    /// these are physical-level and non-active for the study.
+    Index {
+        /// Optional index name.
+        name: Option<String>,
+        /// Indexed columns in order.
+        columns: Vec<String>,
+    },
+    /// `CHECK (...)`, body kept as raw text.
+    Check {
+        /// Optional constraint name.
+        name: Option<String>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn col(name: &str) -> ColumnDef {
+        ColumnDef::new(name, DataType::int())
+    }
+
+    #[test]
+    fn table_level_pk_wins() {
+        let mut a = col("a");
+        a.inline_primary_key = true;
+        let ct = CreateTable {
+            name: "t".into(),
+            qualifier: None,
+            if_not_exists: false,
+            temporary: false,
+            columns: vec![a, col("b")],
+            constraints: vec![TableConstraint::PrimaryKey {
+                name: None,
+                columns: vec!["b".into()],
+            }],
+            options: vec![],
+        };
+        assert_eq!(ct.primary_key_columns(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn inline_pk_used_when_no_table_constraint() {
+        let mut a = col("a");
+        a.inline_primary_key = true;
+        let ct = CreateTable {
+            name: "t".into(),
+            qualifier: None,
+            if_not_exists: false,
+            temporary: false,
+            columns: vec![a, col("b")],
+            constraints: vec![],
+            options: vec![],
+        };
+        assert_eq!(ct.primary_key_columns(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn script_helpers_filter_statements() {
+        let script = Script {
+            statements: vec![
+                Statement::Other {
+                    keyword: "SET".into(),
+                },
+                Statement::CreateTable(CreateTable {
+                    name: "t".into(),
+                    qualifier: None,
+                    if_not_exists: false,
+                    temporary: false,
+                    columns: vec![col("a")],
+                    constraints: vec![],
+                    options: vec![],
+                }),
+                Statement::Other {
+                    keyword: "INSERT".into(),
+                },
+            ],
+        };
+        assert_eq!(script.create_tables().count(), 1);
+        assert_eq!(script.other_count(), 2);
+    }
+}

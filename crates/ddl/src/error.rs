@@ -1,0 +1,174 @@
+//! Error and source-span types shared by the lexer and parser.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original SQL text.
+///
+/// Spans are carried on every token so that parse errors can point at the
+/// offending location, and so that tests can assert exact token extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned region.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned region.
+    pub end: usize,
+}
+
+impl Span {
+    /// Create a new span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        debug_assert!(start <= end, "span start must not exceed end");
+        Span { start, end }
+    }
+
+    /// The number of bytes covered by the span.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(&self, other: Span) -> Span {
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Slice the spanned text out of the source it was produced from.
+    ///
+    /// Returns `None` if the span does not fall on character boundaries of
+    /// `source` (which indicates the span belongs to a different string).
+    pub fn slice<'s>(&self, source: &'s str) -> Option<&'s str> {
+        source.get(self.start..self.end)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// The category of a [`ParseError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The lexer met a character sequence it cannot tokenize
+    /// (e.g. an unterminated string or block comment).
+    Lex(String),
+    /// The parser expected one construct and found another.
+    Unexpected {
+        /// Human description of what was expected.
+        expected: String,
+        /// Human description of what was actually found.
+        found: String,
+    },
+    /// The parser ran off the end of the token stream.
+    UnexpectedEof {
+        /// Human description of what was expected.
+        expected: String,
+    },
+}
+
+/// An error produced while lexing or parsing a DDL script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Construct a lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            kind: ParseErrorKind::Lex(message.into()),
+            span,
+        }
+    }
+
+    /// Construct an "expected X, found Y" error.
+    pub fn unexpected(expected: impl Into<String>, found: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            kind: ParseErrorKind::Unexpected {
+                expected: expected.into(),
+                found: found.into(),
+            },
+            span,
+        }
+    }
+
+    /// Construct an unexpected-end-of-input error.
+    pub fn eof(expected: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            kind: ParseErrorKind::UnexpectedEof {
+                expected: expected.into(),
+            },
+            span,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ParseErrorKind::Lex(msg) => write!(f, "lex error at {}: {}", self.span, msg),
+            ParseErrorKind::Unexpected { expected, found } => write!(
+                f,
+                "parse error at {}: expected {}, found {}",
+                self.span, expected, found
+            ),
+            ParseErrorKind::UnexpectedEof { expected } => write!(
+                f,
+                "parse error at {}: expected {}, found end of input",
+                self.span, expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.merge(b), Span::new(3, 12));
+        assert_eq!(b.merge(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let s = "CREATE TABLE t";
+        let sp = Span::new(7, 12);
+        assert_eq!(sp.slice(s), Some("TABLE"));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert_eq!(Span::new(2, 2).len(), 0);
+        assert!(Span::new(2, 2).is_empty());
+        assert_eq!(Span::new(2, 9).len(), 7);
+        assert!(!Span::new(2, 9).is_empty());
+    }
+
+    #[test]
+    fn error_display_mentions_location() {
+        let e = ParseError::unexpected("')'", "','", Span::new(10, 11));
+        let text = e.to_string();
+        assert!(text.contains("10..11"));
+        assert!(text.contains("expected ')'"));
+    }
+
+    #[test]
+    fn eof_error_display() {
+        let e = ParseError::eof("a data type", Span::new(40, 40));
+        assert!(e.to_string().contains("end of input"));
+    }
+}

@@ -1,0 +1,83 @@
+//! # schevo-ddl
+//!
+//! A tolerant, MySQL-flavored SQL DDL front end for schema-evolution mining.
+//!
+//! The crate provides everything needed to turn the raw text of a project's
+//! DDL file (one version of its `schema.sql`) into a *logical schema*: the
+//! set of tables, their ordered attributes, attribute data types, and primary
+//! keys. This is the exact granularity at which the ICDE 2021 study
+//! *"Profiles of Schema Evolution in Free Open Source Software Projects"*
+//! measures change: everything else in the file (comments, `INSERT`
+//! statements, index definitions, vendor directives, storage options) is
+//! deliberately ignored, because changes to those artifacts are "non-active"
+//! commits in the study's nomenclature.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! &str ──lexer──▶ Vec<Token> ──parser──▶ Script(AST) ──schema──▶ Schema
+//! ```
+//!
+//! * [`lexer`] tokenizes SQL with full comment/string/quoted-identifier
+//!   handling and byte-accurate spans.
+//! * [`parser`] is a *tolerant* recursive-descent parser: it fully parses
+//!   `CREATE TABLE` statements and skips every other statement, so that a
+//!   real-world dump full of `INSERT`s, `SET` directives and vendor noise
+//!   still yields its logical schema.
+//! * [`schema`] lowers the AST to the [`schema::Schema`] model and is the
+//!   input to the diff engine in `schevo-core`.
+//! * [`render`] pretty-prints a [`schema::Schema`] back to canonical DDL;
+//!   `parse(render(s)) == s` is property-tested and is what the synthetic
+//!   corpus generator uses to materialize file versions.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schevo_ddl::parse_schema;
+//!
+//! let sql = r#"
+//!     -- users of the system
+//!     CREATE TABLE users (
+//!         id INT(11) NOT NULL AUTO_INCREMENT,
+//!         email VARCHAR(255) NOT NULL,
+//!         PRIMARY KEY (id)
+//!     ) ENGINE=InnoDB;
+//!     INSERT INTO users VALUES (1, 'a@b.c');
+//! "#;
+//! let schema = parse_schema(sql).unwrap();
+//! assert_eq!(schema.table_count(), 1);
+//! assert_eq!(schema.attribute_count(), 2);
+//! assert!(schema.table("users").unwrap().primary_key().contains(&"id".to_string()));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod render;
+pub mod schema;
+pub mod token;
+pub mod types;
+
+pub use error::{ParseError, Span};
+pub use parser::{parse_script, Parser};
+pub use schema::{Attribute, Schema, Table};
+
+/// Parse the text of a DDL file straight into its logical [`Schema`].
+///
+/// This is the main entry point used by the mining pipeline: it runs the
+/// tolerant parser over the whole script and lowers every `CREATE TABLE`
+/// statement into the schema model. Statements that are not `CREATE TABLE`
+/// are skipped; a file with no `CREATE TABLE` statements yields an empty
+/// schema (the collection funnel filters such files out upstream).
+///
+/// # Errors
+///
+/// Returns [`ParseError`] only for input that cannot be tokenized or whose
+/// `CREATE TABLE` statements are structurally broken beyond recovery.
+pub fn parse_schema(sql: &str) -> Result<Schema, ParseError> {
+    let script = parse_script(sql)?;
+    Ok(schema::Schema::from_script(&script))
+}

@@ -1,0 +1,1248 @@
+//! Tolerant recursive-descent parser for DDL scripts.
+//!
+//! The parser fully understands `CREATE TABLE` in the MySQL dialect (with
+//! enough ANSI/Postgres/SQL-Server lenience to survive mixed dumps) and
+//! skips everything else statement-by-statement. Skipping is
+//! parenthesis-aware, so an `INSERT` carrying `');' ` inside a string or a
+//! function body does not derail the scan — string literals were already
+//! resolved by the lexer.
+
+use crate::ast::{ColumnDef, CreateTable, Script, Statement, TableConstraint};
+use crate::error::{ParseError, Span};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+use crate::types::{DataType, TypeFamily};
+
+/// Parse a whole script into its AST.
+///
+/// # Errors
+///
+/// Propagates lexer errors and structural errors inside `CREATE TABLE`
+/// statements. Other malformed statements are skipped silently.
+pub fn parse_script(sql: &str) -> Result<Script, ParseError> {
+    let tokens = tokenize(sql)?;
+    Parser::new(tokens).script()
+}
+
+/// The parser state machine. Most callers should use [`parse_script`] or
+/// [`crate::parse_schema`]; the type is public for fine-grained testing.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Create a parser over a pre-lexed token stream.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.kind.is_keyword(kw)).unwrap_or(false)
+    }
+
+    fn at_keyword_at(&self, off: usize, kw: &str) -> bool {
+        self.peek_at(off)
+            .map(|t| t.kind.is_keyword(kw))
+            .unwrap_or(false)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_expected(&format!("keyword {kw}")))
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind == kind).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.eat_kind(&kind) {
+            Ok(())
+        } else {
+            Err(self.err_expected(&kind.describe()))
+        }
+    }
+
+    fn err_expected(&self, what: &str) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::unexpected(what, t.kind.describe(), t.span),
+            None => {
+                let end = self.tokens.last().map(|t| t.span.end).unwrap_or(0);
+                ParseError::eof(what, Span::new(end, end))
+            }
+        }
+    }
+
+    /// Parse identifiers: bare or quoted.
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    Ok(s)
+                }
+                _ => Err(self.err_expected("an identifier")),
+            },
+            None => Err(self.err_expected("an identifier")),
+        }
+    }
+
+    /// Top-level: a sequence of statements separated by semicolons.
+    pub fn script(&mut self) -> Result<Script, ParseError> {
+        let mut statements = Vec::new();
+        loop {
+            // Swallow stray semicolons.
+            while self.eat_kind(&TokenKind::Semicolon) {}
+            if self.peek().is_none() {
+                break;
+            }
+            if self.at_create_table() {
+                match self.create_table() {
+                    Ok(ct) => statements.push(Statement::CreateTable(ct)),
+                    Err(_) => {
+                        // A CREATE TABLE too broken to parse: degrade to a
+                        // skipped statement rather than failing the file.
+                        statements.push(Statement::Other {
+                            keyword: "CREATE TABLE".to_string(),
+                        });
+                        self.skip_statement();
+                    }
+                }
+            } else if self.at_keyword("ALTER") && self.at_keyword_at(1, "TABLE") {
+                match self.alter_table() {
+                    Ok(at) => {
+                        statements.push(Statement::AlterTable(at));
+                        self.skip_statement();
+                    }
+                    Err(_) => {
+                        statements.push(Statement::Other {
+                            keyword: "ALTER TABLE".to_string(),
+                        });
+                        self.skip_statement();
+                    }
+                }
+            } else if self.at_keyword("DROP") && self.at_keyword_at(1, "TABLE") {
+                match self.drop_table() {
+                    Ok(names) => {
+                        statements.push(Statement::DropTable { names });
+                        self.skip_statement();
+                    }
+                    Err(_) => {
+                        statements.push(Statement::Other {
+                            keyword: "DROP TABLE".to_string(),
+                        });
+                        self.skip_statement();
+                    }
+                }
+            } else {
+                let keyword = self.leading_keyword();
+                statements.push(Statement::Other { keyword });
+                self.skip_statement();
+            }
+        }
+        Ok(Script { statements })
+    }
+
+    /// Whether the cursor sits at `CREATE [TEMPORARY] TABLE`.
+    fn at_create_table(&self) -> bool {
+        if !self.at_keyword("CREATE") {
+            return false;
+        }
+        if self.at_keyword_at(1, "TABLE") {
+            return true;
+        }
+        self.at_keyword_at(1, "TEMPORARY") && self.at_keyword_at(2, "TABLE")
+    }
+
+    /// Uppercased keyword(s) introducing the statement at the cursor.
+    fn leading_keyword(&self) -> String {
+        let first = self
+            .peek()
+            .and_then(|t| t.kind.ident_text())
+            .unwrap_or("?")
+            .to_ascii_uppercase();
+        // Give CREATE a second word so INDEX/VIEW/TRIGGER etc. are countable.
+        if first == "CREATE" || first == "DROP" || first == "ALTER" || first == "LOCK"
+            || first == "UNLOCK"
+        {
+            if let Some(second) = self.peek_at(1).and_then(|t| t.kind.ident_text()) {
+                return format!("{first} {}", second.to_ascii_uppercase());
+            }
+        }
+        first
+    }
+
+    /// Skip tokens up to and including the statement-terminating semicolon.
+    ///
+    /// Any semicolon terminates: string literals (the only place a `;` can
+    /// legitimately hide) are already single tokens, and honoring paren depth
+    /// here would let one unbalanced broken statement swallow the rest of the
+    /// file.
+    fn skip_statement(&mut self) {
+        while let Some(t) = self.bump() {
+            if matches!(t.kind, TokenKind::Semicolon) {
+                break;
+            }
+        }
+    }
+
+    /// Parse `CREATE [TEMPORARY] TABLE [IF NOT EXISTS] name ( ... ) options ;`
+    fn create_table(&mut self) -> Result<CreateTable, ParseError> {
+        let checkpoint = self.pos;
+        let result = self.create_table_inner();
+        if result.is_err() {
+            self.pos = checkpoint;
+        }
+        result
+    }
+
+    fn create_table_inner(&mut self) -> Result<CreateTable, ParseError> {
+        self.expect_keyword("CREATE")?;
+        let temporary = self.eat_keyword("TEMPORARY");
+        self.expect_keyword("TABLE")?;
+        let if_not_exists = if self.at_keyword("IF") {
+            self.pos += 1;
+            self.expect_keyword("NOT")?;
+            self.expect_keyword("EXISTS")?;
+            true
+        } else {
+            false
+        };
+        let first = self.identifier()?;
+        let (qualifier, name) = if self.eat_kind(&TokenKind::Dot) {
+            (Some(first), self.identifier()?)
+        } else {
+            (None, first)
+        };
+        self.expect_kind(TokenKind::LParen)?;
+
+        let mut columns = Vec::new();
+        let mut constraints = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::RParen) {
+                break;
+            }
+            if let Some(c) = self.table_constraint()? {
+                constraints.push(c);
+            } else {
+                columns.push(self.column_def()?);
+            }
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(TokenKind::RParen)?;
+            break;
+        }
+
+        let options = self.table_options();
+        // Consume the terminating semicolon if present.
+        self.eat_kind(&TokenKind::Semicolon);
+
+        Ok(CreateTable {
+            name,
+            qualifier,
+            if_not_exists,
+            temporary,
+            columns,
+            constraints,
+            options,
+        })
+    }
+
+    /// Try to parse a table-level constraint at the cursor; `Ok(None)` means
+    /// the element is a column definition instead.
+    fn table_constraint(&mut self) -> Result<Option<TableConstraint>, ParseError> {
+        let mut name = None;
+        let checkpoint = self.pos;
+        if self.eat_keyword("CONSTRAINT") {
+            // Optional constraint name before the kind keyword.
+            if !(self.at_keyword("PRIMARY")
+                || self.at_keyword("UNIQUE")
+                || self.at_keyword("FOREIGN")
+                || self.at_keyword("CHECK"))
+            {
+                name = Some(self.identifier()?);
+            }
+        }
+        if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
+            self.pos += 2;
+            let columns = self.paren_name_list()?;
+            return Ok(Some(TableConstraint::PrimaryKey { name, columns }));
+        }
+        if self.at_keyword("UNIQUE") {
+            // Could be `UNIQUE KEY name (...)`, `UNIQUE INDEX (...)`, `UNIQUE (...)`.
+            let mut off = 1;
+            if self.at_keyword_at(1, "KEY") || self.at_keyword_at(1, "INDEX") {
+                off = 2;
+            }
+            // Optional index name.
+            let has_name = matches!(
+                self.peek_at(off).map(|t| &t.kind),
+                Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_))
+            );
+            let paren_off = off + usize::from(has_name);
+            if matches!(
+                self.peek_at(paren_off).map(|t| &t.kind),
+                Some(TokenKind::LParen)
+            ) {
+                self.pos += off;
+                let idx_name = if has_name {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                let columns = self.paren_name_list()?;
+                return Ok(Some(TableConstraint::Unique {
+                    name: name.or(idx_name),
+                    columns,
+                }));
+            }
+            // Otherwise it is a column named after or modified by UNIQUE —
+            // fall through to column parsing.
+            self.pos = checkpoint;
+            return Ok(None);
+        }
+        if self.at_keyword("FOREIGN") && self.at_keyword_at(1, "KEY") {
+            self.pos += 2;
+            // Optional index name before the column list.
+            if !matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                let _ = self.identifier()?;
+            }
+            let columns = self.paren_name_list()?;
+            self.expect_keyword("REFERENCES")?;
+            let first = self.identifier()?;
+            let foreign_table = if self.eat_kind(&TokenKind::Dot) {
+                self.identifier()?
+            } else {
+                first
+            };
+            let foreign_columns =
+                if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                    self.paren_name_list()?
+                } else {
+                    Vec::new()
+                };
+            // ON DELETE/UPDATE actions, MATCH clauses: skip to element end.
+            self.skip_to_element_end();
+            return Ok(Some(TableConstraint::ForeignKey {
+                name,
+                columns,
+                foreign_table,
+                foreign_columns,
+            }));
+        }
+        if self.at_keyword("CHECK") {
+            self.pos += 1;
+            self.skip_balanced_parens()?;
+            self.skip_to_element_end();
+            return Ok(Some(TableConstraint::Check { name }));
+        }
+        if (self.at_keyword("KEY") || self.at_keyword("INDEX") || self.at_keyword("FULLTEXT")
+            || self.at_keyword("SPATIAL"))
+            && name.is_none()
+        {
+            // `KEY name (cols)` / `INDEX (cols)` / `FULLTEXT KEY name (cols)`.
+            // Disambiguate from a *column* named `key`: a column would be
+            // followed by a type name, an index by a name or '('.
+            let mut off = 1;
+            if (self.at_keyword("FULLTEXT") || self.at_keyword("SPATIAL"))
+                && (self.at_keyword_at(1, "KEY") || self.at_keyword_at(1, "INDEX"))
+            {
+                off = 2;
+            }
+            let has_name = matches!(
+                self.peek_at(off).map(|t| &t.kind),
+                Some(TokenKind::Ident(_)) | Some(TokenKind::QuotedIdent(_))
+            );
+            let paren_off = off + usize::from(has_name);
+            if matches!(
+                self.peek_at(paren_off).map(|t| &t.kind),
+                Some(TokenKind::LParen)
+            ) {
+                self.pos += off;
+                let idx_name = if has_name {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                let columns = self.paren_name_list()?;
+                self.skip_to_element_end();
+                return Ok(Some(TableConstraint::Index {
+                    name: idx_name,
+                    columns,
+                }));
+            }
+        }
+        if name.is_some() {
+            // `CONSTRAINT name` followed by something we do not model:
+            // treat as a check-like constraint and skip it.
+            self.skip_to_element_end();
+            return Ok(Some(TableConstraint::Check { name }));
+        }
+        self.pos = checkpoint;
+        Ok(None)
+    }
+
+    /// `( name [(len)] [ASC|DESC] , ... )` — index column lists may carry
+    /// prefix lengths and directions, which we drop.
+    fn paren_name_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_kind(TokenKind::LParen)?;
+        let mut names = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::RParen) {
+                break;
+            }
+            names.push(self.identifier()?);
+            // Optional `(10)` prefix length.
+            if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                self.skip_balanced_parens()?;
+            }
+            // Optional ASC/DESC.
+            let _ = self.eat_keyword("ASC") || self.eat_keyword("DESC");
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(TokenKind::RParen)?;
+            break;
+        }
+        Ok(names)
+    }
+
+    /// Parse one column definition.
+    fn column_def(&mut self) -> Result<ColumnDef, ParseError> {
+        let name = self.identifier()?;
+        let data_type = self.data_type()?;
+        let mut col = ColumnDef::new(name, data_type);
+        self.column_options(&mut col)?;
+        Ok(col)
+    }
+
+    /// Parse a data type: name, optional params or value list, modifiers.
+    fn data_type(&mut self) -> Result<DataType, ParseError> {
+        let raw = match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::Ident(s) => s.clone(),
+                TokenKind::QuotedIdent(s) => s.clone(),
+                _ => return Err(self.err_expected("a data type")),
+            },
+            None => return Err(self.err_expected("a data type")),
+        };
+        self.pos += 1;
+        let mut upper = raw.to_ascii_uppercase();
+        // Multi-word types.
+        if upper == "DOUBLE" && self.eat_keyword("PRECISION") {
+            // DOUBLE PRECISION — same family.
+        } else if upper == "CHARACTER" && self.eat_keyword("VARYING") {
+            upper = "VARCHAR".to_string();
+        } else if upper == "LONG" {
+            if self.eat_keyword("VARCHAR") || self.eat_keyword("TEXT") {
+                upper = "MEDIUMTEXT".to_string();
+            } else if self.eat_keyword("VARBINARY") {
+                upper = "MEDIUMBLOB".to_string();
+            }
+        }
+        let mut ty = DataType::from_name(&upper);
+
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+            if matches!(ty.family, TypeFamily::Enum | TypeFamily::Set) {
+                ty.values = self.paren_string_list()?;
+            } else {
+                ty.params = self.paren_number_list()?;
+            }
+        }
+        // Modifiers that are part of the type.
+        loop {
+            if self.eat_keyword("UNSIGNED") {
+                ty.unsigned = true;
+            } else if self.eat_keyword("SIGNED") || self.eat_keyword("ZEROFILL") {
+                // cosmetic
+            } else {
+                break;
+            }
+        }
+        Ok(ty)
+    }
+
+    /// `( 'a' , 'b' , ... )`
+    fn paren_string_list(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_kind(TokenKind::LParen)?;
+        let mut values = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::RParen) {
+                break;
+            }
+            match self.peek() {
+                Some(t) => match &t.kind {
+                    TokenKind::StringLit(s) => {
+                        values.push(s.clone());
+                        self.pos += 1;
+                    }
+                    TokenKind::QuotedIdent(s) | TokenKind::Ident(s) => {
+                        // Lenient: unquoted/double-quoted enum values exist in the wild.
+                        values.push(s.clone());
+                        self.pos += 1;
+                    }
+                    TokenKind::Number(n) => {
+                        values.push(n.clone());
+                        self.pos += 1;
+                    }
+                    _ => return Err(self.err_expected("a string value")),
+                },
+                None => return Err(self.err_expected("a string value")),
+            }
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(TokenKind::RParen)?;
+            break;
+        }
+        Ok(values)
+    }
+
+    /// `( 11 )` or `( 10 , 2 )`
+    fn paren_number_list(&mut self) -> Result<Vec<u32>, ParseError> {
+        self.expect_kind(TokenKind::LParen)?;
+        let mut nums = Vec::new();
+        loop {
+            if self.eat_kind(&TokenKind::RParen) {
+                break;
+            }
+            match self.peek() {
+                Some(t) => match &t.kind {
+                    TokenKind::Number(n) => {
+                        let parsed = n.parse::<u32>().unwrap_or(0);
+                        nums.push(parsed);
+                        self.pos += 1;
+                    }
+                    TokenKind::Ident(s) if s.eq_ignore_ascii_case("max") => {
+                        // VARCHAR(MAX) — SQL Server; record as 0 sentinel.
+                        nums.push(0);
+                        self.pos += 1;
+                    }
+                    _ => return Err(self.err_expected("a number")),
+                },
+                None => return Err(self.err_expected("a number")),
+            }
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(TokenKind::RParen)?;
+            break;
+        }
+        Ok(nums)
+    }
+
+    /// Parse the option soup after the data type, up to the `,` or `)` that
+    /// ends the column element.
+    fn column_options(&mut self, col: &mut ColumnDef) -> Result<(), ParseError> {
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                None => break,
+                Some(TokenKind::Comma) | Some(TokenKind::RParen) | Some(TokenKind::Semicolon) => {
+                    break
+                }
+                Some(TokenKind::Ident(_)) => {
+                    if self.at_keyword("NOT") && self.at_keyword_at(1, "NULL") {
+                        self.pos += 2;
+                        col.not_null = true;
+                    } else if self.eat_keyword("NULL") {
+                        col.not_null = false;
+                    } else if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
+                        self.pos += 2;
+                        col.inline_primary_key = true;
+                    } else if self.eat_keyword("KEY") {
+                        // bare `KEY` after a column means primary key in MySQL
+                        col.inline_primary_key = true;
+                    } else if self.eat_keyword("UNIQUE") {
+                        col.unique = true;
+                        let _ = self.eat_keyword("KEY");
+                    } else if self.eat_keyword("AUTO_INCREMENT")
+                        || self.eat_keyword("AUTOINCREMENT")
+                        || self.eat_keyword("IDENTITY")
+                    {
+                        col.auto_increment = true;
+                        // IDENTITY(1,1)
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                            self.skip_balanced_parens()?;
+                        }
+                    } else if self.eat_keyword("DEFAULT") {
+                        col.default = Some(self.default_value()?);
+                    } else if self.eat_keyword("COMMENT") {
+                        col.comment = Some(self.string_value()?);
+                    } else if self.eat_keyword("COLLATE") || self.eat_keyword("CHARACTER") {
+                        // COLLATE x / CHARACTER SET x
+                        let _ = self.eat_keyword("SET");
+                        let _ = self.identifier();
+                    } else if self.eat_keyword("CHARSET") {
+                        let _ = self.identifier();
+                    } else if self.eat_keyword("ON") {
+                        // ON UPDATE CURRENT_TIMESTAMP etc.
+                        self.pos += 1; // UPDATE/DELETE
+                        let _ = self.identifier();
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                            self.skip_balanced_parens()?;
+                        }
+                    } else if self.eat_keyword("REFERENCES") {
+                        // Inline FK: REFERENCES t (c) [actions]
+                        let _ = self.identifier()?;
+                        if self.eat_kind(&TokenKind::Dot) {
+                            let _ = self.identifier()?;
+                        }
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                            self.skip_balanced_parens()?;
+                        }
+                    } else if self.eat_keyword("CHECK") {
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                            self.skip_balanced_parens()?;
+                        }
+                    } else if self.eat_keyword("GENERATED") || self.eat_keyword("AS") {
+                        // Generated columns: skip expression if parenthesized.
+                        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                            self.skip_balanced_parens()?;
+                        }
+                    } else {
+                        // Unknown option word (STORED, VIRTUAL, UNIQUE KEY...).
+                        self.pos += 1;
+                    }
+                }
+                Some(_) => {
+                    // Punctuation or literal noise inside options; if it opens
+                    // a paren, balance it.
+                    if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                        self.skip_balanced_parens()?;
+                    } else {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a DEFAULT value into display text.
+    fn default_value(&mut self) -> Result<String, ParseError> {
+        // Possibly signed number.
+        if let Some(t) = self.peek() {
+            match &t.kind {
+                TokenKind::Punct('-') | TokenKind::Punct('+') => {
+                    let sign = if matches!(t.kind, TokenKind::Punct('-')) {
+                        "-"
+                    } else {
+                        ""
+                    };
+                    self.pos += 1;
+                    if let Some(TokenKind::Number(n)) = self.peek().map(|t| t.kind.clone()) {
+                        self.pos += 1;
+                        return Ok(format!("{sign}{n}"));
+                    }
+                    return Ok(sign.to_string());
+                }
+                TokenKind::Number(n) => {
+                    let n = n.clone();
+                    self.pos += 1;
+                    return Ok(n);
+                }
+                TokenKind::StringLit(s) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    return Ok(format!("'{}'", s.replace('\'', "''")));
+                }
+                TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => {
+                    // NULL, CURRENT_TIMESTAMP, TRUE, now(), uuid() ...
+                    let s = s.clone();
+                    self.pos += 1;
+                    if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+                        self.skip_balanced_parens()?;
+                        return Ok(format!("{}()", s.to_ascii_uppercase()));
+                    }
+                    return Ok(s.to_ascii_uppercase());
+                }
+                TokenKind::LParen => {
+                    // Parenthesized default expression: record opaquely.
+                    self.skip_balanced_parens()?;
+                    return Ok("(expr)".to_string());
+                }
+                _ => {}
+            }
+        }
+        Err(self.err_expected("a default value"))
+    }
+
+    fn string_value(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(t) => match &t.kind {
+                TokenKind::StringLit(s) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    Ok(s)
+                }
+                _ => Err(self.err_expected("a string literal")),
+            },
+            None => Err(self.err_expected("a string literal")),
+        }
+    }
+
+    /// Parse `ALTER TABLE name <op> [, <op>]*` up to (not including) the
+    /// terminating semicolon. Unmodelled ops are skipped element-wise.
+    fn alter_table(&mut self) -> Result<crate::ast::AlterTable, ParseError> {
+        use crate::ast::AlterOp;
+        self.expect_keyword("ALTER")?;
+        self.expect_keyword("TABLE")?;
+        if self.at_keyword("IF") {
+            self.pos += 1;
+            let _ = self.eat_keyword("EXISTS");
+        }
+        let first = self.identifier()?;
+        let name = if self.eat_kind(&TokenKind::Dot) {
+            self.identifier()?
+        } else {
+            first
+        };
+        let mut ops = Vec::new();
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                None | Some(TokenKind::Semicolon) => break,
+                Some(TokenKind::Comma) => {
+                    self.pos += 1;
+                }
+                _ => {
+                    if self.eat_keyword("ADD") {
+                        if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
+                            self.pos += 2;
+                            ops.push(AlterOp::AddPrimaryKey(self.paren_name_list()?));
+                        } else if self.at_keyword("CONSTRAINT")
+                            || self.at_keyword("FOREIGN")
+                            || self.at_keyword("UNIQUE")
+                            || self.at_keyword("INDEX")
+                            || self.at_keyword("KEY")
+                            || self.at_keyword("FULLTEXT")
+                            || self.at_keyword("CHECK")
+                        {
+                            // Constraint/index additions: not modelled here.
+                            self.skip_to_element_end();
+                        } else {
+                            let _ = self.eat_keyword("COLUMN");
+                            ops.push(AlterOp::AddColumn(self.column_def()?));
+                        }
+                    } else if self.eat_keyword("DROP") {
+                        if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
+                            self.pos += 2;
+                            ops.push(AlterOp::DropPrimaryKey);
+                        } else if self.at_keyword("INDEX")
+                            || self.at_keyword("KEY")
+                            || self.at_keyword("FOREIGN")
+                            || self.at_keyword("CONSTRAINT")
+                            || self.at_keyword("CHECK")
+                        {
+                            self.skip_to_element_end();
+                        } else {
+                            let _ = self.eat_keyword("COLUMN");
+                            ops.push(AlterOp::DropColumn(self.identifier()?));
+                        }
+                    } else if self.eat_keyword("MODIFY") {
+                        let _ = self.eat_keyword("COLUMN");
+                        ops.push(AlterOp::ModifyColumn(self.column_def()?));
+                    } else if self.eat_keyword("CHANGE") {
+                        let _ = self.eat_keyword("COLUMN");
+                        let old_name = self.identifier()?;
+                        ops.push(AlterOp::ChangeColumn {
+                            old_name,
+                            def: self.column_def()?,
+                        });
+                    } else if self.eat_keyword("RENAME") {
+                        if self.eat_keyword("COLUMN") {
+                            // RENAME COLUMN a TO b: unmodelled (no type info).
+                            self.skip_to_element_end();
+                        } else {
+                            let _ = self.eat_keyword("TO") || self.eat_keyword("AS");
+                            ops.push(AlterOp::RenameTable(self.identifier()?));
+                        }
+                    } else {
+                        // ENGINE=..., CONVERT TO, ORDER BY, ...: skip.
+                        self.skip_to_element_end();
+                    }
+                }
+            }
+        }
+        Ok(crate::ast::AlterTable { name, ops })
+    }
+
+    /// Parse `DROP TABLE [IF EXISTS] a [, b]*` up to the semicolon.
+    fn drop_table(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("TABLE")?;
+        if self.at_keyword("IF") {
+            self.pos += 1;
+            self.expect_keyword("EXISTS")?;
+        }
+        let mut names = Vec::new();
+        loop {
+            let first = self.identifier()?;
+            let name = if self.eat_kind(&TokenKind::Dot) {
+                self.identifier()?
+            } else {
+                first
+            };
+            names.push(name);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(names)
+    }
+
+    /// Skip a balanced `( ... )` group; the cursor must be at `(`.
+    fn skip_balanced_parens(&mut self) -> Result<(), ParseError> {
+        self.expect_kind(TokenKind::LParen)?;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump().map(|t| &t.kind) {
+                Some(TokenKind::LParen) => depth += 1,
+                Some(TokenKind::RParen) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.err_expected("')'")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Skip forward to the `,` or `)` that terminates the current table
+    /// element, balancing nested parentheses.
+    fn skip_to_element_end(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            match t.kind {
+                TokenKind::LParen => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                TokenKind::RParen => {
+                    if depth == 0 {
+                        return;
+                    }
+                    depth -= 1;
+                    self.pos += 1;
+                }
+                TokenKind::Comma if depth == 0 => return,
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Collect trailing table options until the semicolon or EOF.
+    fn table_options(&mut self) -> Vec<String> {
+        let mut options = Vec::new();
+        let mut current = String::new();
+        loop {
+            match self.peek().map(|t| t.kind.clone()) {
+                None | Some(TokenKind::Semicolon) => break,
+                Some(TokenKind::Eq) => {
+                    current.push('=');
+                    self.pos += 1;
+                }
+                Some(TokenKind::Comma) => {
+                    if !current.is_empty() {
+                        options.push(std::mem::take(&mut current));
+                    }
+                    self.pos += 1;
+                }
+                Some(TokenKind::Ident(s)) | Some(TokenKind::QuotedIdent(s)) => {
+                    if !current.is_empty() && !current.ends_with('=') {
+                        options.push(std::mem::take(&mut current));
+                    }
+                    current.push_str(&s);
+                    self.pos += 1;
+                }
+                Some(TokenKind::Number(n)) => {
+                    current.push_str(&n);
+                    self.pos += 1;
+                }
+                Some(TokenKind::StringLit(s)) => {
+                    current.push('\'');
+                    current.push_str(&s);
+                    current.push('\'');
+                    self.pos += 1;
+                }
+                Some(TokenKind::LParen) => {
+                    let _ = self.skip_balanced_parens();
+                }
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+        }
+        if !current.is_empty() {
+            options.push(current);
+        }
+        options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Statement;
+    use crate::types::TypeFamily;
+
+    fn one_table(sql: &str) -> CreateTable {
+        let script = parse_script(sql).unwrap();
+        let mut it = script.create_tables();
+        let ct = it.next().expect("expected one CREATE TABLE").clone();
+        assert!(it.next().is_none(), "expected exactly one CREATE TABLE");
+        ct
+    }
+
+    #[test]
+    fn parses_minimal_table() {
+        let ct = one_table("CREATE TABLE t (a INT);");
+        assert_eq!(ct.name, "t");
+        assert_eq!(ct.columns.len(), 1);
+        assert_eq!(ct.columns[0].name, "a");
+        assert_eq!(ct.columns[0].data_type.family, TypeFamily::Int);
+    }
+
+    #[test]
+    fn parses_mysql_dump_style() {
+        let sql = r#"
+            CREATE TABLE `users` (
+              `id` int(11) NOT NULL AUTO_INCREMENT,
+              `email` varchar(255) NOT NULL DEFAULT '',
+              `bio` text,
+              `created_at` datetime DEFAULT CURRENT_TIMESTAMP,
+              PRIMARY KEY (`id`),
+              UNIQUE KEY `uq_email` (`email`),
+              KEY `idx_created` (`created_at`)
+            ) ENGINE=InnoDB DEFAULT CHARSET=utf8;
+        "#;
+        let ct = one_table(sql);
+        assert_eq!(ct.name, "users");
+        assert_eq!(ct.columns.len(), 4);
+        assert!(ct.columns[0].auto_increment);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(ct.columns[0].data_type.params, vec![11]);
+        assert_eq!(ct.columns[1].default.as_deref(), Some("''"));
+        assert_eq!(ct.primary_key_columns(), vec!["id".to_string()]);
+        assert_eq!(ct.constraints.len(), 3);
+        assert!(!ct.options.is_empty());
+    }
+
+    #[test]
+    fn if_not_exists_and_temporary() {
+        let ct = one_table("CREATE TABLE IF NOT EXISTS t (a INT)");
+        assert!(ct.if_not_exists);
+        let ct = one_table("CREATE TEMPORARY TABLE t (a INT)");
+        assert!(ct.temporary);
+    }
+
+    #[test]
+    fn qualified_table_name() {
+        let ct = one_table("CREATE TABLE mydb.t (a INT)");
+        assert_eq!(ct.qualifier.as_deref(), Some("mydb"));
+        assert_eq!(ct.name, "t");
+    }
+
+    #[test]
+    fn composite_primary_key() {
+        let ct = one_table("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))");
+        assert_eq!(
+            ct.primary_key_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+    }
+
+    #[test]
+    fn inline_primary_key() {
+        let ct = one_table("CREATE TABLE t (a INT PRIMARY KEY, b INT)");
+        assert_eq!(ct.primary_key_columns(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn foreign_key_with_actions() {
+        let sql = "CREATE TABLE t (a INT, CONSTRAINT fk_a FOREIGN KEY (a) \
+                   REFERENCES parent (id) ON DELETE CASCADE ON UPDATE NO ACTION)";
+        let ct = one_table(sql);
+        match &ct.constraints[0] {
+            TableConstraint::ForeignKey {
+                name,
+                columns,
+                foreign_table,
+                foreign_columns,
+            } => {
+                assert_eq!(name.as_deref(), Some("fk_a"));
+                assert_eq!(columns, &vec!["a".to_string()]);
+                assert_eq!(foreign_table, "parent");
+                assert_eq!(foreign_columns, &vec!["id".to_string()]);
+            }
+            other => panic!("expected foreign key, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn enum_and_set_types() {
+        let ct = one_table("CREATE TABLE t (s ENUM('on','off') NOT NULL, f SET('a','b'))");
+        assert_eq!(ct.columns[0].data_type.family, TypeFamily::Enum);
+        assert_eq!(
+            ct.columns[0].data_type.values,
+            vec!["on".to_string(), "off".to_string()]
+        );
+        assert_eq!(ct.columns[1].data_type.family, TypeFamily::Set);
+    }
+
+    #[test]
+    fn decimal_params_and_unsigned() {
+        let ct = one_table("CREATE TABLE t (p DECIMAL(10,2) UNSIGNED)");
+        assert_eq!(ct.columns[0].data_type.params, vec![10, 2]);
+        assert!(ct.columns[0].data_type.unsigned);
+    }
+
+    #[test]
+    fn double_precision_and_character_varying() {
+        let ct = one_table("CREATE TABLE t (a DOUBLE PRECISION, b CHARACTER VARYING(40))");
+        assert_eq!(ct.columns[0].data_type.family, TypeFamily::Double);
+        assert_eq!(ct.columns[1].data_type.family, TypeFamily::Varchar);
+        assert_eq!(ct.columns[1].data_type.params, vec![40]);
+    }
+
+    #[test]
+    fn skips_non_create_statements() {
+        let sql = r#"
+            SET NAMES utf8;
+            DROP TABLE IF EXISTS t;
+            CREATE TABLE t (a INT);
+            INSERT INTO t VALUES (1), (2);
+            CREATE INDEX idx ON t (a);
+            LOCK TABLES t WRITE;
+        "#;
+        let script = parse_script(sql).unwrap();
+        assert_eq!(script.create_tables().count(), 1);
+        let keywords: Vec<_> = script
+            .statements
+            .iter()
+            .filter_map(|s| match s {
+                Statement::Other { keyword } => Some(keyword.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(keywords.contains(&"SET"));
+        assert!(keywords.contains(&"INSERT"));
+        assert!(keywords.contains(&"CREATE INDEX"));
+        assert!(keywords.contains(&"LOCK TABLES"));
+        // DROP TABLE is now a modelled statement, not noise.
+        assert!(script
+            .statements
+            .iter()
+            .any(|s| matches!(s, Statement::DropTable { names } if names == &["t".to_string()])));
+    }
+
+    #[test]
+    fn parses_alter_table_ops() {
+        use crate::ast::AlterOp;
+        let sql = r#"
+            ALTER TABLE t
+              ADD COLUMN extra VARCHAR(40) NOT NULL,
+              DROP COLUMN old_one,
+              MODIFY COLUMN amount DECIMAL(12,2),
+              CHANGE kind category INT,
+              ADD PRIMARY KEY (id),
+              ADD INDEX idx_extra (extra),
+              DROP INDEX idx_old;
+        "#;
+        let script = parse_script(sql).unwrap();
+        let at = script.alter_tables().next().expect("one alter");
+        assert_eq!(at.name, "t");
+        assert_eq!(at.ops.len(), 5, "index ops are skipped: {:?}", at.ops);
+        assert!(matches!(&at.ops[0], AlterOp::AddColumn(c) if c.name == "extra" && c.not_null));
+        assert!(matches!(&at.ops[1], AlterOp::DropColumn(n) if n == "old_one"));
+        assert!(matches!(&at.ops[2], AlterOp::ModifyColumn(c) if c.name == "amount"));
+        assert!(
+            matches!(&at.ops[3], AlterOp::ChangeColumn { old_name, def } if old_name == "kind" && def.name == "category")
+        );
+        assert!(matches!(&at.ops[4], AlterOp::AddPrimaryKey(cols) if cols == &["id".to_string()]));
+    }
+
+    #[test]
+    fn alter_rename_and_drop_pk() {
+        use crate::ast::AlterOp;
+        let script =
+            parse_script("ALTER TABLE old_name RENAME TO new_name; ALTER TABLE x DROP PRIMARY KEY;")
+                .unwrap();
+        let alters: Vec<_> = script.alter_tables().collect();
+        assert_eq!(alters.len(), 2);
+        assert!(matches!(&alters[0].ops[0], AlterOp::RenameTable(n) if n == "new_name"));
+        assert!(matches!(&alters[1].ops[0], AlterOp::DropPrimaryKey));
+    }
+
+    #[test]
+    fn drop_table_multiple_names() {
+        let script = parse_script("DROP TABLE IF EXISTS a, b, db.c CASCADE;").unwrap();
+        assert!(script.statements.iter().any(|s| matches!(
+            s,
+            Statement::DropTable { names } if names == &["a".to_string(), "b".to_string(), "c".to_string()]
+        )));
+    }
+
+    #[test]
+    fn alter_statement_does_not_swallow_next() {
+        let script = parse_script(
+            "ALTER TABLE t ADD weird_option ROW_FORMAT=DYNAMIC; CREATE TABLE u (a INT);",
+        )
+        .unwrap();
+        assert_eq!(script.create_tables().count(), 1);
+    }
+
+    #[test]
+    fn insert_with_tricky_strings_does_not_derail() {
+        let sql = r#"
+            INSERT INTO msg VALUES ('a); CREATE TABLE fake (x INT);');
+            CREATE TABLE real_one (a INT);
+        "#;
+        let script = parse_script(sql).unwrap();
+        let names: Vec<_> = script.create_tables().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["real_one"]);
+    }
+
+    #[test]
+    fn a_column_named_key() {
+        let ct = one_table("CREATE TABLE t (`key` VARCHAR(64), value TEXT)");
+        assert_eq!(ct.columns.len(), 2);
+        assert_eq!(ct.columns[0].name, "key");
+    }
+
+    #[test]
+    fn index_with_prefix_lengths() {
+        let ct = one_table("CREATE TABLE t (a VARCHAR(255), KEY idx_a (a(10) DESC))");
+        match &ct.constraints[0] {
+            TableConstraint::Index { name, columns } => {
+                assert_eq!(name.as_deref(), Some("idx_a"));
+                assert_eq!(columns, &vec!["a".to_string()]);
+            }
+            other => panic!("expected index, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_constraint_is_recorded() {
+        let ct = one_table("CREATE TABLE t (a INT, CONSTRAINT positive CHECK (a > 0))");
+        assert!(matches!(
+            &ct.constraints[0],
+            TableConstraint::Check { name: Some(n) } if n == "positive"
+        ));
+    }
+
+    #[test]
+    fn multiple_tables_in_order() {
+        let sql = "CREATE TABLE a (x INT); CREATE TABLE b (y INT); CREATE TABLE c (z INT);";
+        let script = parse_script(sql).unwrap();
+        let names: Vec<_> = script.create_tables().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn trailing_comma_tolerated() {
+        // Some hand-written dumps have a trailing comma before `)`.
+        let ct = one_table("CREATE TABLE t (a INT, b INT,)");
+        assert_eq!(ct.columns.len(), 2);
+    }
+
+    #[test]
+    fn on_update_current_timestamp() {
+        let ct = one_table(
+            "CREATE TABLE t (ts TIMESTAMP NOT NULL DEFAULT CURRENT_TIMESTAMP \
+             ON UPDATE CURRENT_TIMESTAMP)",
+        );
+        assert_eq!(ct.columns.len(), 1);
+        assert!(ct.columns[0].not_null);
+        assert_eq!(ct.columns[0].default.as_deref(), Some("CURRENT_TIMESTAMP"));
+    }
+
+    #[test]
+    fn column_comments() {
+        let ct = one_table("CREATE TABLE t (a INT COMMENT 'the answer')");
+        assert_eq!(ct.columns[0].comment.as_deref(), Some("the answer"));
+    }
+
+    #[test]
+    fn serial_and_json_types() {
+        let ct = one_table("CREATE TABLE t (id SERIAL, data JSON)");
+        assert_eq!(ct.columns[0].data_type.family, TypeFamily::Serial);
+        assert_eq!(ct.columns[1].data_type.family, TypeFamily::Json);
+    }
+
+    #[test]
+    fn varchar_max_sentinel() {
+        let ct = one_table("CREATE TABLE t (a VARCHAR(MAX))");
+        assert_eq!(ct.columns[0].data_type.params, vec![0]);
+    }
+
+    #[test]
+    fn negative_default() {
+        let ct = one_table("CREATE TABLE t (a INT DEFAULT -1)");
+        assert_eq!(ct.columns[0].default.as_deref(), Some("-1"));
+    }
+
+    #[test]
+    fn empty_script_ok() {
+        let script = parse_script("").unwrap();
+        assert!(script.statements.is_empty());
+        let script = parse_script("-- just a comment\n").unwrap();
+        assert!(script.statements.is_empty());
+    }
+
+    #[test]
+    fn broken_create_table_degrades_to_skip() {
+        // Structurally hopeless CREATE TABLE should not fail the whole file.
+        let sql = "CREATE TABLE (no name here; CREATE TABLE ok_t (a INT);";
+        let script = parse_script(sql).unwrap();
+        let names: Vec<_> = script.create_tables().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["ok_t"]);
+    }
+
+    #[test]
+    fn fulltext_key_parsed_as_index() {
+        let ct = one_table("CREATE TABLE t (body TEXT, FULLTEXT KEY ft_body (body))");
+        assert!(matches!(&ct.constraints[0], TableConstraint::Index { .. }));
+    }
+
+    #[test]
+    fn generated_column_skipped_gracefully() {
+        let ct =
+            one_table("CREATE TABLE t (a INT, b INT GENERATED ALWAYS AS (a + 1) STORED)");
+        assert_eq!(ct.columns.len(), 2);
+        assert_eq!(ct.columns[1].name, "b");
+    }
+}

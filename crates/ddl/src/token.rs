@@ -1,0 +1,124 @@
+//! Token model produced by the [`crate::lexer`].
+
+use crate::error::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+///
+/// Keywords are *not* distinguished at the lexer level: SQL keywords are not
+/// reserved in the dialects we mine (MySQL allows `` `order` `` as a table
+/// name and even unquoted non-reserved keywords as identifiers), so the
+/// parser matches identifier text case-insensitively where a keyword is
+/// required.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A bare (unquoted) identifier or keyword, e.g. `CREATE`, `users`.
+    Ident(String),
+    /// A quoted identifier with its quoting removed: `` `order` ``,
+    /// `"order"` (ANSI), or `[order]` (SQL Server).
+    QuotedIdent(String),
+    /// A single- or double-quoted string literal, unescaped.
+    StringLit(String),
+    /// A numeric literal, kept verbatim (e.g. `11`, `10.5`, `0xFF`).
+    Number(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// Any other single punctuation/operator character the parser may skip
+    /// (`+`, `-`, `*`, `/`, `<`, `>`, `@`, `:`, `!`, `%`, `&`, `|`, `^`, `~`, `?`).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// Return the identifier text (bare or quoted), if this token is one.
+    pub fn ident_text(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) | TokenKind::QuotedIdent(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if this token is a bare identifier equal to `kw`
+    /// case-insensitively. Quoted identifiers never match keywords.
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        match self {
+            TokenKind::Ident(s) => s.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
+    }
+
+    /// Short human description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::QuotedIdent(s) => format!("quoted identifier `{s}`"),
+            TokenKind::StringLit(_) => "string literal".to_string(),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::LParen => "'('".to_string(),
+            TokenKind::RParen => "')'".to_string(),
+            TokenKind::Comma => "','".to_string(),
+            TokenKind::Semicolon => "';'".to_string(),
+            TokenKind::Dot => "'.'".to_string(),
+            TokenKind::Eq => "'='".to_string(),
+            TokenKind::Punct(c) => format!("'{c}'"),
+        }
+    }
+}
+
+/// A token together with its source [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is, including any payload text.
+    pub kind: TokenKind,
+    /// Where in the source the token came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let t = TokenKind::Ident("CrEaTe".into());
+        assert!(t.is_keyword("create"));
+        assert!(t.is_keyword("CREATE"));
+        assert!(!t.is_keyword("table"));
+    }
+
+    #[test]
+    fn quoted_identifiers_are_never_keywords() {
+        let t = TokenKind::QuotedIdent("create".into());
+        assert!(!t.is_keyword("create"));
+        assert_eq!(t.ident_text(), Some("create"));
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(TokenKind::LParen.describe(), "'('");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Number("11".into()).describe(), "number `11`");
+    }
+}

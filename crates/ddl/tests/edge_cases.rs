@@ -1,0 +1,135 @@
+//! Edge-case gauntlet for the DDL front end: inputs that have historically
+//! broken tolerant SQL parsers.
+
+use schevo_ddl::parse_schema;
+
+#[test]
+fn keywords_as_identifiers_everywhere() {
+    let s = parse_schema(
+        "CREATE TABLE `table` (`key` INT, `order` INT, `index` INT, `primary` INT, \
+         PRIMARY KEY (`key`));",
+    )
+    .unwrap();
+    let t = s.table("table").unwrap();
+    assert_eq!(t.arity(), 4);
+    assert_eq!(t.primary_key(), &["key".to_string()]);
+}
+
+#[test]
+fn deeply_nested_parens_in_defaults_and_checks() {
+    let s = parse_schema(
+        "CREATE TABLE t (a INT DEFAULT (1 + (2 * (3 - (4 / 5)))), \
+         b INT, CHECK ((a > 0) AND (b < (a * (a + 1)))));",
+    )
+    .unwrap();
+    assert_eq!(s.table("t").unwrap().arity(), 2);
+}
+
+#[test]
+fn comment_terminators_inside_strings() {
+    let s = parse_schema(
+        "CREATE TABLE t (a TEXT COMMENT 'contains; semicolons -- and dashes /* and block */');",
+    )
+    .unwrap();
+    assert_eq!(s.table("t").unwrap().arity(), 1);
+}
+
+#[test]
+fn zero_width_and_long_identifiers() {
+    let long = "c".repeat(64);
+    let sql = format!("CREATE TABLE t (`{long}` INT);");
+    let s = parse_schema(&sql).unwrap();
+    assert!(s.table("t").unwrap().attribute(&long).is_some());
+}
+
+#[test]
+fn many_tables_scale() {
+    let mut sql = String::new();
+    for i in 0..300 {
+        sql.push_str(&format!("CREATE TABLE t{i} (a INT, b TEXT, c DATETIME);\n"));
+    }
+    let s = parse_schema(&sql).unwrap();
+    assert_eq!(s.table_count(), 300);
+    assert_eq!(s.attribute_count(), 900);
+}
+
+#[test]
+fn delimiter_directives_are_skipped() {
+    // mysqldump trigger sections use DELIMITER games.
+    let s = parse_schema(
+        "DELIMITER ;;\n\
+         CREATE TABLE t (a INT);;\n\
+         DELIMITER ;\n\
+         CREATE TABLE u (b INT);",
+    )
+    .unwrap();
+    // Both tables must be visible despite the delimiter noise.
+    assert!(s.table("t").is_some());
+    assert!(s.table("u").is_some());
+}
+
+#[test]
+fn duplicate_column_last_wins() {
+    let s = parse_schema("CREATE TABLE t (a INT, a VARCHAR(10));").unwrap();
+    let t = s.table("t").unwrap();
+    assert_eq!(t.arity(), 1);
+    assert_eq!(t.attribute("a").unwrap().data_type.params, vec![10]);
+}
+
+#[test]
+fn empty_table_body_yields_table_without_columns() {
+    let s = parse_schema("CREATE TABLE t ();").unwrap();
+    assert_eq!(s.table("t").map(|t| t.arity()), Some(0));
+}
+
+#[test]
+fn alter_on_mixed_case_names() {
+    let s = parse_schema(
+        "CREATE TABLE Users (Id INT);\
+         ALTER TABLE Users ADD COLUMN Email VARCHAR(50);",
+    )
+    .unwrap();
+    // Names are case-sensitive in our model; the ALTER targets the exact name.
+    assert_eq!(s.table("Users").unwrap().arity(), 2);
+}
+
+#[test]
+fn unicode_identifiers_and_values() {
+    let s = parse_schema(
+        "CREATE TABLE benutzer (größe INT, status ENUM('aktiv','inaktiv','gelöscht'));",
+    )
+    .unwrap();
+    let t = s.table("benutzer").unwrap();
+    assert!(t.attribute("größe").is_some());
+    assert_eq!(t.attribute("status").unwrap().data_type.values.len(), 3);
+}
+
+#[test]
+fn crlf_only_file() {
+    let s = parse_schema("CREATE TABLE t (\r\n  a INT,\r\n  b TEXT\r\n);\r\n").unwrap();
+    assert_eq!(s.table("t").unwrap().arity(), 2);
+}
+
+#[test]
+fn giant_insert_between_tables() {
+    let mut sql = String::from("CREATE TABLE t (a INT);\nINSERT INTO t VALUES ");
+    for i in 0..5000 {
+        if i > 0 {
+            sql.push(',');
+        }
+        sql.push_str(&format!("({i})"));
+    }
+    sql.push_str(";\nCREATE TABLE u (b INT);");
+    let s = parse_schema(&sql).unwrap();
+    assert_eq!(s.table_count(), 2);
+}
+
+#[test]
+fn alter_add_multiple_columns_one_statement() {
+    let s = parse_schema(
+        "CREATE TABLE t (a INT);\
+         ALTER TABLE t ADD COLUMN b INT, ADD COLUMN c TEXT, ADD d DATETIME;",
+    )
+    .unwrap();
+    assert_eq!(s.table("t").unwrap().arity(), 4);
+}

@@ -1,0 +1,132 @@
+//! Property tests for the DDL front end: arbitrary schemas must survive a
+//! render → parse round trip, under both rendering styles, and the lexer
+//! must never panic on arbitrary input.
+
+use proptest::prelude::*;
+use schevo_ddl::render::{render_schema_with, RenderOptions};
+use schevo_ddl::schema::{Attribute, Schema, Table};
+use schevo_ddl::types::DataType;
+use schevo_ddl::{parse_schema, Span};
+
+/// Identifier-safe names: start alpha, then alphanumerics/underscore.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,14}".prop_map(|s| s)
+}
+
+fn data_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::int()),
+        Just(DataType::from_name("BIGINT")),
+        Just(DataType::from_name("TINYINT")),
+        Just(DataType::text()),
+        Just(DataType::datetime()),
+        Just(DataType::from_name("DATE")),
+        Just(DataType::from_name("DOUBLE")),
+        Just(DataType::from_name("JSON")),
+        (1u32..2000).prop_map(DataType::varchar),
+        (1u32..30, 0u32..10).prop_map(|(p, s)| DataType::decimal(p, p.max(s).min(s))),
+        proptest::collection::vec("[a-z]{1,6}", 1..4).prop_map(|vals| {
+            let mut t = DataType::from_name("ENUM");
+            // Deduplicate to keep logical_eq sane.
+            let mut vs: Vec<String> = vals;
+            vs.dedup();
+            t.values = vs;
+            t
+        }),
+    ]
+}
+
+fn table() -> impl Strategy<Value = Table> {
+    (
+        ident(),
+        proptest::collection::vec((ident(), data_type(), any::<bool>()), 1..8),
+        any::<bool>(),
+    )
+        .prop_map(|(name, cols, pk_on_first)| {
+            let mut t = Table::new(name);
+            for (n, ty, not_null) in cols {
+                let mut a = Attribute::new(n, ty);
+                a.not_null = not_null;
+                t.push_attribute(a);
+            }
+            if pk_on_first {
+                let first = t.attributes()[0].name.clone();
+                t.set_primary_key(vec![first]);
+            }
+            t
+        })
+}
+
+fn schema() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(table(), 0..6).prop_map(|tables| {
+        let mut s = Schema::new();
+        for t in tables {
+            s.upsert_table(t);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_parse_roundtrip_backquoted(s in schema()) {
+        let sql = render_schema_with(&s, &RenderOptions::default());
+        let parsed = parse_schema(&sql).unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn render_parse_roundtrip_bare(s in schema()) {
+        let opts = RenderOptions {
+            backquote_identifiers: false,
+            engine_clause: false,
+            ..Default::default()
+        };
+        let sql = render_schema_with(&s, &opts);
+        let parsed = parse_schema(&sql).unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn roundtrip_with_noise(s in schema(), header in "[ -~]{0,40}") {
+        let opts = RenderOptions {
+            header_comment: Some(header),
+            trailer_statements: vec![
+                "INSERT INTO x VALUES (1, 'a;b');".to_string(),
+                "SET FOREIGN_KEY_CHECKS=1;".to_string(),
+            ],
+            ..Default::default()
+        };
+        let sql = render_schema_with(&s, &opts);
+        let parsed = parse_schema(&sql).unwrap();
+        prop_assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn lexer_never_panics(input in "\\PC{0,200}") {
+        // Any outcome is fine; no panics, and spans must be in bounds.
+        if let Ok(tokens) = schevo_ddl::lexer::tokenize(&input) {
+            for t in tokens {
+                prop_assert!(t.span.end <= input.len());
+                prop_assert!(t.span.start <= t.span.end);
+            }
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_schema(&input);
+    }
+
+    #[test]
+    fn spans_slice_within_source(input in "[ -~]{0,120}") {
+        if let Ok(tokens) = schevo_ddl::lexer::tokenize(&input) {
+            for t in tokens {
+                let sp: Span = t.span;
+                prop_assert!(sp.slice(&input).is_some());
+            }
+        }
+    }
+}

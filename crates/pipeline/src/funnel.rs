@@ -1,0 +1,355 @@
+//! The data-collection funnel of §III-A:
+//!
+//! ```text
+//! SQL-Collection (133,029 repos with .sql files)
+//!   ⨝ Libraries.io  (original ∧ stars > 0 ∧ contributors > 1)
+//!   − test/demo/example paths
+//!   − unresolvable multi-file layouts  (vendor choice → MySQL)
+//!   = Lib-io (365)
+//!   − zero-version extractions (14)
+//!   − empty files / no CREATE TABLE (24)
+//!   = cloned (327)
+//!   − rigid single-version projects (132)
+//!   = Schema_Evo_2019 (195)
+//! ```
+
+use schevo_corpus::universe::{MaterializedRepo, Universe};
+use schevo_vcs::history::{file_history, FileVersion, WalkStrategy};
+use serde::{Deserialize, Serialize};
+
+/// Why a repository fell out of the funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Not monitored by Libraries.io at all.
+    NotInLibio,
+    /// The repository is a fork.
+    Fork,
+    /// Zero stars.
+    ZeroStars,
+    /// At most one contributor.
+    OneContributor,
+    /// Every `.sql` path contains test/demo/example.
+    ExcludedPath,
+    /// Multiple `.sql` files that do not resolve to a single DDL file.
+    MultiFile,
+    /// The advertised path had no versions in the clone.
+    ZeroVersions,
+    /// All versions empty or without `CREATE TABLE`.
+    EmptyOrNoCreateTable,
+}
+
+/// Per-stage counts of the funnel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FunnelReport {
+    /// Size of the SQL-Collection.
+    pub sql_collection: usize,
+    /// Dropped: not in Libraries.io.
+    pub not_in_libio: usize,
+    /// Dropped: forks.
+    pub forks: usize,
+    /// Dropped: zero stars.
+    pub zero_stars: usize,
+    /// Dropped: single contributor.
+    pub one_contributor: usize,
+    /// Dropped: only test/demo/example paths.
+    pub excluded_paths: usize,
+    /// Dropped: unresolvable multi-file layouts.
+    pub multi_file: usize,
+    /// The Lib-io data set (candidates cloned).
+    pub lib_io: usize,
+    /// Dropped after cloning: zero versions.
+    pub zero_versions: usize,
+    /// Dropped after cloning: empty or CREATE-TABLE-free files.
+    pub empty_or_no_ct: usize,
+    /// Cloned survivors.
+    pub cloned: usize,
+    /// Set aside: rigid single-version projects.
+    pub rigid: usize,
+    /// The analyzed population (Schema_Evo_2019).
+    pub analyzed: usize,
+}
+
+/// A candidate that survived the funnel: its extracted DDL history plus
+/// repository metadata.
+#[derive(Debug)]
+pub struct CandidateHistory {
+    /// `owner/repo`.
+    pub name: String,
+    /// The resolved DDL path.
+    pub ddl_path: String,
+    /// Extracted file versions (non-empty contents, oldest first).
+    pub versions: Vec<FileVersion>,
+    /// Project Update Period in months, from forge metadata.
+    pub pup_months: u64,
+    /// Total repository commits, from forge metadata.
+    pub total_commits: u64,
+}
+
+impl CandidateHistory {
+    /// Whether this candidate is rigid (single version).
+    pub fn is_rigid(&self) -> bool {
+        self.versions.len() == 1
+    }
+}
+
+/// Resolve the candidate `.sql` paths of one repository to a single DDL
+/// path, per the paper's post-processing rules. `None` means exclusion.
+pub fn resolve_paths(paths: &[String]) -> Result<String, Exclusion> {
+    let kept: Vec<&String> = paths
+        .iter()
+        .filter(|p| {
+            let lower = p.to_ascii_lowercase();
+            !(lower.contains("test") || lower.contains("demo") || lower.contains("example"))
+        })
+        .collect();
+    match kept.len() {
+        0 => Err(Exclusion::ExcludedPath),
+        1 => Ok(kept[0].clone()),
+        _ => {
+            // Multi-vendor resolution: exactly one MySQL file wins.
+            let mysql: Vec<&&String> = kept
+                .iter()
+                .filter(|p| p.to_ascii_lowercase().contains("mysql"))
+                .collect();
+            if mysql.len() == 1 {
+                Ok((*mysql[0]).clone())
+            } else {
+                Err(Exclusion::MultiFile)
+            }
+        }
+    }
+}
+
+/// Extract the DDL history of a materialized repository at `path`,
+/// dropping versions with blank content, and classify the extraction
+/// outcome.
+pub fn extract_versions(
+    repo: &MaterializedRepo,
+    path: &str,
+    strategy: WalkStrategy,
+) -> Result<Vec<FileVersion>, Exclusion> {
+    let r = match &repo.body {
+        schevo_corpus::universe::MaterializedBody::Evo(p) => &p.repo,
+        schevo_corpus::universe::MaterializedBody::Noise(n) => &n.repo,
+    };
+    let raw = file_history(r, path, strategy).map_err(|_| Exclusion::ZeroVersions)?;
+    let versions: Vec<FileVersion> = raw
+        .into_iter()
+        .filter(|v| !v.content.trim().is_empty())
+        .collect();
+    if versions.is_empty() {
+        // Distinguish "no file at all" from "only blank versions".
+        let had_any = file_history(r, path, strategy)
+            .map(|v| !v.is_empty())
+            .unwrap_or(false);
+        return Err(if had_any {
+            Exclusion::EmptyOrNoCreateTable
+        } else {
+            Exclusion::ZeroVersions
+        });
+    }
+    // The history must contain a CREATE TABLE somewhere.
+    let has_ct = versions.iter().any(|v| {
+        schevo_ddl::parse_schema(&v.content)
+            .map(|s| !s.is_empty())
+            .unwrap_or(false)
+    });
+    if !has_ct {
+        return Err(Exclusion::EmptyOrNoCreateTable);
+    }
+    Ok(versions)
+}
+
+/// The funnel's output: the report, the analyzed candidates, and the rigid
+/// side-line.
+#[derive(Debug)]
+pub struct FunnelOutcome {
+    /// Per-stage counts.
+    pub report: FunnelReport,
+    /// The Schema_Evo_2019 candidates (≥ 2 versions).
+    pub analyzed: Vec<CandidateHistory>,
+    /// Rigid single-version candidates (reported, not analyzed).
+    pub rigid: Vec<CandidateHistory>,
+}
+
+/// Run the whole funnel over a universe.
+pub fn run_funnel(universe: &Universe, strategy: WalkStrategy) -> FunnelOutcome {
+    let mut report = FunnelReport {
+        sql_collection: universe.sql_collection.len(),
+        ..Default::default()
+    };
+    let mut analyzed = Vec::new();
+    let mut rigid = Vec::new();
+
+    for entry in &universe.sql_collection {
+        // 1. Join with Libraries.io on repo name and URL.
+        let Some(meta) = universe.libio.get(&entry.repo_name) else {
+            report.not_in_libio += 1;
+            continue;
+        };
+        debug_assert!(meta.url.ends_with(&entry.repo_name), "join on URL too");
+        // 2. Metadata filters.
+        if meta.is_fork {
+            report.forks += 1;
+            continue;
+        }
+        if meta.stars == 0 {
+            report.zero_stars += 1;
+            continue;
+        }
+        if meta.contributors <= 1 {
+            report.one_contributor += 1;
+            continue;
+        }
+        // 3. Path post-processing.
+        let path = match resolve_paths(&entry.sql_paths) {
+            Ok(p) => p,
+            Err(Exclusion::ExcludedPath) => {
+                report.excluded_paths += 1;
+                continue;
+            }
+            Err(_) => {
+                report.multi_file += 1;
+                continue;
+            }
+        };
+        // 4. Clone. A candidate that passed all metadata filters must be
+        // materialized; a lightweight record reaching this point would be a
+        // corpus bug, surfaced loudly.
+        let repo = universe
+            .materialized
+            .get(&entry.repo_name)
+            .unwrap_or_else(|| panic!("{} passed filters but is not materialized", entry.repo_name));
+        report.lib_io += 1;
+        // 5. Extract.
+        let versions = match extract_versions(repo, &path, strategy) {
+            Ok(v) => v,
+            Err(Exclusion::ZeroVersions) => {
+                report.zero_versions += 1;
+                continue;
+            }
+            Err(_) => {
+                report.empty_or_no_ct += 1;
+                continue;
+            }
+        };
+        report.cloned += 1;
+        let (pup_months, total_commits) = match &repo.body {
+            schevo_corpus::universe::MaterializedBody::Evo(p) => {
+                (p.reported_pup_months, p.reported_total_commits)
+            }
+            schevo_corpus::universe::MaterializedBody::Noise(_) => (24, 100),
+        };
+        let candidate = CandidateHistory {
+            name: entry.repo_name.clone(),
+            ddl_path: path,
+            versions,
+            pup_months,
+            total_commits,
+        };
+        // 6. Rigid split.
+        if candidate.is_rigid() {
+            report.rigid += 1;
+            rigid.push(candidate);
+        } else {
+            report.analyzed += 1;
+            analyzed.push(candidate);
+        }
+    }
+    FunnelOutcome {
+        report,
+        analyzed,
+        rigid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_corpus::universe::{generate, UniverseConfig};
+
+    #[test]
+    fn resolve_single_clean_path() {
+        assert_eq!(
+            resolve_paths(&["db/schema.sql".into()]),
+            Ok("db/schema.sql".to_string())
+        );
+    }
+
+    #[test]
+    fn resolve_excluded_paths() {
+        assert_eq!(
+            resolve_paths(&["test/schema.sql".into()]),
+            Err(Exclusion::ExcludedPath)
+        );
+        assert_eq!(
+            resolve_paths(&["demo/x.sql".into(), "examples/y.sql".into()]),
+            Err(Exclusion::ExcludedPath)
+        );
+        // A clean path next to a test path resolves to the clean one.
+        assert_eq!(
+            resolve_paths(&["test/schema.sql".into(), "db/schema.sql".into()]),
+            Ok("db/schema.sql".to_string())
+        );
+    }
+
+    #[test]
+    fn resolve_vendor_choice() {
+        assert_eq!(
+            resolve_paths(&[
+                "db/schema-mysql.sql".into(),
+                "db/schema-postgres.sql".into()
+            ]),
+            Ok("db/schema-mysql.sql".to_string())
+        );
+        // Two MySQL files do not resolve.
+        assert_eq!(
+            resolve_paths(&["a/mysql.sql".into(), "b/mysql.sql".into()]),
+            Err(Exclusion::MultiFile)
+        );
+        // File-per-table layouts do not resolve.
+        assert_eq!(
+            resolve_paths(&["t/a.sql".into(), "t/b.sql".into(), "t/c.sql".into()]),
+            Err(Exclusion::MultiFile)
+        );
+    }
+
+    #[test]
+    fn funnel_counts_match_ground_truth_small_scale() {
+        let u = generate(UniverseConfig::small(2019, 10));
+        let outcome = run_funnel(&u, WalkStrategy::FirstParent);
+        let r = outcome.report;
+        assert_eq!(r.sql_collection, u.expected.sql_collection);
+        assert_eq!(r.lib_io, u.expected.lib_io);
+        assert_eq!(r.zero_versions, u.expected.zero_version);
+        assert_eq!(r.empty_or_no_ct, u.expected.empty_or_no_ct);
+        assert_eq!(r.cloned, u.expected.cloned);
+        assert_eq!(r.rigid, u.expected.rigid);
+        assert_eq!(r.analyzed, u.expected.analyzed);
+        assert_eq!(outcome.analyzed.len(), r.analyzed);
+        assert_eq!(outcome.rigid.len(), r.rigid);
+        // Conservation: every record is accounted for exactly once.
+        let dropped = r.not_in_libio
+            + r.forks
+            + r.zero_stars
+            + r.one_contributor
+            + r.excluded_paths
+            + r.multi_file;
+        assert_eq!(dropped + r.lib_io, r.sql_collection);
+        assert_eq!(r.lib_io - r.zero_versions - r.empty_or_no_ct, r.cloned);
+        assert_eq!(r.cloned - r.rigid, r.analyzed);
+    }
+
+    #[test]
+    fn analyzed_candidates_have_multiple_versions() {
+        let u = generate(UniverseConfig::small(5, 20));
+        let outcome = run_funnel(&u, WalkStrategy::FirstParent);
+        for c in &outcome.analyzed {
+            assert!(c.versions.len() >= 2, "{}", c.name);
+            assert!(c.total_commits >= c.versions.len() as u64);
+        }
+        for c in &outcome.rigid {
+            assert_eq!(c.versions.len(), 1, "{}", c.name);
+        }
+    }
+}

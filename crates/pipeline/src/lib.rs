@@ -1,0 +1,25 @@
+//! # schevo-pipeline
+//!
+//! The end-to-end mining pipeline of the study: the §III-A collection
+//! funnel over a (synthetic) GitHub universe, parallel per-project
+//! measurement, per-taxon statistics, the §V statistical battery, and
+//! ablations over the design choices.
+//!
+//! ```no_run
+//! use schevo_corpus::universe::{generate, UniverseConfig};
+//! use schevo_pipeline::study::{run_study, StudyOptions};
+//!
+//! let universe = generate(UniverseConfig::paper(2019));
+//! let study = run_study(&universe, StudyOptions::default());
+//! assert_eq!(study.report.analyzed, 195);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod extract;
+pub mod funnel;
+pub mod study;
+
+pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelReport};
+pub use study::{run_study, Narrative, StatisticsBattery, StudyOptions, StudyResult, TaxonStats};

@@ -1,0 +1,443 @@
+//! The end-to-end study runner: funnel → mining → per-taxon statistics →
+//! statistical battery → narrative percentages. The output contains every
+//! number needed to regenerate the paper's tables and figures.
+
+use crate::extract::mine_all_extended;
+use crate::funnel::{run_funnel, FunnelReport};
+use schevo_core::fk::{fk_corpus_stats, FkCorpusStats};
+use schevo_core::heartbeat::{derive_reed_threshold, REED_THRESHOLD};
+use schevo_core::tables::{electrolysis, fate_activity_table, ElectrolysisStats};
+use schevo_core::profile::EvolutionProfile;
+use schevo_core::shape::ShapeClass;
+use schevo_core::taxa::{ProjectClass, Taxon};
+use schevo_corpus::universe::Universe;
+use schevo_stats::describe::{percent_where, Summary};
+use schevo_stats::kruskal::{kruskal_wallis, pairwise_kruskal, KruskalWallis, PairwiseMatrix};
+use schevo_stats::quantile::Quartiles;
+use schevo_stats::correlation::{spearman, Spearman};
+use schevo_stats::shapiro::{shapiro_wilk, ShapiroWilk};
+use schevo_vcs::history::WalkStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Options of a study run.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyOptions {
+    /// How to linearize commit DAGs.
+    pub strategy: WalkStrategy,
+    /// Reed threshold for classification; `None` uses the paper's canonical
+    /// value ([`REED_THRESHOLD`]).
+    pub reed_threshold: Option<u64>,
+    /// Mining worker threads.
+    pub workers: usize,
+}
+
+impl Default for StudyOptions {
+    fn default() -> Self {
+        StudyOptions {
+            strategy: WalkStrategy::FirstParent,
+            reed_threshold: None,
+            workers: 8,
+        }
+    }
+}
+
+/// The Fig. 4 row block for one taxon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaxonStats {
+    /// The taxon.
+    pub taxon: Taxon,
+    /// Population.
+    pub count: usize,
+    /// Schema Update Period (months).
+    pub sup_months: Option<Summary>,
+    /// Total activity (attributes).
+    pub total_activity: Option<Summary>,
+    /// Commits of the DDL file.
+    pub commits: Option<Summary>,
+    /// Active commits.
+    pub active_commits: Option<Summary>,
+    /// Reeds.
+    pub reeds: Option<Summary>,
+    /// Turf commits.
+    pub turf: Option<Summary>,
+    /// Table insertions.
+    pub table_insertions: Option<Summary>,
+    /// Table deletions.
+    pub table_deletions: Option<Summary>,
+    /// Tables at V0.
+    pub tables_start: Option<Summary>,
+    /// Tables at the last version.
+    pub tables_end: Option<Summary>,
+    /// Fig. 12/13: quartiles of total activity.
+    pub activity_quartiles: Option<Quartiles>,
+    /// Fig. 12/13: quartiles of active commits.
+    pub active_commit_quartiles: Option<Quartiles>,
+    /// Percent of projects with PUP > 24 months.
+    pub pup_over_24_pct: f64,
+    /// Percent of projects with PUP > 12 months.
+    pub pup_over_12_pct: f64,
+    /// Median share of repository commits touching the DDL file (%).
+    pub ddl_share_median_pct: f64,
+    /// Percent of projects per schema-line shape.
+    pub shape_pct: Vec<(ShapeClass, f64)>,
+}
+
+/// The §V statistical battery.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatisticsBattery {
+    /// Overall KW over total activity, all six taxa (df = 5, as reported).
+    pub kw_activity: KruskalWallis,
+    /// Overall KW over active commits, all six taxa.
+    pub kw_active_commits: KruskalWallis,
+    /// Pairwise KW p-values over activity, non-frozen taxa (Fig. 11 upper).
+    pub pairwise_activity: PairwiseMatrix,
+    /// Pairwise KW p-values over active commits (Fig. 11 lower).
+    pub pairwise_active_commits: PairwiseMatrix,
+    /// Shapiro–Wilk on total activity over the whole population.
+    pub shapiro_activity: ShapiroWilk,
+    /// Shapiro–Wilk on active commits over the whole population.
+    pub shapiro_active_commits: ShapiroWilk,
+    /// Spearman rank correlation between total activity and active commits
+    /// over the analyzed population (the Fig. 10 cloud, quantified).
+    pub activity_ac_spearman: Spearman,
+}
+
+/// The §IV/§VI narrative percentages.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Narrative {
+    /// Rigid single-version projects as % of cloned (paper: 40%).
+    pub rigid_pct_of_cloned: f64,
+    /// Frozen as % of cloned (paper: 10%).
+    pub frozen_pct_of_cloned: f64,
+    /// Almost Frozen as % of cloned (paper: 20%).
+    pub almost_frozen_pct_of_cloned: f64,
+    /// Little-or-no change as % of cloned (paper: ~70%).
+    pub little_or_none_pct_of_cloned: f64,
+    /// Analyzed projects with 0–3 active commits (paper: 64%).
+    pub zero_to_three_active_pct: f64,
+    /// Analyzed projects with PUP > 24 months (paper: 65%).
+    pub pup_over_24_pct: f64,
+    /// Analyzed projects with PUP > 12 months (paper: 77%).
+    pub pup_over_12_pct: f64,
+    /// FS&Frozen projects whose single active commit keeps a flat schema
+    /// line (paper: 36%).
+    pub fsf_single_active_flat_pct: f64,
+    /// FS&Frozen projects with a single step-up (paper: 52%).
+    pub fsf_single_step_pct: f64,
+    /// Moderate projects with a rising schema line (paper: 65%).
+    pub moderate_rise_pct: f64,
+    /// Moderate projects with a flat schema line (paper: 10%).
+    pub moderate_flat_pct: f64,
+}
+
+/// Everything a study run produces.
+#[derive(Debug)]
+pub struct StudyResult {
+    /// Funnel counts.
+    pub report: FunnelReport,
+    /// Profiles of the analyzed population, in funnel order.
+    pub profiles: Vec<EvolutionProfile>,
+    /// Per-taxon statistics, in `Taxon::ALL` order.
+    pub taxa: Vec<TaxonStats>,
+    /// The statistical battery.
+    pub stats: StatisticsBattery,
+    /// Reed threshold derived by the 85% rule from this corpus.
+    pub derived_reed_threshold: u64,
+    /// Reed threshold actually used for classification.
+    pub used_reed_threshold: u64,
+    /// Narrative percentages.
+    pub narrative: Narrative,
+    /// Candidates whose versions failed to parse (excluded from profiles).
+    pub parse_failures: usize,
+    /// Foreign-key extension study (corpus aggregate).
+    pub fk: FkCorpusStats,
+    /// Table-level Electrolysis extension (pooled over all projects).
+    pub electrolysis: ElectrolysisStats,
+    /// χ² independence test of table fate (dead/survivor) vs activity
+    /// (quiet/updated) over the pooled lives; `None` when a marginal is 0.
+    pub fate_activity_chi2: Option<schevo_stats::Chi2Independence>,
+}
+
+impl StudyResult {
+    /// Profiles belonging to one taxon.
+    pub fn profiles_of(&self, taxon: Taxon) -> Vec<&EvolutionProfile> {
+        self.profiles
+            .iter()
+            .filter(|p| p.class == ProjectClass::Taxon(taxon))
+            .collect()
+    }
+
+    /// The stats block of one taxon.
+    pub fn taxon_stats(&self, taxon: Taxon) -> &TaxonStats {
+        self.taxa
+            .iter()
+            .find(|t| t.taxon == taxon)
+            .expect("all taxa present")
+    }
+}
+
+fn summarize<F: Fn(&EvolutionProfile) -> u64>(
+    profiles: &[&EvolutionProfile],
+    f: F,
+) -> Option<Summary> {
+    Summary::of_counts(profiles.iter().map(|p| f(p)))
+}
+
+fn taxon_stats(taxon: Taxon, profiles: &[&EvolutionProfile]) -> TaxonStats {
+    let activities: Vec<f64> = profiles.iter().map(|p| p.total_activity as f64).collect();
+    let actives: Vec<f64> = profiles.iter().map(|p| p.active_commits as f64).collect();
+    let shares: Vec<f64> = profiles
+        .iter()
+        .filter_map(|p| p.ddl_commit_share())
+        .collect();
+    let shapes = [
+        ShapeClass::Flat,
+        ShapeClass::SingleStepUp,
+        ShapeClass::MultiStepRise,
+        ShapeClass::Dropping,
+        ShapeClass::Turbulent,
+    ];
+    TaxonStats {
+        taxon,
+        count: profiles.len(),
+        sup_months: summarize(profiles, |p| p.sup_months),
+        total_activity: summarize(profiles, |p| p.total_activity),
+        commits: summarize(profiles, |p| p.commits),
+        active_commits: summarize(profiles, |p| p.active_commits),
+        reeds: summarize(profiles, |p| p.reeds),
+        turf: summarize(profiles, |p| p.turf),
+        table_insertions: summarize(profiles, |p| p.table_insertions),
+        table_deletions: summarize(profiles, |p| p.table_deletions),
+        tables_start: summarize(profiles, |p| p.tables_start),
+        tables_end: summarize(profiles, |p| p.tables_end),
+        activity_quartiles: Quartiles::of(&activities),
+        active_commit_quartiles: Quartiles::of(&actives),
+        pup_over_24_pct: percent_where(profiles, |p| {
+            p.context.map(|c| c.pup_months > 24).unwrap_or(false)
+        }),
+        pup_over_12_pct: percent_where(profiles, |p| {
+            p.context.map(|c| c.pup_months > 12).unwrap_or(false)
+        }),
+        ddl_share_median_pct: if shares.is_empty() {
+            0.0
+        } else {
+            schevo_stats::median(&shares)
+        },
+        shape_pct: shapes
+            .iter()
+            .map(|&s| (s, percent_where(profiles, |p| p.shape == s)))
+            .collect(),
+    }
+}
+
+/// Run the complete study over a universe.
+pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
+    let outcome = run_funnel(universe, options.strategy);
+    let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
+    let (mined, parse_failures) =
+        mine_all_extended(&outcome.analyzed, used_reed_threshold, options.workers);
+    let fk_profiles: Vec<schevo_core::fk::FkProfile> = mined.iter().map(|m| m.fk).collect();
+    let pooled_lives: Vec<schevo_core::tables::TableLife> = mined
+        .iter()
+        .flat_map(|m| m.table_lives.iter().cloned())
+        .collect();
+    let profiles: Vec<EvolutionProfile> = mined.into_iter().map(|m| m.profile).collect();
+
+    // Reed-threshold derivation (§III-B): activities of single-active-commit
+    // projects, 85% split.
+    let single_ac: Vec<u64> = profiles
+        .iter()
+        .filter(|p| p.active_commits == 1)
+        .map(|p| p.total_activity)
+        .collect();
+    let derived_reed_threshold = derive_reed_threshold(&single_ac);
+
+    // Per-taxon stats.
+    let taxa: Vec<TaxonStats> = Taxon::ALL
+        .iter()
+        .map(|&t| {
+            let members: Vec<&EvolutionProfile> = profiles
+                .iter()
+                .filter(|p| p.class == ProjectClass::Taxon(t))
+                .collect();
+            taxon_stats(t, &members)
+        })
+        .collect();
+
+    // Statistical battery.
+    let group = |t: Taxon, f: &dyn Fn(&EvolutionProfile) -> f64| -> Vec<f64> {
+        profiles
+            .iter()
+            .filter(|p| p.class == ProjectClass::Taxon(t))
+            .map(f)
+            .collect()
+    };
+    let act = |p: &EvolutionProfile| p.total_activity as f64;
+    let ac = |p: &EvolutionProfile| p.active_commits as f64;
+    // Ablation thresholds can empty a taxon; KW runs over non-empty groups.
+    let all_groups_act: Vec<Vec<f64>> = Taxon::ALL
+        .iter()
+        .map(|&t| group(t, &act))
+        .filter(|g| !g.is_empty())
+        .collect();
+    let all_groups_ac: Vec<Vec<f64>> = Taxon::ALL
+        .iter()
+        .map(|&t| group(t, &ac))
+        .filter(|g| !g.is_empty())
+        .collect();
+    let refs_act: Vec<&[f64]> = all_groups_act.iter().map(|g| g.as_slice()).collect();
+    let refs_ac: Vec<&[f64]> = all_groups_ac.iter().map(|g| g.as_slice()).collect();
+    let kw_activity = kruskal_wallis(&refs_act).expect("≥2 non-degenerate groups");
+    let kw_active_commits = kruskal_wallis(&refs_ac).expect("≥2 non-degenerate groups");
+    let labelled_act: Vec<(String, Vec<f64>)> = Taxon::NON_FROZEN
+        .iter()
+        .map(|&t| (t.short().to_string(), group(t, &act)))
+        .filter(|(_, g)| !g.is_empty())
+        .collect();
+    let labelled_ac: Vec<(String, Vec<f64>)> = Taxon::NON_FROZEN
+        .iter()
+        .map(|&t| (t.short().to_string(), group(t, &ac)))
+        .filter(|(_, g)| !g.is_empty())
+        .collect();
+    let pairwise_activity = pairwise_kruskal(&labelled_act).expect("pairwise activity");
+    let pairwise_active_commits = pairwise_kruskal(&labelled_ac).expect("pairwise active commits");
+    let all_act: Vec<f64> = profiles.iter().map(act).collect();
+    let all_ac: Vec<f64> = profiles.iter().map(ac).collect();
+    let shapiro_activity = shapiro_wilk(&all_act).expect("SW on activity");
+    let shapiro_active_commits = shapiro_wilk(&all_ac).expect("SW on active commits");
+    let activity_ac_spearman = spearman(&all_act, &all_ac).expect("Spearman on activity/AC");
+
+    // Narrative percentages.
+    let cloned = outcome.report.cloned.max(1) as f64;
+    let count_of = |t: Taxon|
+
+        profiles
+            .iter()
+            .filter(|p| p.class == ProjectClass::Taxon(t))
+            .count() as f64;
+    let frozen = count_of(Taxon::Frozen);
+    let almost = count_of(Taxon::AlmostFrozen);
+    let fsf: Vec<&EvolutionProfile> = profiles
+        .iter()
+        .filter(|p| p.class == ProjectClass::Taxon(Taxon::FocusedShotFrozen))
+        .collect();
+    let moderate: Vec<&EvolutionProfile> = profiles
+        .iter()
+        .filter(|p| p.class == ProjectClass::Taxon(Taxon::Moderate))
+        .collect();
+    let narrative = Narrative {
+        rigid_pct_of_cloned: 100.0 * outcome.report.rigid as f64 / cloned,
+        frozen_pct_of_cloned: 100.0 * frozen / cloned,
+        almost_frozen_pct_of_cloned: 100.0 * almost / cloned,
+        little_or_none_pct_of_cloned: 100.0 * (outcome.report.rigid as f64 + frozen + almost)
+            / cloned,
+        zero_to_three_active_pct: percent_where(&profiles, |p| p.active_commits <= 3),
+        pup_over_24_pct: percent_where(&profiles, |p| {
+            p.context.map(|c| c.pup_months > 24).unwrap_or(false)
+        }),
+        pup_over_12_pct: percent_where(&profiles, |p| {
+            p.context.map(|c| c.pup_months > 12).unwrap_or(false)
+        }),
+        fsf_single_active_flat_pct: percent_where(&fsf, |p| {
+            p.active_commits == 1 && p.shape == ShapeClass::Flat
+        }),
+        fsf_single_step_pct: percent_where(&fsf, |p| p.shape == ShapeClass::SingleStepUp),
+        moderate_rise_pct: percent_where(&moderate, |p| p.shape.is_rise()),
+        moderate_flat_pct: percent_where(&moderate, |p| p.shape == ShapeClass::Flat),
+    };
+
+    StudyResult {
+        report: outcome.report,
+        profiles,
+        taxa,
+        stats: StatisticsBattery {
+            kw_activity,
+            kw_active_commits,
+            pairwise_activity,
+            pairwise_active_commits,
+            shapiro_activity,
+            shapiro_active_commits,
+            activity_ac_spearman,
+        },
+        derived_reed_threshold,
+        used_reed_threshold,
+        narrative,
+        parse_failures,
+        fk: fk_corpus_stats(&fk_profiles),
+        electrolysis: electrolysis(&pooled_lives),
+        fate_activity_chi2: {
+            let ct = fate_activity_table(&pooled_lives);
+            let rows: Vec<Vec<u64>> = ct.iter().map(|r| r.to_vec()).collect();
+            schevo_stats::chi2_independence(&rows).ok()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_corpus::universe::{generate, UniverseConfig};
+
+    fn small_study() -> StudyResult {
+        let u = generate(UniverseConfig::small(2019, 8));
+        run_study(&u, StudyOptions::default())
+    }
+
+    #[test]
+    fn study_recovers_taxa_counts() {
+        let u = generate(UniverseConfig::small(2019, 8));
+        let s = run_study(&u, StudyOptions::default());
+        assert_eq!(s.parse_failures, 0);
+        for (i, &t) in Taxon::ALL.iter().enumerate() {
+            assert_eq!(
+                s.taxon_stats(t).count,
+                u.expected.taxa[i],
+                "{t:?} count mismatch"
+            );
+        }
+        assert_eq!(s.profiles.len(), u.expected.analyzed);
+    }
+
+    #[test]
+    fn overall_kw_is_significant_with_df5() {
+        // At 1/8 scale the population is ~24 projects, so the attainable
+        // significance is bounded (H ≤ n−1); the full-scale bound of the
+        // paper (p < 2.2e-16) is asserted by the integration tests.
+        let s = small_study();
+        assert_eq!(s.stats.kw_activity.df, 5);
+        assert!(s.stats.kw_activity.p_value < 0.01);
+        assert_eq!(s.stats.kw_active_commits.df, 5);
+        assert!(s.stats.kw_active_commits.p_value < 0.01);
+    }
+
+    #[test]
+    fn activity_is_non_normal() {
+        let s = small_study();
+        assert!(s.stats.shapiro_activity.w < 0.7);
+        assert!(s.stats.shapiro_activity.p_value < 0.01);
+    }
+
+    #[test]
+    fn taxa_ordering_by_median_activity() {
+        let s = small_study();
+        let med = |t: Taxon| s.taxon_stats(t).total_activity.map(|x| x.median).unwrap_or(0.0);
+        assert!(med(Taxon::AlmostFrozen) < med(Taxon::FocusedShotFrozen));
+        assert!(med(Taxon::FocusedShotLow) > med(Taxon::Moderate));
+        assert!(med(Taxon::Active) > med(Taxon::FocusedShotLow));
+    }
+
+    #[test]
+    fn narrative_shapes_are_populated() {
+        let s = small_study();
+        assert!(s.narrative.rigid_pct_of_cloned > 30.0);
+        assert!(s.narrative.little_or_none_pct_of_cloned > 55.0);
+        assert!(s.narrative.zero_to_three_active_pct > 40.0);
+        // Reed threshold derivation lands in the plausible band.
+        assert!(
+            (8..=25).contains(&s.derived_reed_threshold),
+            "derived = {}",
+            s.derived_reed_threshold
+        );
+        assert_eq!(s.used_reed_threshold, schevo_core::heartbeat::REED_THRESHOLD);
+    }
+}

@@ -1,0 +1,188 @@
+//! Spartan ASCII charts for terminal figure rendering: a step line for the
+//! schema-size series, a signed bar chart for heartbeats (expansion above
+//! the axis, maintenance below, as in the paper's figures), and a log-log
+//! scatter for the Fig. 10 cloud.
+
+/// Render a step-line chart of `(x, y)` points on a `width × height` grid.
+/// X is scaled linearly over the data range; Y likewise.
+pub fn line_chart(points: &[(f64, f64)], width: usize, height: usize) -> String {
+    if points.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let (xmin, xmax) = min_max(points.iter().map(|p| p.0));
+    let (ymin, ymax) = min_max(points.iter().map(|p| p.1));
+    let mut grid = vec![vec![b' '; width]; height];
+    // Step interpolation: carry the last y forward across columns.
+    let mut col_y = vec![f64::NAN; width];
+    for &(x, y) in points {
+        let c = scale(x, xmin, xmax, width);
+        col_y[c] = y;
+    }
+    let mut last = points[0].1;
+    for cy in col_y.iter_mut() {
+        if cy.is_nan() {
+            *cy = last;
+        } else {
+            last = *cy;
+        }
+    }
+    for (c, &y) in col_y.iter().enumerate() {
+        let r = scale(y, ymin, ymax, height);
+        grid[height - 1 - r][c] = b'*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>10.0} ┐\n"));
+    for row in &grid {
+        out.push_str("           ");
+        out.push_str(std::str::from_utf8(row).expect("ascii grid"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>10.0} ┘ x: {xmin:.0}..{xmax:.0}\n"));
+    out
+}
+
+/// Render a signed bar chart: one column per entry, `pos` drawn upward with
+/// `#`, `neg` drawn downward with `-` — the heartbeat idiom of the paper's
+/// right-hand figures.
+pub fn signed_bars(entries: &[(u64, u64)], height: usize) -> String {
+    if entries.is_empty() || height == 0 {
+        return String::new();
+    }
+    let peak = entries
+        .iter()
+        .map(|&(p, n)| p.max(n))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let scale_to = |v: u64| -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((v as f64 / peak as f64) * height as f64).ceil() as usize
+        }
+    };
+    let mut out = String::new();
+    for level in (1..=height).rev() {
+        for &(p, _) in entries {
+            out.push(if scale_to(p) >= level { '#' } else { ' ' });
+        }
+        if level == height {
+            out.push_str(&format!("  ↑ expansion (peak {peak})"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&"─".repeat(entries.len()));
+    out.push_str("  transition →\n");
+    for level in 1..=height {
+        for &(_, n) in entries {
+            out.push(if scale_to(n) >= level { '|' } else { ' ' });
+        }
+        if level == height {
+            out.push_str("  ↓ maintenance");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a log-log scatter of labelled points. Each label's first
+/// character is the glyph (taxa get distinct glyphs).
+pub fn loglog_scatter(points: &[(f64, f64, char)], width: usize, height: usize) -> String {
+    if points.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let lx: Vec<f64> = points.iter().map(|p| (p.0.max(0.5)).log10()).collect();
+    let ly: Vec<f64> = points.iter().map(|p| (p.1.max(0.5)).log10()).collect();
+    let (xmin, xmax) = min_max(lx.iter().copied());
+    let (ymin, ymax) = min_max(ly.iter().copied());
+    let mut grid = vec![vec![' '; width]; height];
+    for (i, p) in points.iter().enumerate() {
+        let c = scale(lx[i], xmin, xmax, width);
+        let r = scale(ly[i], ymin, ymax, height);
+        grid[height - 1 - r][c] = p.2;
+    }
+    let mut out = String::new();
+    for row in &grid {
+        let line: String = row.iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "x: 10^{xmin:.1}..10^{xmax:.1} (activity, log)   y: 10^{ymin:.1}..10^{ymax:.1} (active commits, log)\n"
+    ));
+    out
+}
+
+fn min_max<I: Iterator<Item = f64>>(values: I) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() {
+        (0.0, 1.0)
+    } else if lo == hi {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, cells: usize) -> usize {
+    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((t * (cells - 1) as f64).round() as usize).min(cells - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders_growth() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, (i / 4) as f64)).collect();
+        let s = line_chart(&pts, 40, 8);
+        assert!(s.contains('*'));
+        assert_eq!(s.lines().count(), 10);
+        assert!(line_chart(&[], 40, 8).is_empty());
+    }
+
+    #[test]
+    fn signed_bars_show_both_directions() {
+        let s = signed_bars(&[(10, 0), (0, 5), (3, 3), (0, 0)], 4);
+        assert!(s.contains('#'));
+        assert!(s.contains('|'));
+        assert!(s.contains("expansion"));
+        assert!(s.contains("maintenance"));
+        assert!(signed_bars(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn signed_bars_zero_only_axis() {
+        let s = signed_bars(&[(0, 0), (0, 0)], 3);
+        assert!(!s.contains('#'));
+        assert!(!s.contains('|'));
+    }
+
+    #[test]
+    fn scatter_places_glyphs() {
+        let pts = vec![
+            (1.0, 1.0, 'a'),
+            (100.0, 10.0, 'm'),
+            (3000.0, 200.0, 'A'),
+        ];
+        let s = loglog_scatter(&pts, 30, 10);
+        assert!(s.contains('a'));
+        assert!(s.contains('m'));
+        assert!(s.contains('A'));
+        assert!(s.contains("log"));
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let s = line_chart(&[(1.0, 5.0), (1.0, 5.0)], 10, 4);
+        assert!(s.contains('*'));
+        let s = loglog_scatter(&[(1.0, 1.0, 'x')], 10, 4);
+        assert!(s.contains('x'));
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal RFC-4180-style CSV writing for figure data series.
+
+/// Escape a single CSV field.
+pub fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// A CSV document builder.
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    lines: Vec<String>,
+}
+
+impl Csv {
+    /// Start a CSV with a header row.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut c = Csv::default();
+        c.push_row(header);
+        c
+    }
+
+    /// Append a row of fields.
+    pub fn push_row<I, S>(&mut self, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let row: Vec<String> = fields.into_iter().map(|f| escape(f.as_ref())).collect();
+        self.lines.push(row.join(","));
+    }
+
+    /// Render to a string (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut s = self.lines.join("\n");
+        s.push('\n');
+        s
+    }
+
+    /// Number of rows including the header.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the document has no rows at all.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn builds_document() {
+        let mut c = Csv::new(["month", "expansion", "maintenance"]);
+        c.push_row(["1", "5", "0"]);
+        c.push_row(["2", "0", "3"]);
+        let s = c.render();
+        assert_eq!(s, "month,expansion,maintenance\n1,5,0\n2,0,3\n");
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! Generation of EXPERIMENTS.md: paper-reported values vs. values measured
+//! by running this reproduction, one section per table/figure.
+
+use crate::figures::{
+    extensions_table, fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot,
+    funnel_table, narrative_table, ProjectSeries,
+};
+use crate::table::{fmt_p, TextTable};
+use schevo_core::taxa::Taxon;
+use schevo_corpus::exemplar::{all_exemplars, FigureTag};
+use schevo_corpus::plan::calibration;
+use schevo_pipeline::ablation::{RuleOrderComparison, ThresholdPoint, WalkComparison};
+use schevo_pipeline::study::StudyResult;
+
+/// Paper-reported taxon cardinalities.
+const PAPER_COUNTS: [(Taxon, usize); 6] = [
+    (Taxon::Frozen, 34),
+    (Taxon::AlmostFrozen, 65),
+    (Taxon::FocusedShotFrozen, 25),
+    (Taxon::Moderate, 29),
+    (Taxon::FocusedShotLow, 20),
+    (Taxon::Active, 22),
+];
+
+/// Inputs for the experiments report beyond the study itself.
+#[derive(Debug, Default)]
+pub struct ExperimentExtras {
+    /// Reed-threshold sensitivity points, if the ablation ran.
+    pub threshold_points: Vec<ThresholdPoint>,
+    /// Walk-strategy comparison, if it ran.
+    pub walk: Option<WalkComparison>,
+    /// Rule-order comparison, if it ran.
+    pub rule_order: Option<RuleOrderComparison>,
+}
+
+/// Compose the full EXPERIMENTS.md content from a (paper-scale) study.
+pub fn experiments_markdown(study: &StudyResult, extras: &ExperimentExtras) -> String {
+    let mut md = String::new();
+    md.push_str("# EXPERIMENTS — paper vs. measured\n\n");
+    md.push_str(
+        "Every number below is measured by running the full pipeline \
+         (synthetic universe → funnel → per-version parsing → diffs → \
+         classification → statistics) with seed 2019 at paper scale. \
+         Paper values come from ICDE 2021, Figs. 4/10/11/12/13 and §III–§VI. \
+         The corpus is synthetic (see DESIGN.md substitutions), so the claim \
+         checked here is *shape*: orderings, proportions, significance \
+         patterns, and the published summary statistics the generators were \
+         calibrated against.\n\n",
+    );
+
+    // Funnel.
+    md.push_str("## Collection funnel (§III-A)\n\n```text\n");
+    md.push_str(&funnel_table(&study.report));
+    md.push_str("```\n\n");
+    md.push_str(&format!(
+        "Paper: 133,029 → 365 → 327 (−14 zero-version, −24 empty/no-CT) → −132 rigid → 195. \
+         Measured: {} → {} → {} (−{}, −{}) → −{} → {}.\n\n",
+        study.report.sql_collection,
+        study.report.lib_io,
+        study.report.cloned,
+        study.report.zero_versions,
+        study.report.empty_or_no_ct,
+        study.report.rigid,
+        study.report.analyzed
+    ));
+
+    // Taxa cardinalities.
+    md.push_str("## Taxa cardinalities (Fig. 4 header / Fig. 3)\n\n```text\n");
+    let mut t = TextTable::new(["taxon", "paper", "measured"]);
+    for (taxon, paper) in PAPER_COUNTS {
+        t.row([
+            taxon.name().to_string(),
+            paper.to_string(),
+            study.taxon_stats(taxon).count.to_string(),
+        ]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\n");
+
+    // Fig. 4.
+    md.push_str("## Fig. 4 — measurements per taxon\n\nMeasured:\n\n```text\n");
+    md.push_str(&fig04_table(study));
+    md.push_str("```\n\nPaper medians for comparison (activity / active commits):\n\n```text\n");
+    let mut t = TextTable::new(["taxon", "act.med (paper)", "act.med (ours)", "ac.med (paper)", "ac.med (ours)"]);
+    for taxon in Taxon::ALL {
+        let cal = calibration(taxon);
+        let ts = study.taxon_stats(taxon);
+        t.row([
+            taxon.short().to_string(),
+            cal.activity.map(|k| k[2].to_string()).unwrap_or("0".into()),
+            ts.total_activity
+                .map(|s| s.median.to_string())
+                .unwrap_or("-".into()),
+            cal.active_commits
+                .map(|k| k[2].to_string())
+                .unwrap_or("0".into()),
+            ts.active_commits
+                .map(|s| s.median.to_string())
+                .unwrap_or("-".into()),
+        ]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\n");
+
+    // Reed threshold.
+    md.push_str("## Reed limit derivation (§III-B)\n\n");
+    md.push_str(&format!(
+        "Paper: 85% split of single-active-commit activities = **14**. \
+         Measured: **{}** (used for classification: {}).\n\n",
+        study.derived_reed_threshold, study.used_reed_threshold
+    ));
+
+    // Figures 1–9 exemplars.
+    md.push_str("## Per-project figures (Figs. 1, 2, 5–9)\n\n");
+    for (tag, project) in all_exemplars() {
+        let series = ProjectSeries::mine(&project);
+        md.push_str(&format!("### {}\n\n```text\n", tag.label()));
+        let monthly = matches!(tag, FigureTag::Fig1A | FigureTag::Fig1B | FigureTag::Fig9);
+        md.push_str(&series.render(monthly));
+        md.push_str("```\n\n");
+    }
+
+    // Fig. 10.
+    md.push_str("## Fig. 10 — activity × active commits scatter\n\n```text\n");
+    md.push_str(&fig10_scatter(study));
+    md.push_str("```\n\n");
+
+    // Fig. 11 + §V.
+    md.push_str("## Fig. 11 / §V — statistical battery\n\n```text\n");
+    md.push_str(&fig11_matrix(study));
+    md.push_str("```\n\n");
+    md.push_str(&format!(
+        "Paper: activity χ² = 178.22, active commits χ² = 175.27 (df = 5, both p < 2.2e-16); \
+         Shapiro–Wilk W = 0.24386, p < 2.2e-16. \
+         Measured: χ² = {:.2} / {:.2} (p {} / {}); W = {:.5} (p {}).\n\n",
+        study.stats.kw_activity.statistic,
+        study.stats.kw_active_commits.statistic,
+        fmt_p(study.stats.kw_activity.p_value),
+        fmt_p(study.stats.kw_active_commits.p_value),
+        study.stats.shapiro_activity.w,
+        fmt_p(study.stats.shapiro_activity.p_value),
+    ));
+    let mod_fsf = study
+        .stats
+        .pairwise_activity
+        .get(Taxon::Moderate.short(), Taxon::FocusedShotFrozen.short());
+    let mod_fsl = study
+        .stats
+        .pairwise_active_commits
+        .get(Taxon::Moderate.short(), Taxon::FocusedShotLow.short());
+    md.push_str(&format!(
+        "Paper's two non-significant cells: Moderate~FS&Frozen on activity (0.7945) and \
+         Moderate~FS&Low on active commits (0.2796). Measured: {} and {}.\n\n",
+        mod_fsf.map(fmt_p).unwrap_or_else(|| "n/a".into()),
+        mod_fsl.map(fmt_p).unwrap_or_else(|| "n/a".into()),
+    ));
+
+    // Fig. 12 / 13.
+    md.push_str("## Fig. 12 — quartiles\n\n```text\n");
+    md.push_str(&fig12_quartiles(study));
+    md.push_str("```\n\n## Fig. 13 — double box plot\n\n```text\n");
+    md.push_str(&fig13_boxplot(study));
+    md.push_str("```\n\n");
+
+    // Narrative.
+    md.push_str("## §IV/§VI narrative statistics\n\n```text\n");
+    md.push_str(&narrative_table(study));
+    md.push_str("```\n\n");
+
+    // Extensions (§VI open paths).
+    md.push_str("## Extensions — foreign keys & table-level lives (§VI open paths)\n\n```text\n");
+    md.push_str(&extensions_table(study));
+    md.push_str("```\n\n");
+
+    // Ablations.
+    if !extras.threshold_points.is_empty() || extras.walk.is_some() || extras.rule_order.is_some()
+    {
+        md.push_str("## Ablations\n\n");
+    }
+    if !extras.threshold_points.is_empty() {
+        md.push_str("### Reed-threshold sensitivity\n\n```text\n");
+        let mut t = TextTable::new([
+            "threshold", "Frozen", "Alm.Frozen", "FS&Frozen", "Moderate", "FS&Low", "Active",
+        ]);
+        for p in &extras.threshold_points {
+            let mut row = vec![p.threshold.to_string()];
+            row.extend(p.counts.iter().map(|c| c.to_string()));
+            t.row(row);
+        }
+        md.push_str(&t.render());
+        md.push_str("```\n\n");
+    }
+    if let Some(w) = &extras.walk {
+        md.push_str(&format!(
+            "### History-walk strategy (git non-linearity threat, §III-C)\n\n\
+             {} projects compared; {} differ in version count, {} differ in taxon \
+             between first-parent and full-DAG walks.\n\n",
+            w.compared, w.version_count_diffs, w.taxon_diffs
+        ));
+    }
+    if let Some(r) = &extras.rule_order {
+        md.push_str(&format!(
+            "### Classification-rule order\n\n\
+             Swapping the FS&Low rule behind the activity split moves {} of {} projects \
+             (FS&Low population {} → {}), confirming the rule order resolved in DESIGN.md §4 \
+             is load-bearing.\n\n",
+            r.changed, r.compared, r.fslow_paper, r.fslow_alternate
+        ));
+    }
+    md
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_corpus::universe::{generate, UniverseConfig};
+    use schevo_pipeline::study::{run_study, StudyOptions};
+
+    #[test]
+    fn markdown_contains_every_section() {
+        let u = generate(UniverseConfig::small(2019, 12));
+        let s = run_study(&u, StudyOptions::default());
+        let md = experiments_markdown(&s, &ExperimentExtras::default());
+        for section in [
+            "# EXPERIMENTS",
+            "## Collection funnel",
+            "## Taxa cardinalities",
+            "## Fig. 4",
+            "## Reed limit",
+            "Figure 2: reference example",
+            "## Fig. 10",
+            "## Fig. 11",
+            "## Fig. 12",
+            "## Fig. 13",
+            "narrative statistics",
+        ] {
+            assert!(md.contains(section), "missing: {section}");
+        }
+    }
+
+    #[test]
+    fn markdown_includes_ablations_when_present() {
+        let u = generate(UniverseConfig::small(7, 16));
+        let s = run_study(&u, StudyOptions::default());
+        let extras = ExperimentExtras {
+            threshold_points: schevo_pipeline::ablation::reed_threshold_sensitivity(
+                &u,
+                &[10, 14],
+            ),
+            walk: Some(schevo_pipeline::ablation::walk_strategy_comparison(&u)),
+            rule_order: Some(schevo_pipeline::ablation::rule_order_comparison(&s.profiles)),
+        };
+        let md = experiments_markdown(&s, &extras);
+        assert!(md.contains("Reed-threshold sensitivity"));
+        assert!(md.contains("History-walk strategy"));
+        assert!(md.contains("Classification-rule order"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # schevo-report
+//!
+//! Table/figure renderers for the reproduced study: aligned text tables,
+//! CSV series, spartan ASCII charts, a renderer per paper table/figure, the
+//! EXPERIMENTS.md generator, and JSON export.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod experiments;
+pub mod figures;
+pub mod json;
+pub mod table;
+
+pub use csv::Csv;
+pub use experiments::{experiments_markdown, ExperimentExtras};
+pub use figures::{
+    fig04_csv, fig04_table, fig10_csv, fig10_scatter, fig11_matrix, fig12_quartiles,
+    extensions_table, fig13_boxplot, funnel_table, narrative_table, table1_definitions,
+    ProjectSeries,
+};
+pub use json::study_to_json;
+pub use table::TextTable;

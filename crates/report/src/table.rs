@@ -1,0 +1,157 @@
+//! Aligned plain-text tables for terminal reports.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given header cells.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; short rows are padded with empty cells.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment: first column left, the rest right.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = width.saturating_sub(cell.chars().count());
+                if i == 0 {
+                    out.push_str(cell);
+                    out.push_str(&" ".repeat(pad));
+                } else {
+                    out.push_str("  ");
+                    out.push_str(&" ".repeat(pad));
+                    out.push_str(cell);
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        if !self.header.is_empty() {
+            render_row(&mut out, &self.header);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            render_row(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Format a float compactly: integers without decimals, otherwise 2 places.
+pub fn fmt_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Format a p-value the way the paper does: `< 2.2e-16` below R's floor,
+/// scientific notation below 1e-3, fixed otherwise.
+pub fn fmt_p(p: f64) -> String {
+    if p < 2.2e-16 {
+        "< 2.2e-16".to_string()
+    } else if p < 1e-3 {
+        format!("{p:.3e}")
+    } else {
+        format!("{p:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["measure", "min", "max"]);
+        t.row(["activity", "1", "3485"]);
+        t.row(["commits", "2", "516"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("measure"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric columns line up.
+        assert!(lines[2].ends_with("3485"));
+        assert!(lines[3].ends_with("516"));
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_num_styles() {
+        assert_eq!(fmt_num(3.0), "3");
+        assert_eq!(fmt_num(3.5), "3.50");
+        assert_eq!(fmt_num(-2.0), "-2");
+    }
+
+    #[test]
+    fn fmt_p_styles() {
+        assert_eq!(fmt_p(1e-20), "< 2.2e-16");
+        assert_eq!(fmt_p(0.05), "0.05000");
+        assert!(fmt_p(1e-5).contains('e'));
+    }
+}

@@ -1,0 +1,142 @@
+//! Pearson's χ² test of independence on contingency tables.
+//!
+//! Used by the table-level extension to test whether a table's *fate*
+//! (survivor/dead) is independent of its *activity* (quiet/updated) — the
+//! statistical core of the Electrolysis pattern.
+
+use crate::special::chi2_sf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a χ² independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Chi2Independence {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `(r−1)(c−1)`.
+    pub df: usize,
+    /// p-value from the χ² distribution.
+    pub p_value: f64,
+}
+
+/// Errors from the independence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContingencyError {
+    /// The table needs at least 2 rows and 2 columns.
+    TooSmall,
+    /// Rows have differing lengths.
+    Ragged,
+    /// A row or column sums to zero (the test is undefined).
+    ZeroMarginal,
+}
+
+impl std::fmt::Display for ContingencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContingencyError::TooSmall => write!(f, "need at least a 2×2 table"),
+            ContingencyError::Ragged => write!(f, "rows differ in length"),
+            ContingencyError::ZeroMarginal => write!(f, "zero row/column marginal"),
+        }
+    }
+}
+
+impl std::error::Error for ContingencyError {}
+
+/// Run Pearson's χ² test of independence over an `r × c` count table.
+///
+/// # Errors
+///
+/// See [`ContingencyError`].
+pub fn chi2_independence(table: &[Vec<u64>]) -> Result<Chi2Independence, ContingencyError> {
+    let r = table.len();
+    if r < 2 {
+        return Err(ContingencyError::TooSmall);
+    }
+    let c = table[0].len();
+    if c < 2 {
+        return Err(ContingencyError::TooSmall);
+    }
+    if table.iter().any(|row| row.len() != c) {
+        return Err(ContingencyError::Ragged);
+    }
+    let row_sums: Vec<f64> = table.iter().map(|row| row.iter().sum::<u64>() as f64).collect();
+    let col_sums: Vec<f64> = (0..c)
+        .map(|j| table.iter().map(|row| row[j]).sum::<u64>() as f64)
+        .collect();
+    let total: f64 = row_sums.iter().sum();
+    if row_sums.iter().any(|&s| s == 0.0) || col_sums.iter().any(|&s| s == 0.0) {
+        return Err(ContingencyError::ZeroMarginal);
+    }
+    let mut statistic = 0.0;
+    for (i, row) in table.iter().enumerate() {
+        for (j, &obs) in row.iter().enumerate() {
+            let expected = row_sums[i] * col_sums[j] / total;
+            let d = obs as f64 - expected;
+            statistic += d * d / expected;
+        }
+    }
+    let df = (r - 1) * (c - 1);
+    Ok(Chi2Independence {
+        statistic,
+        df,
+        p_value: chi2_sf(statistic, df as f64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_2x2_reference() {
+        // Hand-derived: [[10, 20], [20, 10]] → total 60, all marginals 30,
+        // expected 15 everywhere, χ² = 4·(25/15) = 20/3 ≈ 6.6667, df = 1.
+        let r = chi2_independence(&[vec![10, 20], vec![20, 10]]).unwrap();
+        assert!((r.statistic - 20.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.df, 1);
+        assert!(r.p_value < 0.01 && r.p_value > 0.005);
+    }
+
+    #[test]
+    fn independent_table_high_p() {
+        // Rows proportional → χ² = 0.
+        let r = chi2_independence(&[vec![10, 30], vec![20, 60]]).unwrap();
+        assert!(r.statistic < 1e-9);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let r = chi2_independence(&[
+            vec![30, 10, 5],
+            vec![10, 30, 10],
+            vec![5, 10, 30],
+        ])
+        .unwrap();
+        assert_eq!(r.df, 4);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            chi2_independence(&[vec![1, 2]]),
+            Err(ContingencyError::TooSmall)
+        );
+        assert_eq!(
+            chi2_independence(&[vec![1], vec![2]]),
+            Err(ContingencyError::TooSmall)
+        );
+        assert_eq!(
+            chi2_independence(&[vec![1, 2], vec![3]]),
+            Err(ContingencyError::Ragged)
+        );
+        assert_eq!(
+            chi2_independence(&[vec![0, 0], vec![3, 4]]),
+            Err(ContingencyError::ZeroMarginal)
+        );
+        assert_eq!(
+            chi2_independence(&[vec![0, 1], vec![0, 4]]),
+            Err(ContingencyError::ZeroMarginal)
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! Descriptive statistics: the `min / median / max / avg` quadruple used in
+//! every cell of the paper's Fig. 4, plus helpers.
+
+use crate::quantile::median;
+use serde::{Deserialize, Serialize};
+
+/// The summary quadruple reported per taxon and measure in Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Minimum.
+    pub min: f64,
+    /// Median (R type-7 interpolation).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Some(Summary {
+            min,
+            median: median(values),
+            max,
+            mean: sum / values.len() as f64,
+            n: values.len(),
+        })
+    }
+
+    /// Summarize integer-valued observations.
+    pub fn of_counts<I: IntoIterator<Item = u64>>(values: I) -> Option<Summary> {
+        let v: Vec<f64> = values.into_iter().map(|x| x as f64).collect();
+        Summary::of(&v)
+    }
+}
+
+/// Sample mean; 0.0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Unbiased sample variance (n−1 denominator); 0.0 when n < 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Fraction of observations satisfying `pred`, as a percentage in `[0, 100]`.
+pub fn percent_where<T, F: Fn(&T) -> bool>(values: &[T], pred: F) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    100.0 * values.iter().filter(|v| pred(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_simple_sample() {
+        let s = Summary::of(&[3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.median, 3.0);
+        assert!((s.mean - 2.8).abs() < 1e-12);
+        assert_eq!(s.n, 5);
+    }
+
+    #[test]
+    fn summary_even_sample_median_interpolates() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 10.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of_counts(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn summary_of_counts() {
+        let s = Summary::of_counts([2u64, 2, 11]).unwrap();
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 11.0);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_known_value() {
+        // var([2,4,4,4,5,5,7,9]) with n-1 = 32/7
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(variance(&[42.0]), 0.0);
+    }
+
+    #[test]
+    fn percent_where_counts() {
+        let v = [1, 2, 3, 4, 5];
+        assert_eq!(percent_where(&v, |x| *x > 2), 60.0);
+        let empty: [i32; 0] = [];
+        assert_eq!(percent_where(&empty, |_| true), 0.0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The Kruskal–Wallis rank-sum test, with tie correction and χ²
+//! approximation — the paper's instrument for taxa cohesion (§V, Fig. 11).
+
+use crate::rank::{midranks, tie_correction};
+use crate::special::chi2_sf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Kruskal–Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KruskalWallis {
+    /// Tie-corrected H statistic (distributed ~χ² under H₀).
+    pub statistic: f64,
+    /// Degrees of freedom (`k − 1`).
+    pub df: usize,
+    /// p-value from the χ² approximation.
+    pub p_value: f64,
+}
+
+/// Errors from the Kruskal–Wallis test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KruskalError {
+    /// Fewer than two groups were supplied.
+    TooFewGroups,
+    /// A supplied group was empty.
+    EmptyGroup,
+    /// Every observation across all groups is identical — ranks carry no
+    /// information and the statistic is undefined.
+    AllIdentical,
+}
+
+impl std::fmt::Display for KruskalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KruskalError::TooFewGroups => write!(f, "need at least two groups"),
+            KruskalError::EmptyGroup => write!(f, "groups must be non-empty"),
+            KruskalError::AllIdentical => write!(f, "all observations identical"),
+        }
+    }
+}
+
+impl std::error::Error for KruskalError {}
+
+/// Run the Kruskal–Wallis test over `k ≥ 2` groups.
+///
+/// `H = 12/(N(N+1)) · Σ R_j²/n_j − 3(N+1)`, divided by the tie-correction
+/// factor; p-value from `χ²(k−1)`.
+///
+/// # Errors
+///
+/// See [`KruskalError`].
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<KruskalWallis, KruskalError> {
+    if groups.len() < 2 {
+        return Err(KruskalError::TooFewGroups);
+    }
+    if groups.iter().any(|g| g.is_empty()) {
+        return Err(KruskalError::EmptyGroup);
+    }
+    let pooled: Vec<f64> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+    let n = pooled.len();
+    let (ranks, tie_sizes) = midranks(&pooled);
+    let correction = tie_correction(&tie_sizes, n);
+    if correction <= 0.0 {
+        return Err(KruskalError::AllIdentical);
+    }
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let rank_sum: f64 = ranks[offset..offset + g.len()].iter().sum();
+        h += rank_sum * rank_sum / g.len() as f64;
+        offset += g.len();
+    }
+    let nf = n as f64;
+    h = 12.0 / (nf * (nf + 1.0)) * h - 3.0 * (nf + 1.0);
+    let statistic = h / correction;
+    let df = groups.len() - 1;
+    Ok(KruskalWallis {
+        statistic,
+        df,
+        p_value: chi2_sf(statistic, df as f64),
+    })
+}
+
+/// A symmetric matrix of pairwise Kruskal–Wallis p-values over labelled
+/// groups — the layout of the paper's Fig. 11 triangles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairwiseMatrix {
+    /// Group labels, in the order of rows/columns.
+    pub labels: Vec<String>,
+    /// `p[i][j]` = p-value of the test between groups i and j
+    /// (NaN on the diagonal).
+    pub p: Vec<Vec<f64>>,
+}
+
+impl PairwiseMatrix {
+    /// The p-value for the pair of labels, if both exist.
+    pub fn get(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.labels.iter().position(|l| l == a)?;
+        let j = self.labels.iter().position(|l| l == b)?;
+        if i == j {
+            return None;
+        }
+        Some(self.p[i][j])
+    }
+}
+
+/// Compute all pairwise Kruskal–Wallis tests between labelled groups.
+///
+/// # Errors
+///
+/// Any pair failing ([`KruskalError`]) fails the whole computation — the
+/// caller should have filtered degenerate groups first.
+pub fn pairwise_kruskal(
+    labelled: &[(String, Vec<f64>)],
+) -> Result<PairwiseMatrix, KruskalError> {
+    let k = labelled.len();
+    let mut p = vec![vec![f64::NAN; k]; k];
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let r = kruskal_wallis(&[&labelled[i].1, &labelled[j].1])?;
+            p[i][j] = r.p_value;
+            p[j][i] = r.p_value;
+        }
+    }
+    Ok(PairwiseMatrix {
+        labels: labelled.iter().map(|(l, _)| l.clone()).collect(),
+        p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_r_reference_no_ties() {
+        // R: kruskal.test(list(c(1,2,3), c(4,5,6), c(7,8,9)))
+        //    chi-squared = 7.2, df = 2, p-value = 0.02732
+        let r = kruskal_wallis(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        assert!((r.statistic - 7.2).abs() < 1e-10);
+        assert_eq!(r.df, 2);
+        assert!((r.p_value - 0.027_323_722_447_292_56).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_r_reference_with_ties() {
+        // Hand-derived: pooled ranks 1.5,1.5,4 | 4,4,6 → H = 7/3,
+        // tie correction C = 6/7 → H' = 49/18 = 2.7222…,
+        // p = erfc(sqrt(H'/2)) = 0.09896015…
+        let r = kruskal_wallis(&[&[1.0, 1.0, 2.0], &[2.0, 2.0, 3.0]]).unwrap();
+        assert!((r.statistic - 49.0 / 18.0).abs() < 1e-10);
+        assert!((r.p_value - 0.098_960_154_019_405_8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_groups_give_high_p() {
+        let r = kruskal_wallis(&[&[1.0, 2.0, 3.0, 4.0], &[1.5, 2.5, 3.5, 2.0]]).unwrap();
+        assert!(r.p_value > 0.3);
+    }
+
+    #[test]
+    fn separated_groups_give_tiny_p() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| 1000.0 + i as f64).collect();
+        let r = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            kruskal_wallis(&[&[1.0][..]]),
+            Err(KruskalError::TooFewGroups)
+        );
+        assert_eq!(
+            kruskal_wallis(&[&[1.0][..], &[][..]]),
+            Err(KruskalError::EmptyGroup)
+        );
+        assert_eq!(
+            kruskal_wallis(&[&[2.0, 2.0][..], &[2.0, 2.0][..]]),
+            Err(KruskalError::AllIdentical)
+        );
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric() {
+        let groups = vec![
+            ("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("b".to_string(), vec![10.0, 11.0, 12.0, 13.0]),
+            ("c".to_string(), vec![1.0, 10.0, 5.0, 7.0]),
+        ];
+        let m = pairwise_kruskal(&groups).unwrap();
+        assert_eq!(m.labels.len(), 3);
+        let ab = m.get("a", "b").unwrap();
+        let ba = m.get("b", "a").unwrap();
+        assert_eq!(ab, ba);
+        assert!(ab < 0.05, "a and b are clearly separated");
+        assert!(m.get("a", "a").is_none());
+        assert!(m.get("a", "zzz").is_none());
+    }
+
+    #[test]
+    fn two_group_kw_matches_known_wilcoxon_equivalence() {
+        // KW with k=2 is equivalent to the two-sided Mann-Whitney test
+        // (identical p under the chi-square/normal approximations).
+        // R: kruskal.test(list(c(1.1, 2.2, 3.3), c(4.4, 5.5)))
+        //    chi-squared = 3, df = 1, p = 0.08326
+        let r = kruskal_wallis(&[&[1.1, 2.2, 3.3], &[4.4, 5.5]]).unwrap();
+        assert!((r.statistic - 3.0).abs() < 1e-10);
+        assert!((r.p_value - 0.083_264_516_663_611_2).abs() < 1e-9);
+    }
+}

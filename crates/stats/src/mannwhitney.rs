@@ -1,0 +1,145 @@
+//! The Mann–Whitney U test (two-sample Wilcoxon rank-sum), normal
+//! approximation with tie correction.
+//!
+//! The paper's pairwise comparisons use two-group Kruskal–Wallis, which is
+//! equivalent; this module provides the U-statistic formulation as an
+//! independent cross-check (the equivalence is property-tested).
+
+use crate::rank::{midranks, tie_correction};
+use crate::special::normal_sf;
+use serde::{Deserialize, Serialize};
+
+/// Result of a Mann–Whitney U test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MannWhitney {
+    /// The U statistic of the first sample.
+    pub u: f64,
+    /// Two-sided p-value (normal approximation, tie-corrected).
+    pub p_value: f64,
+    /// The standardized z score.
+    pub z: f64,
+}
+
+/// Errors from the Mann–Whitney test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MannWhitneyError {
+    /// One of the samples is empty.
+    EmptySample,
+    /// All pooled observations are identical.
+    AllIdentical,
+}
+
+impl std::fmt::Display for MannWhitneyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MannWhitneyError::EmptySample => write!(f, "samples must be non-empty"),
+            MannWhitneyError::AllIdentical => write!(f, "all observations identical"),
+        }
+    }
+}
+
+impl std::error::Error for MannWhitneyError {}
+
+/// Run the two-sided Mann–Whitney U test.
+///
+/// # Errors
+///
+/// See [`MannWhitneyError`].
+pub fn mann_whitney(a: &[f64], b: &[f64]) -> Result<MannWhitney, MannWhitneyError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(MannWhitneyError::EmptySample);
+    }
+    let n1 = a.len() as f64;
+    let n2 = b.len() as f64;
+    let pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let (ranks, ties) = midranks(&pooled);
+    let c = tie_correction(&ties, pooled.len());
+    if c <= 0.0 {
+        return Err(MannWhitneyError::AllIdentical);
+    }
+    let r1: f64 = ranks[..a.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let mean_u = n1 * n2 / 2.0;
+    // Tie-corrected variance.
+    let n = n1 + n2;
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term(&ties, n));
+    let z = if var_u > 0.0 {
+        (u1 - mean_u) / var_u.sqrt()
+    } else {
+        0.0
+    };
+    Ok(MannWhitney {
+        u: u1,
+        z,
+        p_value: (2.0 * normal_sf(z.abs())).min(1.0),
+    })
+}
+
+fn tie_term(tie_sizes: &[usize], n: f64) -> f64 {
+    let s: f64 = tie_sizes
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    s / (n * (n - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal::kruskal_wallis;
+
+    #[test]
+    fn separated_samples_are_significant() {
+        let a: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..30).map(|i| 100.0 + i as f64).collect();
+        let r = mann_whitney(&a, &b).unwrap();
+        assert_eq!(r.u, 0.0, "complete separation");
+        assert!(r.p_value < 1e-9);
+    }
+
+    #[test]
+    fn identical_distributions_not_significant() {
+        let a: Vec<f64> = (0..20).map(|i| (i * 7 % 20) as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| (i * 3 % 20) as f64 + 0.5).collect();
+        let r = mann_whitney(&a, &b).unwrap();
+        assert!(r.p_value > 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn agrees_with_two_group_kruskal_wallis() {
+        // KW with k = 2 satisfies H = z² (both chi-square_1), so p-values
+        // coincide under the same tie correction.
+        let a = [1.0, 5.0, 7.0, 3.0, 9.0, 11.0];
+        let b = [2.0, 8.0, 4.0, 10.0, 12.0, 6.5, 14.0];
+        let mw = mann_whitney(&a, &b).unwrap();
+        let kw = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!(
+            (mw.z * mw.z - kw.statistic).abs() < 1e-9,
+            "z² = {} vs H = {}",
+            mw.z * mw.z,
+            kw.statistic
+        );
+        assert!((mw.p_value - kw.p_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equivalence_holds_with_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0, 3.0];
+        let b = [2.0, 2.0, 3.0, 4.0];
+        let mw = mann_whitney(&a, &b).unwrap();
+        let kw = kruskal_wallis(&[&a, &b]).unwrap();
+        assert!((mw.z * mw.z - kw.statistic).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(mann_whitney(&[], &[1.0]), Err(MannWhitneyError::EmptySample));
+        assert_eq!(
+            mann_whitney(&[3.0, 3.0], &[3.0, 3.0]),
+            Err(MannWhitneyError::AllIdentical)
+        );
+    }
+}

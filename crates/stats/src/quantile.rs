@@ -1,0 +1,143 @@
+//! Quantiles with R's type-7 interpolation (the default of R, NumPy and
+//! spreadsheet software — the tooling behind the paper's Fig. 12 quartiles).
+
+use serde::{Deserialize, Serialize};
+
+/// The five-number summary used by the paper's quartile tables (Fig. 12)
+/// and double box plot (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub q2: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Quartiles {
+    /// Compute the five-number summary of a sample. `None` when empty.
+    pub fn of(values: &[f64]) -> Option<Quartiles> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        Some(Quartiles {
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            q2: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: sorted[sorted.len() - 1],
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Type-7 quantile of an unsorted sample.
+///
+/// # Panics
+///
+/// Panics when `values` is empty, `p` is outside `[0, 1]`, or the sample
+/// contains NaN.
+pub fn quantile(values: &[f64], p: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    quantile_sorted(&sorted, p)
+}
+
+/// Type-7 quantile of an already-sorted sample.
+///
+/// `q = x[⌊h⌋] + (h − ⌊h⌋)·(x[⌊h⌋+1] − x[⌊h⌋])` with `h = (n−1)p`.
+///
+/// # Panics
+///
+/// Panics when `values` is empty or `p` outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
+    let h = (sorted.len() - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
+    let frac = h - h.floor();
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Median via type-7 quantile.
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_r_type7() {
+        // R: quantile(c(1,2,3,4,5,6,7,8,9,10), c(.25,.5,.75))
+        //    25%: 3.25, 50%: 5.5, 75%: 7.75
+        let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert!((quantile(&v, 0.25) - 3.25).abs() < 1e-12);
+        assert!((quantile(&v, 0.50) - 5.50).abs() < 1e-12);
+        assert!((quantile(&v, 0.75) - 7.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn endpoints() {
+        let v = [5.0, 1.0, 9.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 9.0);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(quantile(&[42.0], 0.3), 42.0);
+        assert_eq!(median(&[42.0]), 42.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 3.0, 100.0]), 3.0);
+    }
+
+    #[test]
+    fn quartiles_struct() {
+        let v: Vec<f64> = (1..=9).map(|x| x as f64).collect();
+        let q = Quartiles::of(&v).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.q1, 3.0);
+        assert_eq!(q.q2, 5.0);
+        assert_eq!(q.q3, 7.0);
+        assert_eq!(q.max, 9.0);
+        assert_eq!(q.iqr(), 4.0);
+        assert!(Quartiles::of(&[]).is_none());
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(median(&v), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "within")]
+    fn out_of_range_p_panics() {
+        quantile(&[1.0], 1.5);
+    }
+}

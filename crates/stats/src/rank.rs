@@ -1,0 +1,109 @@
+//! Ranking with midranks for ties — the backbone of the Kruskal–Wallis test.
+
+/// Assign ranks 1..n to `values`, giving tied observations the average of
+/// the ranks they span (midranks). Returns ranks aligned with the input
+/// order, plus the tie-group sizes (needed for tie correction).
+///
+/// # Panics
+///
+/// Panics if the input contains NaN.
+pub fn midranks(values: &[f64]) -> (Vec<f64>, Vec<usize>) {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in rank input")
+    });
+    let mut ranks = vec![0.0; n];
+    let mut tie_sizes = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        tie_sizes.push(j - i + 1);
+        i = j + 1;
+    }
+    (ranks, tie_sizes)
+}
+
+/// The tie-correction factor `C = 1 − Σ(t³−t) / (n³−n)`; 1.0 when there are
+/// no ties (or fewer than 2 observations).
+pub fn tie_correction(tie_sizes: &[usize], n: usize) -> f64 {
+    if n < 2 {
+        return 1.0;
+    }
+    let num: f64 = tie_sizes
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let den = (n as f64).powi(3) - n as f64;
+    1.0 - num / den
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ranks_without_ties() {
+        let (r, ties) = midranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+        assert_eq!(ties, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn midranks_for_ties() {
+        // values: 1, 2, 2, 3 → ranks 1, 2.5, 2.5, 4
+        let (r, ties) = midranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ties, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn all_equal() {
+        let (r, ties) = midranks(&[7.0; 5]);
+        assert!(r.iter().all(|&x| x == 3.0));
+        assert_eq!(ties, vec![5]);
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Σranks must always be n(n+1)/2 regardless of ties.
+        let samples: Vec<Vec<f64>> = vec![
+            vec![5.0, 5.0, 1.0, 3.0, 3.0, 3.0],
+            vec![2.0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        ];
+        for s in samples {
+            let (r, _) = midranks(&s);
+            let n = s.len() as f64;
+            assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tie_correction_values() {
+        assert_eq!(tie_correction(&[1, 1, 1], 3), 1.0);
+        // n=4, one tie pair: C = 1 - (8-2)/(64-4) = 1 - 0.1 = 0.9
+        assert!((tie_correction(&[1, 2, 1], 4) - 0.9).abs() < 1e-12);
+        assert_eq!(tie_correction(&[1], 1), 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (r, ties) = midranks(&[]);
+        assert!(r.is_empty());
+        assert!(ties.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the statistics substrate.
+
+use proptest::prelude::*;
+use schevo_stats::describe::Summary;
+use schevo_stats::kruskal::kruskal_wallis;
+use schevo_stats::quantile::{quantile, Quartiles};
+use schevo_stats::rank::{midranks, tie_correction};
+use schevo_stats::special::{chi2_sf, gamma_p, gamma_q, normal_cdf, normal_quantile};
+
+fn finite_sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Rank sums always equal n(n+1)/2 and tie-group sizes partition n.
+    #[test]
+    fn rank_invariants(v in finite_sample(80)) {
+        let (ranks, ties) = midranks(&v);
+        let n = v.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        prop_assert_eq!(ties.iter().sum::<usize>(), v.len());
+        let c = tie_correction(&ties, v.len());
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    /// Quantiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(v in finite_sample(60), ps in proptest::collection::vec(0.0f64..=1.0, 2..6)) {
+        let mut ps = ps;
+        ps.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for &p in &ps {
+            let q = quantile(&v, p);
+            prop_assert!(q >= prev - 1e-9);
+            prev = q;
+        }
+        let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(quantile(&v, 0.0) == min && quantile(&v, 1.0) == max);
+    }
+
+    /// Summary invariants: min ≤ median ≤ max and min ≤ mean ≤ max.
+    #[test]
+    fn summary_ordering(v in finite_sample(60)) {
+        let s = Summary::of(&v).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+    }
+
+    /// Quartiles are ordered.
+    #[test]
+    fn quartiles_ordering(v in finite_sample(60)) {
+        let q = Quartiles::of(&v).unwrap();
+        prop_assert!(q.min <= q.q1 && q.q1 <= q.q2 && q.q2 <= q.q3 && q.q3 <= q.max);
+        prop_assert!(q.iqr() >= 0.0);
+    }
+
+    /// P + Q = 1 for the regularized incomplete gamma.
+    #[test]
+    fn gamma_pq_complement(a in 0.01f64..50.0, x in 0.0f64..100.0) {
+        let s = gamma_p(a, x) + gamma_q(a, x);
+        prop_assert!((s - 1.0).abs() < 1e-9, "a={a} x={x} sum={s}");
+    }
+
+    /// normal_quantile inverts normal_cdf across the open unit interval.
+    #[test]
+    fn normal_quantile_roundtrip(p in 0.0001f64..0.9999) {
+        let z = normal_quantile(p);
+        prop_assert!((normal_cdf(z) - p).abs() < 1e-6);
+    }
+
+    /// chi2 survival values are probabilities and decrease with x.
+    #[test]
+    fn chi2_sf_behaviour(df in 1.0f64..30.0, x in 0.0f64..200.0) {
+        let p = chi2_sf(x, df);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(chi2_sf(x + 1.0, df) <= p + 1e-12);
+    }
+
+    /// KW on a group compared with a shifted copy of itself: big shifts give
+    /// small p-values; identical groups (modulo jitter-free copy) give H ≈ 0.
+    #[test]
+    fn kw_shift_detection(base in proptest::collection::vec(0.0f64..100.0, 8..40)) {
+        // Deduplicate-free: ties allowed, the implementation corrects them.
+        let spread = {
+            let min = base.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = base.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            max - min
+        };
+        prop_assume!(spread > 1.0);
+        let shifted: Vec<f64> = base.iter().map(|v| v + spread * 10.0 + 1.0).collect();
+        let r = kruskal_wallis(&[&base, &shifted]).unwrap();
+        prop_assert!(r.p_value < 0.01, "fully separated groups, p={}", r.p_value);
+    }
+
+    /// KW is symmetric under group reordering.
+    #[test]
+    fn kw_group_order_invariance(a in proptest::collection::vec(0.0f64..50.0, 3..20),
+                                 b in proptest::collection::vec(10.0f64..80.0, 3..20),
+                                 c in proptest::collection::vec(5.0f64..120.0, 3..20)) {
+        let all_same = {
+            let mut vals: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+            vals.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            vals.first() == vals.last()
+        };
+        prop_assume!(!all_same);
+        let r1 = kruskal_wallis(&[&a, &b, &c]).unwrap();
+        let r2 = kruskal_wallis(&[&c, &a, &b]).unwrap();
+        prop_assert!((r1.statistic - r2.statistic).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Object model: blobs, trees and commits, content-addressed like git.
+//!
+//! Serialization is a simple canonical byte format (`kind length\0payload`)
+//! so that equal objects always share an address and the address never
+//! depends on process state.
+
+use crate::sha1::{sha1, Digest};
+use crate::timestamp::Timestamp;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// File contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blob {
+    /// Raw bytes of the file version.
+    pub data: Bytes,
+}
+
+impl Blob {
+    /// Wrap bytes into a blob.
+    pub fn new(data: impl Into<Bytes>) -> Self {
+        Blob { data: data.into() }
+    }
+
+    /// The blob's content address (`blob <len>\0<data>`, exactly git's
+    /// scheme).
+    pub fn id(&self) -> Digest {
+        let mut buf = Vec::with_capacity(self.data.len() + 16);
+        buf.extend_from_slice(format!("blob {}\0", self.data.len()).as_bytes());
+        buf.extend_from_slice(&self.data);
+        sha1(&buf)
+    }
+
+    /// Interpret the blob as UTF-8 text (lossy).
+    pub fn as_text(&self) -> String {
+        String::from_utf8_lossy(&self.data).into_owned()
+    }
+}
+
+/// A snapshot of the working tree: a flat, sorted map of repository-relative
+/// paths to blob ids. (Real git nests trees per directory; a flat tree has
+/// the same observable semantics for history mining and far simpler
+/// invariants.)
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Tree {
+    /// Path → blob id.
+    pub entries: BTreeMap<String, Digest>,
+}
+
+impl Tree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        Tree::default()
+    }
+
+    /// The tree's content address.
+    pub fn id(&self) -> Digest {
+        let mut payload = Vec::new();
+        for (path, id) in &self.entries {
+            payload.extend_from_slice(path.as_bytes());
+            payload.push(0);
+            payload.extend_from_slice(&id.0);
+        }
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        buf.extend_from_slice(format!("tree {}\0", payload.len()).as_bytes());
+        buf.extend_from_slice(&payload);
+        sha1(&buf)
+    }
+
+    /// The blob id at `path`, if present.
+    pub fn get(&self, path: &str) -> Option<Digest> {
+        self.entries.get(path).copied()
+    }
+
+    /// Insert or replace the entry at `path`.
+    pub fn insert(&mut self, path: impl Into<String>, blob: Digest) {
+        self.entries.insert(path.into(), blob);
+    }
+
+    /// Remove the entry at `path`; true if it existed.
+    pub fn remove(&mut self, path: &str) -> bool {
+        self.entries.remove(path).is_some()
+    }
+}
+
+/// A commit: a tree snapshot plus provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Commit {
+    /// Id of the snapshot tree.
+    pub tree: Digest,
+    /// Parent commit ids; empty for the root, two or more for merges. The
+    /// first parent is the mainline, as in git.
+    pub parents: Vec<Digest>,
+    /// Author name.
+    pub author: String,
+    /// Commit timestamp.
+    pub timestamp: Timestamp,
+    /// Commit message.
+    pub message: String,
+}
+
+impl Commit {
+    /// The commit's content address.
+    pub fn id(&self) -> Digest {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(b"tree ");
+        payload.extend_from_slice(self.tree.to_hex().as_bytes());
+        payload.push(b'\n');
+        for p in &self.parents {
+            payload.extend_from_slice(b"parent ");
+            payload.extend_from_slice(p.to_hex().as_bytes());
+            payload.push(b'\n');
+        }
+        payload.extend_from_slice(format!("author {} {}\n", self.author, self.timestamp.0).as_bytes());
+        payload.push(b'\n');
+        payload.extend_from_slice(self.message.as_bytes());
+        let mut buf = Vec::with_capacity(payload.len() + 16);
+        buf.extend_from_slice(format!("commit {}\0", payload.len()).as_bytes());
+        buf.extend_from_slice(&payload);
+        sha1(&buf)
+    }
+}
+
+/// Any stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Object {
+    /// File contents.
+    Blob(Blob),
+    /// Snapshot.
+    Tree(Tree),
+    /// Commit.
+    Commit(Commit),
+}
+
+impl Object {
+    /// The object's content address.
+    pub fn id(&self) -> Digest {
+        match self {
+            Object::Blob(b) => b.id(),
+            Object::Tree(t) => t.id(),
+            Object::Commit(c) => c.id(),
+        }
+    }
+
+    /// Object kind as a short string (for stats and errors).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Object::Blob(_) => "blob",
+            Object::Tree(_) => "tree",
+            Object::Commit(_) => "commit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blob_address_matches_git() {
+        // Same vector as the sha1 module: git hash-object of "hello".
+        let b = Blob::new(&b"hello"[..]);
+        assert_eq!(b.id().to_hex(), "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0");
+    }
+
+    #[test]
+    fn equal_content_equal_address() {
+        let a = Blob::new(&b"same"[..]);
+        let b = Blob::new(Bytes::from_static(b"same"));
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), Blob::new(&b"different"[..]).id());
+    }
+
+    #[test]
+    fn tree_address_is_order_independent() {
+        let blob = Blob::new(&b"x"[..]).id();
+        let mut t1 = Tree::new();
+        t1.insert("b.sql", blob);
+        t1.insert("a.sql", blob);
+        let mut t2 = Tree::new();
+        t2.insert("a.sql", blob);
+        t2.insert("b.sql", blob);
+        assert_eq!(t1.id(), t2.id());
+    }
+
+    #[test]
+    fn tree_address_depends_on_paths_and_blobs() {
+        let x = Blob::new(&b"x"[..]).id();
+        let y = Blob::new(&b"y"[..]).id();
+        let mut t1 = Tree::new();
+        t1.insert("a.sql", x);
+        let mut t2 = Tree::new();
+        t2.insert("a.sql", y);
+        let mut t3 = Tree::new();
+        t3.insert("b.sql", x);
+        assert_ne!(t1.id(), t2.id());
+        assert_ne!(t1.id(), t3.id());
+    }
+
+    #[test]
+    fn commit_address_covers_all_fields() {
+        let tree = Tree::new().id();
+        let base = Commit {
+            tree,
+            parents: vec![],
+            author: "alice".into(),
+            timestamp: Timestamp(1_000),
+            message: "init".into(),
+        };
+        let mut other = base.clone();
+        other.message = "init!".into();
+        assert_ne!(base.id(), other.id());
+        let mut other = base.clone();
+        other.timestamp = Timestamp(1_001);
+        assert_ne!(base.id(), other.id());
+        let mut other = base.clone();
+        other.parents = vec![base.id()];
+        assert_ne!(base.id(), other.id());
+    }
+
+    #[test]
+    fn tree_mutation_api() {
+        let mut t = Tree::new();
+        let b = Blob::new(&b"z"[..]).id();
+        t.insert("s.sql", b);
+        assert_eq!(t.get("s.sql"), Some(b));
+        assert!(t.remove("s.sql"));
+        assert!(!t.remove("s.sql"));
+        assert_eq!(t.get("s.sql"), None);
+    }
+}

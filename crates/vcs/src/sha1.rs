@@ -1,0 +1,250 @@
+//! From-scratch SHA-1 (RFC 3174) used for content addressing.
+//!
+//! Git addresses objects by SHA-1 of a typed header plus payload; this
+//! substrate does the same. SHA-1's cryptographic weakness is irrelevant
+//! here — we need a stable, collision-resistant-in-practice content address,
+//! exactly as git itself still uses.
+
+use std::fmt;
+
+/// A 160-bit SHA-1 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Render as 40 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parse from 40 hex characters.
+    pub fn from_hex(hex: &str) -> Option<Digest> {
+        if hex.len() != 40 {
+            return None;
+        }
+        let mut out = [0u8; 20];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Short 8-character prefix, as shown in logs.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Streaming SHA-1 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    len_bytes: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1::new()
+    }
+}
+
+impl Sha1 {
+    /// A fresh hasher with the RFC 3174 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len_bytes: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Feed bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.len_bytes += data.len() as u64;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len_bytes * 8;
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        self.update(&[0x80]);
+        // `update` adjusted len_bytes; remember padding must not count, so we
+        // compute target from current buffer fill instead.
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        let mut block_tail = [0u8; 8];
+        block_tail.copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&block_tail);
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot convenience.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from RFC 3174 and FIPS 180-1.
+    #[test]
+    fn rfc3174_test_vectors() {
+        assert_eq!(
+            sha1(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            sha1(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            h.finalize().to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let one = sha1(&data);
+        // Feed in awkward chunk sizes crossing block boundaries.
+        let mut h = Sha1::new();
+        let mut rest = &data[..];
+        let sizes = [1usize, 63, 64, 65, 127, 128, 1000];
+        let mut i = 0;
+        while !rest.is_empty() {
+            let n = sizes[i % sizes.len()].min(rest.len());
+            h.update(&rest[..n]);
+            rest = &rest[n..];
+            i += 1;
+        }
+        assert_eq!(h.finalize(), one);
+    }
+
+    #[test]
+    fn git_style_blob_address() {
+        // `echo -n 'hello' | git hash-object --stdin` = b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0
+        let mut h = Sha1::new();
+        h.update(b"blob 5\0");
+        h.update(b"hello");
+        assert_eq!(
+            h.finalize().to_hex(),
+            "b6fc4c620b67d95f953a5c1c1230aaab5db5a1b0"
+        );
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = sha1(b"roundtrip");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex("xyz"), None);
+        assert_eq!(Digest::from_hex(&"g".repeat(40)), None);
+    }
+
+    #[test]
+    fn short_prefix() {
+        let d = sha1(b"abc");
+        assert_eq!(d.short(), "a9993e36");
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"a"), sha1(b"b"));
+        assert_ne!(sha1(b""), sha1(b"\0"));
+    }
+}

@@ -1,0 +1,222 @@
+//! Civil-time arithmetic for commit timestamps.
+//!
+//! The study measures *human time*: days since the originating version V0,
+//! the running month and year of each commit, and update periods in months.
+//! This module provides exactly that — Unix-epoch seconds plus
+//! civil-calendar conversion (Howard Hinnant's `days_from_civil` algorithm)
+//! — with no external time dependency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds since the Unix epoch (UTC). May be negative.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// A civil calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CivilDate {
+    /// Gregorian year.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u8,
+    /// Day of month 1–31.
+    pub day: u8,
+}
+
+/// Number of days from 1970-01-01 to `{y, m, d}` (proleptic Gregorian).
+pub fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let m = month as i64;
+    let d = day as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(days: i64) -> CivilDate {
+    let z = days + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u8; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u8; // [1, 12]
+    CivilDate {
+        year: (if m <= 2 { y + 1 } else { y }) as i32,
+        month: m,
+        day: d,
+    }
+}
+
+impl Timestamp {
+    /// Construct from a civil date at midnight UTC.
+    pub fn from_date(year: i32, month: u8, day: u8) -> Timestamp {
+        Timestamp(days_from_civil(year, month, day) * 86_400)
+    }
+
+    /// Construct from a civil date and time of day.
+    pub fn from_datetime(year: i32, month: u8, day: u8, hour: u8, min: u8, sec: u8) -> Timestamp {
+        Timestamp(
+            days_from_civil(year, month, day) * 86_400
+                + hour as i64 * 3600
+                + min as i64 * 60
+                + sec as i64,
+        )
+    }
+
+    /// The civil date of this instant (UTC).
+    pub fn date(&self) -> CivilDate {
+        civil_from_days(self.0.div_euclid(86_400))
+    }
+
+    /// Whole days elapsed from `origin` to `self` (floor; negative if
+    /// `self` precedes `origin`).
+    pub fn days_since(&self, origin: Timestamp) -> i64 {
+        (self.0 - origin.0).div_euclid(86_400)
+    }
+
+    /// The *running month* relative to `origin`: 1 for the first 30-day
+    /// window after V0, 2 for the next, and so on — the granularity used by
+    /// the paper's per-month activity charts.
+    pub fn running_month(&self, origin: Timestamp) -> i64 {
+        self.days_since(origin).div_euclid(30) + 1
+    }
+
+    /// The *running year* relative to `origin`, 1-based.
+    pub fn running_year(&self, origin: Timestamp) -> i64 {
+        self.days_since(origin).div_euclid(365) + 1
+    }
+
+    /// Calendar-month difference (`other` − `self`) used for the Schema
+    /// Update Period: months are counted as calendar-month boundaries
+    /// crossed, plus one so that a same-month history has SUP = 1 month —
+    /// matching the paper's convention (min SUP of 1 across all taxa).
+    pub fn span_months(&self, later: Timestamp) -> i64 {
+        let a = self.date();
+        let b = later.date();
+        let raw = (b.year as i64 - a.year as i64) * 12 + (b.month as i64 - a.month as i64);
+        raw.max(0) + 1
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: i64) -> Timestamp {
+        Timestamp(self.0 + rhs)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    fn sub(self, rhs: Timestamp) -> i64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.date();
+        let secs = self.0.rem_euclid(86_400);
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            d.year,
+            d.month,
+            d.day,
+            secs / 3600,
+            (secs % 3600) / 60,
+            secs % 60
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(
+            civil_from_days(0),
+            CivilDate {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2019-04-24: the SQL-Collection query date in the paper.
+        assert_eq!(days_from_civil(2019, 4, 24), 18010);
+        assert_eq!(days_from_civil(2000, 3, 1), 11017);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+    }
+
+    #[test]
+    fn civil_days_roundtrip() {
+        for days in (-800_000..800_000).step_by(373) {
+            let c = civil_from_days(days);
+            assert_eq!(days_from_civil(c.year, c.month, c.day), days);
+        }
+    }
+
+    #[test]
+    fn leap_year_feb_29() {
+        let d = civil_from_days(days_from_civil(2016, 2, 29));
+        assert_eq!((d.year, d.month, d.day), (2016, 2, 29));
+    }
+
+    #[test]
+    fn days_since_floor_semantics() {
+        let a = Timestamp::from_datetime(2019, 1, 1, 23, 0, 0);
+        let b = Timestamp::from_datetime(2019, 1, 2, 1, 0, 0);
+        assert_eq!(b.days_since(a), 0);
+        let c = Timestamp::from_datetime(2019, 1, 3, 0, 0, 0);
+        assert_eq!(c.days_since(a), 1);
+        assert_eq!(a.days_since(c), -2);
+    }
+
+    #[test]
+    fn running_month_is_one_based() {
+        let v0 = Timestamp::from_date(2018, 1, 1);
+        assert_eq!(v0.running_month(v0), 1);
+        assert_eq!((v0 + 29 * 86_400).running_month(v0), 1);
+        assert_eq!((v0 + 30 * 86_400).running_month(v0), 2);
+        assert_eq!((v0 + 365 * 86_400).running_year(v0), 2);
+    }
+
+    #[test]
+    fn span_months_convention() {
+        let a = Timestamp::from_date(2018, 1, 15);
+        assert_eq!(a.span_months(Timestamp::from_date(2018, 1, 28)), 1);
+        assert_eq!(a.span_months(Timestamp::from_date(2018, 2, 1)), 2);
+        assert_eq!(a.span_months(Timestamp::from_date(2019, 1, 1)), 13);
+        // Degenerate reversed range clamps to 1.
+        assert_eq!(a.span_months(Timestamp::from_date(2017, 12, 1)), 1);
+    }
+
+    #[test]
+    fn display_format() {
+        let t = Timestamp::from_datetime(2019, 5, 7, 9, 30, 5);
+        assert_eq!(t.to_string(), "2019-05-07 09:30:05");
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let t = Timestamp::from_date(2019, 1, 1);
+        let u = t + 3600;
+        assert_eq!(u - t, 3600);
+    }
+}

@@ -1,0 +1,69 @@
+//! Reproduce the whole paper: generate the 133,029-record universe, run the
+//! collection funnel down to the 195-project Schema_Evo_2019 data set, mine
+//! and classify every project, run the statistical battery, render every
+//! table/figure, and (with `--write`) regenerate EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example full_study            # print everything
+//! cargo run --release --example full_study -- --write # also write EXPERIMENTS.md
+//! ```
+
+use schevo::pipeline::ablation::{
+    reed_threshold_sensitivity, rule_order_comparison, walk_strategy_comparison,
+};
+use schevo::prelude::*;
+use schevo::report::experiments::{experiments_markdown, ExperimentExtras};
+use schevo::report::{
+    fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
+    narrative_table, study_to_json, table1_definitions,
+};
+
+fn main() {
+    let write = std::env::args().any(|a| a == "--write");
+    let t0 = std::time::Instant::now();
+    let universe = generate(UniverseConfig::paper(2019));
+    eprintln!("universe generated in {:?}", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let study = run_study(&universe, StudyOptions::default());
+    eprintln!("study ran in {:?}", t1.elapsed());
+
+    println!("=== Collection funnel (§III-A) ===\n{}", funnel_table(&study.report));
+    println!("=== Table I ===\n{}", table1_definitions());
+    println!("=== Fig. 4 ===\n{}", fig04_table(&study));
+    println!("{}", fig10_scatter(&study));
+    println!("{}", fig11_matrix(&study));
+    println!("{}", fig12_quartiles(&study));
+    println!("{}", fig13_boxplot(&study));
+    println!("{}", narrative_table(&study));
+
+    eprintln!("running ablations...");
+    let extras = ExperimentExtras {
+        threshold_points: reed_threshold_sensitivity(&universe, &[10, 14, 20]),
+        walk: Some(walk_strategy_comparison(&universe)),
+        rule_order: Some(rule_order_comparison(&study.profiles)),
+    };
+    if write {
+        let md = experiments_markdown(&study, &extras);
+        std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
+        let json = study_to_json(&study).expect("serialize study");
+        std::fs::write("study_results.json", json).expect("write study_results.json");
+        // Per-figure CSV artifacts.
+        std::fs::create_dir_all("artifacts").expect("create artifacts dir");
+        std::fs::write("artifacts/fig04.csv", schevo::report::fig04_csv(&study).render())
+            .expect("write fig04 csv");
+        std::fs::write("artifacts/fig10.csv", schevo::report::fig10_csv(&study).render())
+            .expect("write fig10 csv");
+        for (tag, project) in schevo::corpus::exemplar::all_exemplars() {
+            let series = schevo::report::ProjectSeries::mine(&project);
+            let stem = format!("artifacts/{tag:?}").to_lowercase();
+            std::fs::write(format!("{stem}_size.csv"), series.size_csv().render())
+                .expect("write size csv");
+            std::fs::write(format!("{stem}_heartbeat.csv"), series.heartbeat_csv().render())
+                .expect("write heartbeat csv");
+        }
+        eprintln!("wrote EXPERIMENTS.md, study_results.json and artifacts/*.csv");
+    } else {
+        eprintln!("(pass --write to regenerate EXPERIMENTS.md)");
+    }
+    eprintln!("total {:?}", t0.elapsed());
+}

@@ -1,0 +1,70 @@
+//! The constructive direction: given two versions of a schema file, emit
+//! the migration script that carries the old to the new — and verify it by
+//! applying it back through the parser.
+//!
+//! ```sh
+//! cargo run --release --example migration_report
+//! cargo run --release --example migration_report -- old.sql new.sql
+//! ```
+
+use schevo::core::migrate::{apply_migration, generate_migration, logically_equivalent};
+use schevo::prelude::*;
+
+const OLD: &str = r#"
+CREATE TABLE users (
+  id INT NOT NULL,
+  email VARCHAR(100) NOT NULL,
+  nickname VARCHAR(32),
+  PRIMARY KEY (id)
+);
+CREATE TABLE legacy_log (entry TEXT);
+"#;
+
+const NEW: &str = r#"
+CREATE TABLE users (
+  id INT NOT NULL,
+  email VARCHAR(255) NOT NULL,
+  created_at DATETIME NOT NULL,
+  PRIMARY KEY (id)
+);
+CREATE TABLE sessions (
+  token VARCHAR(64) NOT NULL,
+  user_id INT NOT NULL,
+  PRIMARY KEY (token)
+);
+"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (old_sql, new_sql) = match args.as_slice() {
+        [old_path, new_path] => (
+            std::fs::read_to_string(old_path).expect("readable old schema"),
+            std::fs::read_to_string(new_path).expect("readable new schema"),
+        ),
+        _ => (OLD.to_string(), NEW.to_string()),
+    };
+    let old = parse_schema(&old_sql).expect("old schema parses");
+    let new = parse_schema(&new_sql).expect("new schema parses");
+    println!(
+        "old: {} tables / {} attributes;  new: {} tables / {} attributes\n",
+        old.table_count(),
+        old.attribute_count(),
+        new.table_count(),
+        new.attribute_count()
+    );
+    let migration = generate_migration(&old, &new);
+    if migration.is_empty() {
+        println!("schemas are logically identical; nothing to migrate");
+        return;
+    }
+    println!("-- migration ({} steps) --------------------------------", migration.steps.len());
+    print!("{}", migration.script());
+    println!("-- verification ----------------------------------------");
+    let applied = apply_migration(&old, &migration).expect("script parses");
+    if logically_equivalent(&applied, &new) {
+        println!("applying the script onto the old schema reproduces the new one ✔");
+    } else {
+        println!("MISMATCH: applied schema differs from the target");
+        std::process::exit(1);
+    }
+}

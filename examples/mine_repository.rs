@@ -1,0 +1,66 @@
+//! Mine a single synthetic repository end-to-end, the way the study mines
+//! each of its 195 projects: build the repo, extract the DDL file history,
+//! parse every version, measure every transition, print the heartbeat and
+//! the profile.
+//!
+//! ```sh
+//! cargo run --release --example mine_repository [seed]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schevo::corpus::plan::plan_project;
+use schevo::corpus::realize::realize;
+use schevo::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Generate one Focused Shot & Low project and materialize it.
+    let plan = plan_project(&mut rng, 7, Taxon::FocusedShotLow);
+    let project = realize(&mut rng, &plan);
+    println!(
+        "generated {} (planned: {} commits, {} active, activity {}, {} reeds)",
+        plan.name, plan.commits, plan.active_commits, plan.activity, plan.reeds
+    );
+
+    // Mine it back, exactly like the pipeline does.
+    let versions =
+        file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent).expect("history");
+    println!("extracted {} versions of {}", versions.len(), project.ddl_path);
+    let history = SchemaHistory::from_file_versions(plan.name.clone(), &versions).expect("parses");
+    let measures = measure_history(&history);
+    println!("\ntransition log:");
+    for m in &measures {
+        if m.is_active() {
+            println!(
+                "  #{:>3}  day {:>5}  {:>2}t/{:>3}a -> {:>2}t/{:>3}a  e={} m={}{}",
+                m.transition_id,
+                m.days_since_v0,
+                m.size_before.0,
+                m.size_before.1,
+                m.size_after.0,
+                m.size_after.1,
+                m.expansion(),
+                m.maintenance(),
+                if m.activity() > REED_THRESHOLD { "  ← reed" } else { "" }
+            );
+        }
+    }
+    let profile = EvolutionProfile::of(&history);
+    println!(
+        "\nmined profile: {} commits, {} active, activity {}, {} reeds, {} turf",
+        profile.commits, profile.active_commits, profile.total_activity, profile.reeds, profile.turf
+    );
+    println!(
+        "taxon: {}  (plan recovery: {})",
+        profile.class.taxon().map(|t| t.name()).unwrap_or("?"),
+        if profile.class.taxon() == Some(plan.taxon) { "exact" } else { "MISMATCH" }
+    );
+    let series = ProjectSeries::from_history(&history);
+    println!("\n{}", series.render(false));
+}

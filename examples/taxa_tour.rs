@@ -1,0 +1,33 @@
+//! A tour of the six taxa through the paper's figure exemplars: builds each
+//! exemplar project, mines it, prints its two-panel figure and its profile.
+//!
+//! ```sh
+//! cargo run --release --example taxa_tour
+//! ```
+
+use schevo::corpus::exemplar::{all_exemplars, FigureTag};
+use schevo::prelude::*;
+
+fn main() {
+    for (tag, project) in all_exemplars() {
+        let versions = file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent)
+            .expect("history");
+        let history =
+            SchemaHistory::from_file_versions(project.plan.name.clone(), &versions).expect("parses");
+        let profile = EvolutionProfile::of(&history);
+        println!("==================================================================");
+        println!("{}", tag.label());
+        println!(
+            "taxon: {:<22} commits: {:>3}  active: {:>3}  activity: {:>4}  reeds: {}  SUP: {} months",
+            profile.class.taxon().map(|t| t.name()).unwrap_or("?"),
+            profile.commits,
+            profile.active_commits,
+            profile.total_activity,
+            profile.reeds,
+            profile.sup_months
+        );
+        let series = ProjectSeries::from_history(&history);
+        let monthly = matches!(tag, FigureTag::Fig1A | FigureTag::Fig1B | FigureTag::Fig9);
+        println!("{}", series.render(monthly));
+    }
+}

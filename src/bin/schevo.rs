@@ -1,0 +1,210 @@
+//! `schevo` — command-line front end for the schema-evolution study.
+//!
+//! ```text
+//! schevo study [--seed N] [--scale D] [--out DIR]   run the full study
+//! schevo classify <commits> <active> <activity> <reeds>
+//! schevo exemplars                                  print the figure exemplars
+//! schevo export <owner/repo-seed> <out.pack>        generate + pack one project
+//! schevo mine <in.pack> <ddl-path>                  mine a packed repository
+//! schevo help
+//! ```
+
+use schevo::prelude::*;
+use schevo::report::{
+    extensions_table, fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot,
+    funnel_table, narrative_table,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("study") => cmd_study(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("exemplars") => cmd_exemplars(),
+        Some("export") => cmd_export(&args[1..]),
+        Some("mine") => cmd_mine(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_help();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_help() {
+    println!(
+        "schevo — profiles of schema evolution in FOSS projects\n\n\
+         USAGE:\n  \
+         schevo study [--seed N] [--scale D] [--out DIR]   run the full study\n  \
+         schevo classify <commits> <active> <activity> <reeds>\n  \
+         schevo exemplars                                   print the figure exemplars\n  \
+         schevo export <seed> <out.pack>                    generate + pack one project\n  \
+         schevo mine <in.pack> <ddl-path>                   mine a packed repository\n  \
+         schevo help"
+    );
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_study(args: &[String]) -> i32 {
+    let seed: u64 = flag_value(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2019);
+    let scale: usize = flag_value(args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let config = if scale <= 1 {
+        UniverseConfig::paper(seed)
+    } else {
+        UniverseConfig::small(seed, scale)
+    };
+    eprintln!("generating universe (seed {seed}, scale 1/{scale})...");
+    let universe = generate(config);
+    eprintln!("running study...");
+    let study = run_study(&universe, StudyOptions::default());
+    println!("{}", funnel_table(&study.report));
+    println!("{}", fig04_table(&study));
+    println!("{}", fig10_scatter(&study));
+    println!("{}", fig11_matrix(&study));
+    println!("{}", fig12_quartiles(&study));
+    println!("{}", fig13_boxplot(&study));
+    println!("{}", narrative_table(&study));
+    println!("{}", extensions_table(&study));
+    if let Some(dir) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {dir}: {e}");
+            return 1;
+        }
+        let json = schevo::report::study_to_json(&study).expect("serializable study");
+        let path = format!("{dir}/study_results.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote {path}");
+    }
+    0
+}
+
+fn cmd_classify(args: &[String]) -> i32 {
+    let nums: Vec<u64> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let [commits, active, activity, reeds] = nums[..] else {
+        eprintln!("usage: schevo classify <commits> <active> <activity> <reeds>");
+        return 2;
+    };
+    let class = classify(TaxonFeatures {
+        commits,
+        active_commits: active,
+        total_activity: activity,
+        reeds,
+    });
+    match class.taxon() {
+        Some(t) => println!("{t}"),
+        None => println!("history-less (not studied)"),
+    }
+    0
+}
+
+fn cmd_exemplars() -> i32 {
+    for (tag, project) in schevo::corpus::exemplar::all_exemplars() {
+        let series = schevo::report::ProjectSeries::mine(&project);
+        println!("{}\n{}", tag.label(), series.render(false));
+    }
+    0
+}
+
+fn cmd_export(args: &[String]) -> i32 {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let [seed, out] = args else {
+        eprintln!("usage: schevo export <seed> <out.pack>");
+        return 2;
+    };
+    let Ok(seed) = seed.parse::<u64>() else {
+        eprintln!("seed must be a number");
+        return 2;
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxon = Taxon::ALL[(seed % 6) as usize];
+    let plan = schevo::corpus::plan::plan_project(&mut rng, seed as usize, taxon);
+    let project = schevo::corpus::realize::realize(&mut rng, &plan);
+    let pack = schevo::vcs::pack::write_pack(&project.repo);
+    if let Err(e) = std::fs::write(out, &pack) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!(
+        "exported {} ({:?}, {} commits) to {out}; DDL at {}",
+        plan.name, taxon, plan.commits, project.ddl_path
+    );
+    0
+}
+
+fn cmd_mine(args: &[String]) -> i32 {
+    let [input, ddl_path] = args else {
+        eprintln!("usage: schevo mine <in.pack> <ddl-path>");
+        return 2;
+    };
+    let bytes = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return 1;
+        }
+    };
+    let repo = match schevo::vcs::pack::read_pack(&bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot load pack: {e}");
+            return 1;
+        }
+    };
+    let versions = match file_history(&repo, ddl_path, WalkStrategy::FirstParent) {
+        Ok(v) if !v.is_empty() => v,
+        Ok(_) => {
+            eprintln!("no versions of {ddl_path} in {}", repo.name);
+            return 1;
+        }
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            return 1;
+        }
+    };
+    let history = match SchemaHistory::from_file_versions(repo.name.clone(), &versions) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("parse failed: {e}");
+            return 1;
+        }
+    };
+    let profile = EvolutionProfile::of(&history);
+    println!(
+        "{}: {} commits ({} active), activity {} ({} expansion / {} maintenance), \
+         {} reeds, SUP {} months",
+        profile.project,
+        profile.commits,
+        profile.active_commits,
+        profile.total_activity,
+        profile.expansion,
+        profile.maintenance,
+        profile.reeds,
+        profile.sup_months
+    );
+    println!(
+        "taxon: {}",
+        profile.class.taxon().map(|t| t.name()).unwrap_or("history-less")
+    );
+    let series = schevo::report::ProjectSeries::from_history(&history);
+    println!("{}", series.render(false));
+    0
+}

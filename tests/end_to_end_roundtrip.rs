@@ -1,0 +1,122 @@
+//! Cross-crate round-trip tests: the planner's targets must be recovered
+//! exactly by mining the realized repositories — across taxa, seeds, walk
+//! strategies, and vendor layouts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use schevo::corpus::plan::plan_project;
+use schevo::corpus::realize::realize;
+use schevo::prelude::*;
+use schevo_core::taxa::ProjectClass;
+
+fn mine(project: &schevo::corpus::realize::GeneratedProject, strategy: WalkStrategy) -> EvolutionProfile {
+    let versions = file_history(&project.repo, &project.ddl_path, strategy).unwrap();
+    let history = SchemaHistory::from_file_versions(project.plan.name.clone(), &versions).unwrap();
+    EvolutionProfile::of(&history)
+}
+
+#[test]
+fn plan_mine_roundtrip_across_seeds_and_taxa() {
+    for seed in [1u64, 99, 31337] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, taxon) in Taxon::ALL.iter().cycle().take(24).enumerate() {
+            let plan = plan_project(&mut rng, i, *taxon);
+            let project = realize(&mut rng, &plan);
+            let profile = mine(&project, WalkStrategy::FirstParent);
+            assert_eq!(profile.commits, plan.commits, "{seed}/{}", plan.name);
+            assert_eq!(profile.active_commits, plan.active_commits, "{seed}/{}", plan.name);
+            assert_eq!(profile.total_activity, plan.activity, "{seed}/{}", plan.name);
+            assert_eq!(profile.reeds, plan.reeds, "{seed}/{}", plan.name);
+            assert_eq!(profile.class, ProjectClass::Taxon(*taxon), "{seed}/{}", plan.name);
+        }
+    }
+}
+
+#[test]
+fn both_walk_strategies_recover_the_same_profile() {
+    let mut rng = StdRng::seed_from_u64(5);
+    for (i, taxon) in Taxon::ALL.iter().enumerate() {
+        let plan = plan_project(&mut rng, i, *taxon);
+        let project = realize(&mut rng, &plan);
+        let fp = mine(&project, WalkStrategy::FirstParent);
+        let full = mine(&project, WalkStrategy::FullDag);
+        assert_eq!(fp, full, "{}", plan.name);
+    }
+}
+
+#[test]
+fn expansion_and_maintenance_totals_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let plan = plan_project(&mut rng, 3, Taxon::Active);
+    let project = realize(&mut rng, &plan);
+    let profile = mine(&project, WalkStrategy::FirstParent);
+    let planned_e: u64 = plan.schedule.iter().map(|c| c.expansion).sum();
+    let planned_m: u64 = plan.schedule.iter().map(|c| c.maintenance).sum();
+    assert_eq!(profile.expansion, planned_e);
+    assert_eq!(profile.maintenance, planned_m);
+}
+
+#[test]
+fn per_commit_heartbeat_matches_schedule() {
+    let mut rng = StdRng::seed_from_u64(23);
+    let plan = plan_project(&mut rng, 11, Taxon::FocusedShotLow);
+    let project = realize(&mut rng, &plan);
+    let versions =
+        file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent).unwrap();
+    let history = SchemaHistory::from_file_versions(plan.name.clone(), &versions).unwrap();
+    let measures = measure_history(&history);
+    assert_eq!(measures.len(), plan.schedule.len());
+    for (m, c) in measures.iter().zip(&plan.schedule) {
+        assert_eq!(m.expansion(), c.expansion, "transition {}", m.transition_id);
+        assert_eq!(m.maintenance(), c.maintenance, "transition {}", m.transition_id);
+    }
+}
+
+#[test]
+fn vendor_layout_projects_mine_identically() {
+    // Index ≡ 3 (mod 8) → DDL lives at db/schema-mysql.sql; the profile
+    // must be unaffected by the layout.
+    let mut rng = StdRng::seed_from_u64(41);
+    let plan = plan_project(&mut rng, 3, Taxon::Moderate);
+    assert!(schevo::corpus::realize::ddl_path_for(3, &plan.name).contains("mysql"));
+    let project = realize(&mut rng, &plan);
+    let profile = mine(&project, WalkStrategy::FirstParent);
+    assert_eq!(profile.class, ProjectClass::Taxon(Taxon::Moderate));
+}
+
+#[test]
+fn schema_size_line_is_consistent_with_table_ops() {
+    let mut rng = StdRng::seed_from_u64(8);
+    let plan = plan_project(&mut rng, 2, Taxon::Active);
+    let project = realize(&mut rng, &plan);
+    let versions =
+        file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent).unwrap();
+    let history = SchemaHistory::from_file_versions(plan.name.clone(), &versions).unwrap();
+    let line = history.size_line();
+    // Start matches the plan; end = start + insertions − deletions.
+    assert_eq!(line[0].1 as u64, plan.tables_start);
+    let profile = EvolutionProfile::of(&history);
+    assert_eq!(
+        profile.tables_end as i64,
+        profile.tables_start as i64 + profile.table_insertions as i64
+            - profile.table_deletions as i64
+    );
+}
+
+#[test]
+fn sup_months_tracks_planned_days() {
+    let mut rng = StdRng::seed_from_u64(12);
+    for (i, taxon) in Taxon::ALL.iter().enumerate() {
+        let plan = plan_project(&mut rng, i, *taxon);
+        let project = realize(&mut rng, &plan);
+        let profile = mine(&project, WalkStrategy::FirstParent);
+        let expected = plan.sup_days / 30 + 1;
+        assert!(
+            (profile.sup_months as i64 - expected as i64).abs() <= 1,
+            "{}: sup {} vs planned ~{}",
+            plan.name,
+            profile.sup_months,
+            expected
+        );
+    }
+}

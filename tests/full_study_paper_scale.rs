@@ -1,0 +1,279 @@
+//! The headline integration test: run the complete study at paper scale
+//! (133,029-record universe, 365 materialized repositories) and check every
+//! published result the reproduction targets.
+
+use schevo::prelude::*;
+use schevo_pipeline::study::StudyResult;
+use std::sync::OnceLock;
+
+fn paper_study() -> &'static (StudyResult, Universe) {
+    static STUDY: OnceLock<(StudyResult, Universe)> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        let universe = generate(UniverseConfig::paper(2019));
+        let study = run_study(&universe, StudyOptions::default());
+        (study, universe)
+    })
+}
+
+#[test]
+fn funnel_reproduces_the_papers_cardinalities() {
+    let (study, _) = paper_study();
+    let r = &study.report;
+    assert_eq!(r.sql_collection, 133_029);
+    assert_eq!(r.lib_io, 365);
+    assert_eq!(r.zero_versions, 14);
+    assert_eq!(r.empty_or_no_ct, 24);
+    assert_eq!(r.cloned, 327);
+    assert_eq!(r.rigid, 132);
+    assert_eq!(r.analyzed, 195);
+    assert_eq!(study.parse_failures, 0);
+}
+
+#[test]
+fn taxa_cardinalities_match_fig3() {
+    let (study, _) = paper_study();
+    let expect = [
+        (Taxon::Frozen, 34),
+        (Taxon::AlmostFrozen, 65),
+        (Taxon::FocusedShotFrozen, 25),
+        (Taxon::Moderate, 29),
+        (Taxon::FocusedShotLow, 20),
+        (Taxon::Active, 22),
+    ];
+    for (taxon, n) in expect {
+        assert_eq!(study.taxon_stats(taxon).count, n, "{taxon:?}");
+    }
+}
+
+#[test]
+fn fig4_medians_land_in_band() {
+    // Medians of the key measures should sit near the published values;
+    // ±35% relative (or ±2 absolute for small numbers) is the acceptance
+    // band for a seeded synthetic corpus.
+    let (study, _) = paper_study();
+    let close = |got: f64, paper: f64| {
+        (got - paper).abs() <= 2.0 || (got - paper).abs() / paper <= 0.35
+    };
+    let med = |t: Taxon, f: fn(&schevo_pipeline::study::TaxonStats) -> Option<schevo_stats::Summary>| {
+        f(study.taxon_stats(t)).map(|s| s.median).unwrap_or(f64::NAN)
+    };
+    // Activity medians (paper: 0, 3, 23, 23, 71, 254).
+    for (t, p) in [
+        (Taxon::Frozen, 0.0f64),
+        (Taxon::AlmostFrozen, 3.0),
+        (Taxon::FocusedShotFrozen, 23.0),
+        (Taxon::Moderate, 23.0),
+        (Taxon::FocusedShotLow, 71.0),
+        (Taxon::Active, 254.0),
+    ] {
+        let got = med(t, |s| s.total_activity);
+        assert!(
+            (p == 0.0 && got == 0.0) || close(got, p),
+            "{t:?} activity median {got} vs {p}"
+        );
+    }
+    // Active-commit medians (paper: 0, 1, 2, 7, 6.5, 22).
+    for (t, p) in [
+        (Taxon::AlmostFrozen, 1.0),
+        (Taxon::FocusedShotFrozen, 2.0),
+        (Taxon::Moderate, 7.0),
+        (Taxon::FocusedShotLow, 6.5),
+        (Taxon::Active, 22.0),
+    ] {
+        let got = med(t, |s| s.active_commits);
+        assert!(close(got, p), "{t:?} active-commit median {got} vs {p}");
+    }
+    // SUP medians (paper: 1, 6, 2, 20, 17.5, 31). SUP is the noisiest
+    // measure: per-taxon populations are 20–65 and the month distributions
+    // are wide (1..100), so the band is ±45% (±3 absolute).
+    for (t, p) in [
+        (Taxon::Frozen, 1.0),
+        (Taxon::AlmostFrozen, 6.0),
+        (Taxon::FocusedShotFrozen, 2.0),
+        (Taxon::Moderate, 20.0),
+        (Taxon::FocusedShotLow, 17.5),
+        (Taxon::Active, 31.0),
+    ] {
+        let got = med(t, |s| s.sup_months);
+        assert!(
+            (got - p).abs() <= 3.0 || (got - p).abs() / p <= 0.45,
+            "{t:?} SUP median {got} vs {p}"
+        );
+    }
+}
+
+#[test]
+fn fig4_defining_bounds_hold_exactly() {
+    // The classifier makes some Fig. 4 cells *definitional*; those must hold
+    // exactly, not within a band.
+    let (study, _) = paper_study();
+    let s = |t: Taxon| study.taxon_stats(t);
+    // Frozen: zero everything.
+    let f = s(Taxon::Frozen);
+    assert_eq!(f.total_activity.unwrap().max, 0.0);
+    assert_eq!(f.active_commits.unwrap().max, 0.0);
+    // Almost Frozen: ≤3 active, ≤10 activity, ≥1 active.
+    let af = s(Taxon::AlmostFrozen);
+    assert!(af.active_commits.unwrap().min >= 1.0);
+    assert!(af.active_commits.unwrap().max <= 3.0);
+    assert!(af.total_activity.unwrap().max <= 10.0);
+    // FS&Frozen: ≤3 active, ≥11 activity.
+    let fsf = s(Taxon::FocusedShotFrozen);
+    assert!(fsf.active_commits.unwrap().max <= 3.0);
+    assert!(fsf.total_activity.unwrap().min >= 11.0);
+    // Moderate: ≥4 active, <90 activity.
+    let m = s(Taxon::Moderate);
+    assert!(m.active_commits.unwrap().min >= 4.0);
+    assert!(m.total_activity.unwrap().max < 90.0);
+    assert!(m.reeds.unwrap().max <= 2.0);
+    // FS&Low: 4–10 active, 1–2 reeds.
+    let fsl = s(Taxon::FocusedShotLow);
+    assert!(fsl.active_commits.unwrap().min >= 4.0);
+    assert!(fsl.active_commits.unwrap().max <= 10.0);
+    assert!(fsl.reeds.unwrap().min >= 1.0);
+    assert!(fsl.reeds.unwrap().max <= 2.0);
+    // Active: ≥90 activity unless carried by reeds>2 in the 4–10 band.
+    let a = s(Taxon::Active);
+    assert!(a.total_activity.unwrap().min >= 90.0);
+}
+
+#[test]
+fn statistical_battery_matches_section5() {
+    let (study, _) = paper_study();
+    // Paper: χ² = 178.22 / 175.27, df = 5, p < 2.2e-16.
+    assert_eq!(study.stats.kw_activity.df, 5);
+    assert!((study.stats.kw_activity.statistic - 178.22).abs() < 15.0);
+    assert!(study.stats.kw_activity.p_value < 2.2e-16);
+    assert!((study.stats.kw_active_commits.statistic - 175.27).abs() < 15.0);
+    assert!(study.stats.kw_active_commits.p_value < 2.2e-16);
+    // Paper: Shapiro–Wilk W = 0.24386, p < 2.2e-16.
+    assert!(study.stats.shapiro_activity.w < 0.45);
+    assert!(study.stats.shapiro_activity.p_value < 2.2e-16);
+}
+
+#[test]
+fn fig11_significance_pattern_matches() {
+    let (study, _) = paper_study();
+    let act = &study.stats.pairwise_activity;
+    let ac = &study.stats.pairwise_active_commits;
+    let labels = ["Alm. Frozen", "FShot+Frozen", "Moderate", "FShot+Low", "Active"];
+    // The paper's two non-significant cells...
+    assert!(act.get("Moderate", "FShot+Frozen").unwrap() > 0.05);
+    assert!(ac.get("Moderate", "FShot+Low").unwrap() > 0.05);
+    // ...and every other cell significant at 5%.
+    let pair_is = |a: &str, b: &str, x: &str, y: &str| {
+        (a == x && b == y) || (a == y && b == x)
+    };
+    for (i, a) in labels.iter().enumerate() {
+        for b in labels.iter().skip(i + 1) {
+            if !pair_is(a, b, "Moderate", "FShot+Frozen") {
+                let pa = act.get(a, b).unwrap();
+                assert!(pa < 0.05, "activity {a}~{b} p={pa}");
+            }
+            if !pair_is(a, b, "Moderate", "FShot+Low") {
+                let pc = ac.get(a, b).unwrap();
+                assert!(pc < 0.05, "active commits {a}~{b} p={pc}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reed_threshold_derivation_lands_near_14() {
+    let (study, _) = paper_study();
+    assert!(
+        (12..=16).contains(&study.derived_reed_threshold),
+        "derived {} (paper: 14)",
+        study.derived_reed_threshold
+    );
+    assert_eq!(study.used_reed_threshold, 14);
+}
+
+#[test]
+fn narrative_percentages_match_section4() {
+    let (study, _) = paper_study();
+    let n = &study.narrative;
+    let near = |got: f64, paper: f64, tol: f64| (got - paper).abs() <= tol;
+    assert!(near(n.rigid_pct_of_cloned, 40.0, 2.0), "{}", n.rigid_pct_of_cloned);
+    assert!(near(n.frozen_pct_of_cloned, 10.0, 2.0), "{}", n.frozen_pct_of_cloned);
+    assert!(near(n.almost_frozen_pct_of_cloned, 20.0, 2.0), "{}", n.almost_frozen_pct_of_cloned);
+    assert!(near(n.little_or_none_pct_of_cloned, 70.0, 3.0), "{}", n.little_or_none_pct_of_cloned);
+    assert!(near(n.zero_to_three_active_pct, 64.0, 6.0), "{}", n.zero_to_three_active_pct);
+    assert!(near(n.pup_over_24_pct, 65.0, 10.0), "{}", n.pup_over_24_pct);
+    assert!(near(n.pup_over_12_pct, 77.0, 10.0), "{}", n.pup_over_12_pct);
+}
+
+#[test]
+fn fig10_cloud_is_strongly_rank_correlated() {
+    // The Fig. 10 cloud rises to the upper right: more active commits, more
+    // activity. Quantified with Spearman's ρ.
+    let (study, _) = paper_study();
+    let s = study.stats.activity_ac_spearman;
+    assert!(s.rho > 0.6, "rho = {}", s.rho);
+    assert!(s.p_value < 1e-10);
+    assert_eq!(s.n, 195);
+}
+
+#[test]
+fn extension_studies_have_signal() {
+    let (study, _) = paper_study();
+    // FK extension: a substantial share of projects declare FKs, and some
+    // end with dangling references (the integrity-lapse phenomenon).
+    assert!(study.fk.projects_with_fks > 100);
+    assert!(study.fk.projects_with_dangling > 0);
+    assert!(study.fk.median_fk_table_pct > 10.0);
+    // Electrolysis: survivors outlive dead tables, and most dead tables
+    // were quiet (the pattern of the cited table-level studies).
+    let el = &study.electrolysis;
+    assert!(el.survivors + el.dead == el.tables);
+    assert!(el.tables > 1000);
+    assert!(
+        el.survivor_median_duration > el.dead_median_duration,
+        "survivors {} vs dead {}",
+        el.survivor_median_duration,
+        el.dead_median_duration
+    );
+    assert!(el.dead_quiet_pct > 50.0);
+    // The Electrolysis claim is statistical: fate and activity dependent.
+    let chi2 = study.fate_activity_chi2.expect("non-degenerate table");
+    assert_eq!(chi2.df, 1);
+    assert!(chi2.p_value < 0.01, "p = {}", chi2.p_value);
+}
+
+#[test]
+fn study_is_deterministic_for_a_seed() {
+    let (study, _) = paper_study();
+    let universe2 = generate(UniverseConfig::paper(2019));
+    let study2 = run_study(&universe2, StudyOptions::default());
+    assert_eq!(study.report, study2.report);
+    assert_eq!(study.profiles.len(), study2.profiles.len());
+    // Profiles are identical project-by-project (order may differ only if
+    // the funnel order differed — it cannot, the collection is a Vec).
+    for (a, b) in study.profiles.iter().zip(&study2.profiles) {
+        assert_eq!(a, b);
+    }
+    assert_eq!(
+        study.stats.kw_activity.statistic,
+        study2.stats.kw_activity.statistic
+    );
+}
+
+#[test]
+fn different_seeds_still_reproduce_the_shape() {
+    // The calibration must be robust to the seed, not a lucky draw.
+    let universe = generate(UniverseConfig::paper(7));
+    let study = run_study(&universe, StudyOptions::default());
+    assert_eq!(study.report.analyzed, 195);
+    assert!(study.stats.kw_activity.p_value < 1e-12);
+    assert!(study.stats.shapiro_activity.w < 0.5);
+    let med = |t: Taxon| {
+        study
+            .taxon_stats(t)
+            .total_activity
+            .map(|s| s.median)
+            .unwrap_or(0.0)
+    };
+    assert!(med(Taxon::AlmostFrozen) < med(Taxon::FocusedShotFrozen));
+    assert!(med(Taxon::Moderate) < med(Taxon::FocusedShotLow));
+    assert!(med(Taxon::FocusedShotLow) < med(Taxon::Active));
+}
