@@ -63,7 +63,7 @@ pub fn chi2_independence(table: &[Vec<u64>]) -> Result<Chi2Independence, Conting
         .map(|j| table.iter().map(|row| row[j]).sum::<u64>() as f64)
         .collect();
     let total: f64 = row_sums.iter().sum();
-    if row_sums.iter().any(|&s| s == 0.0) || col_sums.iter().any(|&s| s == 0.0) {
+    if row_sums.contains(&0.0) || col_sums.contains(&0.0) {
         return Err(ContingencyError::ZeroMarginal);
     }
     let mut statistic = 0.0;

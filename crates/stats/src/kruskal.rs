@@ -105,10 +105,16 @@ impl PairwiseMatrix {
 
 /// Compute all pairwise Kruskal–Wallis tests between labelled groups.
 ///
+/// A pair whose pooled observations are all identical carries no rank
+/// information, so the test cannot reject the null for it: the cell is
+/// recorded as `p = 1.0` rather than failing the matrix. (Degenerate
+/// pairs occur in tiny corpora where a whole taxon shares one value.)
+///
 /// # Errors
 ///
-/// Any pair failing ([`KruskalError`]) fails the whole computation — the
-/// caller should have filtered degenerate groups first.
+/// Any pair failing for a structural reason ([`KruskalError::EmptyGroup`])
+/// fails the whole computation — the caller should have filtered empty
+/// groups first.
 pub fn pairwise_kruskal(
     labelled: &[(String, Vec<f64>)],
 ) -> Result<PairwiseMatrix, KruskalError> {
@@ -116,9 +122,13 @@ pub fn pairwise_kruskal(
     let mut p = vec![vec![f64::NAN; k]; k];
     for i in 0..k {
         for j in (i + 1)..k {
-            let r = kruskal_wallis(&[&labelled[i].1, &labelled[j].1])?;
-            p[i][j] = r.p_value;
-            p[j][i] = r.p_value;
+            let p_value = match kruskal_wallis(&[&labelled[i].1, &labelled[j].1]) {
+                Ok(r) => r.p_value,
+                Err(KruskalError::AllIdentical) => 1.0,
+                Err(e) => return Err(e),
+            };
+            p[i][j] = p_value;
+            p[j][i] = p_value;
         }
     }
     Ok(PairwiseMatrix {
@@ -184,6 +194,20 @@ mod tests {
             kruskal_wallis(&[&[2.0, 2.0][..], &[2.0, 2.0][..]]),
             Err(KruskalError::AllIdentical)
         );
+    }
+
+    #[test]
+    fn pairwise_degenerate_pair_is_not_significant() {
+        // Two taxa sharing one constant value cannot be distinguished:
+        // the cell reads p = 1.0 instead of poisoning the whole matrix.
+        let groups = vec![
+            ("a".to_string(), vec![3.0, 3.0]),
+            ("b".to_string(), vec![3.0, 3.0]),
+            ("c".to_string(), vec![1.0, 9.0, 2.0]),
+        ];
+        let m = pairwise_kruskal(&groups).unwrap();
+        assert_eq!(m.get("a", "b"), Some(1.0));
+        assert!(m.get("a", "c").unwrap() < 1.0);
     }
 
     #[test]

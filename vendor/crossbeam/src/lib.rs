@@ -1,0 +1,185 @@
+//! Minimal stand-in for `crossbeam`: scoped threads (over
+//! `std::thread::scope`) and a task injector queue with the
+//! `crossbeam-deque` stealing vocabulary, used by the pipeline's
+//! work-stealing executor. Only the surface this workspace consumes is
+//! implemented.
+
+pub mod thread {
+    //! Scoped threads with the crossbeam calling convention: the spawn
+    //! closure receives the scope, and `scope` returns a `Result`.
+
+    /// Result of a scope: `Err` carries a child-thread panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A handle to the scope, passed to every spawned closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope, so it can
+        /// spawn siblings, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Create a scope: all threads spawned inside are joined before it
+    /// returns. A panic in a child is converted into `Err`, as crossbeam
+    /// does, by catching the scope's propagated unwind.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+        R: Send,
+    {
+        // Crossbeam's scope has no UnwindSafe bound; the catch_unwind here
+        // only converts child-thread panics (propagated by std's scope on
+        // join) into the `Err` arm, matching crossbeam's contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod deque {
+    //! A FIFO task injector with the crossbeam-deque stealing vocabulary.
+    //! The implementation is a mutex-protected ring buffer: at the task
+    //! granularity of this workspace (one mined project per task) the lock
+    //! is uncontended relative to task cost, and FIFO order keeps long
+    //! histories starting early.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A shared FIFO injector queue.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Create an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task to the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task);
+        }
+
+        /// Steal a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+            {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Number of queued tasks (a snapshot).
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is currently empty (a snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_children() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn injector_is_fifo_and_drains() {
+        let inj = deque::Injector::new();
+        for i in 0..10 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 10);
+        let mut got = Vec::new();
+        while let deque::Steal::Success(v) = inj.steal() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(inj.steal().is_empty());
+    }
+
+    #[test]
+    fn concurrent_steals_cover_all_tasks() {
+        let inj = std::sync::Arc::new(deque::Injector::new());
+        for i in 0..1000 {
+            inj.push(i);
+        }
+        let sum = AtomicUsize::new(0);
+        thread::scope(|s| {
+            for _ in 0..8 {
+                let inj = inj.clone();
+                let sum = &sum;
+                s.spawn(move |_| {
+                    while let deque::Steal::Success(v) = inj.steal() {
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+    }
+}

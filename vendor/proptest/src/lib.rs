@@ -1,0 +1,742 @@
+//! Minimal stand-in for `proptest`: deterministic random-input testing
+//! without shrinking. Strategies generate values directly from a seeded
+//! RNG; the `proptest!` macro runs each test body over `cases`
+//! independent inputs and panics with the case seed on failure.
+//!
+//! Supported surface (what this workspace uses): `proptest!` with an
+//! optional `proptest_config`, `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`, `Strategy::prop_map`, `Just`, `any`, integer and
+//! float range strategies, string strategies from a regex subset,
+//! `prop_oneof!` (weighted and unweighted), `collection::{vec,
+//! btree_map}`, and `option::of`.
+
+pub mod test_runner {
+    //! Case configuration and error plumbing for the `proptest!` macro.
+
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated inputs per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` inputs per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed: the test fails.
+        Fail(String),
+        /// A `prop_assume!` rejected the input: the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Fail the current case with a reason (upstream-compatible
+        /// constructor).
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Reject (skip) the current case.
+        pub fn reject(_reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic per-case seed: mixes the case index through
+    /// SplitMix64's increment so consecutive cases decorrelate.
+    pub fn case_seed(case: u32) -> u64 {
+        0x5eed_0000_0000_0000u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A type-erased strategy (cheap to clone).
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Weighted choice between erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    /// Numeric ranges are strategies: `0u32..12`, `0.01f64..50.0`, …
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Copy + rand::SampleUniform,
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Copy + rand::SampleUniform,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// String literals are strategies over a regex subset (see
+    /// [`crate::string_gen`]).
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string_gen::generate(self, rng)
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string_gen::generate(self, rng)
+        }
+    }
+
+    /// Tuples of strategies generate tuples of values.
+    macro_rules! tuple_strategy {
+        ($(($($t:ident . $n:tt),+))+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            rng.gen()
+        }
+    }
+
+    /// See [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod string_gen {
+    //! Generator for the regex subset used as string strategies:
+    //! literals, `[...]` classes with ranges, `\PC` (printable), and
+    //! `{n}` / `{n,m}` quantifiers on the preceding atom.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// Choose uniformly from these chars.
+        Class(Vec<char>),
+        /// Exactly this char.
+        Literal(char),
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing `]`
+                    Atom::Class(set)
+                }
+                '\\' => {
+                    // `\PC` (and `\pC`): "not a control char" — generate
+                    // printable ASCII plus a few multibyte scalars so the
+                    // lexer sees non-ASCII input too.
+                    if chars.get(i + 1).is_some_and(|c| *c == 'P' || *c == 'p') {
+                        i += 3; // `\`, `P`, `C`
+                        let mut set: Vec<char> = (' '..='~').collect();
+                        set.extend(['é', 'Ω', '本', '—', '¥']);
+                        Atom::Class(set)
+                    } else {
+                        let c = chars[i + 1];
+                        i += 2;
+                        Atom::Literal(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier on the atom just parsed.
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .expect("unclosed quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            atoms.push((atom, min, max));
+        }
+        atoms
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        for (atom, min, max) in parse(pattern) {
+            let count = if min == max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            };
+            for _ in 0..count {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A permitted size band for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            if self.min == self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..=self.max)
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut map = std::collections::BTreeMap::new();
+            // Duplicate keys collapse; retry a bounded number of times to
+            // approach the requested size.
+            let mut attempts = 0;
+            while map.len() < n && attempts < n * 4 + 8 {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            map
+        }
+    }
+
+    /// A strategy for maps whose entry count falls in `size` (duplicate
+    /// keys permitting).
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            // Match proptest's default: Some three times out of four.
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// A strategy yielding `Some(inner)` most of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod prelude {
+    //! The common imports: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// Namespaced module access mirroring upstream's `prelude::prop`
+    /// (e.g. `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    //! Macro runtime support: RNG re-exports so consumer crates need no
+    //! direct `rand` dependency.
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Run each contained test over many generated inputs. Accepts an
+/// optional leading `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal: expands each `fn name(arg in strategy, ...) { body }`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let __seed = $crate::test_runner::case_seed(__case);
+                let mut __rng =
+                    <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(__seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                match __outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case {} (seed {:#x}) failed: {}",
+                            __case, __seed, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case, not the
+/// process (until the runner reports it).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __a, __b
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if *__a == *__b {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a), stringify!($b), __a
+            )));
+        }
+    }};
+}
+
+/// Skip the current case when its input does not satisfy `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Choose between strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u32..10, b in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f), "f out of range: {}", f);
+        }
+
+        #[test]
+        fn regex_subset_shapes(s in "[a-z][a-z0-9_]{0,14}", t in "\\PC{0,200}") {
+            prop_assert!(!s.is_empty() && s.len() <= 15);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.chars().count() <= 200);
+            prop_assert!(t.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u64..40, 0u64..40), 0..50),
+            m in crate::collection::btree_map(0u32..8, crate::option::of(0u32..8), 1..5),
+            pick in prop_oneof![3 => Just(1u8), 1 => 10u8..20],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(v.len() < 50);
+            prop_assert!(!m.is_empty() && m.len() < 5);
+            prop_assert!(pick == 1 || (10..20).contains(&pick));
+            prop_assert!(usize::from(flag) <= 1, "bool strategy produced a bool");
+            // Exercise the reject path machinery with a condition that
+            // never actually rejects (v is generated with len < 50).
+            prop_assume!(v.len() < 51);
+            let doubled = (0u32..4).prop_map(|x| x * 2);
+            let d = {
+                let mut rng =
+                    <crate::__rt::StdRng as crate::__rt::SeedableRng>::seed_from_u64(7);
+                crate::strategy::Strategy::generate(&doubled, &mut rng)
+            };
+            prop_assert_eq!(d % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Minimal stand-in for `serde`: a value-tree data model instead of the
+//! visitor API. `Serialize` lowers a value into [`value::Value`];
+//! `Deserialize` lifts it back. The derive macros (feature `derive`,
+//! crate `serde_derive`) generate both impls for the struct and enum
+//! shapes used in this workspace, with serde's externally-tagged enum
+//! representation.
+
+pub mod value {
+    //! The self-describing value tree shared by `serde` and `serde_json`.
+
+    /// A dynamically-typed value (the JSON data model plus integer
+    /// fidelity).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// A boolean.
+        Bool(bool),
+        /// A signed integer (negative integers land here).
+        I64(i64),
+        /// An unsigned integer.
+        U64(u64),
+        /// A float.
+        F64(f64),
+        /// A string.
+        Str(String),
+        /// An ordered sequence.
+        Seq(Vec<Value>),
+        /// An ordered map with string keys (order = insertion order).
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The value as a map slice, if it is one.
+        pub fn as_map(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The value as a sequence, if it is one.
+        pub fn as_seq(&self) -> Option<&[Value]> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Look up a key in a map value.
+        pub fn get_field(&self, name: &str) -> Option<&Value> {
+            self.as_map()
+                .and_then(|m| m.iter().find(|(k, _)| k == name))
+                .map(|(_, v)| v)
+        }
+
+        /// The value as a `u64`, if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::U64(u) => Some(*u),
+                Value::I64(i) if *i >= 0 => Some(*i as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as an `i64`, if it is an in-range integer.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::I64(i) => Some(*i),
+                Value::U64(u) => i64::try_from(*u).ok(),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64`, if it is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::F64(f) => Some(*f),
+                Value::U64(u) => Some(*u as f64),
+                Value::I64(i) => Some(*i as f64),
+                _ => None,
+            }
+        }
+
+        /// The value as a string slice, if it is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a bool, if it is one.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The value as an array, if it is a sequence.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Whether the value is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Look up a key in a map value (serde_json surface).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.get_field(key)
+        }
+    }
+
+    static NULL: Value = Value::Null;
+
+    /// `value["key"]` — yields `Null` for missing keys, like serde_json.
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+
+        fn index(&self, key: &str) -> &Value {
+            self.get_field(key).unwrap_or(&NULL)
+        }
+    }
+
+    /// `value[3]` — yields `Null` out of bounds, like serde_json.
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+
+        fn index(&self, idx: usize) -> &Value {
+            self.as_seq().and_then(|s| s.get(idx)).unwrap_or(&NULL)
+        }
+    }
+}
+
+pub mod ser {
+    //! Serialization: lowering into the value tree.
+
+    use super::value::Value;
+
+    /// Types that can lower themselves into a [`Value`].
+    pub trait Serialize {
+        /// Produce the value tree of `self`.
+        fn to_value(&self) -> Value;
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+
+    /// A value tree is already in lowered form.
+    impl Serialize for Value {
+        fn to_value(&self) -> Value {
+            self.clone()
+        }
+    }
+
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+
+    macro_rules! ser_uint {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value { Value::U64(*self as u64) }
+            }
+        )*};
+    }
+    ser_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value {
+                    let v = *self as i64;
+                    if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+                }
+            }
+        )*};
+    }
+    ser_int!(i8, i16, i32, i64, isize);
+
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::F64(*self)
+        }
+    }
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::F64(*self as f64)
+        }
+    }
+
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            self.as_slice().to_value()
+        }
+    }
+
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Seq(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_value(&self) -> Value {
+            self.as_slice().to_value()
+        }
+    }
+
+    macro_rules! ser_tuple {
+        ($(($($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Seq(vec![$(self.$n.to_value()),+])
+                }
+            }
+        )+};
+    }
+    ser_tuple! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+
+    impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+        fn to_value(&self) -> Value {
+            // Deterministic export: sort by key.
+            let mut entries: Vec<(&String, &V)> = self.iter().collect();
+            entries.sort_by(|a, b| a.0.cmp(b.0));
+            Value::Map(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k.clone(), v.to_value()))
+                    .collect(),
+            )
+        }
+    }
+
+    impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+        fn to_value(&self) -> Value {
+            Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization: lifting out of the value tree.
+
+    use super::value::Value;
+    use std::fmt;
+
+    /// A deserialization error: a human-readable path + cause.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Build an error from a message.
+        pub fn new(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Types that can lift themselves out of a [`Value`].
+    pub trait Deserialize: Sized {
+        /// Parse `self` from a value tree.
+        fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    /// Look up and deserialize a struct field.
+    pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match map.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| Error::new(format!("field `{name}`: {e}"))),
+            None => T::from_value(&Value::Null)
+                .map_err(|_| Error::new(format!("missing field `{name}`"))),
+        }
+    }
+
+    impl Deserialize for Value {
+        fn from_value(v: &Value) -> Result<Value, Error> {
+            Ok(v.clone())
+        }
+    }
+
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<bool, Error> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(Error::new("expected bool")),
+            }
+        }
+    }
+
+    macro_rules! de_uint {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<$t, Error> {
+                    let u = match v {
+                        Value::U64(u) => *u,
+                        Value::I64(i) if *i >= 0 => *i as u64,
+                        _ => return Err(Error::new("expected unsigned integer")),
+                    };
+                    <$t>::try_from(u).map_err(|_| Error::new("integer out of range"))
+                }
+            }
+        )*};
+    }
+    de_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! de_int {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<$t, Error> {
+                    let i = match v {
+                        Value::I64(i) => *i,
+                        Value::U64(u) => i64::try_from(*u)
+                            .map_err(|_| Error::new("integer out of range"))?,
+                        _ => return Err(Error::new("expected integer")),
+                    };
+                    <$t>::try_from(i).map_err(|_| Error::new("integer out of range"))
+                }
+            }
+        )*};
+    }
+    de_int!(i8, i16, i32, i64, isize);
+
+    impl Deserialize for f64 {
+        fn from_value(v: &Value) -> Result<f64, Error> {
+            match v {
+                Value::F64(f) => Ok(*f),
+                Value::U64(u) => Ok(*u as f64),
+                Value::I64(i) => Ok(*i as f64),
+                // JSON has no NaN literal; serialization writes it as null.
+                Value::Null => Ok(f64::NAN),
+                _ => Err(Error::new("expected number")),
+            }
+        }
+    }
+
+    impl Deserialize for f32 {
+        fn from_value(v: &Value) -> Result<f32, Error> {
+            f64::from_value(v).map(|f| f as f32)
+        }
+    }
+
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<String, Error> {
+            match v {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(Error::new("expected string")),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Option<T>, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Vec<T>, Error> {
+            match v {
+                Value::Seq(items) => items.iter().map(T::from_value).collect(),
+                _ => Err(Error::new("expected sequence")),
+            }
+        }
+    }
+
+    impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+        fn from_value(v: &Value) -> Result<[T; N], Error> {
+            let items = v.as_seq().ok_or_else(|| Error::new("expected sequence"))?;
+            if items.len() != N {
+                return Err(Error::new(format!("expected {N} elements")));
+            }
+            let mut out = [T::default(); N];
+            for (slot, item) in out.iter_mut().zip(items) {
+                *slot = T::from_value(item)?;
+            }
+            Ok(out)
+        }
+    }
+
+    macro_rules! de_tuple {
+        ($(($len:expr; $($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<($($t,)+), Error> {
+                    let items = v.as_seq().ok_or_else(|| Error::new("expected tuple sequence"))?;
+                    if items.len() != $len {
+                        return Err(Error::new("tuple arity mismatch"));
+                    }
+                    Ok(($($t::from_value(&items[$n])?,)+))
+                }
+            }
+        )+};
+    }
+    de_tuple! {
+        (1; 0 A)
+        (2; 0 A, 1 B)
+        (3; 0 A, 1 B, 2 C)
+        (4; 0 A, 1 B, 2 C, 3 D)
+    }
+
+    impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let map = v.as_map().ok_or_else(|| Error::new("expected map"))?;
+            map.iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect()
+        }
+    }
+
+    impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let map = v.as_map().ok_or_else(|| Error::new("expected map"))?;
+            map.iter()
+                .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+                .collect()
+        }
+    }
+}
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(42u64.to_value(), Value::U64(42));
+        assert_eq!((-3i64).to_value(), Value::I64(-3));
+        assert_eq!(3i64.to_value(), Value::U64(3));
+        assert_eq!(u64::from_value(&Value::U64(42)).unwrap(), 42);
+        assert_eq!(i64::from_value(&Value::I64(-3)).unwrap(), -3);
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let tree = v.to_value();
+        let back: Vec<(u64, String)> = Vec::from_value(&tree).unwrap();
+        assert_eq!(back, v);
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+    }
+}

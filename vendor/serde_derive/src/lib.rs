@@ -1,0 +1,474 @@
+//! Minimal stand-in for `serde_derive`. Parses the annotated type with
+//! raw `proc_macro::TokenTree` iteration (no syn/quote available
+//! offline) and emits `serde::Serialize` / `serde::Deserialize` impls
+//! over the value-tree model in the vendored `serde`.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (plain or lifetime-generic)
+//! - tuple structs (newtypes serialize transparently; longer tuples as
+//!   sequences)
+//! - unit structs
+//! - enums with unit variants, tuple variants, and struct variants,
+//!   in serde's externally-tagged representation
+//!
+//! `#[serde(...)]` attributes are NOT interpreted (the workspace does
+//! not use any).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (None for tuple fields) and type text. The
+/// type text is parsed for shape detection but unused by the generated
+/// code, which relies on inference.
+struct Field {
+    name: Option<String>,
+    #[allow(dead_code)]
+    ty: String,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+/// The parsed shape of the annotated item.
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Generics text as written, e.g. `<'a>` or `` (empty).
+    generics: String,
+    /// Generics for the impl header with bounds stripped of defaults.
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes `#[...]` and visibility / other modifiers
+    // until the `struct` / `enum` keyword.
+    let mut is_enum = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1, // pub, crate, etc.
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Capture generics text between the name and the body. Lifetimes and
+    // type params appear as loose punct/ident tokens; `<`/`>` track depth.
+    let mut generic_toks: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0;
+            while i < tokens.len() {
+                let tok = &tokens[i];
+                if let TokenTree::Punct(p) = tok {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generic_toks.push(tok.clone());
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    let generics = tokens_to_string(&generic_toks);
+
+    // Body: a brace group (named struct / enum), a paren group followed
+    // by `;` (tuple struct), or a bare `;` (unit struct).
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g.stream()))
+            } else {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(parse_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("unsupported item body: {other:?}"),
+    };
+
+    Item {
+        name,
+        generics: generics.trim().to_string(),
+        shape,
+    }
+}
+
+/// Split a field-list token stream on top-level commas. `Group` trees
+/// hide `()`/`[]`/`{}` nesting, so only `<`/`>` depth needs tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(tok);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Drop leading `#[...]` attributes and visibility tokens.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc: skip the paren group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Render tokens with a space between trees EXCEPT after a joint punct
+/// (so `'a` and `::` stay glued together).
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for tok in tokens {
+        out.push_str(&tok.to_string());
+        match tok {
+            TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint => {}
+            _ => out.push(' '),
+        }
+    }
+    out.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|raw| {
+            let toks = strip_attrs_and_vis(&raw);
+            if toks.is_empty() {
+                return None;
+            }
+            // `name : Type...`
+            let name = match &toks[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name, found {other}"),
+            };
+            let ty = tokens_to_string(&toks[2..]);
+            Some(Field {
+                name: Some(name),
+                ty,
+            })
+        })
+        .collect()
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|raw| {
+            let toks = strip_attrs_and_vis(&raw);
+            if toks.is_empty() {
+                return None;
+            }
+            Some(Field {
+                name: None,
+                ty: tokens_to_string(toks),
+            })
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .into_iter()
+        .filter_map(|raw| {
+            let toks = strip_attrs_and_vis(&raw);
+            if toks.is_empty() {
+                return None;
+            }
+            let name = match &toks[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected variant name, found {other}"),
+            };
+            let kind = match toks.get(1) {
+                None => VariantKind::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(parse_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Struct(parse_named_fields(g.stream()))
+                }
+                // `= discriminant` — treat as unit.
+                Some(_) => VariantKind::Unit,
+            };
+            Some(Variant { name, kind })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// `impl <'a> Serialize for Foo <'a>`-style header pieces.
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {} for {}", trait_path, item.name)
+    } else {
+        format!(
+            "impl {} {} for {} {}",
+            item.generics, trait_path, item.name, item.generics
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!(
+                        "(\"{n}\".to_string(), serde::ser::Serialize::to_value(&self.{n}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::value::Value::Map(vec![{entries}])")
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => {
+            // Newtype: transparent.
+            "serde::ser::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::TupleStruct(fields) => {
+            let entries = (0..fields.len())
+                .map(|i| format!("serde::ser::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::value::Value::Seq(vec![{entries}])")
+        }
+        Shape::UnitStruct => "serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| gen_serialize_variant(&item.name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "{header} {{\n fn to_value(&self) -> serde::value::Value {{\n {body}\n }}\n }}",
+        header = impl_header(item, "serde::ser::Serialize")
+    )
+}
+
+fn gen_serialize_variant(type_name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => format!(
+            "{type_name}::{vname} => serde::value::Value::Str(\"{vname}\".to_string()),"
+        ),
+        VariantKind::Tuple(fields) if fields.len() == 1 => format!(
+            "{type_name}::{vname}(f0) => serde::value::Value::Map(vec![(\"{vname}\".to_string(), serde::ser::Serialize::to_value(f0))]),"
+        ),
+        VariantKind::Tuple(fields) => {
+            let binds = (0..fields.len())
+                .map(|i| format!("f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let elems = (0..fields.len())
+                .map(|i| format!("serde::ser::Serialize::to_value(f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{type_name}::{vname}({binds}) => serde::value::Value::Map(vec![(\"{vname}\".to_string(), serde::value::Value::Seq(vec![{elems}]))]),"
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields
+                .iter()
+                .map(|f| f.name.clone().unwrap())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!("(\"{n}\".to_string(), serde::ser::Serialize::to_value({n}))")
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{type_name}::{vname} {{ {binds} }} => serde::value::Value::Map(vec![(\"{vname}\".to_string(), serde::value::Value::Map(vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    // Deserialize is only derivable for non-borrowing types; the
+    // workspace never derives it on lifetime-generic types.
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!("{n}: serde::de::field(__map, \"{n}\")?,")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| serde::de::Error::new(\"expected map for struct `{name}`\"))?;\n Ok({name} {{\n {inits}\n }})",
+                name = item.name
+            )
+        }
+        Shape::TupleStruct(fields) if fields.len() == 1 => format!(
+            "Ok({name}(serde::de::Deserialize::from_value(__v)?))",
+            name = item.name
+        ),
+        Shape::TupleStruct(fields) => {
+            let n = fields.len();
+            let elems = (0..n)
+                .map(|i| format!("serde::de::Deserialize::from_value(&__seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| serde::de::Error::new(\"expected sequence\"))?;\n if __seq.len() != {n} {{ return Err(serde::de::Error::new(\"tuple struct arity mismatch\")); }}\n Ok({name}({elems}))",
+                name = item.name
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})", name = item.name),
+        Shape::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => return Ok({name}::{vname}),",
+                        vname = v.name,
+                        name = item.name
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| gen_deserialize_tagged_variant(&item.name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "if let serde::value::Value::Str(__s) = __v {{\n match __s.as_str() {{\n {unit_arms}\n _ => return Err(serde::de::Error::new(format!(\"unknown variant `{{__s}}`\"))),\n }}\n }}\n if let Some(__map) = __v.as_map() {{\n if let Some((__tag, __inner)) = __map.first() {{\n match __tag.as_str() {{\n {tagged_arms}\n _ => return Err(serde::de::Error::new(format!(\"unknown variant `{{__tag}}`\"))),\n }}\n }}\n }}\n Err(serde::de::Error::new(\"expected enum representation\"))"
+            )
+        }
+    };
+    format!(
+        "{header} {{\n fn from_value(__v: &serde::value::Value) -> std::result::Result<Self, serde::de::Error> {{\n {body}\n }}\n }}",
+        header = impl_header(item, "serde::de::Deserialize")
+    )
+}
+
+fn gen_deserialize_tagged_variant(type_name: &str, v: &Variant) -> Option<String> {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => None,
+        VariantKind::Tuple(fields) if fields.len() == 1 => Some(format!(
+            "\"{vname}\" => return Ok({type_name}::{vname}(serde::de::Deserialize::from_value(__inner)?)),"
+        )),
+        VariantKind::Tuple(fields) => {
+            let n = fields.len();
+            let elems = (0..n)
+                .map(|i| format!("serde::de::Deserialize::from_value(&__inner_seq[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            Some(format!(
+                "\"{vname}\" => {{\n let __inner_seq = __inner.as_seq().ok_or_else(|| serde::de::Error::new(\"expected sequence\"))?;\n if __inner_seq.len() != {n} {{ return Err(serde::de::Error::new(\"variant arity mismatch\")); }}\n return Ok({type_name}::{vname}({elems}));\n }}"
+            ))
+        }
+        VariantKind::Struct(fields) => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    let n = f.name.as_ref().unwrap();
+                    format!("{n}: serde::de::field(__inner_map, \"{n}\")?,")
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            Some(format!(
+                "\"{vname}\" => {{\n let __inner_map = __inner.as_map().ok_or_else(|| serde::de::Error::new(\"expected map\"))?;\n return Ok({type_name}::{vname} {{ {inits} }});\n }}"
+            ))
+        }
+    }
+}
