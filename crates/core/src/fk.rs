@@ -10,7 +10,7 @@
 //!    or missing columns) — the "lack of integrity constraints" the earlier
 //!    literature reports?
 
-use crate::diff::diff;
+use crate::diff::SchemaDelta;
 use crate::model::SchemaHistory;
 use schevo_ddl::Schema;
 use serde::{Deserialize, Serialize};
@@ -90,8 +90,20 @@ impl FkProfile {
     }
 }
 
-/// Compute the FK profile of a history.
-pub fn fk_profile(history: &SchemaHistory) -> FkProfile {
+/// Compute the FK profile of a history from precomputed transition
+/// deltas (one per transition, in transition order — see
+/// [`crate::measures::compute_deltas`]).
+///
+/// # Panics
+///
+/// Panics when `deltas.len()` differs from the history's transition
+/// count.
+pub fn fk_profile_with(history: &SchemaHistory, deltas: &[SchemaDelta]) -> FkProfile {
+    assert_eq!(
+        deltas.len(),
+        history.transition_count(),
+        "one delta per transition"
+    );
     let mut profile = FkProfile {
         start: history
             .v0()
@@ -104,8 +116,7 @@ pub fn fk_profile(history: &SchemaHistory) -> FkProfile {
         transitions: history.transition_count(),
         ..Default::default()
     };
-    for (_, old, new) in history.transitions() {
-        let d = diff(&old.schema, &new.schema);
+    for d in deltas {
         // Count only FK changes on *surviving* tables (as the diff does);
         // FKs born with a whole table or removed with one follow the table.
         if !d.fk_added.is_empty() || !d.fk_removed.is_empty() {
@@ -115,6 +126,11 @@ pub fn fk_profile(history: &SchemaHistory) -> FkProfile {
         profile.fk_deaths += d.fk_removed.len();
     }
     profile
+}
+
+/// Compute the FK profile of a history.
+pub fn fk_profile(history: &SchemaHistory) -> FkProfile {
+    fk_profile_with(history, &crate::measures::compute_deltas(history))
 }
 
 /// Corpus-level aggregate over many FK profiles.

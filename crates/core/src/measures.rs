@@ -51,18 +51,49 @@ impl TransitionMeasure {
     }
 }
 
-/// Run the measurement pass over a whole history.
+/// Diff every transition of a history, in order.
 ///
-/// Returns one [`TransitionMeasure`] per transition, in order. A
-/// history-less project yields an empty vector.
-pub fn measure_history(history: &SchemaHistory) -> Vec<TransitionMeasure> {
+/// This is the shared input to the measurement pass and the extension
+/// studies ([`crate::fk::fk_profile_with`],
+/// [`crate::tables::table_lives_with`]): computing the deltas once and
+/// fanning them out replaces three independent diff passes per history,
+/// and lets callers substitute cached deltas (the pipeline's
+/// content-addressed diff cache does exactly that).
+pub fn compute_deltas(history: &SchemaHistory) -> Vec<SchemaDelta> {
+    history
+        .transitions()
+        .map(|(_, old, new)| diff(&old.schema, &new.schema))
+        .collect()
+}
+
+/// Run the measurement pass over a whole history using precomputed
+/// transition deltas (one per transition, in transition order).
+///
+/// The deltas are moved into the returned measures, so callers that
+/// already hold them pay no extra diff or clone.
+///
+/// # Panics
+///
+/// Panics when `deltas.len()` differs from the history's transition
+/// count.
+pub fn measure_history_with(
+    history: &SchemaHistory,
+    deltas: Vec<SchemaDelta>,
+) -> Vec<TransitionMeasure> {
     let Some(v0) = history.v0() else {
+        assert!(deltas.is_empty(), "deltas for an empty history");
         return Vec::new();
     };
+    assert_eq!(
+        deltas.len(),
+        history.transition_count(),
+        "one delta per transition"
+    );
     let origin = v0.meta.timestamp;
     history
         .transitions()
-        .map(|(id, old, new)| TransitionMeasure {
+        .zip(deltas)
+        .map(|((id, old, new), delta)| TransitionMeasure {
             transition_id: id,
             commit: new.meta.id.clone(),
             timestamp: new.meta.timestamp,
@@ -71,9 +102,17 @@ pub fn measure_history(history: &SchemaHistory) -> Vec<TransitionMeasure> {
             running_year: new.meta.timestamp.running_year(origin),
             size_before: (old.schema.table_count(), old.schema.attribute_count()),
             size_after: (new.schema.table_count(), new.schema.attribute_count()),
-            delta: diff(&old.schema, &new.schema),
+            delta,
         })
         .collect()
+}
+
+/// Run the measurement pass over a whole history.
+///
+/// Returns one [`TransitionMeasure`] per transition, in order. A
+/// history-less project yields an empty vector.
+pub fn measure_history(history: &SchemaHistory) -> Vec<TransitionMeasure> {
+    measure_history_with(history, compute_deltas(history))
 }
 
 /// Aggregate transition measures into per-month `(month, expansion,

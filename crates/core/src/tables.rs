@@ -56,12 +56,27 @@ impl TableLife {
     }
 }
 
-/// Compute the lives of every table that ever appeared in the history.
+/// Compute the lives of every table from precomputed transition deltas
+/// (one per transition, in transition order — see
+/// [`crate::measures::compute_deltas`]).
 ///
 /// A table that is dropped and later re-created under the same name gets
 /// **two** lives (matching the table-level studies, which treat re-creation
 /// as a new biography).
-pub fn table_lives(history: &SchemaHistory) -> Vec<TableLife> {
+///
+/// # Panics
+///
+/// Panics when `deltas.len()` differs from the history's transition
+/// count.
+pub fn table_lives_with(
+    history: &SchemaHistory,
+    deltas: &[crate::diff::SchemaDelta],
+) -> Vec<TableLife> {
+    assert_eq!(
+        deltas.len(),
+        history.transition_count(),
+        "one delta per transition"
+    );
     let mut lives: Vec<TableLife> = Vec::new();
     // Open lives by table name → index into `lives`.
     let mut open: HashMap<String, usize> = HashMap::new();
@@ -88,8 +103,7 @@ pub fn table_lives(history: &SchemaHistory) -> Vec<TableLife> {
         });
     }
 
-    for (idx, old, new) in history.transitions() {
-        let delta = crate::diff::diff(&old.schema, &new.schema);
+    for ((idx, old, new), delta) in history.transitions().zip(deltas) {
         // Deaths.
         for dead_name in &delta.tables_deleted {
             if let Some(i) = open.remove(dead_name) {
@@ -158,6 +172,11 @@ pub fn table_lives(history: &SchemaHistory) -> Vec<TableLife> {
         life.duration_days = end_ts.days_since(life.born_at).max(0);
     }
     lives
+}
+
+/// Compute the lives of every table that ever appeared in the history.
+pub fn table_lives(history: &SchemaHistory) -> Vec<TableLife> {
+    table_lives_with(history, &crate::measures::compute_deltas(history))
 }
 
 /// The four Electrolysis quadrants: duration (short/long, split at the

@@ -1,0 +1,365 @@
+//! The mining execution layer: a work-stealing executor plus a
+//! content-addressed parse/diff cache.
+//!
+//! ## Executor
+//!
+//! [`execute_ordered`] replaces static chunking: every task (one
+//! candidate history) goes into a shared [`crossbeam::deque::Injector`],
+//! workers steal tasks one at a time, and results flow back over a
+//! channel tagged with their task index. The caller reassembles them
+//! into input order, so the output is **deterministic regardless of
+//! worker count or scheduling** — long histories no longer serialize a
+//! whole chunk behind them.
+//!
+//! ## Cache
+//!
+//! [`MineCaches`] keys parses by the SHA-1 of the DDL blob and diffs by
+//! the digest *pair* of the two versions. DDL files change rarely
+//! relative to history length, and generated corpora share blobs across
+//! projects, so repeated content parses once and identical version
+//! pairs diff once. Both `parse_schema` and `diff` are pure functions
+//! of blob content, so cached and uncached runs are bit-identical — the
+//! differential test suite (`tests/differential_parallel.rs`) enforces
+//! this.
+//!
+//! [`ExecStats`] reports hit/miss counters and per-stage timings so the
+//! cache's payoff is observable from `StudyResult`.
+
+use parking_lot::RwLock;
+use schevo_core::diff::{diff, SchemaDelta};
+use schevo_ddl::{parse_schema, Schema};
+use schevo_vcs::sha1::Digest;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Execution options of a mining pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads (clamped to `1..=32` and to the task count).
+    pub workers: usize,
+    /// Whether the content-addressed parse/diff cache is consulted.
+    pub cache: bool,
+}
+
+/// Default worker count: one per available hardware thread. Results are
+/// identical for every worker count, so the default only tunes speed —
+/// on a single-core host it degenerates to the serial fast path.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+        .clamp(1, 32)
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            workers: default_workers(),
+            cache: true,
+        }
+    }
+}
+
+/// Observability counters of one mining pass. Timings are summed across
+/// workers (CPU time, not wall time) except `wall_nanos`; counter values
+/// vary with scheduling and are therefore *excluded* from the
+/// differential equality contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Tasks submitted (candidates, including ones that failed to parse).
+    pub tasks: usize,
+    /// Parse-cache hits (0 when the cache is disabled).
+    pub parse_hits: u64,
+    /// Parse-cache misses, i.e. actual `parse_schema` invocations under
+    /// caching; equals total version count when the cache is disabled.
+    pub parse_misses: u64,
+    /// Diff-cache hits (0 when the cache is disabled).
+    pub diff_hits: u64,
+    /// Diff-cache misses, i.e. actual `diff` invocations under caching;
+    /// equals total transition count when the cache is disabled.
+    pub diff_misses: u64,
+    /// Nanoseconds spent parsing (summed across workers).
+    pub parse_nanos: u64,
+    /// Nanoseconds spent diffing (summed across workers).
+    pub diff_nanos: u64,
+    /// Nanoseconds spent building profiles/extensions (summed across
+    /// workers).
+    pub profile_nanos: u64,
+    /// Wall-clock nanoseconds of the whole pass.
+    pub wall_nanos: u64,
+    /// Whether the cache was enabled for the pass.
+    pub cache_enabled: bool,
+}
+
+/// Shared atomic counters the workers write into.
+#[derive(Debug, Default)]
+pub(crate) struct ExecCounters {
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
+    diff_hits: AtomicU64,
+    diff_misses: AtomicU64,
+    parse_nanos: AtomicU64,
+    diff_nanos: AtomicU64,
+    profile_nanos: AtomicU64,
+}
+
+impl ExecCounters {
+    pub(crate) fn add_parse_nanos(&self, start: Instant) {
+        self.parse_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_diff_nanos(&self, start: Instant) {
+        self.diff_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_profile_nanos(&self, start: Instant) {
+        self.profile_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_parse(&self, hit: bool) {
+        let c = if hit { &self.parse_hits } else { &self.parse_misses };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_diff(&self, hit: bool) {
+        let c = if hit { &self.diff_hits } else { &self.diff_misses };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freeze the counters into the public stats block.
+    pub(crate) fn snapshot(
+        &self,
+        workers: usize,
+        tasks: usize,
+        cache_enabled: bool,
+        wall: Instant,
+    ) -> ExecStats {
+        ExecStats {
+            workers,
+            tasks,
+            parse_hits: self.parse_hits.load(Ordering::Relaxed),
+            parse_misses: self.parse_misses.load(Ordering::Relaxed),
+            diff_hits: self.diff_hits.load(Ordering::Relaxed),
+            diff_misses: self.diff_misses.load(Ordering::Relaxed),
+            parse_nanos: self.parse_nanos.load(Ordering::Relaxed),
+            diff_nanos: self.diff_nanos.load(Ordering::Relaxed),
+            profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
+            wall_nanos: wall.elapsed().as_nanos() as u64,
+            cache_enabled,
+        }
+    }
+}
+
+/// Content-addressed caches shared by all workers of one mining pass.
+///
+/// Parses are keyed by the SHA-1 of the blob; a `None` value records
+/// that the blob does not parse (failure is as deterministic as
+/// success, so it is cached too). Diffs are keyed by the `(old, new)`
+/// digest pair. Lookups take the read lock; a miss recomputes outside
+/// any lock and inserts under the write lock, so a racing duplicate
+/// computation is possible but harmless — both compute the same value.
+#[derive(Debug, Default)]
+pub(crate) struct MineCaches {
+    parse: RwLock<HashMap<Digest, Option<Schema>>>,
+    diff: RwLock<HashMap<(Digest, Digest), SchemaDelta>>,
+}
+
+impl MineCaches {
+    /// Parse `content` through the cache. Returns `None` when the blob
+    /// is unparseable.
+    pub(crate) fn parse(
+        &self,
+        digest: Digest,
+        content: &str,
+        counters: &ExecCounters,
+    ) -> Option<Schema> {
+        if let Some(cached) = self.parse.read().get(&digest) {
+            counters.count_parse(true);
+            return cached.clone();
+        }
+        counters.count_parse(false);
+        let parsed = parse_schema(content).ok();
+        self.parse.write().insert(digest, parsed.clone());
+        parsed
+    }
+
+    /// Diff two schemas through the cache, keyed by their blob digests.
+    pub(crate) fn diff(
+        &self,
+        key: (Digest, Digest),
+        old: &Schema,
+        new: &Schema,
+        counters: &ExecCounters,
+    ) -> SchemaDelta {
+        if let Some(cached) = self.diff.read().get(&key) {
+            counters.count_diff(true);
+            return cached.clone();
+        }
+        counters.count_diff(false);
+        let delta = diff(old, new);
+        self.diff.write().insert(key, delta.clone());
+        delta
+    }
+}
+
+/// Work-stealing parallel map preserving input order.
+///
+/// Task indices are pushed into a shared injector; `workers` scoped
+/// threads steal one index at a time, run `work`, and send
+/// `(index, result)` back over a channel. The caller thread reassembles
+/// results into their input slots, so the returned vector matches
+/// `items` positionally no matter how tasks interleave. With one worker
+/// (or one item) the map degenerates to a serial loop with no threads.
+pub fn execute_ordered<T, R, F>(items: &[T], workers: usize, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.clamp(1, 32).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+    }
+    let injector = crossbeam::deque::Injector::new();
+    for idx in 0..items.len() {
+        injector.push(idx);
+    }
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let scope_result = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                let injector = &injector;
+                let work = &work;
+                scope.spawn(move |_| loop {
+                    match injector.steal() {
+                        crossbeam::deque::Steal::Success(idx) => {
+                            // A dropped receiver means the caller is gone
+                            // (sibling panic); stop stealing.
+                            if tx.send((idx, work(idx, &items[idx]))).is_err() {
+                                break;
+                            }
+                        }
+                        crossbeam::deque::Steal::Empty => break,
+                        crossbeam::deque::Steal::Retry => continue,
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (idx, result) in rx {
+            slots[idx] = Some(result);
+        }
+        // The receive loop only ends once every sender is dropped, so the
+        // joins below never block. A panicked worker has left its task's
+        // slot unfilled — surface the worker's own panic payload, not a
+        // misleading missing-slot assertion.
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every stolen task reports exactly once"))
+            .collect()
+    });
+    match scope_result {
+        Ok(results) => results,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_output_for_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 3, 8, 33, usize::MAX] {
+            let out = execute_ordered(&items, workers, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_payload_propagates() {
+        let items: Vec<usize> = (0..50).collect();
+        let caught = std::panic::catch_unwind(|| {
+            execute_ordered(&items, 4, |_, &x| {
+                if x == 17 {
+                    panic!("task 17 exploded");
+                }
+                x
+            })
+        })
+        .expect_err("executor must propagate the worker panic");
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| caught.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("task 17 exploded"),
+            "original panic payload lost: {msg:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let none: Vec<u32> = Vec::new();
+        assert!(execute_ordered(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(execute_ordered(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parse_cache_hits_on_repeat_content() {
+        use schevo_vcs::sha1::sha1;
+        let caches = MineCaches::default();
+        let counters = ExecCounters::default();
+        let sql = "CREATE TABLE t (a INT);";
+        let d = sha1(sql.as_bytes());
+        let first = caches.parse(d, sql, &counters);
+        let second = caches.parse(d, sql, &counters);
+        assert_eq!(first, second);
+        assert!(first.is_some());
+        // Unparseable content is cached as a failure.
+        let bad = "CREATE TABLE t (a INT); '";
+        let bd = sha1(bad.as_bytes());
+        assert!(caches.parse(bd, bad, &counters).is_none());
+        assert!(caches.parse(bd, bad, &counters).is_none());
+        let stats = counters.snapshot(1, 0, true, Instant::now());
+        assert_eq!(stats.parse_hits, 2);
+        assert_eq!(stats.parse_misses, 2);
+    }
+
+    #[test]
+    fn diff_cache_returns_identical_delta() {
+        use schevo_vcs::sha1::sha1;
+        let caches = MineCaches::default();
+        let counters = ExecCounters::default();
+        let a = parse_schema("CREATE TABLE t (a INT);").unwrap();
+        let b = parse_schema("CREATE TABLE t (a INT, b INT);").unwrap();
+        let key = (sha1(b"a"), sha1(b"b"));
+        let miss = caches.diff(key, &a, &b, &counters);
+        let hit = caches.diff(key, &a, &b, &counters);
+        assert_eq!(miss, hit);
+        assert_eq!(miss, diff(&a, &b));
+        let stats = counters.snapshot(1, 0, true, Instant::now());
+        assert_eq!((stats.diff_hits, stats.diff_misses), (1, 1));
+    }
+}

@@ -1,12 +1,23 @@
 //! Parallel measurement of funnel candidates: parse every version, diff
 //! every transition, and build per-project evolution profiles.
+//!
+//! The parallel entry points run on the work-stealing executor of
+//! [`crate::exec`]: one task per candidate history, stolen from a shared
+//! injector, with results reassembled in candidate order so the output
+//! is identical for every worker count. With caching enabled, blob
+//! parses and version-pair diffs are shared across candidates through
+//! the content-addressed [`crate::exec::MineCaches`].
 
+use crate::exec::{execute_ordered, ExecCounters, ExecOptions, ExecStats, MineCaches};
 use crate::funnel::CandidateHistory;
-use schevo_core::fk::{fk_profile, FkProfile};
-use schevo_core::model::SchemaHistory;
+use schevo_core::diff::{diff, SchemaDelta};
+use schevo_core::fk::{fk_profile, fk_profile_with, FkProfile};
+use schevo_core::measures::measure_history_with;
+use schevo_core::model::{CommitMeta, SchemaHistory, SchemaVersion};
 use schevo_core::profile::{EvolutionProfile, ProjectContext};
-use schevo_core::tables::{table_lives, TableLife};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use schevo_core::tables::{table_lives, table_lives_with, TableLife};
+use schevo_vcs::sha1::{sha1, Digest};
+use std::time::Instant;
 
 /// Everything one mining pass produces for a project: the paper's profile
 /// plus the two extension studies (foreign keys, table lives).
@@ -61,39 +72,145 @@ pub fn mine_extended(candidate: &CandidateHistory, reed_threshold: u64) -> Optio
     })
 }
 
-/// Mine all candidates in parallel (crossbeam scoped threads, one chunk per
-/// worker), producing profiles plus extension records. Order of the output
-/// matches the input; unparseable candidates are dropped and counted in the
-/// second return value.
+/// Parse a candidate's versions into a history, optionally through the
+/// content-addressed cache, counting every parse lookup. Returns the
+/// history plus the per-version blob digests (the diff cache keys;
+/// empty when uncached), or `None` when any version is unparseable —
+/// the same first-failure semantics as
+/// [`SchemaHistory::from_file_versions`].
+fn build_history(
+    candidate: &CandidateHistory,
+    caches: Option<&MineCaches>,
+    counters: &ExecCounters,
+) -> Option<(SchemaHistory, Vec<Digest>)> {
+    let mut versions = Vec::with_capacity(candidate.versions.len());
+    let mut digests = Vec::with_capacity(candidate.versions.len());
+    for v in &candidate.versions {
+        let schema = match caches {
+            Some(c) => {
+                let digest = sha1(v.content.as_bytes());
+                digests.push(digest);
+                c.parse(digest, &v.content, counters)?
+            }
+            None => {
+                counters.count_parse(false);
+                schevo_ddl::parse_schema(&v.content).ok()?
+            }
+        };
+        versions.push(SchemaVersion {
+            meta: CommitMeta {
+                id: v.commit.to_hex(),
+                timestamp: v.timestamp,
+                author: v.author.clone(),
+                message: v.message.clone(),
+            },
+            schema,
+            source_len: v.content.len(),
+        });
+    }
+    Some((
+        SchemaHistory {
+            project: candidate.name.clone(),
+            versions,
+        },
+        digests,
+    ))
+}
+
+/// Mine one candidate, optionally through the shared caches, recording
+/// per-stage timings. Produces exactly what [`mine_extended`] produces:
+/// parse and diff are pure functions of blob content, so the cached path
+/// differs only in *where* the values come from.
+fn mine_task(
+    candidate: &CandidateHistory,
+    reed_threshold: u64,
+    caches: Option<&MineCaches>,
+    counters: &ExecCounters,
+) -> Option<Mined> {
+    // Parse stage.
+    let t_parse = Instant::now();
+    let parsed = build_history(candidate, caches, counters);
+    counters.add_parse_nanos(t_parse);
+    let (history, digests) = parsed?;
+
+    // Diff stage: every transition diffed exactly once, then fanned out
+    // to the measurement pass and both extension studies.
+    let t_diff = Instant::now();
+    let deltas: Vec<SchemaDelta> = match caches {
+        Some(c) => history
+            .transitions()
+            .zip(digests.windows(2))
+            .map(|((_, old, new), pair)| {
+                c.diff((pair[0], pair[1]), &old.schema, &new.schema, counters)
+            })
+            .collect(),
+        None => history
+            .transitions()
+            .map(|(_, old, new)| {
+                counters.count_diff(false);
+                diff(&old.schema, &new.schema)
+            })
+            .collect(),
+    };
+    counters.add_diff_nanos(t_diff);
+
+    // Profile stage.
+    let t_profile = Instant::now();
+    let fk = fk_profile_with(&history, &deltas);
+    let lives = table_lives_with(&history, &deltas);
+    let measures = measure_history_with(&history, deltas);
+    let profile = EvolutionProfile::from_measures(&history, &measures, reed_threshold)
+        .with_context(ProjectContext {
+            pup_months: candidate.pup_months,
+            total_commits: candidate.total_commits,
+        });
+    counters.add_profile_nanos(t_profile);
+    Some(Mined {
+        profile,
+        fk,
+        table_lives: lives,
+    })
+}
+
+/// Mine all candidates on the work-stealing executor, with full
+/// observability. Output order matches input order for every worker
+/// count and cache setting; unparseable candidates are dropped and
+/// counted in the second return value; the third carries cache hit/miss
+/// counters and per-stage timings.
+pub fn mine_all_stats(
+    candidates: &[CandidateHistory],
+    reed_threshold: u64,
+    options: &ExecOptions,
+) -> (Vec<Mined>, usize, ExecStats) {
+    let wall = Instant::now();
+    let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
+    let caches = options.cache.then(MineCaches::default);
+    let counters = ExecCounters::default();
+    let slots: Vec<Option<Mined>> = execute_ordered(candidates, workers, |_, c| {
+        mine_task(c, reed_threshold, caches.as_ref(), &counters)
+    });
+    let failures = slots.iter().filter(|s| s.is_none()).count();
+    let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
+    (slots.into_iter().flatten().collect(), failures, stats)
+}
+
+/// Mine all candidates in parallel, producing profiles plus extension
+/// records. Order of the output matches the input; unparseable candidates
+/// are dropped and counted in the second return value.
 pub fn mine_all_extended(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     workers: usize,
 ) -> (Vec<Mined>, usize) {
-    let workers = workers.clamp(1, 32);
-    let failures = AtomicUsize::new(0);
-    let mut slots: Vec<Option<Mined>> = vec![None; candidates.len()];
-    let chunk = candidates.len().div_ceil(workers).max(1);
-    crossbeam::thread::scope(|scope| {
-        for (cands, outs) in candidates.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-            let failures = &failures;
-            scope.spawn(move |_| {
-                for (c, o) in cands.iter().zip(outs.iter_mut()) {
-                    match mine_extended(c, reed_threshold) {
-                        Some(m) => *o = Some(m),
-                        None => {
-                            failures.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            });
-        }
-    })
-    .expect("mining threads");
-    (
-        slots.into_iter().flatten().collect(),
-        failures.load(Ordering::Relaxed),
-    )
+    let (mined, failures, _) = mine_all_stats(
+        candidates,
+        reed_threshold,
+        &ExecOptions {
+            workers,
+            ..ExecOptions::default()
+        },
+    );
+    (mined, failures)
 }
 
 /// Mine all candidates in parallel, keeping only the paper's profiles.
@@ -133,6 +250,27 @@ mod tests {
     }
 
     #[test]
+    fn cached_equals_uncached() {
+        let o = outcome();
+        let on = ExecOptions { workers: 4, cache: true };
+        let off = ExecOptions { workers: 4, cache: false };
+        let (with_cache, f1, s1) = mine_all_stats(&o.analyzed, REED_THRESHOLD, &on);
+        let (without, f2, s2) = mine_all_stats(&o.analyzed, REED_THRESHOLD, &off);
+        assert_eq!(with_cache, without);
+        assert_eq!(f1, f2);
+        assert!(s1.cache_enabled);
+        assert!(!s2.cache_enabled);
+        assert_eq!(s2.parse_hits, 0, "disabled cache cannot hit");
+        assert_eq!(s2.diff_hits, 0);
+        assert_eq!(
+            s1.parse_hits + s1.parse_misses,
+            s2.parse_misses,
+            "cache hides parses, it does not change how many are needed"
+        );
+        assert_eq!(s1.diff_hits + s1.diff_misses, s2.diff_misses);
+    }
+
+    #[test]
     fn profiles_carry_context() {
         let o = outcome();
         let (profiles, _) = mine_all(&o.analyzed, REED_THRESHOLD, 4);
@@ -153,7 +291,6 @@ mod tests {
 
     #[test]
     fn unparseable_candidate_is_counted() {
-        use schevo_vcs::sha1::sha1;
         use schevo_vcs::history::FileVersion;
         use schevo_vcs::timestamp::Timestamp;
         let bad = crate::funnel::CandidateHistory {
@@ -169,8 +306,16 @@ mod tests {
             pup_months: 1,
             total_commits: 1,
         };
-        let (profiles, failures) = mine_all(&[bad], REED_THRESHOLD, 2);
+        let (profiles, failures) = mine_all(std::slice::from_ref(&bad), REED_THRESHOLD, 2);
         assert!(profiles.is_empty());
+        assert_eq!(failures, 1);
+        // The cached path counts the same failure.
+        let (mined, failures, _) = mine_all_stats(
+            &[bad],
+            REED_THRESHOLD,
+            &ExecOptions { workers: 1, cache: true },
+        );
+        assert!(mined.is_empty());
         assert_eq!(failures, 1);
     }
 }

@@ -71,7 +71,7 @@ pub struct FunnelReport {
 
 /// A candidate that survived the funnel: its extracted DDL history plus
 /// repository metadata.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CandidateHistory {
     /// `owner/repo`.
     pub name: String,

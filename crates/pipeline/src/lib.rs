@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod exec;
 pub mod extract;
 pub mod funnel;
 pub mod study;
 
+pub use exec::{default_workers, ExecOptions, ExecStats};
 pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelReport};
 pub use study::{run_study, Narrative, StatisticsBattery, StudyOptions, StudyResult, TaxonStats};

@@ -2,7 +2,8 @@
 //! statistical battery → narrative percentages. The output contains every
 //! number needed to regenerate the paper's tables and figures.
 
-use crate::extract::mine_all_extended;
+use crate::exec::{ExecOptions, ExecStats};
+use crate::extract::mine_all_stats;
 use crate::funnel::{run_funnel, FunnelReport};
 use schevo_core::fk::{fk_corpus_stats, FkCorpusStats};
 use schevo_core::heartbeat::{derive_reed_threshold, REED_THRESHOLD};
@@ -29,6 +30,10 @@ pub struct StudyOptions {
     pub reed_threshold: Option<u64>,
     /// Mining worker threads.
     pub workers: usize,
+    /// Whether the content-addressed parse/diff cache is used during
+    /// mining. Results are bit-identical either way; this only trades
+    /// memory for repeated work.
+    pub cache: bool,
 }
 
 impl Default for StudyOptions {
@@ -36,13 +41,14 @@ impl Default for StudyOptions {
         StudyOptions {
             strategy: WalkStrategy::FirstParent,
             reed_threshold: None,
-            workers: 8,
+            workers: crate::exec::default_workers(),
+            cache: true,
         }
     }
 }
 
 /// The Fig. 4 row block for one taxon.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaxonStats {
     /// The taxon.
     pub taxon: Taxon,
@@ -103,7 +109,7 @@ pub struct StatisticsBattery {
 }
 
 /// The §IV/§VI narrative percentages.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Narrative {
     /// Rigid single-version projects as % of cloned (paper: 40%).
     pub rigid_pct_of_cloned: f64,
@@ -156,6 +162,10 @@ pub struct StudyResult {
     /// χ² independence test of table fate (dead/survivor) vs activity
     /// (quiet/updated) over the pooled lives; `None` when a marginal is 0.
     pub fate_activity_chi2: Option<schevo_stats::Chi2Independence>,
+    /// Executor observability: cache hit/miss counters and per-stage
+    /// timings of the mining pass. Timings and hit counts vary with
+    /// scheduling; everything else in this struct does not.
+    pub exec: ExecStats,
 }
 
 impl StudyResult {
@@ -234,8 +244,14 @@ fn taxon_stats(taxon: Taxon, profiles: &[&EvolutionProfile]) -> TaxonStats {
 pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
     let outcome = run_funnel(universe, options.strategy);
     let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
-    let (mined, parse_failures) =
-        mine_all_extended(&outcome.analyzed, used_reed_threshold, options.workers);
+    let (mined, parse_failures, exec) = mine_all_stats(
+        &outcome.analyzed,
+        used_reed_threshold,
+        &ExecOptions {
+            workers: options.workers,
+            cache: options.cache,
+        },
+    );
     let fk_profiles: Vec<schevo_core::fk::FkProfile> = mined.iter().map(|m| m.fk).collect();
     let pooled_lives: Vec<schevo_core::tables::TableLife> = mined
         .iter()
@@ -370,6 +386,7 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
             let rows: Vec<Vec<u64>> = ct.iter().map(|r| r.to_vec()).collect();
             schevo_stats::chi2_independence(&rows).ok()
         },
+        exec,
     }
 }
 

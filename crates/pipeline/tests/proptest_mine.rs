@@ -1,0 +1,118 @@
+//! Property tests for the work-stealing miner: for *arbitrary* candidate
+//! sets — valid histories, unparseable blobs, duplicated contents — and
+//! arbitrary worker counts / cache settings, `mine_all` must equal a
+//! plain serial fold of `mine_candidate`, and `mine_all_stats` must be
+//! insensitive to its execution configuration.
+
+use proptest::prelude::*;
+use schevo_core::heartbeat::REED_THRESHOLD;
+use schevo_pipeline::exec::ExecOptions;
+use schevo_pipeline::extract::{mine_all, mine_all_stats, mine_candidate, mine_extended};
+use schevo_pipeline::funnel::CandidateHistory;
+use schevo_vcs::history::FileVersion;
+use schevo_vcs::sha1::sha1;
+use schevo_vcs::timestamp::Timestamp;
+
+/// A small pool of DDL blobs. Index 5 is deliberately unparseable
+/// (unterminated string literal) so failure counting is exercised, and
+/// the pool is small so the same content recurs across candidates — the
+/// content-addressed cache's bread and butter.
+fn blob(id: usize) -> &'static str {
+    match id % 6 {
+        0 => "CREATE TABLE a (x INT);",
+        1 => "CREATE TABLE a (x INT, y INT);",
+        2 => "CREATE TABLE a (x INT, y TEXT);\nCREATE TABLE b (z INT);",
+        3 => "CREATE TABLE a (x BIGINT);\nCREATE TABLE b (z INT, w TEXT);",
+        4 => "CREATE TABLE a (x INT, y INT, z INT);\nCREATE TABLE c (q INT);",
+        _ => "CREATE TABLE t (a INT); '",
+    }
+}
+
+fn candidate(idx: usize, blob_ids: Vec<usize>, pup_months: u64, total_commits: u64) -> CandidateHistory {
+    let versions = blob_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| {
+            let content = blob(id).to_string();
+            FileVersion {
+                commit: sha1(format!("{idx}/{i}/{content}").as_bytes()),
+                timestamp: Timestamp(i as i64 * 86_400 * 7),
+                author: "dev".into(),
+                message: format!("v{i}"),
+                content,
+            }
+        })
+        .collect();
+    CandidateHistory {
+        name: format!("prop/p{idx}"),
+        ddl_path: "schema.sql".into(),
+        versions,
+        pup_months,
+        total_commits,
+    }
+}
+
+fn candidates_strategy() -> impl Strategy<Value = Vec<CandidateHistory>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0usize..6, 1..6),
+            1u64..40,
+            1u64..300,
+        ),
+        0..12,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (ids, pup, commits))| candidate(i, ids, pup, commits))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper-profile output of the parallel miner is exactly the
+    /// serial `mine_candidate` fold, and the failure count is exactly
+    /// the number of candidates the serial fold rejects.
+    #[test]
+    fn mine_all_equals_serial_fold(
+        cands in candidates_strategy(),
+        workers in 1usize..9,
+    ) {
+        let (par, failures) = mine_all(&cands, REED_THRESHOLD, workers);
+        let serial: Vec<_> = cands
+            .iter()
+            .filter_map(|c| mine_candidate(c, REED_THRESHOLD))
+            .collect();
+        let serial_failures = cands.len() - serial.len();
+        prop_assert_eq!(failures, serial_failures);
+        prop_assert_eq!(par, serial);
+    }
+
+    /// The extended records (profile + fk + table lives) are likewise a
+    /// serial fold of `mine_extended`, independent of worker count and
+    /// cache setting.
+    #[test]
+    fn mine_all_stats_is_config_invariant(
+        cands in candidates_strategy(),
+        workers in 1usize..9,
+        cache in any::<bool>(),
+    ) {
+        let opts = ExecOptions { workers, cache };
+        let (mined, failures, stats) = mine_all_stats(&cands, REED_THRESHOLD, &opts);
+        let serial: Vec<_> = cands
+            .iter()
+            .filter_map(|c| mine_extended(c, REED_THRESHOLD))
+            .collect();
+        prop_assert_eq!(failures, cands.len() - serial.len());
+        prop_assert_eq!(mined, serial);
+        prop_assert_eq!(stats.tasks, cands.len());
+        prop_assert_eq!(stats.cache_enabled, cache);
+        if !cache {
+            prop_assert_eq!(stats.parse_hits, 0);
+            prop_assert_eq!(stats.diff_hits, 0);
+        }
+    }
+}

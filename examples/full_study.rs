@@ -7,6 +7,10 @@
 //! cargo run --release --example full_study            # print everything
 //! cargo run --release --example full_study -- --write # also write EXPERIMENTS.md
 //! ```
+//!
+//! `--workers N` sets the mining worker count and `--no-cache` disables
+//! the content-addressed parse/diff cache; neither changes any output
+//! (the executor is deterministic), only the wall time.
 
 use schevo::pipeline::ablation::{
     reed_threshold_sensitivity, rule_order_comparison, walk_strategy_comparison,
@@ -19,13 +23,37 @@ use schevo::report::{
 };
 
 fn main() {
-    let write = std::env::args().any(|a| a == "--write");
+    let args: Vec<String> = std::env::args().collect();
+    let write = args.iter().any(|a| a == "--write");
+    let workers: usize = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| StudyOptions::default().workers);
+    let cache = !args.iter().any(|a| a == "--no-cache");
     let t0 = std::time::Instant::now();
     let universe = generate(UniverseConfig::paper(2019));
     eprintln!("universe generated in {:?}", t0.elapsed());
     let t1 = std::time::Instant::now();
-    let study = run_study(&universe, StudyOptions::default());
-    eprintln!("study ran in {:?}", t1.elapsed());
+    let study = run_study(
+        &universe,
+        StudyOptions {
+            workers,
+            cache,
+            ..StudyOptions::default()
+        },
+    );
+    eprintln!(
+        "study ran in {:?} ({} workers, cache {}; parse {}/{} hits, diff {}/{} hits)",
+        t1.elapsed(),
+        study.exec.workers,
+        if cache { "on" } else { "off" },
+        study.exec.parse_hits,
+        study.exec.parse_hits + study.exec.parse_misses,
+        study.exec.diff_hits,
+        study.exec.diff_hits + study.exec.diff_misses,
+    );
 
     println!("=== Collection funnel (§III-A) ===\n{}", funnel_table(&study.report));
     println!("=== Table I ===\n{}", table1_definitions());

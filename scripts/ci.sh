@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate: build, full test suite, lint wall, and a black-box differential
+# check that the work-stealing executor's output is bit-identical for every
+# worker count and with the parse/diff cache on or off.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> build (release)"
+cargo build --release --workspace
+
+echo "==> tests"
+cargo test -q --release
+
+echo "==> clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> differential: study output across worker counts and cache settings"
+# The study report on stdout (exec stats go to stderr) must not depend on
+# scheduling. Small scale keeps this gate quick; the in-tree differential
+# harness (crates/pipeline/tests/differential_parallel.rs) covers the same
+# invariant at the StudyResult level.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+baseline="$tmp/w1-nocache.txt"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache > "$baseline" 2>/dev/null
+for variant in "--workers 1" "--workers 2" "--workers 8" "--workers 8 --no-cache"; do
+  out="$tmp/out.txt"
+  # shellcheck disable=SC2086
+  cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+    $variant > "$out" 2>/dev/null
+  if ! diff -q "$baseline" "$out" >/dev/null; then
+    echo "DIFFERENTIAL FAILURE: study output changed under: $variant" >&2
+    diff "$baseline" "$out" | head -40 >&2
+    exit 1
+  fi
+  echo "    identical under: $variant"
+done
+
+echo "CI OK"

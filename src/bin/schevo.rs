@@ -1,7 +1,8 @@
 //! `schevo` — command-line front end for the schema-evolution study.
 //!
 //! ```text
-//! schevo study [--seed N] [--scale D] [--out DIR]   run the full study
+//! schevo study [--seed N] [--scale D] [--out DIR] [--workers N] [--no-cache]
+//!                                                   run the full study
 //! schevo classify <commits> <active> <activity> <reeds>
 //! schevo exemplars                                  print the figure exemplars
 //! schevo export <owner/repo-seed> <out.pack>        generate + pack one project
@@ -40,7 +41,8 @@ fn print_help() {
     println!(
         "schevo — profiles of schema evolution in FOSS projects\n\n\
          USAGE:\n  \
-         schevo study [--seed N] [--scale D] [--out DIR]   run the full study\n  \
+         schevo study [--seed N] [--scale D] [--out DIR]\n               \
+         [--workers N] [--no-cache]                  run the full study\n  \
          schevo classify <commits> <active> <activity> <reeds>\n  \
          schevo exemplars                                   print the figure exemplars\n  \
          schevo export <seed> <out.pack>                    generate + pack one project\n  \
@@ -63,6 +65,10 @@ fn cmd_study(args: &[String]) -> i32 {
     let scale: usize = flag_value(args, "--scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let workers: usize = flag_value(args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| StudyOptions::default().workers);
+    let cache = !args.iter().any(|a| a == "--no-cache");
     let config = if scale <= 1 {
         UniverseConfig::paper(seed)
     } else {
@@ -70,8 +76,24 @@ fn cmd_study(args: &[String]) -> i32 {
     };
     eprintln!("generating universe (seed {seed}, scale 1/{scale})...");
     let universe = generate(config);
-    eprintln!("running study...");
-    let study = run_study(&universe, StudyOptions::default());
+    eprintln!("running study ({workers} workers, cache {})...", if cache { "on" } else { "off" });
+    let study = run_study(
+        &universe,
+        StudyOptions {
+            workers,
+            cache,
+            ..StudyOptions::default()
+        },
+    );
+    eprintln!(
+        "mined {} candidates in {:.2}s: parse {}/{} cache hits, diff {}/{} cache hits",
+        study.exec.tasks,
+        study.exec.wall_nanos as f64 / 1e9,
+        study.exec.parse_hits,
+        study.exec.parse_hits + study.exec.parse_misses,
+        study.exec.diff_hits,
+        study.exec.diff_hits + study.exec.diff_misses,
+    );
     println!("{}", funnel_table(&study.report));
     println!("{}", fig04_table(&study));
     println!("{}", fig10_scatter(&study));

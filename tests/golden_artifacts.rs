@@ -1,0 +1,38 @@
+//! Golden-artifact lock: the exemplar figure CSVs checked in under
+//! `artifacts/` must be exactly what `schevo-report` renders today.
+//! These exemplars are hand-built (PRNG-free), so the files are stable
+//! byte-for-byte; any drift means a report or mining change silently
+//! altered published artifacts. Regenerate intentionally with
+//! `cargo run --release --example full_study -- --write`.
+
+use std::path::Path;
+
+#[test]
+fn exemplar_csv_artifacts_match_checked_in() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut checked = 0usize;
+    for (tag, project) in schevo::corpus::exemplar::all_exemplars() {
+        let series = schevo::report::ProjectSeries::mine(&project);
+        let stem = format!("{tag:?}").to_lowercase();
+        for (suffix, rendered) in [
+            ("size", series.size_csv().render()),
+            ("heartbeat", series.heartbeat_csv().render()),
+        ] {
+            let path = root.join(format!("artifacts/{stem}_{suffix}.csv"));
+            let golden = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing golden artifact {}: {e}", path.display()));
+            assert_eq!(
+                rendered,
+                golden,
+                "{} diverged from the current renderer — if the change is \
+                 intentional, regenerate artifacts with \
+                 `cargo run --release --example full_study -- --write`",
+                path.display()
+            );
+            checked += 1;
+        }
+    }
+    // Nine exemplar figures, two series each; a silent drop in the
+    // exemplar list should fail loudly rather than shrink coverage.
+    assert_eq!(checked, 18, "exemplar artifact coverage shrank");
+}
