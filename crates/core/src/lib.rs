@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod diff;
+pub mod errors;
 pub mod fk;
 pub mod heartbeat;
 pub mod measures;
@@ -42,6 +43,7 @@ pub mod taxa;
 pub mod tempo;
 
 pub use diff::{diff, SchemaDelta};
+pub use errors::{ErrorClass, SchevoError};
 pub use fk::{fk_corpus_stats, fk_profile, fk_snapshot, FkCorpusStats, FkProfile, FkSnapshot};
 pub use heartbeat::{derive_reed_threshold, Heartbeat, HeartbeatPoint, REED_THRESHOLD};
 pub use measures::{measure_history, monthly_activity, TransitionMeasure};

@@ -17,6 +17,7 @@ pub use plan::{plan_project, CommitPlan, ProjectPlan, SchemaOp};
 pub use realize::{realize, GeneratedProject};
 
 pub mod libio;
+pub mod faultgen;
 pub mod noise;
 pub mod universe;
 

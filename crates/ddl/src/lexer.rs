@@ -20,6 +20,21 @@ use crate::token::{Token, TokenKind};
 /// Unterminated strings, unterminated block comments, and unterminated quoted
 /// identifiers produce a [`ParseError`] pointing at the opening delimiter.
 pub fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let (tokens, err) = Lexer::new(input).run();
+    match err {
+        Some(e) => Err(e),
+        None => Ok(tokens),
+    }
+}
+
+/// Tokenize as much of a script as possible.
+///
+/// Every lex error in this lexer is terminal — it is only raised when the
+/// input ends inside an unterminated string, comment, or quoted identifier —
+/// so the tokens accumulated before the error are exactly the tokens of the
+/// well-formed prefix. Returns that prefix together with the error, if any.
+/// On clean input this is identical to [`tokenize`].
+pub fn tokenize_recovering(input: &str) -> (Vec<Token>, Option<ParseError>) {
     Lexer::new(input).run()
 }
 
@@ -50,56 +65,84 @@ impl<'s> Lexer<'s> {
         self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
     }
 
-    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+    fn run(mut self) -> (Vec<Token>, Option<ParseError>) {
         while let Some(b) = self.peek() {
             let start = self.pos;
-            match b {
+            let step = match b {
                 b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
                     self.pos += 1;
+                    Ok(())
                 }
-                b'-' if self.peek2() == Some(b'-') => self.line_comment(),
-                b'#' => self.line_comment(),
-                b'/' if self.peek2() == Some(b'*') => self.block_comment(start)?,
-                b'\'' => self.string_lit(b'\'', start)?,
-                b'"' => self.string_lit(b'"', start)?,
-                b'`' => self.quoted_ident(b'`', b'`', start)?,
-                b'[' => self.quoted_ident(b'[', b']', start)?,
+                b'-' if self.peek2() == Some(b'-') => {
+                    self.line_comment();
+                    Ok(())
+                }
+                b'#' => {
+                    self.line_comment();
+                    Ok(())
+                }
+                b'/' if self.peek2() == Some(b'*') => self.block_comment(start),
+                b'\'' => self.string_lit(b'\'', start),
+                b'"' => self.string_lit(b'"', start),
+                b'`' => self.quoted_ident(b'`', b'`', start),
+                b'[' => self.quoted_ident(b'[', b']', start),
                 b'(' => {
                     self.pos += 1;
                     self.push(TokenKind::LParen, start);
+                    Ok(())
                 }
                 b')' => {
                     self.pos += 1;
                     self.push(TokenKind::RParen, start);
+                    Ok(())
                 }
                 b',' => {
                     self.pos += 1;
                     self.push(TokenKind::Comma, start);
+                    Ok(())
                 }
                 b';' => {
                     self.pos += 1;
                     self.push(TokenKind::Semicolon, start);
+                    Ok(())
                 }
                 b'=' => {
                     self.pos += 1;
                     self.push(TokenKind::Eq, start);
+                    Ok(())
                 }
                 b'.' if !self.next_is_digit() => {
                     self.pos += 1;
                     self.push(TokenKind::Dot, start);
+                    Ok(())
                 }
-                b'0'..=b'9' => self.number(start),
-                b'.' => self.number(start),
-                _ if is_ident_start(b) => self.bare_ident(start),
+                b'0'..=b'9' => {
+                    self.number(start);
+                    Ok(())
+                }
+                b'.' => {
+                    self.number(start);
+                    Ok(())
+                }
+                _ if is_ident_start(b) => {
+                    self.bare_ident(start);
+                    Ok(())
+                }
                 _ => {
                     // Any other punctuation: emit as Punct so the tolerant
                     // parser can skip it inside statements it ignores.
                     let c = self.bump_char(start);
                     self.push(TokenKind::Punct(c), start);
+                    Ok(())
                 }
+            };
+            if let Err(e) = step {
+                // Lex errors only fire at end of input, so the accumulated
+                // tokens form the complete well-formed prefix.
+                return (self.tokens, Some(e));
             }
         }
-        Ok(self.tokens)
+        (self.tokens, None)
     }
 
     /// Consume one (possibly multi-byte) character and return it.
@@ -249,7 +292,7 @@ impl<'s> Lexer<'s> {
             while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
                 self.pos += 1;
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
             self.push(TokenKind::Number(text), start);
             return;
         }
@@ -280,7 +323,7 @@ impl<'s> Lexer<'s> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_string();
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
         self.push(TokenKind::Number(text), start);
     }
 
@@ -484,5 +527,43 @@ mod tests {
     fn dollar_in_identifier() {
         let ks = kinds("v$session");
         assert_eq!(ks, vec![K::Ident("v$session".into())]);
+    }
+
+    #[test]
+    fn unterminated_errors_carry_opening_byte_offset() {
+        // The error span must point at the byte that opened the
+        // never-closed token, so quarantine provenance is actionable.
+        let err = tokenize("SELECT 1; 'oops").unwrap_err();
+        assert_eq!(err.span.start, 10);
+        let err = tokenize("ab /* oops").unwrap_err();
+        assert_eq!(err.span.start, 3);
+        let err = tokenize(";`oops").unwrap_err();
+        assert_eq!(err.span.start, 1);
+    }
+
+    #[test]
+    fn recovering_tokenizer_keeps_wellformed_prefix() {
+        let (tokens, err) = tokenize_recovering("CREATE TABLE t 'never closed");
+        let err = err.expect("unterminated string must be reported");
+        assert_eq!(err.span.start, 15);
+        let kinds: Vec<_> = tokens.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                K::Ident("CREATE".into()),
+                K::Ident("TABLE".into()),
+                K::Ident("t".into()),
+            ]
+        );
+        // Every recovered token ends before the error.
+        assert!(tokens.iter().all(|t| t.span.end <= err.span.start));
+    }
+
+    #[test]
+    fn recovering_tokenizer_is_identity_on_clean_input() {
+        let clean = "CREATE TABLE t (id INT); -- done\n";
+        let (tokens, err) = tokenize_recovering(clean);
+        assert!(err.is_none());
+        assert_eq!(tokens, tokenize(clean).unwrap());
     }
 }

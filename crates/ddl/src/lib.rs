@@ -62,6 +62,7 @@ pub mod token;
 pub mod types;
 
 pub use error::{ParseError, Span};
+pub use lexer::tokenize_recovering;
 pub use parser::{parse_script, Parser};
 pub use schema::{Attribute, Schema, Table};
 
@@ -80,4 +81,52 @@ pub use schema::{Attribute, Schema, Table};
 pub fn parse_schema(sql: &str) -> Result<Schema, ParseError> {
     let script = parse_script(sql)?;
     Ok(schema::Schema::from_script(&script))
+}
+
+/// The result of a best-effort parse: the schema salvaged from the
+/// well-formed part of the input, plus an account of what was lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredSchema {
+    /// The schema lowered from every statement that survived.
+    pub schema: Schema,
+    /// The lex error that truncated tokenization, if any. When present,
+    /// everything after its span start was discarded.
+    pub lex_error: Option<ParseError>,
+    /// `CREATE TABLE` statements that were structurally broken and
+    /// degraded to skipped statements (statement-level recovery).
+    pub dropped_statements: usize,
+}
+
+impl RecoveredSchema {
+    /// Whether any content was lost relative to a strict parse.
+    pub fn is_degraded(&self) -> bool {
+        self.lex_error.is_some() || self.dropped_statements > 0
+    }
+}
+
+/// Parse as much of a DDL file as possible, never failing.
+///
+/// Tokenization stops at the first lex error (unterminated string,
+/// comment, or quoted identifier — all terminal by construction) and the
+/// well-formed token prefix is parsed normally; structurally broken
+/// `CREATE TABLE` statements degrade to skipped statements exactly as in
+/// [`parse_schema`]. On clean input the result equals
+/// `parse_schema(sql)` with no error and no drops — recovery never
+/// perturbs the strict path.
+pub fn parse_schema_recovering(sql: &str) -> RecoveredSchema {
+    use ast::{Script, Statement};
+    let (tokens, lex_error) = lexer::tokenize_recovering(sql);
+    let script = Parser::new(tokens)
+        .script()
+        .unwrap_or_else(|_| Script { statements: Vec::new() });
+    let dropped_statements = script
+        .statements
+        .iter()
+        .filter(|s| matches!(s, Statement::Other { keyword } if keyword == "CREATE TABLE"))
+        .count();
+    RecoveredSchema {
+        schema: schema::Schema::from_script(&script),
+        lex_error,
+        dropped_statements,
+    }
 }

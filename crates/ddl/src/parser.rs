@@ -741,6 +741,7 @@ impl Parser {
                     self.pos += 1;
                 }
                 _ => {
+                    let before = self.pos;
                     if self.eat_keyword("ADD") {
                         if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
                             self.pos += 2;
@@ -795,6 +796,12 @@ impl Parser {
                     } else {
                         // ENGINE=..., CONVERT TO, ORDER BY, ...: skip.
                         self.skip_to_element_end();
+                    }
+                    // A stray token nothing consumed (e.g. an unmatched
+                    // `)`, where skip_to_element_end stops without
+                    // advancing) would loop forever: force progress.
+                    if self.pos == before {
+                        self.pos += 1;
                     }
                 }
             }

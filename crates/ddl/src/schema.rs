@@ -295,7 +295,9 @@ impl Schema {
                             AlterOp::DropPrimaryKey => {
                                 table.set_primary_key(Vec::new());
                             }
-                            AlterOp::RenameTable(_) => unreachable!("handled above"),
+                            // Renames are applied before the table lookup
+                            // above; nothing left to do here.
+                            AlterOp::RenameTable(_) => {}
                         }
                     }
                 }

@@ -1,0 +1,132 @@
+//! Chaos property battery for the DDL front end: arbitrary byte
+//! mutations, truncations, and splices of valid DDL must flow through
+//! both the strict and the recovering parser as a clean `Ok`/`Err` —
+//! never a panic, never an infinite loop, and never a lex error whose
+//! byte offset points outside the input.
+//!
+//! The strict and recovering parsers share the token stream, so whenever
+//! the strict parse succeeds the recovering parse must agree exactly:
+//! same schema, no recorded lex error.
+
+use proptest::prelude::*;
+use schevo_ddl::{parse_schema, parse_schema_recovering, tokenize_recovering};
+
+/// Realistic base documents the mutations start from. Covers strings,
+/// quoted identifiers, line and block comments, and multi-statement
+/// scripts — the regions where a flipped byte can open an unterminated
+/// token.
+const BASES: &[&str] = &[
+    "CREATE TABLE users (id INT, name VARCHAR(80), bio TEXT);",
+    "CREATE TABLE a (x INT);\nCREATE TABLE b (y INT, z DECIMAL(10,2));\n\
+     ALTER TABLE a ADD COLUMN w TEXT;",
+    "-- schema v3\nCREATE TABLE t (id INT DEFAULT 7, label VARCHAR(20) DEFAULT 'n/a');",
+    "/* header\n   block */\nCREATE TABLE `orders` (`id` INT, `note` TEXT);\n\
+     DROP TABLE old_orders;",
+    "CREATE TABLE logs (msg TEXT, at DATETIME);\nINSERT INTO logs VALUES ('it''s fine', NOW());",
+    "CREATE INDEX idx_users_name ON users (name);\nCREATE TABLE s (q INT);",
+];
+
+fn base() -> impl Strategy<Value = String> {
+    (0..BASES.len()).prop_map(|i| BASES[i].to_string())
+}
+
+/// Apply `(fraction, byte)` mutations to the document's bytes; the result
+/// is rehydrated lossily, so the parser always sees valid UTF-8 (the rest
+/// of the pipeline reads blobs the same way).
+fn mutate(doc: &str, muts: &[(u16, u8)]) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    for &(frac, val) in muts {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = (frac as usize * (bytes.len() - 1)) / u16::MAX as usize;
+        bytes[pos] = val;
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any byte-mutated document parses to Ok or Err — never a panic —
+    /// and lex errors carry in-bounds byte offsets.
+    #[test]
+    fn mutated_ddl_never_panics(
+        doc in base(),
+        muts in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+    ) {
+        let mutated = mutate(&doc, &muts);
+        match parse_schema(&mutated) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(
+                    e.span.start <= mutated.len(),
+                    "error offset {} beyond input length {}",
+                    e.span.start,
+                    mutated.len()
+                );
+            }
+        }
+        let salvage = parse_schema_recovering(&mutated);
+        if let Some(e) = &salvage.lex_error {
+            prop_assert!(e.span.start <= mutated.len());
+        }
+    }
+
+    /// When the strict parse succeeds, the recovering parse must be a
+    /// bit-identical no-op: same schema, no recorded lex error.
+    #[test]
+    fn recovering_parse_agrees_with_strict_on_success(
+        doc in base(),
+        muts in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..4),
+    ) {
+        let mutated = mutate(&doc, &muts);
+        if let Ok(strict) = parse_schema(&mutated) {
+            let salvage = parse_schema_recovering(&mutated);
+            prop_assert!(salvage.lex_error.is_none(),
+                "strict parse succeeded but recovery recorded a lex error");
+            prop_assert_eq!(salvage.schema, strict,
+                "recovering parse diverged from strict parse on clean input");
+        }
+    }
+
+    /// Every truncation point of a valid document is survivable, and the
+    /// recovered token prefix never exceeds the cut.
+    #[test]
+    fn truncation_never_panics(doc in base(), cut_frac in any::<u16>()) {
+        let mut cut = (cut_frac as usize * doc.len()) / u16::MAX as usize;
+        while cut > 0 && !doc.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &doc[..cut];
+        let _ = parse_schema(truncated);
+        let (tokens, err) = tokenize_recovering(truncated);
+        for t in &tokens {
+            prop_assert!(t.span.end <= truncated.len());
+        }
+        if let Some(e) = err {
+            prop_assert!(e.span.start <= truncated.len());
+        }
+    }
+
+    /// Splicing two documents at arbitrary points (the shape a botched
+    /// merge or interleaved non-DDL noise produces) never panics.
+    #[test]
+    fn spliced_ddl_never_panics(
+        a in base(),
+        b in base(),
+        cut_a in any::<u16>(),
+        cut_b in any::<u16>(),
+    ) {
+        let mut ca = (cut_a as usize * a.len()) / u16::MAX as usize;
+        while ca > 0 && !a.is_char_boundary(ca) { ca -= 1; }
+        let mut cb = (cut_b as usize * b.len()) / u16::MAX as usize;
+        while cb > 0 && !b.is_char_boundary(cb) { cb -= 1; }
+        let spliced = format!("{}{}", &a[..ca], &b[cb..]);
+        let _ = parse_schema(&spliced);
+        let salvage = parse_schema_recovering(&spliced);
+        // Salvage keeps at most as many statements as a clean joint parse
+        // could ever yield; mostly this asserts termination.
+        let _ = salvage.dropped_statements;
+    }
+}

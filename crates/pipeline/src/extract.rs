@@ -10,7 +10,9 @@
 
 use crate::exec::{execute_ordered, ExecCounters, ExecOptions, ExecStats, MineCaches};
 use crate::funnel::CandidateHistory;
+use crate::quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
 use schevo_core::diff::{diff, SchemaDelta};
+use schevo_core::errors::{ErrorClass, SchevoError};
 use schevo_core::fk::{fk_profile, fk_profile_with, FkProfile};
 use schevo_core::measures::measure_history_with;
 use schevo_core::model::{CommitMeta, SchemaHistory, SchemaVersion};
@@ -132,9 +134,28 @@ fn mine_task(
     let parsed = build_history(candidate, caches, counters);
     counters.add_parse_nanos(t_parse);
     let (history, digests) = parsed?;
+    Some(diff_and_profile(
+        candidate,
+        history,
+        &digests,
+        reed_threshold,
+        caches,
+        counters,
+    ))
+}
 
-    // Diff stage: every transition diffed exactly once, then fanned out
-    // to the measurement pass and both extension studies.
+/// Diff and profile a parsed history: every transition diffed exactly
+/// once, then fanned out to the measurement pass and both extension
+/// studies. Shared by the strict and graceful paths so they cannot
+/// diverge downstream of parsing.
+fn diff_and_profile(
+    candidate: &CandidateHistory,
+    history: SchemaHistory,
+    digests: &[Digest],
+    reed_threshold: u64,
+    caches: Option<&MineCaches>,
+    counters: &ExecCounters,
+) -> Mined {
     let t_diff = Instant::now();
     let deltas: Vec<SchemaDelta> = match caches {
         Some(c) => history
@@ -165,11 +186,11 @@ fn mine_task(
             total_commits: candidate.total_commits,
         });
     counters.add_profile_nanos(t_profile);
-    Some(Mined {
+    Mined {
         profile,
         fk,
         table_lives: lives,
-    })
+    }
 }
 
 /// Mine all candidates on the work-stealing executor, with full
@@ -192,6 +213,207 @@ pub fn mine_all_stats(
     let failures = slots.iter().filter(|s| s.is_none()).count();
     let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
     (slots.into_iter().flatten().collect(), failures, stats)
+}
+
+/// What graceful mining produced for one candidate. At most one of
+/// `mined`/`quarantined` is `Some` semantics-wise: a quarantined
+/// candidate yields no `Mined`.
+#[derive(Debug)]
+struct TaskOutcome {
+    mined: Option<Mined>,
+    recovered: Vec<RecoveryRecord>,
+    quarantined: Option<QuarantineRecord>,
+}
+
+impl TaskOutcome {
+    fn quarantine(recovered: Vec<RecoveryRecord>, error: SchevoError, attempted: bool) -> Self {
+        TaskOutcome {
+            mined: None,
+            recovered,
+            quarantined: Some(QuarantineRecord {
+                error,
+                recovery_attempted: attempted,
+            }),
+        }
+    }
+}
+
+/// Mine one candidate with graceful degradation.
+///
+/// Stage 1 (sanitation): blank versions and identical consecutive
+/// versions are dropped, backwards timestamps re-sorted — each event
+/// recorded as a recovery. Stage 2 (parse): versions that fail the
+/// strict parse are re-parsed with statement-level recovery; a version
+/// whose salvage is an empty schema quarantines the whole history.
+/// Stage 3 (diff + profile) is byte-identical to the strict path. On a
+/// clean candidate no stage does anything the strict path would not.
+fn mine_task_graceful(
+    candidate: &CandidateHistory,
+    reed_threshold: u64,
+    caches: Option<&MineCaches>,
+    counters: &ExecCounters,
+) -> TaskOutcome {
+    let name = candidate.name.as_str();
+    let vs = &candidate.versions;
+    let mut recovered = Vec::new();
+
+    // Sanitation: choose which version indices survive.
+    let mut keep: Vec<usize> = Vec::with_capacity(vs.len());
+    for (i, v) in vs.iter().enumerate() {
+        if v.content.trim().is_empty() {
+            recovered.push(RecoveryRecord {
+                error: SchevoError::version(
+                    ErrorClass::EmptyVersion,
+                    name,
+                    i,
+                    "blank version dropped",
+                ),
+                dropped_statements: 0,
+            });
+            continue;
+        }
+        if let Some(&prev) = keep.last() {
+            if vs[prev].content == v.content {
+                recovered.push(RecoveryRecord {
+                    error: SchevoError::version(
+                        ErrorClass::DuplicateVersion,
+                        name,
+                        i,
+                        "byte-identical to previous version; dropped",
+                    ),
+                    dropped_statements: 0,
+                });
+                continue;
+            }
+        }
+        keep.push(i);
+    }
+    if keep.is_empty() {
+        return TaskOutcome::quarantine(
+            recovered,
+            SchevoError::project(ErrorClass::EmptyVersion, name, "no usable versions"),
+            false,
+        );
+    }
+    if let Some(w) = keep
+        .windows(2)
+        .find(|w| vs[w[1]].timestamp < vs[w[0]].timestamp)
+    {
+        recovered.push(RecoveryRecord {
+            error: SchevoError::version(
+                ErrorClass::NonMonotonicTimestamps,
+                name,
+                w[1],
+                "commit timestamps go backwards; history re-sorted by timestamp",
+            ),
+            dropped_statements: 0,
+        });
+        keep.sort_by_key(|&i| (vs[i].timestamp, i));
+    }
+
+    // Parse stage, with statement-level recovery on strict failure.
+    let t_parse = Instant::now();
+    let mut versions = Vec::with_capacity(keep.len());
+    let mut digests = Vec::with_capacity(keep.len());
+    for &i in &keep {
+        let v = &vs[i];
+        let (strict, strict_err) = match caches {
+            Some(c) => {
+                let digest = sha1(v.content.as_bytes());
+                digests.push(digest);
+                (c.parse(digest, &v.content, counters), None)
+            }
+            None => {
+                counters.count_parse(false);
+                match schevo_ddl::parse_schema(&v.content) {
+                    Ok(s) => (Some(s), None),
+                    Err(e) => (None, Some(e)),
+                }
+            }
+        };
+        let schema = match strict {
+            Some(s) => s,
+            None => {
+                // The cache stores failures as bare `None`; re-derive the
+                // error for provenance (failure path only, uncounted).
+                let error = match strict_err.or_else(|| schevo_ddl::parse_schema(&v.content).err())
+                {
+                    Some(e) => SchevoError::from_parse(name, i, &e),
+                    None => SchevoError::version(
+                        ErrorClass::Syntax,
+                        name,
+                        i,
+                        "strict parse failed",
+                    ),
+                };
+                let salvage = schevo_ddl::parse_schema_recovering(&v.content);
+                if salvage.schema.is_empty() {
+                    counters.add_parse_nanos(t_parse);
+                    return TaskOutcome::quarantine(recovered, error, true);
+                }
+                recovered.push(RecoveryRecord {
+                    error,
+                    dropped_statements: salvage.dropped_statements as u64,
+                });
+                salvage.schema
+            }
+        };
+        versions.push(SchemaVersion {
+            meta: CommitMeta {
+                id: v.commit.to_hex(),
+                timestamp: v.timestamp,
+                author: v.author.clone(),
+                message: v.message.clone(),
+            },
+            schema,
+            source_len: v.content.len(),
+        });
+    }
+    counters.add_parse_nanos(t_parse);
+
+    let history = SchemaHistory {
+        project: candidate.name.clone(),
+        versions,
+    };
+    let mined = diff_and_profile(candidate, history, &digests, reed_threshold, caches, counters);
+    TaskOutcome {
+        mined: Some(mined),
+        recovered,
+        quarantined: None,
+    }
+}
+
+/// Mine all candidates with graceful degradation on the work-stealing
+/// executor. Like [`mine_all_stats`], output order matches input order
+/// for every worker count and cache setting — including the quarantine
+/// report, whose events are collected in candidate order. On a clean
+/// corpus the mined output is bit-identical to [`mine_all_stats`] and
+/// the report is empty.
+pub fn mine_all_graceful(
+    candidates: &[CandidateHistory],
+    reed_threshold: u64,
+    options: &ExecOptions,
+) -> (Vec<Mined>, QuarantineReport, ExecStats) {
+    let wall = Instant::now();
+    let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
+    let caches = options.cache.then(MineCaches::default);
+    let counters = ExecCounters::default();
+    let outcomes: Vec<TaskOutcome> = execute_ordered(candidates, workers, |_, c| {
+        mine_task_graceful(c, reed_threshold, caches.as_ref(), &counters)
+    });
+    let mut mined = Vec::new();
+    let mut report = QuarantineReport::default();
+    for o in outcomes {
+        report.recovered.extend(o.recovered);
+        if let Some(q) = o.quarantined {
+            report.quarantined.push(q);
+        }
+        if let Some(m) = o.mined {
+            mined.push(m);
+        }
+    }
+    let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
+    (mined, report, stats)
 }
 
 /// Mine all candidates in parallel, producing profiles plus extension

@@ -20,8 +20,13 @@ pub mod ablation;
 pub mod exec;
 pub mod extract;
 pub mod funnel;
+pub mod quarantine;
 pub mod study;
 
 pub use exec::{default_workers, ExecOptions, ExecStats};
+pub use extract::mine_all_graceful;
 pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelReport};
-pub use study::{run_study, Narrative, StatisticsBattery, StudyOptions, StudyResult, TaxonStats};
+pub use quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
+pub use study::{
+    run_study, try_run_study, Narrative, StatisticsBattery, StudyOptions, StudyResult, TaxonStats,
+};

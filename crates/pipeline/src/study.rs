@@ -3,8 +3,10 @@
 //! number needed to regenerate the paper's tables and figures.
 
 use crate::exec::{ExecOptions, ExecStats};
-use crate::extract::mine_all_stats;
+use crate::extract::mine_all_graceful;
 use crate::funnel::{run_funnel, FunnelReport};
+use crate::quarantine::QuarantineReport;
+use schevo_core::errors::SchevoError;
 use schevo_core::fk::{fk_corpus_stats, FkCorpusStats};
 use schevo_core::heartbeat::{derive_reed_threshold, REED_THRESHOLD};
 use schevo_core::tables::{electrolysis, fate_activity_table, ElectrolysisStats};
@@ -34,6 +36,11 @@ pub struct StudyOptions {
     /// mining. Results are bit-identical either way; this only trades
     /// memory for repeated work.
     pub cache: bool,
+    /// Fail-fast mode: any degradation event (recovery or quarantine)
+    /// aborts the study with its [`SchevoError`] instead of continuing.
+    /// With the default `false`, damaged histories are quarantined and
+    /// the study completes on the clean subset.
+    pub strict: bool,
 }
 
 impl Default for StudyOptions {
@@ -43,6 +50,7 @@ impl Default for StudyOptions {
             reed_threshold: None,
             workers: crate::exec::default_workers(),
             cache: true,
+            strict: false,
         }
     }
 }
@@ -154,7 +162,11 @@ pub struct StudyResult {
     /// Narrative percentages.
     pub narrative: Narrative,
     /// Candidates whose versions failed to parse (excluded from profiles).
+    /// Always equals `quarantine.quarantined.len()`.
     pub parse_failures: usize,
+    /// Degradation accounting: what the miner recovered from and what it
+    /// quarantined. Empty on a clean corpus.
+    pub quarantine: QuarantineReport,
     /// Foreign-key extension study (corpus aggregate).
     pub fk: FkCorpusStats,
     /// Table-level Electrolysis extension (pooled over all projects).
@@ -241,10 +253,26 @@ fn taxon_stats(taxon: Taxon, profiles: &[&EvolutionProfile]) -> TaxonStats {
 }
 
 /// Run the complete study over a universe.
+///
+/// Damaged histories are quarantined (see [`StudyResult::quarantine`])
+/// and the study continues on the clean subset. With
+/// [`StudyOptions::strict`] set, a degradation event aborts — this
+/// infallible wrapper then panics; use [`try_run_study`] to handle the
+/// error.
 pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
+    match try_run_study(universe, options) {
+        Ok(study) => study,
+        Err(e) => panic!("strict study aborted: {e}"),
+    }
+}
+
+/// Run the complete study, surfacing strict-mode failures as errors.
+///
+/// Without `options.strict` this never fails.
+pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<StudyResult, SchevoError> {
     let outcome = run_funnel(universe, options.strategy);
     let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
-    let (mined, parse_failures, exec) = mine_all_stats(
+    let (mined, quarantine, exec) = mine_all_graceful(
         &outcome.analyzed,
         used_reed_threshold,
         &ExecOptions {
@@ -252,6 +280,12 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
             cache: options.cache,
         },
     );
+    if options.strict {
+        if let Some(e) = quarantine.first_error() {
+            return Err(e.clone());
+        }
+    }
+    let parse_failures = quarantine.quarantined.len();
     let fk_profiles: Vec<schevo_core::fk::FkProfile> = mined.iter().map(|m| m.fk).collect();
     let pooled_lives: Vec<schevo_core::tables::TableLife> = mined
         .iter()
@@ -362,7 +396,7 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
         moderate_flat_pct: percent_where(&moderate, |p| p.shape == ShapeClass::Flat),
     };
 
-    StudyResult {
+    Ok(StudyResult {
         report: outcome.report,
         profiles,
         taxa,
@@ -379,6 +413,7 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
         used_reed_threshold,
         narrative,
         parse_failures,
+        quarantine,
         fk: fk_corpus_stats(&fk_profiles),
         electrolysis: electrolysis(&pooled_lives),
         fate_activity_chi2: {
@@ -387,7 +422,7 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
             schevo_stats::chi2_independence(&rows).ok()
         },
         exec,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -31,7 +31,78 @@ pub struct ExperimentExtras {
     pub walk: Option<WalkComparison>,
     /// Rule-order comparison, if it ran.
     pub rule_order: Option<RuleOrderComparison>,
+    /// Fault-injection demonstration, if the chaos pass ran.
+    pub fault_demo: Option<FaultDemo>,
 }
+
+/// Measured outcome of a fault-injection pass over the study universe:
+/// how much was damaged, how much the graceful miner recovered or
+/// quarantined, and whether the untouched projects still produced
+/// bit-identical profiles.
+#[derive(Debug, Default)]
+pub struct FaultDemo {
+    /// Seed of the fault plan.
+    pub fault_seed: u64,
+    /// Percentage of evolving projects damaged.
+    pub rate_percent: u32,
+    /// Injected fault count per class label, catalog order.
+    pub injected: Vec<(String, usize)>,
+    /// (error-class label, recovered versions, quarantined histories),
+    /// only classes with at least one event.
+    pub class_counts: Vec<(String, usize, usize)>,
+    /// Total version-level recoveries.
+    pub recovered: usize,
+    /// Total quarantined histories.
+    pub quarantined: usize,
+    /// Whether every non-injected project's profile was bit-identical
+    /// to the uninjected study.
+    pub clean_subset_identical: bool,
+}
+
+/// The static fault catalog: one row per corruption class, with the
+/// degradation the mining layer is expected to exhibit.
+const FAULT_CATALOG: [(&str, &str, &str); 8] = [
+    (
+        "truncated-blob",
+        "tail of the stored blob cut off",
+        "statement drop, or lex recovery when cut mid-token",
+    ),
+    (
+        "unbalanced-parens",
+        "closing parenthesis removed",
+        "statement-level degradation (absorbed silently)",
+    ),
+    (
+        "unknown-vendor-clause",
+        "T-SQL GO / REPLICA IDENTITY / executable comments appended",
+        "parsed as unmodelled statements (absorbed silently)",
+    ),
+    (
+        "non-ddl-noise",
+        "migration INSERT + merge-conflict markers spliced in",
+        "unmodelled statements, occasionally lex recovery",
+    ),
+    (
+        "byte-flip",
+        "one byte replaced by a stray quote",
+        "unterminated token: lex recovery or quarantine",
+    ),
+    (
+        "non-monotonic-timestamps",
+        "adjacent commit timestamps swapped",
+        "recovery re-sorts the history",
+    ),
+    (
+        "duplicate-version",
+        "consecutive identical version inserted",
+        "healed by the history walk; recovered if it reaches mining",
+    ),
+    (
+        "empty-version",
+        "version content blanked",
+        "dropped by the funnel; recovered if it reaches mining",
+    ),
+];
 
 /// Compose the full EXPERIMENTS.md content from a (paper-scale) study.
 pub fn experiments_markdown(study: &StudyResult, extras: &ExperimentExtras) -> String {
@@ -217,6 +288,72 @@ pub fn experiments_markdown(study: &StudyResult, extras: &ExperimentExtras) -> S
             r.changed, r.compared, r.fslow_paper, r.fslow_alternate
         ));
     }
+    if let Some(d) = &extras.fault_demo {
+        md.push_str(&fault_appendix(d));
+    }
+    md
+}
+
+/// The fault-injection appendix: catalog, quarantine semantics, and the
+/// measured counts of the canonical chaos pass.
+fn fault_appendix(d: &FaultDemo) -> String {
+    let mut md = String::new();
+    md.push_str("## Appendix — fault injection and graceful degradation\n\n");
+    md.push_str(
+        "Real mined histories contain damage the paper's pipeline never sees: \
+         truncated blobs, unbalanced DDL, vendor-specific clauses, merge \
+         debris, corrupted packs, and broken commit metadata. The mining \
+         layer degrades gracefully instead of aborting: a damaged *version* \
+         is repaired or dropped and recorded as a **recovery**; a history \
+         with no usable versions left is **quarantined** — excluded from the \
+         result with full provenance (error class, project, version index) — \
+         and the study continues. `--strict` restores fail-fast behaviour. \
+         The fault catalog:\n\n```text\n",
+    );
+    let mut t = TextTable::new(["class", "corruption", "expected degradation"]);
+    for (class, what, outcome) in FAULT_CATALOG {
+        t.row([class.to_string(), what.to_string(), outcome.to_string()]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\n");
+    let total_injected: usize = d.injected.iter().map(|(_, n)| n).sum();
+    md.push_str(&format!(
+        "Measured with the full catalog cycling over {}% of the evolving \
+         projects (fault seed {}): **{} fault(s) injected, {} version(s) \
+         recovered, {} history(ies) quarantined**, and the profiles of every \
+         untouched project were {} to the uninjected study. Classes missing \
+         from the event table were absorbed silently by the tolerant parser \
+         or healed upstream by the history walk and funnel, as the catalog \
+         predicts; the chaos differential suite \
+         (`crates/pipeline/tests/chaos_differential.rs`) pins each class to \
+         its expected behaviour.\n\n",
+        d.rate_percent,
+        d.fault_seed,
+        total_injected,
+        d.recovered,
+        d.quarantined,
+        if d.clean_subset_identical {
+            "bit-identical"
+        } else {
+            "NOT identical (regression!)"
+        },
+    ));
+    md.push_str("Injected faults by class:\n\n```text\n");
+    let mut t = TextTable::new(["fault class", "injected"]);
+    for (label, injected) in &d.injected {
+        t.row([label.clone(), injected.to_string()]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\nDegradation events by error class:\n\n```text\n");
+    let mut t = TextTable::new(["error class", "recovered", "quarantined"]);
+    if d.class_counts.is_empty() {
+        t.row(["(none)".to_string(), "0".to_string(), "0".to_string()]);
+    }
+    for (label, r, q) in &d.class_counts {
+        t.row([label.clone(), r.to_string(), q.to_string()]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\n");
     md
 }
 
@@ -259,10 +396,37 @@ mod tests {
             ),
             walk: Some(schevo_pipeline::ablation::walk_strategy_comparison(&u)),
             rule_order: Some(schevo_pipeline::ablation::rule_order_comparison(&s.profiles)),
+            fault_demo: None,
         };
         let md = experiments_markdown(&s, &extras);
         assert!(md.contains("Reed-threshold sensitivity"));
         assert!(md.contains("History-walk strategy"));
         assert!(md.contains("Classification-rule order"));
+    }
+
+    #[test]
+    fn markdown_includes_fault_appendix_when_present() {
+        let u = generate(UniverseConfig::small(2019, 20));
+        let s = run_study(&u, StudyOptions::default());
+        let extras = ExperimentExtras {
+            fault_demo: Some(FaultDemo {
+                fault_seed: 7,
+                rate_percent: 20,
+                injected: vec![("byte-flip".into(), 2), ("empty-version".into(), 1)],
+                class_counts: vec![("lex".into(), 2, 0)],
+                recovered: 2,
+                quarantined: 0,
+                clean_subset_identical: true,
+            }),
+            ..Default::default()
+        };
+        let md = experiments_markdown(&s, &extras);
+        assert!(md.contains("## Appendix — fault injection"));
+        assert!(md.contains("non-monotonic-timestamps"));
+        assert!(md.contains("3 fault(s) injected, 2 version(s) recovered"));
+        assert!(md.contains("bit-identical"));
+        // Absent demo, absent appendix.
+        let md = experiments_markdown(&s, &ExperimentExtras::default());
+        assert!(!md.contains("Appendix — fault injection"));
     }
 }

@@ -136,6 +136,27 @@ pub fn funnel_table(report: &FunnelReport) -> String {
     t.render()
 }
 
+/// Fault-tolerance accounting: degradation events by error class. Empty
+/// corpora render a single "clean run" row so the table is always
+/// well-formed.
+pub fn quarantine_table(study: &StudyResult) -> String {
+    let q = &study.quarantine;
+    let mut t = TextTable::new(["error class", "recovered", "quarantined"]);
+    if q.is_clean() {
+        t.row(["(clean run)", "0", "0"]);
+        return t.render();
+    }
+    for (class, rec, quar) in q.class_counts() {
+        t.row([class.label(), &rec.to_string(), &quar.to_string()]);
+    }
+    t.row([
+        "total",
+        &q.recovered.len().to_string(),
+        &q.quarantined.len().to_string(),
+    ]);
+    t.render()
+}
+
 /// Table I: the taxa definitions, verbatim from the classification tree.
 pub fn table1_definitions() -> String {
     let mut t = TextTable::new(["taxon", "definition"]);

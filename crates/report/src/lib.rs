@@ -14,11 +14,11 @@ pub mod json;
 pub mod table;
 
 pub use csv::Csv;
-pub use experiments::{experiments_markdown, ExperimentExtras};
+pub use experiments::{experiments_markdown, ExperimentExtras, FaultDemo};
 pub use figures::{
     fig04_csv, fig04_table, fig10_csv, fig10_scatter, fig11_matrix, fig12_quartiles,
-    extensions_table, fig13_boxplot, funnel_table, narrative_table, table1_definitions,
-    ProjectSeries,
+    extensions_table, fig13_boxplot, funnel_table, narrative_table, quarantine_table,
+    table1_definitions, ProjectSeries,
 };
 pub use json::study_to_json;
 pub use table::TextTable;

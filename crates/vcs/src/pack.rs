@@ -100,7 +100,9 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], PackError> {
-        if self.pos + n > self.buf.len() {
+        // `saturating_sub` keeps the check overflow-free even if an attacker
+        // smuggles a near-usize::MAX length through a corrupted header.
+        if self.buf.len().saturating_sub(self.pos) < n {
             return Err(PackError::Truncated);
         }
         let s = &self.buf[self.pos..self.pos + n];
@@ -108,25 +110,32 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// Read exactly `N` bytes into a fixed array, bounds-checked by `take`.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PackError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
+
     fn u8(&mut self) -> Result<u8, PackError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     fn u16(&mut self) -> Result<u16, PackError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, PackError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn i64(&mut self) -> Result<i64, PackError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     fn digest(&mut self) -> Result<Digest, PackError> {
-        let raw: [u8; 20] = self.take(20)?.try_into().unwrap();
-        Ok(Digest(raw))
+        Ok(Digest(self.array()?))
     }
 
     fn string(&mut self) -> Result<String, PackError> {
@@ -324,8 +333,13 @@ pub fn read_pack(bytes: &[u8]) -> Result<Repository, PackError> {
         }
         repo.set_branch(branch, tip);
     }
-    if repo.branch_tip(&head).is_some() {
-        repo.checkout(&head).expect("verified branch");
+    if let Some(tip) = repo.branch_tip(&head) {
+        // The tip was digest-verified above, so checkout can only fail if
+        // the store is inconsistent — surface that as a corrupt pack rather
+        // than panicking.
+        if repo.checkout(&head).is_err() {
+            return Err(PackError::MissingObject(tip));
+        }
     }
     Ok(repo)
 }

@@ -16,7 +16,7 @@ use schevo::pipeline::ablation::{
     reed_threshold_sensitivity, rule_order_comparison, walk_strategy_comparison,
 };
 use schevo::prelude::*;
-use schevo::report::experiments::{experiments_markdown, ExperimentExtras};
+use schevo::report::experiments::{experiments_markdown, ExperimentExtras, FaultDemo};
 use schevo::report::{
     fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
     narrative_table, study_to_json, table1_definitions,
@@ -54,6 +54,7 @@ fn main() {
         study.exec.diff_hits,
         study.exec.diff_hits + study.exec.diff_misses,
     );
+    eprintln!("{}", study.quarantine.summary());
 
     println!("=== Collection funnel (§III-A) ===\n{}", funnel_table(&study.report));
     println!("=== Table I ===\n{}", table1_definitions());
@@ -65,11 +66,14 @@ fn main() {
     println!("{}", narrative_table(&study));
 
     eprintln!("running ablations...");
-    let extras = ExperimentExtras {
+    let mut extras = ExperimentExtras {
         threshold_points: reed_threshold_sensitivity(&universe, &[10, 14, 20]),
         walk: Some(walk_strategy_comparison(&universe)),
         rule_order: Some(rule_order_comparison(&study.profiles)),
+        fault_demo: None,
     };
+    eprintln!("running chaos pass (fault injection)...");
+    extras.fault_demo = Some(fault_demo(&study, workers, cache));
     if write {
         let md = experiments_markdown(&study, &extras);
         std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
@@ -94,4 +98,60 @@ fn main() {
         eprintln!("(pass --write to regenerate EXPERIMENTS.md)");
     }
     eprintln!("total {:?}", t0.elapsed());
+}
+
+/// The canonical chaos pass for the EXPERIMENTS.md appendix: damage 20%
+/// of the evolving projects with the full fault catalog (fault seed 7),
+/// re-run the study gracefully, and check the untouched projects against
+/// the clean study.
+fn fault_demo(clean: &StudyResult, workers: usize, cache: bool) -> FaultDemo {
+    const FAULT_SEED: u64 = 7;
+    const RATE: u32 = 20;
+    let mut universe = generate(UniverseConfig::paper(2019));
+    let plan = FaultPlan::all(FAULT_SEED, RATE);
+    let faults = inject(&mut universe, &plan);
+    let faulted = run_study(
+        &universe,
+        StudyOptions {
+            workers,
+            cache,
+            ..StudyOptions::default()
+        },
+    );
+    eprintln!(
+        "chaos pass: {} fault(s) injected; {}",
+        faults.len(),
+        faulted.quarantine.summary()
+    );
+    let injected_projects: std::collections::BTreeSet<&str> =
+        faults.iter().map(|f| f.project.as_str()).collect();
+    let faulted_profiles: std::collections::BTreeMap<&str, _> = faulted
+        .profiles
+        .iter()
+        .map(|p| (p.project.as_str(), p))
+        .collect();
+    let clean_subset_identical = clean
+        .profiles
+        .iter()
+        .filter(|p| !injected_projects.contains(p.project.as_str()))
+        .all(|p| faulted_profiles.get(p.project.as_str()) == Some(&p));
+    let mut injected: Vec<(String, usize)> = Vec::new();
+    for class in FaultClass::ALL {
+        let n = faults.iter().filter(|f| f.class == class).count();
+        injected.push((class.to_string(), n));
+    }
+    FaultDemo {
+        fault_seed: FAULT_SEED,
+        rate_percent: RATE,
+        injected,
+        class_counts: faulted
+            .quarantine
+            .class_counts()
+            .into_iter()
+            .map(|(c, r, q)| (c.to_string(), r, q))
+            .collect(),
+        recovered: faulted.quarantine.recovered.len(),
+        quarantined: faulted.quarantine.quarantined.len(),
+        clean_subset_identical,
+    }
 }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! schevo study [--seed N] [--scale D] [--out DIR] [--workers N] [--no-cache]
+//!              [--strict] [--inject-faults PCT] [--fault-seed N]
 //!                                                   run the full study
 //! schevo classify <commits> <active> <activity> <reeds>
 //! schevo exemplars                                  print the figure exemplars
@@ -13,7 +14,7 @@
 use schevo::prelude::*;
 use schevo::report::{
     extensions_table, fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot,
-    funnel_table, narrative_table,
+    funnel_table, narrative_table, quarantine_table,
 };
 
 fn main() {
@@ -42,7 +43,8 @@ fn print_help() {
         "schevo — profiles of schema evolution in FOSS projects\n\n\
          USAGE:\n  \
          schevo study [--seed N] [--scale D] [--out DIR]\n               \
-         [--workers N] [--no-cache]                  run the full study\n  \
+         [--workers N] [--no-cache] [--strict]\n               \
+         [--inject-faults PCT] [--fault-seed N]      run the full study\n  \
          schevo classify <commits> <active> <activity> <reeds>\n  \
          schevo exemplars                                   print the figure exemplars\n  \
          schevo export <seed> <out.pack>                    generate + pack one project\n  \
@@ -69,22 +71,44 @@ fn cmd_study(args: &[String]) -> i32 {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| StudyOptions::default().workers);
     let cache = !args.iter().any(|a| a == "--no-cache");
+    let strict = args.iter().any(|a| a == "--strict");
+    let inject_pct: u32 = flag_value(args, "--inject-faults")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let fault_seed: u64 = flag_value(args, "--fault-seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
     let config = if scale <= 1 {
         UniverseConfig::paper(seed)
     } else {
         UniverseConfig::small(seed, scale)
     };
     eprintln!("generating universe (seed {seed}, scale 1/{scale})...");
-    let universe = generate(config);
+    let mut universe = generate(config);
+    if inject_pct > 0 {
+        let faults = inject(&mut universe, &FaultPlan::all(fault_seed, inject_pct));
+        eprintln!(
+            "injected {} fault(s) into {inject_pct}% of evolving projects (fault seed {fault_seed})",
+            faults.len()
+        );
+    }
     eprintln!("running study ({workers} workers, cache {})...", if cache { "on" } else { "off" });
-    let study = run_study(
+    let study = match try_run_study(
         &universe,
         StudyOptions {
             workers,
             cache,
+            strict,
             ..StudyOptions::default()
         },
-    );
+    ) {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("strict study aborted: {e}");
+            return 3;
+        }
+    };
+    eprintln!("{}", study.quarantine.summary());
     eprintln!(
         "mined {} candidates in {:.2}s: parse {}/{} cache hits, diff {}/{} cache hits",
         study.exec.tasks,
@@ -95,6 +119,11 @@ fn cmd_study(args: &[String]) -> i32 {
         study.exec.diff_hits + study.exec.diff_misses,
     );
     println!("{}", funnel_table(&study.report));
+    // Stdout stays byte-identical on clean runs (the black-box diff in
+    // scripts/ci.sh depends on it); the table only appears under faults.
+    if !study.quarantine.is_clean() {
+        println!("{}", quarantine_table(&study));
+    }
     println!("{}", fig04_table(&study));
     println!("{}", fig10_scatter(&study));
     println!("{}", fig11_matrix(&study));

@@ -48,14 +48,17 @@ pub use schevo_vcs as vcs;
 
 /// The types most callers need, in one import.
 pub mod prelude {
+    pub use schevo_core::errors::{ErrorClass, SchevoError};
     pub use schevo_core::heartbeat::{Heartbeat, REED_THRESHOLD};
     pub use schevo_core::measures::measure_history;
     pub use schevo_core::model::SchemaHistory;
     pub use schevo_core::profile::{EvolutionProfile, ProjectContext};
     pub use schevo_core::taxa::{classify, ProjectClass, Taxon, TaxonFeatures};
+    pub use schevo_corpus::faultgen::{inject, FaultClass, FaultPlan, InjectedFault};
     pub use schevo_corpus::universe::{generate, Universe, UniverseConfig};
-    pub use schevo_ddl::{parse_schema, Schema};
-    pub use schevo_pipeline::study::{run_study, StudyOptions, StudyResult};
+    pub use schevo_ddl::{parse_schema, parse_schema_recovering, Schema};
+    pub use schevo_pipeline::quarantine::QuarantineReport;
+    pub use schevo_pipeline::study::{run_study, try_run_study, StudyOptions, StudyResult};
     pub use schevo_report::ProjectSeries;
     pub use schevo_vcs::history::{file_history, WalkStrategy};
     pub use schevo_vcs::repo::{FileChange, Repository};
