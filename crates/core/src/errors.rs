@@ -35,6 +35,12 @@ pub enum ErrorClass {
     DuplicateVersion,
     /// A version (or the whole history) had blank content.
     EmptyVersion,
+    /// The write-ahead mining journal was unreadable, unwritable, or its
+    /// tail failed length/checksum verification during replay.
+    Journal,
+    /// A mining task exceeded its soft watchdog deadline. Flagged, never
+    /// fatal: the task's result is kept, the overrun is reported.
+    DeadlineExceeded,
 }
 
 impl ErrorClass {
@@ -49,6 +55,8 @@ impl ErrorClass {
             ErrorClass::NonMonotonicTimestamps => "non-monotonic-timestamps",
             ErrorClass::DuplicateVersion => "duplicate-version",
             ErrorClass::EmptyVersion => "empty-version",
+            ErrorClass::Journal => "journal",
+            ErrorClass::DeadlineExceeded => "deadline-exceeded",
         }
     }
 }
@@ -207,6 +215,8 @@ mod tests {
             ErrorClass::NonMonotonicTimestamps,
             ErrorClass::DuplicateVersion,
             ErrorClass::EmptyVersion,
+            ErrorClass::Journal,
+            ErrorClass::DeadlineExceeded,
         ];
         let labels: std::collections::HashSet<&str> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), all.len());

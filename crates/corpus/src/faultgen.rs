@@ -40,11 +40,16 @@ pub enum FaultClass {
     DuplicateVersion,
     /// Blank out a version's content entirely.
     EmptyVersion,
+    /// Append a vendor-dump-style blowup of generated `CREATE TABLE`
+    /// statements: perfectly valid DDL, but orders of magnitude more
+    /// parse/diff work than any organic version — the pathological
+    /// history the executor's watchdog deadline exists to flag.
+    SlowPath,
 }
 
 impl FaultClass {
     /// Every fault class, in catalog order.
-    pub const ALL: [FaultClass; 8] = [
+    pub const ALL: [FaultClass; 9] = [
         FaultClass::TruncatedBlob,
         FaultClass::UnbalancedParens,
         FaultClass::UnknownVendorClause,
@@ -53,6 +58,7 @@ impl FaultClass {
         FaultClass::NonMonotonicTimestamps,
         FaultClass::DuplicateVersion,
         FaultClass::EmptyVersion,
+        FaultClass::SlowPath,
     ];
 
     /// Short stable label used in reports and ground-truth listings.
@@ -66,6 +72,7 @@ impl FaultClass {
             FaultClass::NonMonotonicTimestamps => "non-monotonic-timestamps",
             FaultClass::DuplicateVersion => "duplicate-version",
             FaultClass::EmptyVersion => "empty-version",
+            FaultClass::SlowPath => "slow-path",
         }
     }
 }
@@ -297,6 +304,23 @@ pub fn corrupt_versions(
         FaultClass::EmptyVersion => {
             let i = rng.gen_range(0..versions.len());
             versions[i].content = "\n\n".to_string();
+            Some(i)
+        }
+        FaultClass::SlowPath => {
+            use std::fmt::Write as _;
+            let i = pick(rng, versions, |_| true)?;
+            let tables = 300 + rng.gen_range(0..100);
+            let mut blob = String::with_capacity(tables * 320);
+            for t in 0..tables {
+                let _ = write!(blob, "CREATE TABLE bulk_dump_{t:04} (");
+                for c in 0..24 {
+                    let _ = write!(blob, "c{c} INT, ");
+                }
+                blob.push_str("PRIMARY KEY (c0));\n");
+            }
+            let content = &mut versions[i].content;
+            content.push('\n');
+            content.push_str(&blob);
             Some(i)
         }
     }

@@ -33,7 +33,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Execution options of a mining pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,9 +224,39 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    execute_ordered_with(items, workers, work, |_, _| {})
+}
+
+/// [`execute_ordered`] with a completion hook: `on_complete(index, &result)`
+/// runs **on the caller thread**, in completion order (not input order),
+/// once per task, before the result is slotted. This is the durability
+/// hook — the mining journal appends each record from here, so a worker
+/// panic can never tear a half-written record: workers only compute, the
+/// caller thread owns the journal file, and every result received before
+/// the panic propagates has already been committed whole.
+pub fn execute_ordered_with<T, R, F, C>(
+    items: &[T],
+    workers: usize,
+    work: F,
+    mut on_complete: C,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+    C: FnMut(usize, &R),
+{
     let workers = workers.clamp(1, 32).min(items.len().max(1));
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let r = work(i, t);
+                on_complete(i, &r);
+                r
+            })
+            .collect();
     }
     let injector = crossbeam::deque::Injector::new();
     for idx in 0..items.len() {
@@ -257,6 +287,7 @@ where
         drop(tx);
         let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
         for (idx, result) in rx {
+            on_complete(idx, &result);
             slots[idx] = Some(result);
         }
         // The receive loop only ends once every sender is dropped, so the
@@ -276,6 +307,28 @@ where
     match scope_result {
         Ok(results) => results,
         Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Run one task under a soft watchdog deadline.
+///
+/// The task always runs to completion — this is a *flagging* watchdog,
+/// not a killer: aborting a worker mid-task would tear shared caches and
+/// cost the mined result. Returns the task's result plus the amount by
+/// which it overran `deadline` (`None` when no deadline was set or the
+/// task finished in time). Callers turn an overrun into a
+/// [`schevo_core::errors::ErrorClass::DeadlineExceeded`] quarantine
+/// event so a pathological history is visible instead of wedging the
+/// run silently.
+pub fn watchdog<R>(deadline: Option<Duration>, task: impl FnOnce() -> R) -> (R, Option<Duration>) {
+    match deadline {
+        None => (task(), None),
+        Some(limit) => {
+            let start = Instant::now();
+            let result = task();
+            let elapsed = start.elapsed();
+            (result, (elapsed > limit).then(|| elapsed - limit))
+        }
     }
 }
 
@@ -317,6 +370,80 @@ mod tests {
             msg.contains("task 17 exploded"),
             "original panic payload lost: {msg:?}"
         );
+    }
+
+    #[test]
+    fn worker_panic_leaves_journal_consistent() {
+        // A worker panic mid-pass must not tear the journal: every record
+        // the caller thread committed before the panic propagated is fully
+        // framed, and replay finds no corruption — the file ends exactly at
+        // a record boundary.
+        use crate::extract::MineOutcome;
+        use crate::journal::{replay_file, JournalRecord, JournalWriter};
+        let path = std::env::temp_dir().join(format!(
+            "schevo_exec_panic_journal_{}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let writer = std::sync::Mutex::new(
+            JournalWriter::create(&path).expect("create journal in temp dir"),
+        );
+        let items: Vec<usize> = (0..50).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_ordered_with(
+                &items,
+                4,
+                |_, &x| {
+                    if x == 23 {
+                        panic!("task 23 exploded");
+                    }
+                    x
+                },
+                |idx, _| {
+                    let record = JournalRecord {
+                        key: format!("task-{idx}"),
+                        outcome: MineOutcome {
+                            mined: None,
+                            recovered: Vec::new(),
+                            quarantined: None,
+                        },
+                    };
+                    writer
+                        .lock()
+                        .expect("journal mutex")
+                        .append(&record)
+                        .expect("append to temp journal");
+                },
+            )
+        }));
+        assert!(caught.is_err(), "executor must propagate the worker panic");
+        let committed = writer.lock().expect("journal mutex").commits();
+        let replay = replay_file(&path).expect("journal file readable after panic");
+        assert!(
+            replay.corruption.is_none(),
+            "worker panic tore the journal: {:?}",
+            replay.corruption
+        );
+        assert_eq!(
+            replay.records.len() as u64,
+            committed,
+            "replayed record count must equal committed appends"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn watchdog_flags_overrun_and_passes_result_through() {
+        // No deadline: no measurement at all.
+        let (r, over) = watchdog(None, || 41 + 1);
+        assert_eq!((r, over), (42, None));
+        // A zero deadline is always overrun, but the result still lands.
+        let (r, over) = watchdog(Some(Duration::ZERO), || "done");
+        assert_eq!(r, "done");
+        assert!(over.is_some(), "zero deadline must always flag an overrun");
+        // A generous deadline is not overrun by a trivial task.
+        let (_, over) = watchdog(Some(Duration::from_secs(3600)), || ());
+        assert!(over.is_none());
     }
 
     #[test]

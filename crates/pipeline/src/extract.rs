@@ -8,8 +8,14 @@
 //! parses and version-pair diffs are shared across candidates through
 //! the content-addressed [`crate::exec::MineCaches`].
 
-use crate::exec::{execute_ordered, ExecCounters, ExecOptions, ExecStats, MineCaches};
+use crate::exec::{
+    execute_ordered, execute_ordered_with, watchdog, ExecCounters, ExecOptions, ExecStats,
+    MineCaches,
+};
 use crate::funnel::CandidateHistory;
+use crate::journal::{
+    candidate_key, replay_file, DurabilityOptions, JournalRecord, JournalSummary, JournalWriter,
+};
 use crate::quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
 use schevo_core::diff::{diff, SchemaDelta};
 use schevo_core::errors::{ErrorClass, SchevoError};
@@ -19,11 +25,13 @@ use schevo_core::model::{CommitMeta, SchemaHistory, SchemaVersion};
 use schevo_core::profile::{EvolutionProfile, ProjectContext};
 use schevo_core::tables::{table_lives, table_lives_with, TableLife};
 use schevo_vcs::sha1::{sha1, Digest};
-use std::time::Instant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Everything one mining pass produces for a project: the paper's profile
 /// plus the two extension studies (foreign keys, table lives).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mined {
     /// The paper's per-project profile.
     pub profile: EvolutionProfile,
@@ -217,17 +225,22 @@ pub fn mine_all_stats(
 
 /// What graceful mining produced for one candidate. At most one of
 /// `mined`/`quarantined` is `Some` semantics-wise: a quarantined
-/// candidate yields no `Mined`.
-#[derive(Debug)]
-struct TaskOutcome {
-    mined: Option<Mined>,
-    recovered: Vec<RecoveryRecord>,
-    quarantined: Option<QuarantineRecord>,
+/// candidate yields no `Mined`. This is also the journal payload: the
+/// write-ahead journal persists exactly one `MineOutcome` per candidate,
+/// so replaying a journal reconstructs the pass without re-mining.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MineOutcome {
+    /// The mined result, absent when the candidate was quarantined.
+    pub mined: Option<Mined>,
+    /// Version-level problems recovered in place, in detection order.
+    pub recovered: Vec<RecoveryRecord>,
+    /// The error that excluded the candidate, if any.
+    pub quarantined: Option<QuarantineRecord>,
 }
 
-impl TaskOutcome {
+impl MineOutcome {
     fn quarantine(recovered: Vec<RecoveryRecord>, error: SchevoError, attempted: bool) -> Self {
-        TaskOutcome {
+        MineOutcome {
             mined: None,
             recovered,
             quarantined: Some(QuarantineRecord {
@@ -252,7 +265,7 @@ fn mine_task_graceful(
     reed_threshold: u64,
     caches: Option<&MineCaches>,
     counters: &ExecCounters,
-) -> TaskOutcome {
+) -> MineOutcome {
     let name = candidate.name.as_str();
     let vs = &candidate.versions;
     let mut recovered = Vec::new();
@@ -289,7 +302,7 @@ fn mine_task_graceful(
         keep.push(i);
     }
     if keep.is_empty() {
-        return TaskOutcome::quarantine(
+        return MineOutcome::quarantine(
             recovered,
             SchevoError::project(ErrorClass::EmptyVersion, name, "no usable versions"),
             false,
@@ -349,7 +362,7 @@ fn mine_task_graceful(
                 let salvage = schevo_ddl::parse_schema_recovering(&v.content);
                 if salvage.schema.is_empty() {
                     counters.add_parse_nanos(t_parse);
-                    return TaskOutcome::quarantine(recovered, error, true);
+                    return MineOutcome::quarantine(recovered, error, true);
                 }
                 recovered.push(RecoveryRecord {
                     error,
@@ -376,7 +389,7 @@ fn mine_task_graceful(
         versions,
     };
     let mined = diff_and_profile(candidate, history, &digests, reed_threshold, caches, counters);
-    TaskOutcome {
+    MineOutcome {
         mined: Some(mined),
         recovered,
         quarantined: None,
@@ -394,16 +407,192 @@ pub fn mine_all_graceful(
     reed_threshold: u64,
     options: &ExecOptions,
 ) -> (Vec<Mined>, QuarantineReport, ExecStats) {
+    match mine_all_durable(
+        candidates,
+        reed_threshold,
+        options,
+        &DurabilityOptions::default(),
+    ) {
+        Ok((mined, report, stats, _)) => (mined, report, stats),
+        // Unreachable: without a journal configured the durable pass has
+        // no error source. Degrade to an empty result carrying the error
+        // rather than panicking.
+        Err(e) => (
+            Vec::new(),
+            QuarantineReport {
+                recovered: Vec::new(),
+                quarantined: vec![QuarantineRecord {
+                    error: e,
+                    recovery_attempted: false,
+                }],
+            },
+            ExecStats::default(),
+        ),
+    }
+}
+
+/// One mining task: graceful mining under the soft watchdog. An overrun
+/// is appended to the task's recovery list as a
+/// [`ErrorClass::DeadlineExceeded`] event — deterministic in position
+/// (always last), wall-clock-dependent in occurrence, which is why the
+/// deadline defaults to off.
+fn mine_task_watched(
+    candidate: &CandidateHistory,
+    reed_threshold: u64,
+    deadline: Option<Duration>,
+    caches: Option<&MineCaches>,
+    counters: &ExecCounters,
+) -> MineOutcome {
+    let (mut outcome, overrun) = watchdog(deadline, || {
+        mine_task_graceful(candidate, reed_threshold, caches, counters)
+    });
+    if overrun.is_some() {
+        let limit_ms = deadline.map(|d| d.as_millis()).unwrap_or(0);
+        outcome.recovered.push(RecoveryRecord {
+            error: SchevoError::project(
+                ErrorClass::DeadlineExceeded,
+                candidate.name.as_str(),
+                format!("mining exceeded the soft watchdog deadline of {limit_ms}ms"),
+            ),
+            dropped_statements: 0,
+        });
+    }
+    outcome
+}
+
+/// Journal state threaded through one durable mining pass.
+struct JournalCtx {
+    writer: JournalWriter,
+    crash_after: Option<u64>,
+    error: Option<SchevoError>,
+}
+
+/// [`mine_all_graceful`] with a durability layer: write-ahead journaling
+/// of every completed candidate, resume-from-journal, deterministic
+/// crash injection, and the per-task watchdog deadline.
+///
+/// With `durability` at its default this is exactly the in-memory
+/// graceful pass (no journal I/O, no key hashing, no timing). With a
+/// journal configured, every freshly mined outcome is committed from the
+/// caller thread as it completes; with `resume` set, records whose
+/// content key matches a current candidate are replayed instead of
+/// re-mined, and the merged result is bit-identical to an uninterrupted
+/// run — [`ExecStats`], which varies with scheduling anyway, is the only
+/// thing that can differ.
+///
+/// Errors are journal-scoped only: open/replay/append failures surface
+/// as [`ErrorClass::Journal`] errors; a corrupt journal *tail* is not an
+/// error (replay degrades to the valid prefix and reports it in the
+/// returned [`JournalSummary`]).
+pub fn mine_all_durable(
+    candidates: &[CandidateHistory],
+    reed_threshold: u64,
+    options: &ExecOptions,
+    durability: &DurabilityOptions,
+) -> Result<(Vec<Mined>, QuarantineReport, ExecStats, Option<JournalSummary>), SchevoError> {
     let wall = Instant::now();
     let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
     let caches = options.cache.then(MineCaches::default);
     let counters = ExecCounters::default();
-    let outcomes: Vec<TaskOutcome> = execute_ordered(candidates, workers, |_, c| {
-        mine_task_graceful(c, reed_threshold, caches.as_ref(), &counters)
-    });
+    let deadline = durability.deadline;
+
+    // Journal setup: replay on resume, then open for appending past the
+    // valid prefix (or start fresh).
+    let mut summary: Option<JournalSummary> = None;
+    let mut replayed: HashMap<String, MineOutcome> = HashMap::new();
+    let mut ctx: Option<JournalCtx> = None;
+    if let Some(path) = &durability.journal {
+        let mut s = JournalSummary::default();
+        let writer = if durability.resume && path.exists() {
+            let replay = replay_file(path)?;
+            s.corruption = replay.corruption;
+            for r in replay.records {
+                replayed.insert(r.key, r.outcome);
+            }
+            JournalWriter::resume(path, replay.valid_len)?
+        } else {
+            JournalWriter::create(path)?
+        };
+        ctx = Some(JournalCtx {
+            writer,
+            crash_after: durability.crash_after,
+            error: None,
+        });
+        summary = Some(s);
+    }
+
+    // Partition: candidates satisfied by replayed records keep their
+    // slot; the rest are mined fresh. Keys are only computed when a
+    // journal is in play — the default path pays nothing.
+    let journaling = ctx.is_some();
+    let keys: Vec<String> = if journaling {
+        candidates
+            .iter()
+            .map(|c| candidate_key(c, reed_threshold).to_hex())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut slots: Vec<Option<MineOutcome>> = (0..candidates.len())
+        .map(|i| {
+            if journaling {
+                replayed.remove(&keys[i])
+            } else {
+                None
+            }
+        })
+        .collect();
+    let replayed_count = slots.iter().filter(|s| s.is_some()).count();
+    let fresh: Vec<usize> = (0..candidates.len())
+        .filter(|&i| slots[i].is_none())
+        .collect();
+    let fresh_items: Vec<&CandidateHistory> = fresh.iter().map(|&i| &candidates[i]).collect();
+
+    // Mine the fresh subset. The completion hook runs on the caller
+    // thread in completion order: each outcome is committed to the
+    // journal before anything else happens to it, and the crash-after
+    // kill switch fires only after its record is durable.
+    let outcomes: Vec<MineOutcome> = execute_ordered_with(
+        &fresh_items,
+        workers,
+        |_, c| mine_task_watched(c, reed_threshold, deadline, caches.as_ref(), &counters),
+        |local, outcome| {
+            let Some(ctx) = ctx.as_mut() else { return };
+            if ctx.error.is_some() {
+                return;
+            }
+            let record = JournalRecord {
+                key: keys[fresh[local]].clone(),
+                outcome: outcome.clone(),
+            };
+            match ctx.writer.append(&record) {
+                Ok(()) => {
+                    if ctx.crash_after == Some(ctx.writer.commits()) {
+                        // Deterministic whole-process crash, as unkind as
+                        // a SIGKILL: no unwinding, no destructors, no
+                        // buffered-writer flushes.
+                        std::process::abort();
+                    }
+                }
+                Err(e) => ctx.error = Some(e),
+            }
+        },
+    );
+    if let Some(ctx) = ctx {
+        if let Some(e) = ctx.error {
+            return Err(e);
+        }
+    }
+
+    // Reassemble in candidate order: replayed slots stay put, fresh
+    // outcomes land back in their original positions.
+    for (local, outcome) in outcomes.into_iter().enumerate() {
+        slots[fresh[local]] = Some(outcome);
+    }
     let mut mined = Vec::new();
     let mut report = QuarantineReport::default();
-    for o in outcomes {
+    for slot in slots {
+        let Some(o) = slot else { continue };
         report.recovered.extend(o.recovered);
         if let Some(q) = o.quarantined {
             report.quarantined.push(q);
@@ -412,8 +601,13 @@ pub fn mine_all_graceful(
             mined.push(m);
         }
     }
+    if let Some(s) = summary.as_mut() {
+        s.replayed = replayed_count;
+        s.mined_fresh = fresh.len();
+        s.stale_discarded = replayed.len();
+    }
     let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
-    (mined, report, stats)
+    Ok((mined, report, stats, summary))
 }
 
 /// Mine all candidates in parallel, producing profiles plus extension

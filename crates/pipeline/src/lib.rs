@@ -20,11 +20,13 @@ pub mod ablation;
 pub mod exec;
 pub mod extract;
 pub mod funnel;
+pub mod journal;
 pub mod quarantine;
 pub mod study;
 
 pub use exec::{default_workers, ExecOptions, ExecStats};
-pub use extract::mine_all_graceful;
+pub use extract::{mine_all_durable, mine_all_graceful, MineOutcome};
+pub use journal::{candidate_key, DurabilityOptions, JournalRecord, JournalSummary, JournalWriter};
 pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelReport};
 pub use quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
 pub use study::{

@@ -66,7 +66,7 @@ impl QuarantineReport {
     /// `(class, recovered, quarantined)` counts over every class that
     /// appears, in [`ErrorClass`] catalog order.
     pub fn class_counts(&self) -> Vec<(ErrorClass, usize, usize)> {
-        const ORDER: [ErrorClass; 8] = [
+        const ORDER: [ErrorClass; 10] = [
             ErrorClass::Lex,
             ErrorClass::Syntax,
             ErrorClass::EmptySchema,
@@ -75,6 +75,8 @@ impl QuarantineReport {
             ErrorClass::NonMonotonicTimestamps,
             ErrorClass::DuplicateVersion,
             ErrorClass::EmptyVersion,
+            ErrorClass::Journal,
+            ErrorClass::DeadlineExceeded,
         ];
         ORDER
             .iter()

@@ -3,8 +3,9 @@
 //! number needed to regenerate the paper's tables and figures.
 
 use crate::exec::{ExecOptions, ExecStats};
-use crate::extract::mine_all_graceful;
+use crate::extract::mine_all_durable;
 use crate::funnel::{run_funnel, FunnelReport};
+use crate::journal::{DurabilityOptions, JournalSummary};
 use crate::quarantine::QuarantineReport;
 use schevo_core::errors::SchevoError;
 use schevo_core::fk::{fk_corpus_stats, FkCorpusStats};
@@ -23,7 +24,7 @@ use schevo_vcs::history::WalkStrategy;
 use serde::{Deserialize, Serialize};
 
 /// Options of a study run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct StudyOptions {
     /// How to linearize commit DAGs.
     pub strategy: WalkStrategy,
@@ -41,6 +42,10 @@ pub struct StudyOptions {
     /// With the default `false`, damaged histories are quarantined and
     /// the study completes on the clean subset.
     pub strict: bool,
+    /// Durability layer: write-ahead mining journal, resume, crash
+    /// injection, and the per-task watchdog deadline. The default is
+    /// fully off and perturbs nothing.
+    pub durability: DurabilityOptions,
 }
 
 impl Default for StudyOptions {
@@ -51,6 +56,7 @@ impl Default for StudyOptions {
             workers: crate::exec::default_workers(),
             cache: true,
             strict: false,
+            durability: DurabilityOptions::default(),
         }
     }
 }
@@ -178,6 +184,10 @@ pub struct StudyResult {
     /// timings of the mining pass. Timings and hit counts vary with
     /// scheduling; everything else in this struct does not.
     pub exec: ExecStats,
+    /// Journal accounting when a journal was configured: replayed vs
+    /// freshly mined candidates, stale records discarded, tail
+    /// corruption survived. `None` when journaling was off.
+    pub journal: Option<JournalSummary>,
 }
 
 impl StudyResult {
@@ -256,30 +266,32 @@ fn taxon_stats(taxon: Taxon, profiles: &[&EvolutionProfile]) -> TaxonStats {
 ///
 /// Damaged histories are quarantined (see [`StudyResult::quarantine`])
 /// and the study continues on the clean subset. With
-/// [`StudyOptions::strict`] set, a degradation event aborts — this
-/// infallible wrapper then panics; use [`try_run_study`] to handle the
-/// error.
+/// [`StudyOptions::strict`] set, a degradation event aborts; with a
+/// journal configured, an unusable journal aborts — this infallible
+/// wrapper then panics; use [`try_run_study`] to handle the error.
 pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
     match try_run_study(universe, options) {
         Ok(study) => study,
-        Err(e) => panic!("strict study aborted: {e}"),
+        Err(e) => panic!("study aborted: {e}"),
     }
 }
 
-/// Run the complete study, surfacing strict-mode failures as errors.
+/// Run the complete study, surfacing strict-mode and journal failures
+/// as errors.
 ///
-/// Without `options.strict` this never fails.
+/// Without `options.strict` and without a journal this never fails.
 pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<StudyResult, SchevoError> {
     let outcome = run_funnel(universe, options.strategy);
     let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
-    let (mined, quarantine, exec) = mine_all_graceful(
+    let (mined, quarantine, exec, journal) = mine_all_durable(
         &outcome.analyzed,
         used_reed_threshold,
         &ExecOptions {
             workers: options.workers,
             cache: options.cache,
         },
-    );
+        &options.durability,
+    )?;
     if options.strict {
         if let Some(e) = quarantine.first_error() {
             return Err(e.clone());
@@ -422,6 +434,7 @@ pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<Study
             schevo_stats::chi2_independence(&rows).ok()
         },
         exec,
+        journal,
     })
 }
 

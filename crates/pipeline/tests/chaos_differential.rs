@@ -166,6 +166,10 @@ fn allowed_classes(class: FaultClass) -> Vec<ErrorClass> {
         // Healed by the history walk / funnel before mining.
         FaultClass::DuplicateVersion => vec![],
         FaultClass::EmptyVersion => vec![],
+        // Valid DDL, just pathologically large: absorbed silently unless
+        // a watchdog deadline is armed (deadline overruns are tested in
+        // the exec/watchdog unit tests, not in this differential suite).
+        FaultClass::SlowPath => vec![],
     }
 }
 

@@ -1,0 +1,155 @@
+//! Property tests for the write-ahead mining journal: for *arbitrary*
+//! record batches and *arbitrary* damage — truncation at any byte,
+//! a bit flip at any position, or wholly random bytes — replay must
+//! yield exactly the valid record prefix, report the damage, and never
+//! panic.
+
+use proptest::prelude::*;
+use schevo_core::errors::{ErrorClass, SchevoError};
+use schevo_pipeline::extract::MineOutcome;
+use schevo_pipeline::journal::{
+    encode_record, replay_bytes, JournalRecord, HEADER_LEN, JOURNAL_MAGIC,
+};
+use schevo_pipeline::quarantine::{QuarantineRecord, RecoveryRecord};
+
+/// Error classes a journaled outcome can carry.
+const CLASSES: [ErrorClass; 8] = [
+    ErrorClass::Lex,
+    ErrorClass::Syntax,
+    ErrorClass::EmptySchema,
+    ErrorClass::PackCorrupt,
+    ErrorClass::HistoryWalk,
+    ErrorClass::NonMonotonicTimestamps,
+    ErrorClass::DuplicateVersion,
+    ErrorClass::EmptyVersion,
+];
+
+fn error_strategy() -> impl Strategy<Value = SchevoError> {
+    (
+        0usize..CLASSES.len(),
+        // Unicode and embedded quotes/newlines stress the JSON layer.
+        "[a-zA-Z0-9 /\"\\\\\u{e9}\u{4e16}\u{1f4a5}\n]{0,40}",
+        proptest::option::of(0u64..1000),
+        proptest::option::of(0u64..1_000_000),
+    )
+        .prop_map(|(c, message, version_index, byte_offset)| SchevoError {
+            class: CLASSES[c],
+            project: "prop/project".to_string(),
+            version_index,
+            message,
+            byte_offset,
+        })
+}
+
+fn record_strategy() -> impl Strategy<Value = JournalRecord> {
+    (
+        "[0-9a-f]{40}",
+        proptest::collection::vec((error_strategy(), 0u64..50), 0..4),
+        proptest::option::of((error_strategy(), any::<bool>())),
+    )
+        .prop_map(|(key, recovered, quarantined)| JournalRecord {
+            key,
+            outcome: MineOutcome {
+                mined: None,
+                recovered: recovered
+                    .into_iter()
+                    .map(|(error, dropped_statements)| RecoveryRecord {
+                        error,
+                        dropped_statements,
+                    })
+                    .collect(),
+                quarantined: quarantined.map(|(error, recovery_attempted)| QuarantineRecord {
+                    error,
+                    recovery_attempted,
+                }),
+            },
+        })
+}
+
+/// Serialize a batch the way `JournalWriter` lays it out on disk, also
+/// returning the byte offset just past each record.
+fn journal_bytes(records: &[JournalRecord]) -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = JOURNAL_MAGIC.to_vec();
+    let mut ends = Vec::new();
+    for r in records {
+        bytes.extend_from_slice(&encode_record(r).expect("encodable record"));
+        ends.push(bytes.len());
+    }
+    (bytes, ends)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An undamaged journal replays to exactly the batch that was
+    /// written, with a clean tail.
+    #[test]
+    fn roundtrip_replays_every_record(records in proptest::collection::vec(record_strategy(), 0..8)) {
+        let (bytes, ends) = journal_bytes(&records);
+        let replay = replay_bytes(&bytes, "prop");
+        prop_assert!(replay.corruption.is_none());
+        prop_assert_eq!(&replay.records, &records);
+        prop_assert_eq!(replay.valid_len as usize, bytes.len());
+        prop_assert_eq!(
+            replay.record_ends.iter().map(|&e| e as usize).collect::<Vec<_>>(),
+            ends
+        );
+    }
+
+    /// Truncating at *any* byte yields exactly the records wholly before
+    /// the cut; corruption is reported iff the cut is not at a record
+    /// boundary (the header counts as the zero-record boundary).
+    #[test]
+    fn truncation_yields_exact_valid_prefix(
+        records in proptest::collection::vec(record_strategy(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let (bytes, ends) = journal_bytes(&records);
+        let cut = (cut_frac * bytes.len() as f64) as usize;
+        let replay = replay_bytes(&bytes[..cut], "prop");
+        if cut < HEADER_LEN {
+            prop_assert!(replay.records.is_empty());
+            prop_assert!(replay.corruption.is_some());
+        } else {
+            let expect = ends.iter().filter(|&&e| e <= cut).count();
+            prop_assert_eq!(replay.records.len(), expect, "cut at {}", cut);
+            prop_assert_eq!(&replay.records[..], &records[..expect]);
+            let at_boundary = cut == HEADER_LEN || ends.contains(&cut);
+            prop_assert_eq!(replay.corruption.is_some(), !at_boundary, "cut at {}", cut);
+            let valid = if expect == 0 { HEADER_LEN } else { ends[expect - 1] };
+            prop_assert_eq!(replay.valid_len as usize, valid);
+        }
+    }
+
+    /// Flipping one bit anywhere after the header stops replay exactly
+    /// at the record containing the flipped byte, never later.
+    #[test]
+    fn bit_flip_stops_at_the_damaged_record(
+        records in proptest::collection::vec(record_strategy(), 1..6),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (mut bytes, ends) = journal_bytes(&records);
+        let span = bytes.len() - HEADER_LEN;
+        let pos = HEADER_LEN + ((pos_frac * span as f64) as usize).min(span - 1);
+        bytes[pos] ^= 1 << bit;
+        let replay = replay_bytes(&bytes, "prop");
+        let damaged = ends.iter().filter(|&&e| e <= pos).count();
+        prop_assert_eq!(replay.records.len(), damaged, "flip at {}", pos);
+        prop_assert_eq!(&replay.records[..], &records[..damaged]);
+        prop_assert!(replay.corruption.is_some(), "flip at {} went undetected", pos);
+    }
+
+    /// Replay of wholly arbitrary bytes never panics and never claims
+    /// more valid bytes than exist.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let replay = replay_bytes(&bytes, "prop");
+        prop_assert!(replay.valid_len as usize <= bytes.len());
+        // With the correct magic prepended, still no panic.
+        let mut with_magic = JOURNAL_MAGIC.to_vec();
+        with_magic.extend_from_slice(&bytes);
+        let replay = replay_bytes(&with_magic, "prop");
+        prop_assert!(replay.valid_len as usize <= with_magic.len());
+    }
+}

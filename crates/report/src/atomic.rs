@@ -1,0 +1,121 @@
+//! Atomic artifact publication.
+//!
+//! Every on-disk artifact of the study (`study_results.json`,
+//! `EXPERIMENTS.md`, `artifacts/*.csv`) is published through
+//! [`write_atomic`]: the contents are written to a temporary file in the
+//! *same directory*, fsynced, and renamed into place. A crash — ours via
+//! `--crash-after`, or the machine's — therefore leaves either the
+//! previous complete artifact or the new complete artifact, never a
+//! half-written file. Readers polling the output directory can always
+//! parse what they find.
+
+use std::fmt;
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Failure to publish one artifact atomically.
+///
+/// Carries the destination path and the phase (`create temp file`,
+/// `write`, `sync`, `rename`) so a caller can report *which* artifact
+/// failed and *how* without guessing.
+#[derive(Debug)]
+pub struct AtomicWriteError {
+    /// The destination the artifact was being published to.
+    pub path: PathBuf,
+    /// The phase that failed: `"create temp file"`, `"write"`,
+    /// `"sync"`, or `"rename"`.
+    pub op: &'static str,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for AtomicWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "atomic write of {}: {} failed: {}",
+            self.path.display(),
+            self.op,
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for AtomicWriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Write `contents` to `path` atomically: temp file in the same
+/// directory, `write_all` + `sync_all`, then rename over `path`.
+///
+/// The temp file is named `.{file_name}.tmp.{pid}` so concurrent
+/// processes publishing to the same directory cannot collide, and a
+/// leftover from a crashed run is identifiable (and harmless — the next
+/// successful publish of the same artifact reuses and renames it away).
+/// On any failure the temp file is removed before the error is returned,
+/// and the destination is untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), AtomicWriteError> {
+    let err = |op: &'static str, source: std::io::Error| AtomicWriteError {
+        path: path.to_path_buf(),
+        op,
+        source,
+    };
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let publish = (|| {
+        let mut file = File::create(&tmp).map_err(|e| err("create temp file", e))?;
+        file.write_all(contents).map_err(|e| err("write", e))?;
+        file.sync_all().map_err(|e| err("sync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| err("rename", e))
+    })();
+    if publish.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    publish
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("schevo_atomic_{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn writes_then_overwrites() {
+        let path = tmp("roundtrip.txt");
+        let _ = std::fs::remove_file(&path);
+        write_atomic(&path, b"first").expect("first publish");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"first");
+        write_atomic(&path, b"second").expect("overwrite publish");
+        assert_eq!(std::fs::read(&path).expect("read back"), b"second");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let path = tmp("clean.txt");
+        let _ = std::fs::remove_file(&path);
+        write_atomic(&path, b"data").expect("publish");
+        let name = path.file_name().expect("has name").to_string_lossy();
+        let sibling = path.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
+        assert!(!sibling.exists(), "temp file survived a successful publish");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_directory_reports_phase_and_path() {
+        let path = Path::new("/nonexistent-schevo-dir/out.txt");
+        let e = write_atomic(path, b"x").expect_err("publish into missing dir fails");
+        assert_eq!(e.op, "create temp file");
+        assert!(e.to_string().contains("/nonexistent-schevo-dir/out.txt"));
+    }
+}

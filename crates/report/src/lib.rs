@@ -6,6 +6,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomic;
 pub mod chart;
 pub mod csv;
 pub mod experiments;
@@ -13,8 +14,9 @@ pub mod figures;
 pub mod json;
 pub mod table;
 
+pub use atomic::{write_atomic, AtomicWriteError};
 pub use csv::Csv;
-pub use experiments::{experiments_markdown, ExperimentExtras, FaultDemo};
+pub use experiments::{experiments_markdown, ExperimentExtras, FaultDemo, ResumeDemo, ResumePoint};
 pub use figures::{
     fig04_csv, fig04_table, fig10_csv, fig10_scatter, fig11_matrix, fig12_quartiles,
     extensions_table, fig13_boxplot, funnel_table, narrative_table, quarantine_table,

@@ -12,17 +12,29 @@
 //! the content-addressed parse/diff cache; neither changes any output
 //! (the executor is deterministic), only the wall time.
 
+use schevo::corpus::universe::Universe;
 use schevo::pipeline::ablation::{
     reed_threshold_sensitivity, rule_order_comparison, walk_strategy_comparison,
 };
+use schevo::pipeline::journal::DurabilityOptions;
 use schevo::prelude::*;
-use schevo::report::experiments::{experiments_markdown, ExperimentExtras, FaultDemo};
+use schevo::report::experiments::{
+    experiments_markdown, ExperimentExtras, FaultDemo, ResumeDemo, ResumePoint,
+};
 use schevo::report::{
     fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
-    narrative_table, study_to_json, table1_definitions,
+    narrative_table, study_to_json, table1_definitions, write_atomic,
 };
+use std::path::Path;
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("full_study failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let write = args.iter().any(|a| a == "--write");
     let workers: usize = args
@@ -71,33 +83,122 @@ fn main() {
         walk: Some(walk_strategy_comparison(&universe)),
         rule_order: Some(rule_order_comparison(&study.profiles)),
         fault_demo: None,
+        resume_demo: None,
     };
     eprintln!("running chaos pass (fault injection)...");
     extras.fault_demo = Some(fault_demo(&study, workers, cache));
+    eprintln!("running durability pass (crash/resume)...");
+    extras.resume_demo = Some(resume_demo(&universe, &study)?);
     if write {
         let md = experiments_markdown(&study, &extras);
-        std::fs::write("EXPERIMENTS.md", md).expect("write EXPERIMENTS.md");
-        let json = study_to_json(&study).expect("serialize study");
-        std::fs::write("study_results.json", json).expect("write study_results.json");
+        write_atomic(Path::new("EXPERIMENTS.md"), md.as_bytes())?;
+        let json = study_to_json(&study)?;
+        std::fs::create_dir_all("artifacts")?;
+        write_atomic(Path::new("study_results.json"), json.as_bytes())?;
         // Per-figure CSV artifacts.
-        std::fs::create_dir_all("artifacts").expect("create artifacts dir");
-        std::fs::write("artifacts/fig04.csv", schevo::report::fig04_csv(&study).render())
-            .expect("write fig04 csv");
-        std::fs::write("artifacts/fig10.csv", schevo::report::fig10_csv(&study).render())
-            .expect("write fig10 csv");
+        write_atomic(
+            Path::new("artifacts/fig04.csv"),
+            schevo::report::fig04_csv(&study).render().as_bytes(),
+        )?;
+        write_atomic(
+            Path::new("artifacts/fig10.csv"),
+            schevo::report::fig10_csv(&study).render().as_bytes(),
+        )?;
         for (tag, project) in schevo::corpus::exemplar::all_exemplars() {
             let series = schevo::report::ProjectSeries::mine(&project);
             let stem = format!("artifacts/{tag:?}").to_lowercase();
-            std::fs::write(format!("{stem}_size.csv"), series.size_csv().render())
-                .expect("write size csv");
-            std::fs::write(format!("{stem}_heartbeat.csv"), series.heartbeat_csv().render())
-                .expect("write heartbeat csv");
+            write_atomic(
+                Path::new(&format!("{stem}_size.csv")),
+                series.size_csv().render().as_bytes(),
+            )?;
+            write_atomic(
+                Path::new(&format!("{stem}_heartbeat.csv")),
+                series.heartbeat_csv().render().as_bytes(),
+            )?;
         }
         eprintln!("wrote EXPERIMENTS.md, study_results.json and artifacts/*.csv");
     } else {
         eprintln!("(pass --write to regenerate EXPERIMENTS.md)");
     }
     eprintln!("total {:?}", t0.elapsed());
+    Ok(())
+}
+
+/// The durability pass for the EXPERIMENTS.md appendix: run one fully
+/// journaled paper-scale study, cut the journal at a spread of record
+/// boundaries (as a crash at that commit would leave it), resume from
+/// each cut under alternating worker/cache configurations, and compare
+/// every resumed result to the uninterrupted study.
+fn resume_demo(
+    universe: &Universe,
+    golden: &StudyResult,
+) -> Result<ResumeDemo, Box<dyn std::error::Error>> {
+    use schevo::pipeline::journal::{replay_file, HEADER_LEN};
+    let golden_json = study_to_json(golden)?;
+    let dir = std::env::temp_dir();
+    let golden_path = dir.join(format!("schevo_resume_demo_{}.wal", std::process::id()));
+    let cut_path = dir.join(format!("schevo_resume_demo_cut_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&golden_path);
+    let journaled = try_run_study(
+        universe,
+        StudyOptions {
+            durability: DurabilityOptions {
+                journal: Some(golden_path.clone()),
+                ..DurabilityOptions::default()
+            },
+            ..StudyOptions::default()
+        },
+    )?;
+    if study_to_json(&journaled)? != golden_json {
+        return Err("journaled golden run diverged from the plain study".into());
+    }
+    let replay = replay_file(&golden_path)?;
+    let bytes = std::fs::read(&golden_path)?;
+    let n = replay.records.len();
+    // Crash points: nothing committed, quartiles, and one-short-of-done.
+    let mut cuts: Vec<usize> = vec![0, n / 4, n / 2, 3 * n / 4, n.saturating_sub(1)];
+    cuts.dedup();
+    let mut points = Vec::new();
+    for (i, &k) in cuts.iter().enumerate() {
+        let len = if k == 0 {
+            HEADER_LEN as u64
+        } else {
+            replay.record_ends[k - 1]
+        };
+        write_atomic(&cut_path, &bytes[..len as usize])?;
+        let resumed = try_run_study(
+            universe,
+            StudyOptions {
+                workers: 1 + (i % 2),
+                cache: i % 2 == 0,
+                durability: DurabilityOptions {
+                    journal: Some(cut_path.clone()),
+                    resume: true,
+                    ..DurabilityOptions::default()
+                },
+                ..StudyOptions::default()
+            },
+        )?;
+        let summary = resumed
+            .journal
+            .as_ref()
+            .ok_or("resumed study reported no journal summary")?;
+        points.push(ResumePoint {
+            crash_after: k as u64,
+            replayed: summary.replayed,
+            mined_fresh: summary.mined_fresh,
+            identical: study_to_json(&resumed)? == golden_json,
+        });
+    }
+    let _ = std::fs::remove_file(&golden_path);
+    let _ = std::fs::remove_file(&cut_path);
+    let all_identical = points.iter().all(|p| p.identical);
+    Ok(ResumeDemo {
+        candidates: golden.report.analyzed,
+        total_records: n as u64,
+        points,
+        all_identical,
+    })
 }
 
 /// The canonical chaos pass for the EXPERIMENTS.md appendix: damage 20%

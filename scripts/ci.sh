@@ -77,7 +77,37 @@ if cargo run -q --release --bin schevo -- study --seed 2019 --scale 10 \
 fi
 echo "    faulted study refused under --strict"
 
-echo "==> panic-site budget (ddl, vcs, pipeline)"
+echo "==> durability: kill -> resume, black-box"
+# Crash the CLI with --crash-after (deterministic abort after the Nth
+# durable journal commit), resume under a *different* worker/cache
+# configuration, and require study_results.json and stdout to be
+# byte-identical to a clean run. tests/crash_resume.rs sweeps every
+# crash point; this gate spot-checks one mid-run point end to end.
+clean_dir="$tmp/durable-clean"
+resume_dir="$tmp/durable-resumed"
+journal="$tmp/durable.wal"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 2 --out "$clean_dir" > "$tmp/durable-clean.txt" 2>/dev/null
+if cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 2 --journal "$journal" --crash-after 3 >/dev/null 2>&1; then
+  echo "DURABILITY FAILURE: --crash-after 3 did not abort the run" >&2
+  exit 1
+fi
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache --journal "$journal" --resume --out "$resume_dir" \
+  > "$tmp/durable-resumed.txt" 2>/dev/null
+if ! diff -q "$tmp/durable-clean.txt" "$tmp/durable-resumed.txt" >/dev/null; then
+  echo "DURABILITY FAILURE: resumed stdout diverged from clean run" >&2
+  diff "$tmp/durable-clean.txt" "$tmp/durable-resumed.txt" | head -40 >&2
+  exit 1
+fi
+if ! diff -q "$clean_dir/study_results.json" "$resume_dir/study_results.json" >/dev/null; then
+  echo "DURABILITY FAILURE: resumed study_results.json diverged from clean run" >&2
+  exit 1
+fi
+echo "    kill at commit 3 -> resume reproduces the clean run byte-for-byte"
+
+echo "==> panic-site budget (ddl, vcs, pipeline, atomic writer)"
 # Graceful degradation means the mining path must not grow new panic
 # sites: count unwrap/expect/panic!/unreachable! in non-test code. The
 # remaining budget covers documented invariants only (the statistical
@@ -94,7 +124,7 @@ while IFS= read -r f; do
     END { print n + 0 }
   ' "$f")
   count=$((count + n))
-done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src -name '*.rs')
+done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src crates/report/src/atomic.rs -name '*.rs')
 if [ "$count" -gt "$PANIC_BUDGET" ]; then
   echo "PANIC BUDGET EXCEEDED: $count sites (budget $PANIC_BUDGET)" >&2
   exit 1

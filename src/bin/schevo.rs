@@ -3,6 +3,7 @@
 //! ```text
 //! schevo study [--seed N] [--scale D] [--out DIR] [--workers N] [--no-cache]
 //!              [--strict] [--inject-faults PCT] [--fault-seed N]
+//!              [--journal PATH] [--resume] [--crash-after N] [--deadline-ms N]
 //!                                                   run the full study
 //! schevo classify <commits> <active> <activity> <reeds>
 //! schevo exemplars                                  print the figure exemplars
@@ -44,7 +45,9 @@ fn print_help() {
          USAGE:\n  \
          schevo study [--seed N] [--scale D] [--out DIR]\n               \
          [--workers N] [--no-cache] [--strict]\n               \
-         [--inject-faults PCT] [--fault-seed N]      run the full study\n  \
+         [--inject-faults PCT] [--fault-seed N]\n               \
+         [--journal PATH] [--resume]\n               \
+         [--crash-after N] [--deadline-ms N]         run the full study\n  \
          schevo classify <commits> <active> <activity> <reeds>\n  \
          schevo exemplars                                   print the figure exemplars\n  \
          schevo export <seed> <out.pack>                    generate + pack one project\n  \
@@ -78,6 +81,22 @@ fn cmd_study(args: &[String]) -> i32 {
     let fault_seed: u64 = flag_value(args, "--fault-seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(7);
+    let journal = flag_value(args, "--journal").map(std::path::PathBuf::from);
+    let resume = args.iter().any(|a| a == "--resume");
+    let crash_after: Option<u64> = flag_value(args, "--crash-after").and_then(|v| v.parse().ok());
+    let deadline = flag_value(args, "--deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+    if journal.is_none() && (resume || crash_after.is_some()) {
+        eprintln!("--resume and --crash-after require --journal PATH");
+        return 2;
+    }
+    let durability = schevo::pipeline::journal::DurabilityOptions {
+        journal,
+        resume,
+        crash_after,
+        deadline,
+    };
     let config = if scale <= 1 {
         UniverseConfig::paper(seed)
     } else {
@@ -99,15 +118,25 @@ fn cmd_study(args: &[String]) -> i32 {
             workers,
             cache,
             strict,
+            durability,
             ..StudyOptions::default()
         },
     ) {
         Ok(study) => study,
         Err(e) => {
-            eprintln!("strict study aborted: {e}");
+            eprintln!("study aborted: {e}");
             return 3;
         }
     };
+    if let Some(j) = &study.journal {
+        eprintln!(
+            "journal: {} outcome(s) replayed, {} mined fresh, {} stale record(s) discarded",
+            j.replayed, j.mined_fresh, j.stale_discarded
+        );
+        if let Some(c) = &j.corruption {
+            eprintln!("journal: corrupt tail truncated on resume: {c}");
+        }
+    }
     eprintln!("{}", study.quarantine.summary());
     eprintln!(
         "mined {} candidates in {:.2}s: parse {}/{} cache hits, diff {}/{} cache hits",
@@ -136,10 +165,17 @@ fn cmd_study(args: &[String]) -> i32 {
             eprintln!("cannot create {dir}: {e}");
             return 1;
         }
-        let json = schevo::report::study_to_json(&study).expect("serializable study");
+        let json = match schevo::report::study_to_json(&study) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("cannot serialize study: {e}");
+                return 1;
+            }
+        };
         let path = format!("{dir}/study_results.json");
-        if let Err(e) = std::fs::write(&path, json) {
-            eprintln!("cannot write {path}: {e}");
+        if let Err(e) = schevo::report::write_atomic(std::path::Path::new(&path), json.as_bytes())
+        {
+            eprintln!("{e}");
             return 1;
         }
         eprintln!("wrote {path}");
@@ -190,8 +226,8 @@ fn cmd_export(args: &[String]) -> i32 {
     let plan = schevo::corpus::plan::plan_project(&mut rng, seed as usize, taxon);
     let project = schevo::corpus::realize::realize(&mut rng, &plan);
     let pack = schevo::vcs::pack::write_pack(&project.repo);
-    if let Err(e) = std::fs::write(out, &pack) {
-        eprintln!("cannot write {out}: {e}");
+    if let Err(e) = schevo::report::write_atomic(std::path::Path::new(out), &pack) {
+        eprintln!("{e}");
         return 1;
     }
     println!(
