@@ -1,0 +1,96 @@
+//! Observability overhead: the same end-to-end mining pass (funnel
+//! output of the 1/10-scale universe, every version parsed, every
+//! transition diffed) run bare and fully instrumented — tracer enabled
+//! with its shard buffers drained each pass, metrics registry attached,
+//! progress heartbeat wired. The acceptance bar for the observability
+//! layer is < 5% median overhead; `print_block` reports the measured
+//! percentage alongside the criterion groups.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use schevo_bench::{print_block, small_universe};
+use schevo_core::heartbeat::REED_THRESHOLD;
+use schevo_obs::metrics::Registry;
+use schevo_obs::{trace, ObsHooks};
+use schevo_pipeline::exec::ExecOptions;
+use schevo_pipeline::extract::mine_all_observed;
+use schevo_pipeline::funnel::run_funnel;
+use schevo_pipeline::journal::DurabilityOptions;
+use schevo_vcs::history::WalkStrategy;
+use std::time::{Duration, Instant};
+
+fn mine(candidates: &[schevo_pipeline::funnel::CandidateHistory], obs: &ObsHooks) -> usize {
+    let opts = ExecOptions { workers: 2, cache: true };
+    let (mined, report, _, _) =
+        mine_all_observed(candidates, REED_THRESHOLD, &opts, &DurabilityOptions::default(), obs)
+            .expect("clean corpus mines");
+    assert!(report.is_clean());
+    mined.len()
+}
+
+/// Median wall time of `runs` passes of `f` (after one warmup pass).
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2].as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let outcome = run_funnel(small_universe(), WalkStrategy::FirstParent);
+    let candidates = &outcome.analyzed;
+    let bare_hooks = ObsHooks::default();
+
+    // Manual median comparison: this is the number the acceptance bar
+    // reads, independent of criterion's own reporting.
+    const RUNS: usize = 11;
+    trace::set_enabled(false);
+    let bare = median_secs(RUNS, || {
+        mine(candidates, &bare_hooks);
+    });
+    trace::set_enabled(true);
+    let instrumented = median_secs(RUNS, || {
+        let hooks = ObsHooks::with_registry(std::sync::Arc::new(Registry::new()));
+        mine(candidates, &hooks);
+        let events = trace::drain();
+        assert!(!events.is_empty(), "tracer was supposed to be on");
+    });
+    trace::set_enabled(false);
+    let _ = trace::drain();
+    let overhead_pct = (instrumented / bare - 1.0) * 100.0;
+    print_block(
+        "Observability overhead (1/10 scale, 2 workers, cached)",
+        &format!(
+            "bare median {:.4}s  instrumented median {:.4}s  overhead {overhead_pct:+.2}% \
+             (acceptance bar: < 5%)",
+            bare, instrumented
+        ),
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.throughput(Throughput::Elements(candidates.len() as u64));
+    group.bench_function("bare", |b| {
+        trace::set_enabled(false);
+        b.iter(|| mine(candidates, &bare_hooks))
+    });
+    group.bench_function("instrumented", |b| {
+        trace::set_enabled(true);
+        b.iter(|| {
+            let hooks = ObsHooks::with_registry(std::sync::Arc::new(Registry::new()));
+            let n = mine(candidates, &hooks);
+            trace::drain();
+            n
+        });
+        trace::set_enabled(false);
+        let _ = trace::drain();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

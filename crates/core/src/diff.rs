@@ -90,6 +90,7 @@ impl SchemaDelta {
 /// is undecidable from DDL text alone and the paper's measures do not
 /// include it).
 pub fn diff(old: &Schema, new: &Schema) -> SchemaDelta {
+    let _span = schevo_obs::span!("core.diff");
     let mut delta = SchemaDelta::default();
 
     for table in new.tables() {

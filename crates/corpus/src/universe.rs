@@ -179,6 +179,11 @@ const MULTI_FILE_COUNT: usize = 7_664;
 
 /// Generate the universe.
 pub fn generate(config: UniverseConfig) -> Universe {
+    let _span = schevo_obs::span!(
+        "corpus.generate",
+        seed = config.seed,
+        scale_divisor = config.scale_divisor
+    );
     let expected = ExpectedCounts::for_config(&config);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sql_collection = Vec::with_capacity(expected.sql_collection);
@@ -348,6 +353,43 @@ pub fn generate(config: UniverseConfig) -> Universe {
     }
 }
 
+/// Content digest of a generated (and possibly fault-injected) corpus:
+/// a 40-hex SHA-1 over the generation config plus, for every materialized
+/// repository in name order, its advertised SQL paths and the tip of every
+/// branch. Branch tips commit to the entire reachable object graph, so any
+/// change to repository content — including rebuilds by the fault injector —
+/// changes the digest, while re-generating with the same seed and scale
+/// reproduces it exactly. Recorded in the run manifest to tie results to
+/// the corpus they were mined from.
+pub fn corpus_digest(universe: &Universe) -> String {
+    use schevo_vcs::sha1::Sha1;
+    let mut hasher = Sha1::new();
+    hasher.update(&universe.config.seed.to_le_bytes());
+    hasher.update(&(universe.config.scale_divisor as u64).to_le_bytes());
+    let mut names: Vec<&String> = universe.materialized.keys().collect();
+    names.sort();
+    for name in names {
+        let repo = &universe.materialized[name];
+        hasher.update(name.as_bytes());
+        for path in &repo.sql_paths {
+            hasher.update(path.as_bytes());
+        }
+        let r = match &repo.body {
+            MaterializedBody::Evo(p) => &p.repo,
+            MaterializedBody::Noise(n) => &n.repo,
+        };
+        let mut branches: Vec<&str> = r.branch_names().collect();
+        branches.sort_unstable();
+        for branch in branches {
+            hasher.update(branch.as_bytes());
+            if let Some(tip) = r.branch_tip(branch) {
+                hasher.update(&tip.0);
+            }
+        }
+    }
+    hasher.finalize().to_hex()
+}
+
 /// A timestamp safely after every commit the realizer produced.
 fn last_timestamp_plus(project: &GeneratedProject, secs: i64) -> schevo_vcs::timestamp::Timestamp {
     let (y, m, d) = project.plan.v0_date;
@@ -402,6 +444,17 @@ mod tests {
             .filter(|m| m.noise_kind() == Some(NoiseKind::Rigid))
             .count();
         assert_eq!(rigid, u.expected.rigid);
+    }
+
+    #[test]
+    fn corpus_digest_is_reproducible_and_seed_sensitive() {
+        let a = corpus_digest(&generate(UniverseConfig::small(7, 20)));
+        let b = corpus_digest(&generate(UniverseConfig::small(7, 20)));
+        let c = corpus_digest(&generate(UniverseConfig::small(8, 20)));
+        assert_eq!(a, b, "same config must reproduce the digest");
+        assert_ne!(a, c, "different seed must change the digest");
+        assert_eq!(a.len(), 40);
+        assert!(a.bytes().all(|ch| ch.is_ascii_hexdigit()));
     }
 
     #[test]

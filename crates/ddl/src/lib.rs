@@ -79,6 +79,7 @@ pub use schema::{Attribute, Schema, Table};
 /// Returns [`ParseError`] only for input that cannot be tokenized or whose
 /// `CREATE TABLE` statements are structurally broken beyond recovery.
 pub fn parse_schema(sql: &str) -> Result<Schema, ParseError> {
+    let _span = schevo_obs::span!("ddl.parse", bytes = sql.len());
     let script = parse_script(sql)?;
     Ok(schema::Schema::from_script(&script))
 }

@@ -1,0 +1,72 @@
+//! The single stderr formatter for operational events.
+//!
+//! Every diagnostic line the CLI, pipeline, and examples emit goes
+//! through [`render`]: `topic: message` for informational events,
+//! `topic: warning: message` for warnings. This replaces the ad-hoc
+//! `eprintln!` prints that had drifted into inconsistent prefixes
+//! (`"journal:"` vs bare text vs `"warning:"`-first), while keeping the
+//! established `journal:` / `quarantine:` topic prefixes stable so
+//! existing consumers of stderr keep matching.
+//!
+//! Events never touch stdout — stdout is reserved for study output and
+//! is covered by the byte-identical differential gates.
+
+use std::fmt;
+
+/// Event severity. Only two levels: operational narration and warnings.
+/// Hard failures are `Err` values, not events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Normal operational narration.
+    Info,
+    /// Something degraded or surprising that did not stop the run.
+    Warn,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => Ok(()),
+            Severity::Warn => f.write_str("warning: "),
+        }
+    }
+}
+
+/// Format one event line (without trailing newline):
+/// `topic: message` or `topic: warning: message`.
+pub fn render(topic: &str, severity: Severity, message: &str) -> String {
+    format!("{topic}: {severity}{message}")
+}
+
+/// Emit an informational event to stderr.
+pub fn info(topic: &str, message: &str) {
+    eprintln!("{}", render(topic, Severity::Info, message));
+}
+
+/// Emit a warning event to stderr.
+pub fn warn(topic: &str, message: &str) {
+    eprintln!("{}", render(topic, Severity::Warn, message));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn info_renders_topic_prefix() {
+        assert_eq!(
+            render("journal", Severity::Info, "3 outcome(s) replayed"),
+            "journal: 3 outcome(s) replayed"
+        );
+    }
+
+    #[test]
+    fn warn_renders_warning_marker_after_topic() {
+        let line = render("journal", Severity::Warn, "corrupt tail truncated on resume");
+        assert_eq!(line, "journal: warning: corrupt tail truncated on resume");
+        // The topic prefix and the message both survive verbatim, so
+        // substring assertions on either keep working.
+        assert!(line.starts_with("journal: "));
+        assert!(line.contains("corrupt tail truncated on resume"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Observability for the mining pipeline: structured tracing, a metrics
+//! registry, run manifests, a progress heartbeat, and one stderr event
+//! formatter.
+//!
+//! The subsystem is built around a hard invariant inherited from the
+//! executor and durability layers: **observability must never perturb the
+//! study**. Clean stdout, `study_results.json` and `artifacts/*.csv` are
+//! byte-identical whether every feature here is on or off; the black-box
+//! differential in `tests/traced_differential.rs` and `scripts/ci.sh`
+//! enforces it. Everything here therefore writes only to its own files
+//! (`--trace-out`, `--metrics-out`, `--manifest-out`) or to stderr.
+//!
+//! ## Pieces
+//!
+//! - [`trace`]: a [`span!`]-guard API over a process-global tracer.
+//!   Disabled (the default) a span costs one relaxed atomic load; enabled,
+//!   spans land in per-thread shard buffers that are merged
+//!   deterministically at drain time and rendered as Chrome-trace
+//!   compatible JSONL.
+//! - [`metrics`]: an instantiable [`metrics::Registry`] of atomic
+//!   counters, gauges and log₂-bucketed histograms whose merge is
+//!   associative and commutative (pinned by proptest in
+//!   `tests/merge_laws.rs`), exported as JSON or Prometheus text.
+//! - [`manifest`]: the run manifest — seed, flags, corpus digest, stage
+//!   wall times, quarantine and journal summaries — a plain serializable
+//!   struct the CLI writes atomically through `report::atomic`.
+//! - [`progress`]: an opt-in stderr heartbeat with per-stage ETA.
+//! - [`events`]: the single formatter behind every operational stderr
+//!   line (`topic: message`), replacing the ad-hoc prints the CLI and
+//!   examples used to carry.
+//! - [`validate`]: tiny structural validators for the trace JSONL,
+//!   metrics JSON and manifest JSON schemas, used by the CI gates.
+
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod manifest;
+pub mod metrics;
+pub mod progress;
+pub mod trace;
+pub mod validate;
+
+use std::sync::Arc;
+
+/// Observability hooks threaded through a study run.
+///
+/// The default (both `None`) is the fully-off configuration: the pipeline
+/// pays nothing beyond a handful of `Option` checks. The process-global
+/// tracer is *not* part of this struct — spans are cheap enough to leave
+/// in place unconditionally and are gated by [`trace::enabled`].
+#[derive(Debug, Clone, Default)]
+pub struct ObsHooks {
+    /// Metrics registry the run folds its counters and latency
+    /// histograms into.
+    pub registry: Option<Arc<metrics::Registry>>,
+    /// Progress heartbeat advanced as mining tasks complete.
+    pub progress: Option<Arc<progress::Progress>>,
+}
+
+impl ObsHooks {
+    /// Hooks carrying a registry only.
+    pub fn with_registry(registry: Arc<metrics::Registry>) -> Self {
+        ObsHooks {
+            registry: Some(registry),
+            progress: None,
+        }
+    }
+}

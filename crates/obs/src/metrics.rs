@@ -1,0 +1,433 @@
+//! The metrics registry: atomic counters, gauges, and log₂-bucketed
+//! histograms with an associative, commutative merge.
+//!
+//! A [`Registry`] is instantiable (not global): the CLI creates one per
+//! run and threads it through [`crate::ObsHooks`], so unit tests and
+//! parallel studies never share state. Counter and gauge handles are
+//! `Arc`-backed atomics, safe to update from any worker; histograms take
+//! a short uncontended lock. Exports are deterministic: names sort
+//! lexicographically in both the JSON and Prometheus renderings.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two
+/// up to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram.
+///
+/// Bucket `0` counts observations equal to zero; bucket `i ≥ 1` counts
+/// observations `v` with `2^(i-1) ≤ v < 2^i`. The struct is a plain
+/// value: [`Histogram::merge`] is associative and commutative with
+/// [`Histogram::new`] as identity (`tests/merge_laws.rs` pins all three
+/// laws by proptest), which is what makes per-worker or per-task
+/// histograms mergeable in any grouping without changing the result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observed value; `u64::MAX` while empty.
+    pub min: u64,
+    /// Largest observed value; `0` while empty.
+    pub max: u64,
+    /// Per-bucket counts, length [`BUCKETS`].
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// The empty histogram (the merge identity).
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    /// Bucket index of a value: `0` for zero, else `floor(log2 v) + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The exclusive upper bound of bucket `i` (`1` for the zero bucket,
+    /// else `2^i`); `None` for the last bucket, whose bound is +∞.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        if i == 0 {
+            Some(1)
+        } else if i < BUCKETS - 1 {
+            Some(1u64 << i)
+        } else {
+            None
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Fold another histogram into this one. Associative, commutative,
+    /// with [`Histogram::new`] as identity.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (into, from) in self.buckets.iter_mut().zip(&other.buckets) {
+            *into += from;
+        }
+    }
+
+    /// `min` as reported to consumers: `0` while empty, so exports never
+    /// carry the `u64::MAX` sentinel.
+    pub fn reported_min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+}
+
+/// Handle to an atomic counter registered in a [`Registry`].
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to an atomic gauge registered in a [`Registry`].
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named metrics. Cheap to create; handle lookups take a
+/// short lock, updates through handles are lock-free (counters, gauges)
+/// or uncontended (histograms).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = match self.counters.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Counter(Arc::clone(
+            map.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = match self.gauges.lock() {
+            Ok(m) => m,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Gauge(Arc::clone(map.entry(name.to_string()).or_default()))
+    }
+
+    /// Add `n` to the counter named `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Set the gauge named `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        self.gauge(name).set(v);
+    }
+
+    /// Record one observation in the histogram named `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let handle = {
+            let mut map = match self.histograms.lock() {
+                Ok(m) => m,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(Mutex::new(Histogram::new()))
+            }))
+        };
+        match handle.lock() {
+            Ok(mut h) => h.observe(value),
+            Err(poisoned) => poisoned.into_inner().observe(value),
+        };
+    }
+
+    /// Fold a whole histogram into the one named `name`.
+    pub fn merge_histogram(&self, name: &str, other: &Histogram) {
+        let handle = {
+            let mut map = match self.histograms.lock() {
+                Ok(m) => m,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            Arc::clone(map.entry(name.to_string()).or_insert_with(|| {
+                Arc::new(Mutex::new(Histogram::new()))
+            }))
+        };
+        match handle.lock() {
+            Ok(mut h) => h.merge(other),
+            Err(poisoned) => poisoned.into_inner().merge(other),
+        };
+    }
+
+    /// Freeze the registry into a serializable snapshot, every section
+    /// sorted by metric name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = match self.counters.lock() {
+            Ok(m) => m.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
+            Err(p) => p.into_inner().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
+        };
+        let gauges = match self.gauges.lock() {
+            Ok(m) => m.iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
+            Err(p) => p.into_inner().iter().map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed))).collect(),
+        };
+        let histograms = match self.histograms.lock() {
+            Ok(m) => m
+                .iter()
+                .map(|(k, v)| {
+                    let h = match v.lock() {
+                        Ok(h) => h.clone(),
+                        Err(p) => p.into_inner().clone(),
+                    };
+                    (k.clone(), h)
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A frozen, serializable view of a [`Registry`]. Each section is a
+/// name-sorted list of `[name, value]` pairs (histogram values are the
+/// full [`Histogram`] objects).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Pretty JSON rendering (the `--metrics-out` format), terminated by
+    /// a newline. `min` is reported as `0` for empty histograms.
+    pub fn to_json(&self) -> String {
+        // Render through the value tree so empty-histogram `min` can be
+        // normalized without a second snapshot type.
+        let mut export = self.clone();
+        for (_, h) in export.histograms.iter_mut() {
+            h.min = h.reported_min();
+        }
+        match serde_json::to_string_pretty(&export) {
+            Ok(mut s) => {
+                s.push('\n');
+                s
+            }
+            Err(_) => "{}\n".to_string(), // plain data always encodes
+        }
+    }
+
+    /// Prometheus text exposition (the `--metrics-format prom` format).
+    /// Metric names are sanitized to `[a-zA-Z0-9_]`; histograms render as
+    /// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, c) in h.buckets.iter().enumerate() {
+                if *c == 0 && Histogram::bucket_bound(i).is_some() {
+                    continue; // keep the exposition small; +Inf always prints
+                }
+                cumulative += c;
+                match Histogram::bucket_bound(i) {
+                    Some(bound) => {
+                        out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"))
+                    }
+                    None => out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cumulative}\n")),
+                }
+            }
+            if h.buckets.last() == Some(&0) {
+                out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            }
+            out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// Rebuild a [`MetricsSnapshot`] from its JSON rendering.
+pub fn snapshot_from_json(json: &str) -> Result<MetricsSnapshot, String> {
+    let value: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    serde_json::from_value(&value).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Every bucket's lower bound lands in its own bucket.
+        for i in 1..BUCKETS - 1 {
+            assert_eq!(Histogram::bucket_index(1u64 << (i - 1)), i);
+        }
+    }
+
+    #[test]
+    fn observe_and_merge() {
+        let mut a = Histogram::new();
+        a.observe(0);
+        a.observe(5);
+        let mut b = Histogram::new();
+        b.observe(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 1005);
+        assert_eq!((a.min, a.max), (0, 1000));
+        assert_eq!(a.buckets.iter().sum::<u64>(), a.count);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let r = Registry::new();
+        r.add("cache.hits", 3);
+        r.counter("cache.hits").inc();
+        r.set_gauge("workers", 4);
+        r.observe("latency", 7);
+        r.observe("latency", 900);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("cache.hits"), Some(4));
+        assert_eq!(snap.gauge("workers"), Some(4));
+        let h = snap.histogram("latency").expect("histogram registered");
+        assert_eq!(h.count, 2);
+        let json = snap.to_json();
+        let back = snapshot_from_json(&json).expect("snapshot JSON round-trips");
+        assert_eq!(back.counter("cache.hits"), Some(4));
+        assert_eq!(back.histogram("latency").map(|h| h.count), Some(2));
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("# TYPE cache_hits counter"));
+        assert!(prom.contains("cache_hits 4"));
+        assert!(prom.contains("latency_bucket{le=\"+Inf\"} 2"));
+        assert!(prom.contains("latency_count 2"));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_min() {
+        let r = Registry::new();
+        r.merge_histogram("empty", &Histogram::new());
+        let json = r.snapshot().to_json();
+        let back = snapshot_from_json(&json).expect("parses");
+        let h = back.histogram("empty").expect("present");
+        assert_eq!((h.count, h.min, h.max), (0, 0, 0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Opt-in stderr progress heartbeat with per-stage ETA.
+//!
+//! A [`Progress`] instance is created by the CLI when `--progress` is
+//! given and threaded through [`crate::ObsHooks`]. Stages declare a
+//! total (`begin_stage`), workers call [`Progress::advance`] as units
+//! complete, and the heartbeat prints at most once per throttle interval
+//! (default 200 ms) so tight loops do not flood stderr. All output goes
+//! through the [`crate::events`] formatter under the `progress` topic;
+//! stdout is never touched.
+
+use crate::events;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default minimum interval between heartbeat lines.
+pub const DEFAULT_THROTTLE: Duration = Duration::from_millis(200);
+
+#[derive(Debug)]
+struct State {
+    stage: String,
+    total: u64,
+    done: u64,
+    started: Instant,
+    last_print: Option<Instant>,
+}
+
+/// A throttled per-stage progress reporter.
+#[derive(Debug)]
+pub struct Progress {
+    state: Mutex<Option<State>>,
+    throttle: Duration,
+}
+
+impl Default for Progress {
+    fn default() -> Self {
+        Progress::new()
+    }
+}
+
+impl Progress {
+    /// A reporter with the default throttle interval.
+    pub fn new() -> Progress {
+        Progress::with_throttle(DEFAULT_THROTTLE)
+    }
+
+    /// A reporter printing at most once per `throttle` (tests use zero).
+    pub fn with_throttle(throttle: Duration) -> Progress {
+        Progress {
+            state: Mutex::new(None),
+            throttle,
+        }
+    }
+
+    /// Start a stage with a known unit count. Replaces any stage still
+    /// open and prints an opening heartbeat.
+    pub fn begin_stage(&self, stage: &str, total: u64) {
+        let mut slot = match self.state.lock() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        *slot = Some(State {
+            stage: stage.to_string(),
+            total,
+            done: 0,
+            started: Instant::now(),
+            last_print: None,
+        });
+        events::info("progress", &format!("{stage}: 0/{total}"));
+    }
+
+    /// Record `n` completed units in the current stage, printing a
+    /// heartbeat with ETA when the throttle interval has elapsed.
+    pub fn advance(&self, n: u64) {
+        let mut slot = match self.state.lock() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        let Some(state) = slot.as_mut() else { return };
+        state.done += n;
+        let now = Instant::now();
+        let due = match state.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.throttle,
+        };
+        if !due || state.done >= state.total {
+            // Completion is announced by `end_stage`, not here.
+            return;
+        }
+        state.last_print = Some(now);
+        let line = heartbeat_line(
+            &state.stage,
+            state.done,
+            state.total,
+            now.duration_since(state.started),
+        );
+        events::info("progress", &line);
+    }
+
+    /// Close the current stage, printing a final line with its wall time.
+    pub fn end_stage(&self) {
+        let mut slot = match self.state.lock() {
+            Ok(s) => s,
+            Err(p) => p.into_inner(),
+        };
+        let Some(state) = slot.take() else { return };
+        let secs = state.started.elapsed().as_secs_f64();
+        events::info(
+            "progress",
+            &format!(
+                "{}: done ({}/{} in {:.1}s)",
+                state.stage, state.done, state.total, secs
+            ),
+        );
+    }
+}
+
+/// Format one heartbeat body: `stage: done/total (pct%, eta Ns)`.
+/// Pure, so the format is unit-testable without timing.
+pub fn heartbeat_line(stage: &str, done: u64, total: u64, elapsed: Duration) -> String {
+    let pct = if total == 0 {
+        100.0
+    } else {
+        done as f64 / total as f64 * 100.0
+    };
+    let eta = if done == 0 || total <= done {
+        None
+    } else {
+        let per_unit = elapsed.as_secs_f64() / done as f64;
+        Some(per_unit * (total - done) as f64)
+    };
+    match eta {
+        Some(eta) => format!("{stage}: {done}/{total} ({pct:.0}%, eta {eta:.0}s)"),
+        None => format!("{stage}: {done}/{total} ({pct:.0}%)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heartbeat_includes_eta_once_rate_is_known() {
+        let line = heartbeat_line("mine", 25, 100, Duration::from_secs(5));
+        assert_eq!(line, "mine: 25/100 (25%, eta 15s)");
+        let no_eta = heartbeat_line("mine", 0, 100, Duration::from_secs(5));
+        assert_eq!(no_eta, "mine: 0/100 (0%)");
+    }
+
+    #[test]
+    fn zero_total_stage_reports_full() {
+        assert_eq!(
+            heartbeat_line("funnel", 0, 0, Duration::ZERO),
+            "funnel: 0/0 (100%)"
+        );
+    }
+
+    #[test]
+    fn advance_without_stage_is_a_no_op() {
+        let p = Progress::with_throttle(Duration::ZERO);
+        p.advance(3); // must not panic or print a stage
+        p.end_stage();
+    }
+}

@@ -1,0 +1,242 @@
+//! Structural validators for the emitted observability artifacts.
+//!
+//! These are the "tiny validators" the CI gate runs against real CLI
+//! output: they check the documented shape of the trace JSONL, the
+//! metrics JSON, and the run manifest without pulling in a JSON-Schema
+//! engine. Each returns a human-readable error naming the first
+//! violation, or a count of validated records on success.
+
+use serde_json::Value;
+
+fn field<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("{ctx}: missing key `{key}`"))
+}
+
+fn expect_u64(v: &Value, key: &str, ctx: &str) -> Result<u64, String> {
+    field(v, key, ctx)?
+        .as_u64()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a non-negative integer"))
+}
+
+fn expect_str<'v>(v: &'v Value, key: &str, ctx: &str) -> Result<&'v str, String> {
+    field(v, key, ctx)?
+        .as_str()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a string"))
+}
+
+fn expect_bool(v: &Value, key: &str, ctx: &str) -> Result<bool, String> {
+    field(v, key, ctx)?
+        .as_bool()
+        .ok_or_else(|| format!("{ctx}: `{key}` is not a boolean"))
+}
+
+/// Validate Chrome-trace JSONL as emitted by `--trace-out`: every
+/// non-empty line is a JSON object holding string `name`/`cat`, phase
+/// `"X"`, and integer `ts`/`dur`/`pid`/`tid`, with `args` a map of
+/// strings. Returns the number of validated events.
+pub fn validate_trace_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = format!("trace line {}", idx + 1);
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{ctx}: not valid JSON: {e}"))?;
+        if v.as_map().is_none() {
+            return Err(format!("{ctx}: not a JSON object"));
+        }
+        expect_str(&v, "name", &ctx)?;
+        expect_str(&v, "cat", &ctx)?;
+        let ph = expect_str(&v, "ph", &ctx)?;
+        if ph != "X" {
+            return Err(format!("{ctx}: `ph` is {ph:?}, expected \"X\""));
+        }
+        expect_u64(&v, "ts", &ctx)?;
+        expect_u64(&v, "dur", &ctx)?;
+        expect_u64(&v, "pid", &ctx)?;
+        expect_u64(&v, "tid", &ctx)?;
+        let args = field(&v, "args", &ctx)?;
+        let Some(pairs) = args.as_map() else {
+            return Err(format!("{ctx}: `args` is not an object"));
+        };
+        for (k, av) in pairs {
+            if av.as_str().is_none() {
+                return Err(format!("{ctx}: arg `{k}` is not a string"));
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn validate_histogram(h: &Value, ctx: &str) -> Result<(), String> {
+    let count = expect_u64(h, "count", ctx)?;
+    expect_u64(h, "sum", ctx)?;
+    expect_u64(h, "min", ctx)?;
+    expect_u64(h, "max", ctx)?;
+    let buckets = field(h, "buckets", ctx)?
+        .as_seq()
+        .ok_or_else(|| format!("{ctx}: `buckets` is not an array"))?;
+    if buckets.len() != crate::metrics::BUCKETS {
+        return Err(format!(
+            "{ctx}: expected {} buckets, found {}",
+            crate::metrics::BUCKETS,
+            buckets.len()
+        ));
+    }
+    let mut total = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        let n = b
+            .as_u64()
+            .ok_or_else(|| format!("{ctx}: bucket {i} is not a non-negative integer"))?;
+        total += n;
+    }
+    if total != count {
+        return Err(format!(
+            "{ctx}: bucket counts sum to {total} but `count` is {count}"
+        ));
+    }
+    Ok(())
+}
+
+/// Check a `[name, value]` pair section (`counters` / `gauges`).
+fn validate_scalar_section(v: &Value, section: &str) -> Result<usize, String> {
+    let seq = field(v, section, "metrics")?
+        .as_seq()
+        .ok_or_else(|| format!("metrics: `{section}` is not an array"))?;
+    for (i, pair) in seq.iter().enumerate() {
+        let ctx = format!("metrics {section}[{i}]");
+        let Some(entry) = pair.as_seq() else {
+            return Err(format!("{ctx}: not a [name, value] pair"));
+        };
+        if entry.len() != 2 {
+            return Err(format!("{ctx}: expected 2 elements, found {}", entry.len()));
+        }
+        if entry[0].as_str().is_none() {
+            return Err(format!("{ctx}: name is not a string"));
+        }
+        if entry[1].as_u64().is_none() {
+            return Err(format!("{ctx}: value is not a non-negative integer"));
+        }
+    }
+    Ok(seq.len())
+}
+
+/// Validate metrics JSON as emitted by `--metrics-out`: `counters` and
+/// `gauges` are `[name, u64]` pair lists, `histograms` are
+/// `[name, histogram]` pairs whose bucket counts sum to `count`.
+/// Returns the total number of validated metrics.
+pub fn validate_metrics_json(text: &str) -> Result<usize, String> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("metrics: not valid JSON: {e}"))?;
+    let mut total = validate_scalar_section(&v, "counters")?;
+    total += validate_scalar_section(&v, "gauges")?;
+    let hists = field(&v, "histograms", "metrics")?
+        .as_seq()
+        .ok_or_else(|| "metrics: `histograms` is not an array".to_string())?;
+    for (i, pair) in hists.iter().enumerate() {
+        let ctx = format!("metrics histograms[{i}]");
+        let Some(entry) = pair.as_seq() else {
+            return Err(format!("{ctx}: not a [name, histogram] pair"));
+        };
+        if entry.len() != 2 || entry[0].as_str().is_none() {
+            return Err(format!("{ctx}: expected [name, histogram]"));
+        }
+        validate_histogram(&entry[1], &ctx)?;
+    }
+    Ok(total + hists.len())
+}
+
+/// Validate a run manifest as emitted by `--manifest-out`. Checks the
+/// schema version, every required scalar, the stage list, the quarantine
+/// block, and (when present) the journal block. Returns the number of
+/// stages recorded.
+pub fn validate_manifest_json(text: &str) -> Result<usize, String> {
+    let v: Value =
+        serde_json::from_str(text).map_err(|e| format!("manifest: not valid JSON: {e}"))?;
+    let ctx = "manifest";
+    let version = expect_u64(&v, "manifest_version", ctx)?;
+    if version != crate::manifest::MANIFEST_VERSION {
+        return Err(format!(
+            "{ctx}: unknown manifest_version {version} (expected {})",
+            crate::manifest::MANIFEST_VERSION
+        ));
+    }
+    expect_str(&v, "command", ctx)?;
+    expect_u64(&v, "seed", ctx)?;
+    expect_u64(&v, "scale_divisor", ctx)?;
+    expect_u64(&v, "workers", ctx)?;
+    expect_bool(&v, "cache", ctx)?;
+    expect_bool(&v, "strict", ctx)?;
+    let digest = expect_str(&v, "corpus_digest", ctx)?;
+    if digest.len() != 40 || !digest.chars().all(|c| c.is_ascii_hexdigit()) {
+        return Err(format!("{ctx}: `corpus_digest` is not a 40-hex-char SHA-1"));
+    }
+    expect_u64(&v, "wall_us", ctx)?;
+    let stages = field(&v, "stages", ctx)?
+        .as_seq()
+        .ok_or_else(|| format!("{ctx}: `stages` is not an array"))?;
+    for (i, stage) in stages.iter().enumerate() {
+        let sctx = format!("manifest stages[{i}]");
+        expect_str(stage, "name", &sctx)?;
+        expect_u64(stage, "wall_us", &sctx)?;
+    }
+    let q = field(&v, "quarantine", ctx)?;
+    let qctx = "manifest quarantine";
+    expect_u64(q, "recovered", qctx)?;
+    expect_u64(q, "quarantined", qctx)?;
+    expect_u64(q, "deadline_exceeded", qctx)?;
+    let classes = field(q, "classes", qctx)?
+        .as_seq()
+        .ok_or_else(|| format!("{qctx}: `classes` is not an array"))?;
+    for (i, class) in classes.iter().enumerate() {
+        let cctx = format!("{qctx} classes[{i}]");
+        expect_str(class, "class", &cctx)?;
+        expect_u64(class, "recovered", &cctx)?;
+        expect_u64(class, "quarantined", &cctx)?;
+    }
+    let journal = field(&v, "journal", ctx)?;
+    if !journal.is_null() {
+        let jctx = "manifest journal";
+        expect_str(journal, "path", jctx)?;
+        expect_u64(journal, "replayed", jctx)?;
+        expect_u64(journal, "mined_fresh", jctx)?;
+        expect_u64(journal, "stale_discarded", jctx)?;
+        let tail = field(journal, "corrupt_tail", jctx)?;
+        if !tail.is_null() && tail.as_str().is_none() {
+            return Err(format!("{jctx}: `corrupt_tail` is neither null nor a string"));
+        }
+    }
+    Ok(stages.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_validator_accepts_real_output_and_names_violations() {
+        let good = "{\"name\": \"a.b\", \"cat\": \"a\", \"ph\": \"X\", \"ts\": 1, \"dur\": 2, \"pid\": 1, \"tid\": 1, \"args\": {\"k\": \"v\"}}\n";
+        assert_eq!(validate_trace_jsonl(good), Ok(1));
+        assert_eq!(validate_trace_jsonl(""), Ok(0));
+        let bad_phase = good.replace("\"X\"", "\"B\"");
+        let err = validate_trace_jsonl(&bad_phase).expect_err("phase must be X");
+        assert!(err.contains("`ph`"), "{err}");
+        let bad_arg = good.replace("\"v\"", "3");
+        let err = validate_trace_jsonl(&bad_arg).expect_err("args must be strings");
+        assert!(err.contains("arg `k`"), "{err}");
+    }
+
+    #[test]
+    fn metrics_validator_checks_bucket_sums() {
+        let r = crate::metrics::Registry::new();
+        r.add("hits", 2);
+        r.observe("lat", 5);
+        let json = r.snapshot().to_json();
+        assert_eq!(validate_metrics_json(&json), Ok(2));
+        let broken = json.replacen("\"count\": 1", "\"count\": 9", 1);
+        let err = validate_metrics_json(&broken).expect_err("bucket sum mismatch");
+        assert!(err.contains("sum to"), "{err}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests pinning the algebra the observability layer relies on:
+//! histogram merge is associative and commutative with the empty
+//! histogram as identity, and the trace shard merge is independent of
+//! which worker produced which shard. These laws are what make
+//! per-worker metric tallies and per-thread span buffers combinable in
+//! any grouping without changing the exported artifacts.
+
+use proptest::prelude::*;
+use schevo_obs::metrics::Histogram;
+use schevo_obs::trace::{merge_shards, TraceEvent};
+
+fn histogram_strategy() -> impl Strategy<Value = Histogram> {
+    // Values spanning the full bucket range, including 0 and huge ones.
+    proptest::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..16,
+            1u64..1_000_000,
+            (u64::MAX - 1000)..u64::MAX,
+        ],
+        0..24,
+    )
+    .prop_map(|values| {
+        let mut h = Histogram::new();
+        for v in values {
+            h.observe(v);
+        }
+        h
+    })
+}
+
+fn merged(a: &Histogram, b: &Histogram) -> Histogram {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in histogram_strategy(),
+        b in histogram_strategy(),
+    ) {
+        prop_assert_eq!(merged(&a, &b), merged(&b, &a));
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in histogram_strategy(),
+        b in histogram_strategy(),
+        c in histogram_strategy(),
+    ) {
+        prop_assert_eq!(
+            merged(&merged(&a, &b), &c),
+            merged(&a, &merged(&b, &c))
+        );
+    }
+
+    #[test]
+    fn empty_histogram_is_merge_identity(a in histogram_strategy()) {
+        let empty = Histogram::new();
+        prop_assert_eq!(merged(&a, &empty), a.clone());
+        prop_assert_eq!(merged(&empty, &a), a);
+    }
+
+    #[test]
+    fn histogram_invariants_hold(a in histogram_strategy()) {
+        prop_assert_eq!(a.buckets.iter().sum::<u64>(), a.count);
+        if a.count > 0 {
+            prop_assert!(a.min <= a.max);
+            prop_assert_eq!(a.reported_min(), a.min);
+        } else {
+            prop_assert_eq!(a.reported_min(), 0);
+        }
+    }
+}
+
+fn events_strategy() -> impl Strategy<Value = Vec<TraceEvent>> {
+    proptest::collection::vec((0u64..500, "[a-z]{1,6}"), 0..20).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (ts, name))| TraceEvent {
+                cat: name.clone(),
+                name,
+                ts_us: ts,
+                dur_us: 1,
+                tid: 1,
+                seq: i as u64,
+                args: Vec::new(),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn shard_merge_is_order_independent(
+        shards in proptest::collection::vec(events_strategy(), 0..5),
+        swap_a in 0usize..5,
+        swap_b in 0usize..5,
+    ) {
+        let mut shards = shards;
+        // Re-ticket seq across shards so the (ts, seq) key is a total
+        // order, as the global ticket counter guarantees in production.
+        let mut next = 0u64;
+        for shard in shards.iter_mut() {
+            for e in shard.iter_mut() {
+                e.seq = next;
+                next += 1;
+            }
+        }
+        let baseline = merge_shards(shards.clone());
+        if !shards.is_empty() {
+            let (a, b) = (swap_a % shards.len(), swap_b % shards.len());
+            shards.swap(a, b);
+        }
+        shards.reverse();
+        let permuted = merge_shards(shards.clone());
+        prop_assert_eq!(&baseline, &permuted);
+
+        // Regrouping (merge of merges) also leaves the sequence fixed.
+        let k = shards.len() / 2;
+        let left = merge_shards(shards[..k].to_vec());
+        let right = merge_shards(shards[k..].to_vec());
+        prop_assert_eq!(baseline, merge_shards(vec![left, right]));
+    }
+}

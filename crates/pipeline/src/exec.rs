@@ -31,7 +31,6 @@ use schevo_ddl::{parse_schema, Schema};
 use schevo_vcs::sha1::Digest;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
@@ -63,10 +62,12 @@ impl Default for ExecOptions {
     }
 }
 
-/// Observability counters of one mining pass. Timings are summed across
-/// workers (CPU time, not wall time) except `wall_nanos`; counter values
-/// vary with scheduling and are therefore *excluded* from the
-/// differential equality contract.
+/// Observability counters of one mining pass: a thin view over the
+/// per-task [`StageTally`] records merged **in candidate order**, so the
+/// hit/miss counters and stage timings are identical for every worker
+/// count and scheduling (timings are summed task CPU time, not wall
+/// time). Only `wall_nanos` is wall-clock-dependent, which is why
+/// `ExecStats` stays *excluded* from the differential equality contract.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ExecStats {
     /// Worker threads actually used.
@@ -96,47 +97,71 @@ pub struct ExecStats {
     pub cache_enabled: bool,
 }
 
-/// Shared atomic counters the workers write into.
-#[derive(Debug, Default)]
-pub(crate) struct ExecCounters {
-    parse_hits: AtomicU64,
-    parse_misses: AtomicU64,
-    diff_hits: AtomicU64,
-    diff_misses: AtomicU64,
-    parse_nanos: AtomicU64,
-    diff_nanos: AtomicU64,
-    profile_nanos: AtomicU64,
+/// Per-task stage tallies. Each mining task owns one (plain `u64`
+/// fields, no sharing), returned alongside its outcome and merged by
+/// the caller **in candidate order** — which is what makes the
+/// aggregated counters and stage timings independent of scheduling,
+/// unlike the shared-atomic accumulation they replaced. The tally is
+/// also what the metrics registry ingests per task, so latency
+/// histograms see the same values in the same order on every run shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StageTally {
+    pub(crate) parse_hits: u64,
+    pub(crate) parse_misses: u64,
+    pub(crate) diff_hits: u64,
+    pub(crate) diff_misses: u64,
+    pub(crate) parse_nanos: u64,
+    pub(crate) diff_nanos: u64,
+    pub(crate) profile_nanos: u64,
 }
 
-impl ExecCounters {
-    pub(crate) fn add_parse_nanos(&self, start: Instant) {
-        self.parse_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+impl StageTally {
+    pub(crate) fn add_parse_nanos(&mut self, start: Instant) {
+        self.parse_nanos += start.elapsed().as_nanos() as u64;
     }
 
-    pub(crate) fn add_diff_nanos(&self, start: Instant) {
-        self.diff_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    pub(crate) fn add_diff_nanos(&mut self, start: Instant) {
+        self.diff_nanos += start.elapsed().as_nanos() as u64;
     }
 
-    pub(crate) fn add_profile_nanos(&self, start: Instant) {
-        self.profile_nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    pub(crate) fn add_profile_nanos(&mut self, start: Instant) {
+        self.profile_nanos += start.elapsed().as_nanos() as u64;
     }
 
-    pub(crate) fn count_parse(&self, hit: bool) {
-        let c = if hit { &self.parse_hits } else { &self.parse_misses };
-        c.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn count_parse(&mut self, hit: bool) {
+        if hit {
+            self.parse_hits += 1;
+        } else {
+            self.parse_misses += 1;
+        }
     }
 
-    pub(crate) fn count_diff(&self, hit: bool) {
-        let c = if hit { &self.diff_hits } else { &self.diff_misses };
-        c.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn count_diff(&mut self, hit: bool) {
+        if hit {
+            self.diff_hits += 1;
+        } else {
+            self.diff_misses += 1;
+        }
     }
 
-    /// Freeze the counters into the public stats block.
-    pub(crate) fn snapshot(
-        &self,
+    /// Fold another task's tally into this one (associative and
+    /// commutative; callers still merge in candidate order so any
+    /// future order-sensitive aggregate stays deterministic).
+    pub(crate) fn merge(&mut self, other: &StageTally) {
+        self.parse_hits += other.parse_hits;
+        self.parse_misses += other.parse_misses;
+        self.diff_hits += other.diff_hits;
+        self.diff_misses += other.diff_misses;
+        self.parse_nanos += other.parse_nanos;
+        self.diff_nanos += other.diff_nanos;
+        self.profile_nanos += other.profile_nanos;
+    }
+}
+
+impl ExecStats {
+    /// Build the public stats view from a merged tally.
+    pub(crate) fn from_tally(
+        tally: &StageTally,
         workers: usize,
         tasks: usize,
         cache_enabled: bool,
@@ -145,13 +170,13 @@ impl ExecCounters {
         ExecStats {
             workers,
             tasks,
-            parse_hits: self.parse_hits.load(Ordering::Relaxed),
-            parse_misses: self.parse_misses.load(Ordering::Relaxed),
-            diff_hits: self.diff_hits.load(Ordering::Relaxed),
-            diff_misses: self.diff_misses.load(Ordering::Relaxed),
-            parse_nanos: self.parse_nanos.load(Ordering::Relaxed),
-            diff_nanos: self.diff_nanos.load(Ordering::Relaxed),
-            profile_nanos: self.profile_nanos.load(Ordering::Relaxed),
+            parse_hits: tally.parse_hits,
+            parse_misses: tally.parse_misses,
+            diff_hits: tally.diff_hits,
+            diff_misses: tally.diff_misses,
+            parse_nanos: tally.parse_nanos,
+            diff_nanos: tally.diff_nanos,
+            profile_nanos: tally.profile_nanos,
             wall_nanos: wall.elapsed().as_nanos() as u64,
             cache_enabled,
         }
@@ -179,13 +204,13 @@ impl MineCaches {
         &self,
         digest: Digest,
         content: &str,
-        counters: &ExecCounters,
+        tally: &mut StageTally,
     ) -> Option<Schema> {
         if let Some(cached) = self.parse.read().get(&digest) {
-            counters.count_parse(true);
+            tally.count_parse(true);
             return cached.clone();
         }
-        counters.count_parse(false);
+        tally.count_parse(false);
         let parsed = parse_schema(content).ok();
         self.parse.write().insert(digest, parsed.clone());
         parsed
@@ -197,13 +222,13 @@ impl MineCaches {
         key: (Digest, Digest),
         old: &Schema,
         new: &Schema,
-        counters: &ExecCounters,
+        tally: &mut StageTally,
     ) -> SchemaDelta {
         if let Some(cached) = self.diff.read().get(&key) {
-            counters.count_diff(true);
+            tally.count_diff(true);
             return cached.clone();
         }
-        counters.count_diff(false);
+        tally.count_diff(false);
         let delta = diff(old, new);
         self.diff.write().insert(key, delta.clone());
         delta
@@ -457,19 +482,19 @@ mod tests {
     fn parse_cache_hits_on_repeat_content() {
         use schevo_vcs::sha1::sha1;
         let caches = MineCaches::default();
-        let counters = ExecCounters::default();
+        let mut tally = StageTally::default();
         let sql = "CREATE TABLE t (a INT);";
         let d = sha1(sql.as_bytes());
-        let first = caches.parse(d, sql, &counters);
-        let second = caches.parse(d, sql, &counters);
+        let first = caches.parse(d, sql, &mut tally);
+        let second = caches.parse(d, sql, &mut tally);
         assert_eq!(first, second);
         assert!(first.is_some());
         // Unparseable content is cached as a failure.
         let bad = "CREATE TABLE t (a INT); '";
         let bd = sha1(bad.as_bytes());
-        assert!(caches.parse(bd, bad, &counters).is_none());
-        assert!(caches.parse(bd, bad, &counters).is_none());
-        let stats = counters.snapshot(1, 0, true, Instant::now());
+        assert!(caches.parse(bd, bad, &mut tally).is_none());
+        assert!(caches.parse(bd, bad, &mut tally).is_none());
+        let stats = ExecStats::from_tally(&tally, 1, 0, true, Instant::now());
         assert_eq!(stats.parse_hits, 2);
         assert_eq!(stats.parse_misses, 2);
     }
@@ -478,15 +503,46 @@ mod tests {
     fn diff_cache_returns_identical_delta() {
         use schevo_vcs::sha1::sha1;
         let caches = MineCaches::default();
-        let counters = ExecCounters::default();
+        let mut tally = StageTally::default();
         let a = parse_schema("CREATE TABLE t (a INT);").unwrap();
         let b = parse_schema("CREATE TABLE t (a INT, b INT);").unwrap();
         let key = (sha1(b"a"), sha1(b"b"));
-        let miss = caches.diff(key, &a, &b, &counters);
-        let hit = caches.diff(key, &a, &b, &counters);
+        let miss = caches.diff(key, &a, &b, &mut tally);
+        let hit = caches.diff(key, &a, &b, &mut tally);
         assert_eq!(miss, hit);
         assert_eq!(miss, diff(&a, &b));
-        let stats = counters.snapshot(1, 0, true, Instant::now());
+        let stats = ExecStats::from_tally(&tally, 1, 0, true, Instant::now());
         assert_eq!((stats.diff_hits, stats.diff_misses), (1, 1));
+    }
+
+    #[test]
+    fn tally_merge_is_field_wise_addition() {
+        let mut a = StageTally {
+            parse_hits: 1,
+            parse_misses: 2,
+            diff_hits: 3,
+            diff_misses: 4,
+            parse_nanos: 10,
+            diff_nanos: 20,
+            profile_nanos: 30,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            StageTally {
+                parse_hits: 2,
+                parse_misses: 4,
+                diff_hits: 6,
+                diff_misses: 8,
+                parse_nanos: 20,
+                diff_nanos: 40,
+                profile_nanos: 60,
+            }
+        );
+        // The empty tally is the merge identity.
+        let mut c = b;
+        c.merge(&StageTally::default());
+        assert_eq!(c, b);
     }
 }

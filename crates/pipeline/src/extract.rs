@@ -9,8 +9,8 @@
 //! the content-addressed [`crate::exec::MineCaches`].
 
 use crate::exec::{
-    execute_ordered, execute_ordered_with, watchdog, ExecCounters, ExecOptions, ExecStats,
-    MineCaches,
+    execute_ordered, execute_ordered_with, watchdog, ExecOptions, ExecStats, MineCaches,
+    StageTally,
 };
 use crate::funnel::CandidateHistory;
 use crate::journal::{
@@ -24,6 +24,7 @@ use schevo_core::measures::measure_history_with;
 use schevo_core::model::{CommitMeta, SchemaHistory, SchemaVersion};
 use schevo_core::profile::{EvolutionProfile, ProjectContext};
 use schevo_core::tables::{table_lives, table_lives_with, TableLife};
+use schevo_obs::{span, ObsHooks};
 use schevo_vcs::sha1::{sha1, Digest};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -91,7 +92,7 @@ pub fn mine_extended(candidate: &CandidateHistory, reed_threshold: u64) -> Optio
 fn build_history(
     candidate: &CandidateHistory,
     caches: Option<&MineCaches>,
-    counters: &ExecCounters,
+    tally: &mut StageTally,
 ) -> Option<(SchemaHistory, Vec<Digest>)> {
     let mut versions = Vec::with_capacity(candidate.versions.len());
     let mut digests = Vec::with_capacity(candidate.versions.len());
@@ -100,10 +101,10 @@ fn build_history(
             Some(c) => {
                 let digest = sha1(v.content.as_bytes());
                 digests.push(digest);
-                c.parse(digest, &v.content, counters)?
+                c.parse(digest, &v.content, tally)?
             }
             None => {
-                counters.count_parse(false);
+                tally.count_parse(false);
                 schevo_ddl::parse_schema(&v.content).ok()?
             }
         };
@@ -135,12 +136,12 @@ fn mine_task(
     candidate: &CandidateHistory,
     reed_threshold: u64,
     caches: Option<&MineCaches>,
-    counters: &ExecCounters,
+    tally: &mut StageTally,
 ) -> Option<Mined> {
     // Parse stage.
     let t_parse = Instant::now();
-    let parsed = build_history(candidate, caches, counters);
-    counters.add_parse_nanos(t_parse);
+    let parsed = build_history(candidate, caches, tally);
+    tally.add_parse_nanos(t_parse);
     let (history, digests) = parsed?;
     Some(diff_and_profile(
         candidate,
@@ -148,7 +149,7 @@ fn mine_task(
         &digests,
         reed_threshold,
         caches,
-        counters,
+        tally,
     ))
 }
 
@@ -162,7 +163,7 @@ fn diff_and_profile(
     digests: &[Digest],
     reed_threshold: u64,
     caches: Option<&MineCaches>,
-    counters: &ExecCounters,
+    tally: &mut StageTally,
 ) -> Mined {
     let t_diff = Instant::now();
     let deltas: Vec<SchemaDelta> = match caches {
@@ -170,18 +171,18 @@ fn diff_and_profile(
             .transitions()
             .zip(digests.windows(2))
             .map(|((_, old, new), pair)| {
-                c.diff((pair[0], pair[1]), &old.schema, &new.schema, counters)
+                c.diff((pair[0], pair[1]), &old.schema, &new.schema, tally)
             })
             .collect(),
         None => history
             .transitions()
             .map(|(_, old, new)| {
-                counters.count_diff(false);
+                tally.count_diff(false);
                 diff(&old.schema, &new.schema)
             })
             .collect(),
     };
-    counters.add_diff_nanos(t_diff);
+    tally.add_diff_nanos(t_diff);
 
     // Profile stage.
     let t_profile = Instant::now();
@@ -193,7 +194,7 @@ fn diff_and_profile(
             pup_months: candidate.pup_months,
             total_commits: candidate.total_commits,
         });
-    counters.add_profile_nanos(t_profile);
+    tally.add_profile_nanos(t_profile);
     Mined {
         profile,
         fk,
@@ -214,13 +215,26 @@ pub fn mine_all_stats(
     let wall = Instant::now();
     let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
     let caches = options.cache.then(MineCaches::default);
-    let counters = ExecCounters::default();
-    let slots: Vec<Option<Mined>> = execute_ordered(candidates, workers, |_, c| {
-        mine_task(c, reed_threshold, caches.as_ref(), &counters)
+    let results: Vec<(Option<Mined>, StageTally)> = execute_ordered(candidates, workers, |_, c| {
+        let _span = span!("mine.task", project = c.name);
+        let mut tally = StageTally::default();
+        let mined = mine_task(c, reed_threshold, caches.as_ref(), &mut tally);
+        (mined, tally)
     });
-    let failures = slots.iter().filter(|s| s.is_none()).count();
-    let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
-    (slots.into_iter().flatten().collect(), failures, stats)
+    // Merge per-task tallies in candidate order: the aggregate is
+    // identical for every worker count and scheduling.
+    let mut total = StageTally::default();
+    let mut mined = Vec::new();
+    let mut failures = 0;
+    for (slot, tally) in results {
+        total.merge(&tally);
+        match slot {
+            Some(m) => mined.push(m),
+            None => failures += 1,
+        }
+    }
+    let stats = ExecStats::from_tally(&total, workers, candidates.len(), options.cache, wall);
+    (mined, failures, stats)
 }
 
 /// What graceful mining produced for one candidate. At most one of
@@ -264,7 +278,7 @@ fn mine_task_graceful(
     candidate: &CandidateHistory,
     reed_threshold: u64,
     caches: Option<&MineCaches>,
-    counters: &ExecCounters,
+    tally: &mut StageTally,
 ) -> MineOutcome {
     let name = candidate.name.as_str();
     let vs = &candidate.versions;
@@ -334,10 +348,10 @@ fn mine_task_graceful(
             Some(c) => {
                 let digest = sha1(v.content.as_bytes());
                 digests.push(digest);
-                (c.parse(digest, &v.content, counters), None)
+                (c.parse(digest, &v.content, tally), None)
             }
             None => {
-                counters.count_parse(false);
+                tally.count_parse(false);
                 match schevo_ddl::parse_schema(&v.content) {
                     Ok(s) => (Some(s), None),
                     Err(e) => (None, Some(e)),
@@ -361,7 +375,7 @@ fn mine_task_graceful(
                 };
                 let salvage = schevo_ddl::parse_schema_recovering(&v.content);
                 if salvage.schema.is_empty() {
-                    counters.add_parse_nanos(t_parse);
+                    tally.add_parse_nanos(t_parse);
                     return MineOutcome::quarantine(recovered, error, true);
                 }
                 recovered.push(RecoveryRecord {
@@ -382,13 +396,13 @@ fn mine_task_graceful(
             source_len: v.content.len(),
         });
     }
-    counters.add_parse_nanos(t_parse);
+    tally.add_parse_nanos(t_parse);
 
     let history = SchemaHistory {
         project: candidate.name.clone(),
         versions,
     };
-    let mined = diff_and_profile(candidate, history, &digests, reed_threshold, caches, counters);
+    let mined = diff_and_profile(candidate, history, &digests, reed_threshold, caches, tally);
     MineOutcome {
         mined: Some(mined),
         recovered,
@@ -441,10 +455,10 @@ fn mine_task_watched(
     reed_threshold: u64,
     deadline: Option<Duration>,
     caches: Option<&MineCaches>,
-    counters: &ExecCounters,
+    tally: &mut StageTally,
 ) -> MineOutcome {
     let (mut outcome, overrun) = watchdog(deadline, || {
-        mine_task_graceful(candidate, reed_threshold, caches, counters)
+        mine_task_graceful(candidate, reed_threshold, caches, tally)
     });
     if overrun.is_some() {
         let limit_ms = deadline.map(|d| d.as_millis()).unwrap_or(0);
@@ -490,10 +504,32 @@ pub fn mine_all_durable(
     options: &ExecOptions,
     durability: &DurabilityOptions,
 ) -> Result<(Vec<Mined>, QuarantineReport, ExecStats, Option<JournalSummary>), SchevoError> {
+    mine_all_observed(
+        candidates,
+        reed_threshold,
+        options,
+        durability,
+        &ObsHooks::default(),
+    )
+}
+
+/// [`mine_all_durable`] with observability hooks: per-task tallies fold
+/// into the metrics registry (cache hit/miss counters, per-task stage
+/// latency histograms observed **in candidate order**, quarantine and
+/// journal counters) and the progress heartbeat advances as tasks
+/// complete. With default hooks this *is* `mine_all_durable` — the
+/// hooks only read what the pass already computes, never steer it, so
+/// mined output is bit-identical with observability on or off.
+pub fn mine_all_observed(
+    candidates: &[CandidateHistory],
+    reed_threshold: u64,
+    options: &ExecOptions,
+    durability: &DurabilityOptions,
+    obs: &ObsHooks,
+) -> Result<(Vec<Mined>, QuarantineReport, ExecStats, Option<JournalSummary>), SchevoError> {
     let wall = Instant::now();
     let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
     let caches = options.cache.then(MineCaches::default);
-    let counters = ExecCounters::default();
     let deadline = durability.deadline;
 
     // Journal setup: replay on resume, then open for appending past the
@@ -502,8 +538,10 @@ pub fn mine_all_durable(
     let mut replayed: HashMap<String, MineOutcome> = HashMap::new();
     let mut ctx: Option<JournalCtx> = None;
     if let Some(path) = &durability.journal {
+        let _span = span!("journal.open", resume = durability.resume);
         let mut s = JournalSummary::default();
         let writer = if durability.resume && path.exists() {
+            let _span = span!("journal.replay");
             let replay = replay_file(path)?;
             s.corruption = replay.corruption;
             for r in replay.records {
@@ -551,19 +589,37 @@ pub fn mine_all_durable(
     // Mine the fresh subset. The completion hook runs on the caller
     // thread in completion order: each outcome is committed to the
     // journal before anything else happens to it, and the crash-after
-    // kill switch fires only after its record is durable.
-    let outcomes: Vec<MineOutcome> = execute_ordered_with(
+    // kill switch fires only after its record is durable. Progress
+    // advances here too — completion order is the honest order.
+    let _pass = span!(
+        "mine.pass",
+        candidates = candidates.len(),
+        fresh = fresh.len(),
+        workers = workers,
+    );
+    if let Some(p) = obs.progress.as_deref() {
+        p.begin_stage("mine", fresh.len() as u64);
+    }
+    let outcomes: Vec<(MineOutcome, StageTally)> = execute_ordered_with(
         &fresh_items,
         workers,
-        |_, c| mine_task_watched(c, reed_threshold, deadline, caches.as_ref(), &counters),
-        |local, outcome| {
+        |_, c| {
+            let _span = span!("mine.task", project = c.name);
+            let mut tally = StageTally::default();
+            let outcome = mine_task_watched(c, reed_threshold, deadline, caches.as_ref(), &mut tally);
+            (outcome, tally)
+        },
+        |local, result| {
+            if let Some(p) = obs.progress.as_deref() {
+                p.advance(1);
+            }
             let Some(ctx) = ctx.as_mut() else { return };
             if ctx.error.is_some() {
                 return;
             }
             let record = JournalRecord {
                 key: keys[fresh[local]].clone(),
-                outcome: outcome.clone(),
+                outcome: result.0.clone(),
             };
             match ctx.writer.append(&record) {
                 Ok(()) => {
@@ -578,6 +634,9 @@ pub fn mine_all_durable(
             }
         },
     );
+    if let Some(p) = obs.progress.as_deref() {
+        p.end_stage();
+    }
     if let Some(ctx) = ctx {
         if let Some(e) = ctx.error {
             return Err(e);
@@ -585,9 +644,13 @@ pub fn mine_all_durable(
     }
 
     // Reassemble in candidate order: replayed slots stay put, fresh
-    // outcomes land back in their original positions.
-    for (local, outcome) in outcomes.into_iter().enumerate() {
+    // outcomes (and their tallies) land back in their original
+    // positions. Replayed candidates did no work, so their tallies stay
+    // zero — exactly what an uninterrupted run would have charged them.
+    let mut tallies: Vec<StageTally> = vec![StageTally::default(); candidates.len()];
+    for (local, (outcome, tally)) in outcomes.into_iter().enumerate() {
         slots[fresh[local]] = Some(outcome);
+        tallies[fresh[local]] = tally;
     }
     let mut mined = Vec::new();
     let mut report = QuarantineReport::default();
@@ -606,7 +669,52 @@ pub fn mine_all_durable(
         s.mined_fresh = fresh.len();
         s.stale_discarded = replayed.len();
     }
-    let stats = counters.snapshot(workers, candidates.len(), options.cache, wall);
+
+    // Candidate-order merge of the per-task tallies (the fix for the
+    // old scheduling-dependent shared-atomic aggregation), then the
+    // registry fold — counters, per-task latency histograms, quarantine
+    // classes, journal accounting — all in deterministic order.
+    let mut total = StageTally::default();
+    for t in &tallies {
+        total.merge(t);
+    }
+    if let Some(reg) = obs.registry.as_deref() {
+        reg.add("mine.parse.hits", total.parse_hits);
+        reg.add("mine.parse.misses", total.parse_misses);
+        reg.add("mine.diff.hits", total.diff_hits);
+        reg.add("mine.diff.misses", total.diff_misses);
+        for &i in &fresh {
+            let t = &tallies[i];
+            reg.observe("mine.task.parse_nanos", t.parse_nanos);
+            reg.observe("mine.task.diff_nanos", t.diff_nanos);
+            reg.observe("mine.task.profile_nanos", t.profile_nanos);
+        }
+        for (class, rec, quar) in report.class_counts() {
+            if rec > 0 {
+                reg.add(&format!("quarantine.recovered.{class}"), rec as u64);
+            }
+            if quar > 0 {
+                reg.add(&format!("quarantine.quarantined.{class}"), quar as u64);
+            }
+        }
+        let deadline_exceeded = report
+            .recovered
+            .iter()
+            .filter(|r| r.error.class == ErrorClass::DeadlineExceeded)
+            .count();
+        if deadline_exceeded > 0 {
+            reg.add("mine.deadline_exceeded", deadline_exceeded as u64);
+        }
+        if let Some(s) = &summary {
+            reg.add("journal.commits", s.mined_fresh as u64);
+            reg.add("journal.replayed", s.replayed as u64);
+            reg.add("journal.stale_discarded", s.stale_discarded as u64);
+            if s.corruption.is_some() {
+                reg.add("journal.corrupt_tail", 1);
+            }
+        }
+    }
+    let stats = ExecStats::from_tally(&total, workers, candidates.len(), options.cache, wall);
     Ok((mined, report, stats, summary))
 }
 

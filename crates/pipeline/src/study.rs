@@ -3,7 +3,7 @@
 //! number needed to regenerate the paper's tables and figures.
 
 use crate::exec::{ExecOptions, ExecStats};
-use crate::extract::mine_all_durable;
+use crate::extract::mine_all_observed;
 use crate::funnel::{run_funnel, FunnelReport};
 use crate::journal::{DurabilityOptions, JournalSummary};
 use crate::quarantine::QuarantineReport;
@@ -15,6 +15,7 @@ use schevo_core::profile::EvolutionProfile;
 use schevo_core::shape::ShapeClass;
 use schevo_core::taxa::{ProjectClass, Taxon};
 use schevo_corpus::universe::Universe;
+use schevo_obs::{span, ObsHooks};
 use schevo_stats::describe::{percent_where, Summary};
 use schevo_stats::kruskal::{kruskal_wallis, pairwise_kruskal, KruskalWallis, PairwiseMatrix};
 use schevo_stats::quantile::Quartiles;
@@ -22,6 +23,7 @@ use schevo_stats::correlation::{spearman, Spearman};
 use schevo_stats::shapiro::{shapiro_wilk, ShapiroWilk};
 use schevo_vcs::history::WalkStrategy;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Options of a study run.
 #[derive(Debug, Clone)]
@@ -46,6 +48,10 @@ pub struct StudyOptions {
     /// injection, and the per-task watchdog deadline. The default is
     /// fully off and perturbs nothing.
     pub durability: DurabilityOptions,
+    /// Observability hooks: metrics registry and progress heartbeat.
+    /// The default is fully off; hooks only read what the run already
+    /// computes, so results are bit-identical either way.
+    pub obs: ObsHooks,
 }
 
 impl Default for StudyOptions {
@@ -57,6 +63,7 @@ impl Default for StudyOptions {
             cache: true,
             strict: false,
             durability: DurabilityOptions::default(),
+            obs: ObsHooks::default(),
         }
     }
 }
@@ -262,6 +269,30 @@ fn taxon_stats(taxon: Taxon, profiles: &[&EvolutionProfile]) -> TaxonStats {
     }
 }
 
+/// Fold the funnel's reject ledger into the metrics registry:
+/// `funnel.reject.<reason>` counters for every drop stage, plus gauges
+/// for the surviving populations.
+fn record_funnel_rejects(reg: &schevo_obs::metrics::Registry, report: &FunnelReport) {
+    let rejects = [
+        ("not_in_libio", report.not_in_libio),
+        ("forks", report.forks),
+        ("zero_stars", report.zero_stars),
+        ("one_contributor", report.one_contributor),
+        ("excluded_paths", report.excluded_paths),
+        ("multi_file", report.multi_file),
+        ("zero_versions", report.zero_versions),
+        ("empty_or_no_ct", report.empty_or_no_ct),
+        ("rigid", report.rigid),
+    ];
+    for (reason, count) in rejects {
+        reg.add(&format!("funnel.reject.{reason}"), count as u64);
+    }
+    reg.set_gauge("funnel.sql_collection", report.sql_collection as u64);
+    reg.set_gauge("funnel.lib_io", report.lib_io as u64);
+    reg.set_gauge("funnel.cloned", report.cloned as u64);
+    reg.set_gauge("funnel.analyzed", report.analyzed as u64);
+}
+
 /// Run the complete study over a universe.
 ///
 /// Damaged histories are quarantined (see [`StudyResult::quarantine`])
@@ -281,22 +312,43 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
 ///
 /// Without `options.strict` and without a journal this never fails.
 pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<StudyResult, SchevoError> {
-    let outcome = run_funnel(universe, options.strategy);
+    let registry = options.obs.registry.as_deref();
+
+    let t_funnel = Instant::now();
+    let outcome = {
+        let _span = span!("study.funnel");
+        run_funnel(universe, options.strategy)
+    };
+    if let Some(reg) = registry {
+        reg.set_gauge("study.stage.funnel.nanos", t_funnel.elapsed().as_nanos() as u64);
+        record_funnel_rejects(reg, &outcome.report);
+    }
+
     let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
-    let (mined, quarantine, exec, journal) = mine_all_durable(
-        &outcome.analyzed,
-        used_reed_threshold,
-        &ExecOptions {
-            workers: options.workers,
-            cache: options.cache,
-        },
-        &options.durability,
-    )?;
+    let t_mine = Instant::now();
+    let (mined, quarantine, exec, journal) = {
+        let _span = span!("study.mine", candidates = outcome.analyzed.len());
+        mine_all_observed(
+            &outcome.analyzed,
+            used_reed_threshold,
+            &ExecOptions {
+                workers: options.workers,
+                cache: options.cache,
+            },
+            &options.durability,
+            &options.obs,
+        )?
+    };
+    if let Some(reg) = registry {
+        reg.set_gauge("study.stage.mine.nanos", t_mine.elapsed().as_nanos() as u64);
+    }
     if options.strict {
         if let Some(e) = quarantine.first_error() {
             return Err(e.clone());
         }
     }
+    let t_stats = Instant::now();
+    let _stats_span = span!("study.stats");
     let parse_failures = quarantine.quarantined.len();
     let fk_profiles: Vec<schevo_core::fk::FkProfile> = mined.iter().map(|m| m.fk).collect();
     let pooled_lives: Vec<schevo_core::tables::TableLife> = mined
@@ -407,6 +459,10 @@ pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<Study
         moderate_rise_pct: percent_where(&moderate, |p| p.shape.is_rise()),
         moderate_flat_pct: percent_where(&moderate, |p| p.shape == ShapeClass::Flat),
     };
+
+    if let Some(reg) = registry {
+        reg.set_gauge("study.stage.stats.nanos", t_stats.elapsed().as_nanos() as u64);
+    }
 
     Ok(StudyResult {
         report: outcome.report,

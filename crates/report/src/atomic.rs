@@ -58,6 +58,7 @@ impl std::error::Error for AtomicWriteError {
 /// On any failure the temp file is removed before the error is returned,
 /// and the destination is untouched.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), AtomicWriteError> {
+    let _span = schevo_obs::span!("report.write_atomic", path = path.display());
     let err = |op: &'static str, source: std::io::Error| AtomicWriteError {
         path: path.to_path_buf(),
         op,

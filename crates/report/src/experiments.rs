@@ -35,6 +35,37 @@ pub struct ExperimentExtras {
     pub fault_demo: Option<FaultDemo>,
     /// Crash/resume demonstration, if the durability pass ran.
     pub resume_demo: Option<ResumeDemo>,
+    /// Observability demonstration, if the run was instrumented.
+    pub obs_demo: Option<ObsDemo>,
+}
+
+/// Measured outcome of an instrumented run: the run manifest, the
+/// per-stage wall clock, and the per-task latency distributions captured
+/// by the metrics registry.
+#[derive(Debug, Default)]
+pub struct ObsDemo {
+    /// The rendered run manifest (JSON) of the instrumented study.
+    pub manifest_json: String,
+    /// `(stage, wall µs)` in pipeline order.
+    pub stage_walls: Vec<(String, u64)>,
+    /// Per-task latency distributions, one row per histogram.
+    pub latencies: Vec<LatencyRow>,
+    /// Whether an instrumented run's `study_results.json` was
+    /// byte-identical to an uninstrumented run of the same study.
+    pub outputs_identical: bool,
+}
+
+/// One latency histogram summarized for the appendix table.
+#[derive(Debug, Default)]
+pub struct LatencyRow {
+    /// Metric name (e.g. `mine.task.parse_nanos`).
+    pub metric: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Maximum latency in microseconds.
+    pub max_us: f64,
 }
 
 /// Measured outcome of the kill-at-every-point crash/resume pass: one
@@ -330,6 +361,67 @@ pub fn experiments_markdown(study: &StudyResult, extras: &ExperimentExtras) -> S
     if let Some(d) = &extras.resume_demo {
         md.push_str(&resume_appendix(d));
     }
+    if let Some(d) = &extras.obs_demo {
+        md.push_str(&obs_appendix(d));
+    }
+    md
+}
+
+/// The observability appendix: the instrumented run's manifest, its
+/// stage walls, and the per-task latency table.
+fn obs_appendix(d: &ObsDemo) -> String {
+    let mut md = String::new();
+    md.push_str("## Appendix — observability: tracing, metrics & the run manifest\n\n");
+    md.push_str(
+        "Every run can be instrumented without changing a single output \
+         byte: `--trace-out` writes a Chrome-trace JSONL span timeline \
+         (open it in Perfetto, or prepend `[` for `chrome://tracing`), \
+         `--metrics-out` exports the metrics registry (counters, gauges, \
+         log₂ latency histograms; `--metrics-format prom` switches to the \
+         Prometheus text format), `--manifest-out` publishes a run manifest \
+         tying the artifacts to the seed, flags, corpus digest, stage wall \
+         times and journal/quarantine accounting, and `--progress` emits a \
+         throttled per-stage heartbeat with an ETA on stderr. The study \
+         reported above was itself run with the metrics registry attached; \
+         everything published here came from that instrumented run.\n\n",
+    );
+    md.push_str(&format!(
+        "An instrumented run's `study_results.json` was {} an \
+         uninstrumented run of the same study (the traced-vs-untraced \
+         differential in `tests/traced_differential.rs` pins this across \
+         worker counts and cache settings).\n\n",
+        if d.outputs_identical {
+            "byte-identical to"
+        } else {
+            "NOT identical to (regression!)"
+        },
+    ));
+    md.push_str("Run manifest of the instrumented paper-scale study:\n\n```json\n");
+    md.push_str(&d.manifest_json);
+    if !d.manifest_json.ends_with('\n') {
+        md.push('\n');
+    }
+    md.push_str("```\n\nStage wall clock:\n\n```text\n");
+    let mut t = TextTable::new(["stage", "wall"]);
+    for (stage, wall_us) in &d.stage_walls {
+        t.row([stage.clone(), format!("{:.3}s", *wall_us as f64 / 1e6)]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\nPer-task latency distributions (log₂ histograms):\n\n```text\n");
+    let mut t = TextTable::new(["metric", "count", "mean", "max"]);
+    if d.latencies.is_empty() {
+        t.row(["(none)".to_string(), "0".to_string(), "-".to_string(), "-".to_string()]);
+    }
+    for row in &d.latencies {
+        t.row([
+            row.metric.clone(),
+            row.count.to_string(),
+            format!("{:.1}µs", row.mean_us),
+            format!("{:.1}µs", row.max_us),
+        ]);
+    }
+    md.push_str(&t.render());
+    md.push_str("```\n\n");
     md
 }
 
@@ -485,6 +577,7 @@ mod tests {
             rule_order: Some(schevo_pipeline::ablation::rule_order_comparison(&s.profiles)),
             fault_demo: None,
             resume_demo: None,
+            obs_demo: None,
         };
         let md = experiments_markdown(&s, &extras);
         assert!(md.contains("Reed-threshold sensitivity"));
@@ -516,6 +609,34 @@ mod tests {
         // Absent demo, absent appendix.
         let md = experiments_markdown(&s, &ExperimentExtras::default());
         assert!(!md.contains("Appendix — fault injection"));
+    }
+
+    #[test]
+    fn markdown_includes_obs_appendix_when_present() {
+        let u = generate(UniverseConfig::small(2019, 20));
+        let s = run_study(&u, StudyOptions::default());
+        let extras = ExperimentExtras {
+            obs_demo: Some(ObsDemo {
+                manifest_json: "{\n  \"manifest_version\": 1\n}\n".to_string(),
+                stage_walls: vec![("generate".into(), 1_500_000), ("mine".into(), 2_000_000)],
+                latencies: vec![LatencyRow {
+                    metric: "mine.task.parse_nanos".into(),
+                    count: 195,
+                    mean_us: 42.5,
+                    max_us: 910.0,
+                }],
+                outputs_identical: true,
+            }),
+            ..Default::default()
+        };
+        let md = experiments_markdown(&s, &extras);
+        assert!(md.contains("## Appendix — observability"));
+        assert!(md.contains("\"manifest_version\": 1"));
+        assert!(md.contains("mine.task.parse_nanos"));
+        assert!(md.contains("byte-identical to"));
+        assert!(!md.contains("regression!"));
+        let md = experiments_markdown(&s, &ExperimentExtras::default());
+        assert!(!md.contains("Appendix — observability"));
     }
 
     #[test]

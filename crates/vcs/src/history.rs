@@ -109,6 +109,7 @@ pub fn file_history(
     path: &str,
     strategy: WalkStrategy,
 ) -> Result<Vec<FileVersion>, RepoError> {
+    let _span = schevo_obs::span!("vcs.file_history", path = path);
     let Some(tip) = repo.head() else {
         return Ok(Vec::new());
     };

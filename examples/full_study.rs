@@ -18,8 +18,11 @@ use schevo::pipeline::ablation::{
 };
 use schevo::pipeline::journal::DurabilityOptions;
 use schevo::prelude::*;
+use schevo::obs::metrics::Registry;
+use schevo::obs::{manifest, ObsHooks};
 use schevo::report::experiments::{
-    experiments_markdown, ExperimentExtras, FaultDemo, ResumeDemo, ResumePoint,
+    experiments_markdown, ExperimentExtras, FaultDemo, LatencyRow, ObsDemo, ResumeDemo,
+    ResumePoint,
 };
 use schevo::report::{
     fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
@@ -44,8 +47,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| StudyOptions::default().workers);
     let cache = !args.iter().any(|a| a == "--no-cache");
+    // The paper-scale run is itself instrumented: the registry's stage
+    // walls and latency histograms feed the observability appendix, and
+    // instrumentation is a no-op on every published byte.
+    let registry = std::sync::Arc::new(Registry::new());
     let t0 = std::time::Instant::now();
     let universe = generate(UniverseConfig::paper(2019));
+    registry.set_gauge("study.stage.generate.nanos", t0.elapsed().as_nanos() as u64);
     eprintln!("universe generated in {:?}", t0.elapsed());
     let t1 = std::time::Instant::now();
     let study = run_study(
@@ -53,6 +61,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         StudyOptions {
             workers,
             cache,
+            obs: ObsHooks::with_registry(registry.clone()),
             ..StudyOptions::default()
         },
     );
@@ -84,7 +93,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         rule_order: Some(rule_order_comparison(&study.profiles)),
         fault_demo: None,
         resume_demo: None,
+        obs_demo: None,
     };
+    eprintln!("building observability appendix...");
+    extras.obs_demo = Some(obs_demo(&universe, &study, &registry, workers, cache, t0.elapsed())?);
     eprintln!("running chaos pass (fault injection)...");
     extras.fault_demo = Some(fault_demo(&study, workers, cache));
     eprintln!("running durability pass (crash/resume)...");
@@ -122,6 +134,83 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     eprintln!("total {:?}", t0.elapsed());
     Ok(())
+}
+
+/// The observability pass for the EXPERIMENTS.md appendix: assemble the
+/// run manifest and latency tables from the registry the paper-scale
+/// study just ran with, and double-check on a small universe that a
+/// fully instrumented run (tracer on, registry attached) serializes to
+/// the same `study_results.json` bytes as a bare run.
+fn obs_demo(
+    universe: &Universe,
+    study: &StudyResult,
+    registry: &Registry,
+    workers: usize,
+    cache: bool,
+    wall: std::time::Duration,
+) -> Result<ObsDemo, Box<dyn std::error::Error>> {
+    let snap = registry.snapshot();
+    let m = manifest::RunManifest {
+        manifest_version: manifest::MANIFEST_VERSION,
+        command: "full_study".to_string(),
+        seed: 2019,
+        scale_divisor: 1,
+        workers: workers as u64,
+        cache,
+        strict: false,
+        inject_faults_pct: None,
+        fault_seed: None,
+        deadline_ms: None,
+        trace_out: None,
+        metrics_out: None,
+        corpus_digest: schevo::corpus::universe::corpus_digest(universe),
+        wall_us: wall.as_micros() as u64,
+        stages: manifest::stages_from_snapshot(&snap),
+        quarantine: manifest::QuarantineManifest {
+            recovered: study.quarantine.recovered.len() as u64,
+            quarantined: study.quarantine.quarantined.len() as u64,
+            deadline_exceeded: snap.counter("mine.deadline_exceeded").unwrap_or(0),
+            classes: Vec::new(),
+        },
+        journal: None,
+    };
+    let stage_walls = manifest::stages_from_snapshot(&snap)
+        .into_iter()
+        .map(|s| (s.name, s.wall_us))
+        .collect();
+    let latencies = snap
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| LatencyRow {
+            metric: name.clone(),
+            count: h.count,
+            mean_us: h.sum as f64 / h.count as f64 / 1e3,
+            max_us: h.max as f64 / 1e3,
+        })
+        .collect();
+    // The differential: same small universe, once with the tracer running
+    // and a registry attached, once bare.
+    let small = generate(UniverseConfig::small(2019, 20));
+    schevo::obs::trace::set_enabled(true);
+    let traced = run_study(
+        &small,
+        StudyOptions {
+            obs: ObsHooks::with_registry(std::sync::Arc::new(Registry::new())),
+            ..StudyOptions::default()
+        },
+    );
+    schevo::obs::trace::set_enabled(false);
+    let events = schevo::obs::trace::drain();
+    let bare = run_study(&small, StudyOptions::default());
+    let outputs_identical =
+        !events.is_empty() && study_to_json(&traced)? == study_to_json(&bare)?;
+    Ok(ObsDemo {
+        manifest_json: m.render(),
+        stage_walls,
+        latencies,
+        outputs_identical,
+    })
 }
 
 /// The durability pass for the EXPERIMENTS.md appendix: run one fully

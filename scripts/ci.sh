@@ -39,6 +39,38 @@ for variant in "--workers 1" "--workers 2" "--workers 8" "--workers 8 --no-cache
   echo "    identical under: $variant"
 done
 
+echo "==> observability: traced run is byte-identical, artifacts validate"
+# Full instrumentation (trace + metrics + manifest + progress) must not
+# perturb a single stdout byte, and every emitted artifact must satisfy
+# its schema (validators live in crates/obs; the env-var-gated test
+# below replays them against the files this run just wrote).
+obs_out="$tmp/obs-out.txt"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache --progress \
+  --trace-out "$tmp/obs-trace.jsonl" \
+  --metrics-out "$tmp/obs-metrics.json" \
+  --manifest-out "$tmp/obs-manifest.json" > "$obs_out" 2>/dev/null
+if ! diff -q "$baseline" "$obs_out" >/dev/null; then
+  echo "OBSERVABILITY FAILURE: instrumentation changed the study output" >&2
+  diff "$baseline" "$obs_out" | head -40 >&2
+  exit 1
+fi
+echo "    instrumented stdout identical to baseline"
+SCHEVO_TRACE_FILE="$tmp/obs-trace.jsonl" \
+SCHEVO_METRICS_FILE="$tmp/obs-metrics.json" \
+SCHEVO_MANIFEST_FILE="$tmp/obs-manifest.json" \
+  cargo test -q --release -p schevo-obs --test schema_validation
+echo "    trace/metrics/manifest validate against their schemas"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache --metrics-out "$tmp/obs-metrics.prom" \
+  --metrics-format prom >/dev/null 2>&1
+if ! grep -q '^# TYPE mine_parse_misses counter$' "$tmp/obs-metrics.prom" \
+  || ! grep -q 'le="+Inf"' "$tmp/obs-metrics.prom"; then
+  echo "OBSERVABILITY FAILURE: prometheus export malformed" >&2
+  exit 1
+fi
+echo "    prometheus export well-formed"
+
 echo "==> chaos: fault-injection suite"
 cargo test -q --release -p schevo-pipeline --test chaos_differential
 cargo test -q --release -p schevo-ddl --test proptest_chaos
@@ -107,7 +139,7 @@ if ! diff -q "$clean_dir/study_results.json" "$resume_dir/study_results.json" >/
 fi
 echo "    kill at commit 3 -> resume reproduces the clean run byte-for-byte"
 
-echo "==> panic-site budget (ddl, vcs, pipeline, atomic writer)"
+echo "==> panic-site budget (ddl, vcs, pipeline, obs, atomic writer)"
 # Graceful degradation means the mining path must not grow new panic
 # sites: count unwrap/expect/panic!/unreachable! in non-test code. The
 # remaining budget covers documented invariants only (the statistical
@@ -124,7 +156,7 @@ while IFS= read -r f; do
     END { print n + 0 }
   ' "$f")
   count=$((count + n))
-done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src crates/report/src/atomic.rs -name '*.rs')
+done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src crates/obs/src crates/report/src/atomic.rs -name '*.rs')
 if [ "$count" -gt "$PANIC_BUDGET" ]; then
   echo "PANIC BUDGET EXCEEDED: $count sites (budget $PANIC_BUDGET)" >&2
   exit 1

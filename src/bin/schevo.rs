@@ -4,6 +4,8 @@
 //! schevo study [--seed N] [--scale D] [--out DIR] [--workers N] [--no-cache]
 //!              [--strict] [--inject-faults PCT] [--fault-seed N]
 //!              [--journal PATH] [--resume] [--crash-after N] [--deadline-ms N]
+//!              [--trace-out PATH] [--metrics-out PATH] [--metrics-format json|prom]
+//!              [--manifest-out PATH] [--progress] [--no-trace]
 //!                                                   run the full study
 //! schevo classify <commits> <active> <activity> <reeds>
 //! schevo exemplars                                  print the figure exemplars
@@ -47,7 +49,10 @@ fn print_help() {
          [--workers N] [--no-cache] [--strict]\n               \
          [--inject-faults PCT] [--fault-seed N]\n               \
          [--journal PATH] [--resume]\n               \
-         [--crash-after N] [--deadline-ms N]         run the full study\n  \
+         [--crash-after N] [--deadline-ms N]\n               \
+         [--trace-out PATH] [--metrics-out PATH]\n               \
+         [--metrics-format json|prom] [--manifest-out PATH]\n               \
+         [--progress] [--no-trace]                   run the full study\n  \
          schevo classify <commits> <active> <activity> <reeds>\n  \
          schevo exemplars                                   print the figure exemplars\n  \
          schevo export <seed> <out.pack>                    generate + pack one project\n  \
@@ -63,7 +68,16 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// How `--metrics-out` serializes the registry snapshot.
+enum MetricsFormat {
+    Json,
+    Prom,
+}
+
 fn cmd_study(args: &[String]) -> i32 {
+    use schevo::obs::{events, manifest, metrics, progress, trace};
+    use std::sync::Arc;
+    let run_start = std::time::Instant::now();
     let seed: u64 = flag_value(args, "--seed")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2019);
@@ -88,9 +102,51 @@ fn cmd_study(args: &[String]) -> i32 {
         .and_then(|v| v.parse::<u64>().ok())
         .map(std::time::Duration::from_millis);
     if journal.is_none() && (resume || crash_after.is_some()) {
-        eprintln!("--resume and --crash-after require --journal PATH");
+        events::warn("study", "--resume and --crash-after require --journal PATH");
         return 2;
     }
+
+    // --- observability flags ---
+    let trace_out = flag_value(args, "--trace-out");
+    let metrics_out = flag_value(args, "--metrics-out");
+    let manifest_out = flag_value(args, "--manifest-out");
+    let no_trace = args.iter().any(|a| a == "--no-trace");
+    let progress_on = args.iter().any(|a| a == "--progress");
+    let metrics_format = match flag_value(args, "--metrics-format").as_deref() {
+        None => MetricsFormat::Json,
+        Some("json") => MetricsFormat::Json,
+        Some("prom") => MetricsFormat::Prom,
+        Some(other) => {
+            events::warn(
+                "metrics",
+                &format!("unknown --metrics-format `{other}` (expected `json` or `prom`)"),
+            );
+            return 2;
+        }
+    };
+    if flag_value(args, "--metrics-format").is_some() && metrics_out.is_none() {
+        events::warn("metrics", "--metrics-format requires --metrics-out PATH");
+        return 2;
+    }
+    trace::set_enabled(trace_out.is_some() && !no_trace);
+    // The registry feeds both the metrics export and the manifest's
+    // per-stage wall times, so either flag brings it up.
+    let registry = if metrics_out.is_some() || manifest_out.is_some() {
+        Some(Arc::new(metrics::Registry::new()))
+    } else {
+        None
+    };
+    let heartbeat = if progress_on {
+        Some(Arc::new(progress::Progress::new()))
+    } else {
+        None
+    };
+    let obs = schevo::obs::ObsHooks {
+        registry: registry.clone(),
+        progress: heartbeat.clone(),
+    };
+
+    let journal_path = journal.clone();
     let durability = schevo::pipeline::journal::DurabilityOptions {
         journal,
         resume,
@@ -102,16 +158,26 @@ fn cmd_study(args: &[String]) -> i32 {
     } else {
         UniverseConfig::small(seed, scale)
     };
-    eprintln!("generating universe (seed {seed}, scale 1/{scale})...");
+    events::info("corpus", &format!("generating universe (seed {seed}, scale 1/{scale})..."));
+    let t_generate = std::time::Instant::now();
     let mut universe = generate(config);
     if inject_pct > 0 {
         let faults = inject(&mut universe, &FaultPlan::all(fault_seed, inject_pct));
-        eprintln!(
-            "injected {} fault(s) into {inject_pct}% of evolving projects (fault seed {fault_seed})",
-            faults.len()
+        events::info(
+            "faults",
+            &format!(
+                "injected {} fault(s) into {inject_pct}% of evolving projects (fault seed {fault_seed})",
+                faults.len()
+            ),
         );
     }
-    eprintln!("running study ({workers} workers, cache {})...", if cache { "on" } else { "off" });
+    if let Some(reg) = &registry {
+        reg.set_gauge("study.stage.generate.nanos", t_generate.elapsed().as_nanos() as u64);
+    }
+    events::info(
+        "study",
+        &format!("running study ({workers} workers, cache {})...", if cache { "on" } else { "off" }),
+    );
     let study = match try_run_study(
         &universe,
         StudyOptions {
@@ -119,33 +185,44 @@ fn cmd_study(args: &[String]) -> i32 {
             cache,
             strict,
             durability,
+            obs,
             ..StudyOptions::default()
         },
     ) {
         Ok(study) => study,
         Err(e) => {
-            eprintln!("study aborted: {e}");
+            events::warn("study", &format!("aborted: {e}"));
             return 3;
         }
     };
     if let Some(j) = &study.journal {
-        eprintln!(
-            "journal: {} outcome(s) replayed, {} mined fresh, {} stale record(s) discarded",
-            j.replayed, j.mined_fresh, j.stale_discarded
+        events::info(
+            "journal",
+            &format!(
+                "{} outcome(s) replayed, {} mined fresh, {} stale record(s) discarded",
+                j.replayed, j.mined_fresh, j.stale_discarded
+            ),
         );
         if let Some(c) = &j.corruption {
-            eprintln!("journal: corrupt tail truncated on resume: {c}");
+            events::warn("journal", &format!("corrupt tail truncated on resume: {c}"));
         }
     }
-    eprintln!("{}", study.quarantine.summary());
-    eprintln!(
-        "mined {} candidates in {:.2}s: parse {}/{} cache hits, diff {}/{} cache hits",
-        study.exec.tasks,
-        study.exec.wall_nanos as f64 / 1e9,
-        study.exec.parse_hits,
-        study.exec.parse_hits + study.exec.parse_misses,
-        study.exec.diff_hits,
-        study.exec.diff_hits + study.exec.diff_misses,
+    let quarantine_summary = study.quarantine.summary();
+    events::info(
+        "quarantine",
+        quarantine_summary.strip_prefix("quarantine: ").unwrap_or(&quarantine_summary),
+    );
+    events::info(
+        "mine",
+        &format!(
+            "mined {} candidates in {:.2}s: parse {}/{} cache hits, diff {}/{} cache hits",
+            study.exec.tasks,
+            study.exec.wall_nanos as f64 / 1e9,
+            study.exec.parse_hits,
+            study.exec.parse_hits + study.exec.parse_misses,
+            study.exec.diff_hits,
+            study.exec.diff_hits + study.exec.diff_misses,
+        ),
     );
     println!("{}", funnel_table(&study.report));
     // Stdout stays byte-identical on clean runs (the black-box diff in
@@ -162,23 +239,101 @@ fn cmd_study(args: &[String]) -> i32 {
     println!("{}", extensions_table(&study));
     if let Some(dir) = flag_value(args, "--out") {
         if let Err(e) = std::fs::create_dir_all(&dir) {
-            eprintln!("cannot create {dir}: {e}");
+            events::warn("study", &format!("cannot create {dir}: {e}"));
             return 1;
         }
         let json = match schevo::report::study_to_json(&study) {
             Ok(json) => json,
             Err(e) => {
-                eprintln!("cannot serialize study: {e}");
+                events::warn("study", &format!("cannot serialize study: {e}"));
                 return 1;
             }
         };
         let path = format!("{dir}/study_results.json");
         if let Err(e) = schevo::report::write_atomic(std::path::Path::new(&path), json.as_bytes())
         {
-            eprintln!("{e}");
+            events::warn("study", &e.to_string());
             return 1;
         }
-        eprintln!("wrote {path}");
+        events::info("study", &format!("wrote {path}"));
+    }
+
+    // --- observability artifacts (stdout is already fully written) ---
+    if let Some(path) = &trace_out {
+        // Spans from every stage have been dropped by now; drain the
+        // shards and publish. With --no-trace the file is still written
+        // (empty), so callers can diff "traced vs untraced" trivially.
+        let jsonl = trace::to_chrome_jsonl(&trace::drain());
+        if let Err(e) = schevo::report::write_atomic(std::path::Path::new(path), jsonl.as_bytes()) {
+            events::warn("trace", &e.to_string());
+            return 1;
+        }
+        events::info("trace", &format!("wrote {path}"));
+    }
+    let snapshot = registry.as_ref().map(|r| r.snapshot());
+    if let (Some(path), Some(snap)) = (&metrics_out, &snapshot) {
+        let rendered = match metrics_format {
+            MetricsFormat::Json => snap.to_json(),
+            MetricsFormat::Prom => snap.to_prometheus(),
+        };
+        if let Err(e) =
+            schevo::report::write_atomic(std::path::Path::new(path), rendered.as_bytes())
+        {
+            events::warn("metrics", &e.to_string());
+            return 1;
+        }
+        events::info("metrics", &format!("wrote {path}"));
+    }
+    if let (Some(path), Some(snap)) = (&manifest_out, &snapshot) {
+        let m = manifest::RunManifest {
+            manifest_version: manifest::MANIFEST_VERSION,
+            command: "study".to_string(),
+            seed,
+            scale_divisor: scale as u64,
+            workers: workers as u64,
+            cache,
+            strict,
+            inject_faults_pct: (inject_pct > 0).then_some(inject_pct as u64),
+            fault_seed: (inject_pct > 0).then_some(fault_seed),
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            trace_out: trace_out.clone(),
+            metrics_out: metrics_out.clone(),
+            corpus_digest: schevo::corpus::universe::corpus_digest(&universe),
+            wall_us: run_start.elapsed().as_micros() as u64,
+            stages: manifest::stages_from_snapshot(snap),
+            quarantine: manifest::QuarantineManifest {
+                recovered: study.quarantine.recovered.len() as u64,
+                quarantined: study.quarantine.quarantined.len() as u64,
+                deadline_exceeded: snap.counter("mine.deadline_exceeded").unwrap_or(0),
+                classes: study
+                    .quarantine
+                    .class_counts()
+                    .iter()
+                    .map(|(class, recovered, quarantined)| manifest::ClassCount {
+                        class: class.to_string(),
+                        recovered: *recovered as u64,
+                        quarantined: *quarantined as u64,
+                    })
+                    .collect(),
+            },
+            journal: study.journal.as_ref().map(|j| manifest::JournalManifest {
+                path: journal_path
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default(),
+                replayed: j.replayed as u64,
+                mined_fresh: j.mined_fresh as u64,
+                stale_discarded: j.stale_discarded as u64,
+                corrupt_tail: j.corruption.as_ref().map(|c| c.to_string()),
+            }),
+        };
+        if let Err(e) =
+            schevo::report::write_atomic(std::path::Path::new(path), m.render().as_bytes())
+        {
+            events::warn("manifest", &e.to_string());
+            return 1;
+        }
+        events::info("manifest", &format!("wrote {path}"));
     }
     0
 }

@@ -41,6 +41,7 @@
 pub use schevo_core as core;
 pub use schevo_corpus as corpus;
 pub use schevo_ddl as ddl;
+pub use schevo_obs as obs;
 pub use schevo_pipeline as pipeline;
 pub use schevo_report as report;
 pub use schevo_stats as stats;
@@ -55,8 +56,9 @@ pub mod prelude {
     pub use schevo_core::profile::{EvolutionProfile, ProjectContext};
     pub use schevo_core::taxa::{classify, ProjectClass, Taxon, TaxonFeatures};
     pub use schevo_corpus::faultgen::{inject, FaultClass, FaultPlan, InjectedFault};
-    pub use schevo_corpus::universe::{generate, Universe, UniverseConfig};
+    pub use schevo_corpus::universe::{corpus_digest, generate, Universe, UniverseConfig};
     pub use schevo_ddl::{parse_schema, parse_schema_recovering, Schema};
+    pub use schevo_obs::ObsHooks;
     pub use schevo_pipeline::quarantine::QuarantineReport;
     pub use schevo_pipeline::study::{run_study, try_run_study, StudyOptions, StudyResult};
     pub use schevo_report::ProjectSeries;
