@@ -7,18 +7,31 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use schevo_bench::{print_block, small_universe};
 use schevo_core::heartbeat::REED_THRESHOLD;
-use schevo_pipeline::exec::ExecOptions;
-use schevo_pipeline::extract::mine_all_stats;
-use schevo_pipeline::funnel::run_funnel;
+use schevo_pipeline::exec::ExecStats;
+use schevo_pipeline::funnel::{run_funnel, CandidateHistory};
+use schevo_pipeline::{MinePolicy, MiningEngine, SliceSource, StudyOptions};
 use schevo_vcs::history::WalkStrategy;
+
+fn mine_stats(candidates: &[CandidateHistory], workers: usize, cache: bool) -> (usize, usize, ExecStats) {
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(REED_THRESHOLD),
+        workers,
+        cache,
+        ..StudyOptions::default()
+    })
+    .with_policy(MinePolicy::Strict);
+    let out = engine
+        .mine(&SliceSource::new(candidates))
+        .expect("strict mining over a clean corpus");
+    (out.mined.len(), out.parse_failures, out.exec)
+}
 
 fn bench(c: &mut Criterion) {
     let outcome = run_funnel(small_universe(), WalkStrategy::FirstParent);
     let candidates = &outcome.analyzed;
 
     // One instrumented pass to report what the cache sees at this scale.
-    let opts = ExecOptions { workers: 4, cache: true };
-    let (_, _, stats) = mine_all_stats(candidates, REED_THRESHOLD, &opts);
+    let (_, _, stats) = mine_stats(candidates, 4, true);
     print_block(
         "Miner cache profile (1/10 scale)",
         &format!(
@@ -36,12 +49,10 @@ fn bench(c: &mut Criterion) {
                 if cache { "cached" } else { "uncached" }
             );
             group.bench_function(&label, |b| {
-                let opts = ExecOptions { workers, cache };
                 b.iter(|| {
-                    let (mined, failures, _) =
-                        mine_all_stats(candidates, REED_THRESHOLD, &opts);
+                    let (mined, failures, _) = mine_stats(candidates, workers, cache);
                     assert_eq!(failures, 0);
-                    mined.len()
+                    mined
                 })
             });
         }
@@ -63,8 +74,7 @@ fn bench(c: &mut Criterion) {
             })
         })
         .collect();
-    let opts = ExecOptions { workers: 4, cache: true };
-    let (_, _, stats) = mine_all_stats(&forked, REED_THRESHOLD, &opts);
+    let (_, _, stats) = mine_stats(&forked, 4, true);
     print_block(
         "Miner cache profile (4x forked corpus)",
         &format!(
@@ -77,11 +87,10 @@ fn bench(c: &mut Criterion) {
     for cache in [false, true] {
         let label = if cache { "cached" } else { "uncached" };
         group.bench_function(label, |b| {
-            let opts = ExecOptions { workers: 4, cache };
             b.iter(|| {
-                let (mined, failures, _) = mine_all_stats(&forked, REED_THRESHOLD, &opts);
+                let (mined, failures, _) = mine_stats(&forked, 4, cache);
                 assert_eq!(failures, 0);
-                mined.len()
+                mined
             })
         });
     }

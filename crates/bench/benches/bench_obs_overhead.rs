@@ -11,20 +11,24 @@ use schevo_bench::{print_block, small_universe};
 use schevo_core::heartbeat::REED_THRESHOLD;
 use schevo_obs::metrics::Registry;
 use schevo_obs::{trace, ObsHooks};
-use schevo_pipeline::exec::ExecOptions;
-use schevo_pipeline::extract::mine_all_observed;
 use schevo_pipeline::funnel::run_funnel;
-use schevo_pipeline::journal::DurabilityOptions;
+use schevo_pipeline::{MiningEngine, SliceSource, StudyOptions};
 use schevo_vcs::history::WalkStrategy;
 use std::time::{Duration, Instant};
 
 fn mine(candidates: &[schevo_pipeline::funnel::CandidateHistory], obs: &ObsHooks) -> usize {
-    let opts = ExecOptions { workers: 2, cache: true };
-    let (mined, report, _, _) =
-        mine_all_observed(candidates, REED_THRESHOLD, &opts, &DurabilityOptions::default(), obs)
-            .expect("clean corpus mines");
-    assert!(report.is_clean());
-    mined.len()
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(REED_THRESHOLD),
+        workers: 2,
+        cache: true,
+        obs: obs.clone(),
+        ..StudyOptions::default()
+    });
+    let out = engine
+        .mine(&SliceSource::new(candidates))
+        .expect("clean corpus mines");
+    assert!(out.quarantine.is_clean());
+    out.mined.len()
 }
 
 /// Median wall time of `runs` passes of `f` (after one warmup pass).

@@ -1,0 +1,148 @@
+//! Resident vs streaming mining at scale: run the same `MiningEngine`
+//! over the in-memory `Universe` and over a sharded on-disk store, at
+//! 1× and 20× of the 1/20-scale base corpus (20× ≈ the paper-scale
+//! record count), recording throughput (analyzed projects per second of
+//! mine wall time) and peak RSS per configuration.
+//!
+//! Peak RSS is attributed per configuration by resetting the kernel's
+//! `VmHWM` watermark (`/proc/self/clear_refs`) before each pass. The
+//! reset snaps the watermark to the *current* RSS, so memory the
+//! allocator retains from an earlier pass can inflate a later row —
+//! which is why the passes run smallest first and the streaming 20×
+//! pass runs before the resident 20× one. When the reset is
+//! unavailable the table is labelled cumulative.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use schevo_bench::{print_block, SEED};
+use schevo_corpus::store::{generate_into_store, ShardStore};
+use schevo_corpus::universe::{generate, UniverseConfig};
+use schevo_core::heartbeat::REED_THRESHOLD;
+use schevo_obs::procinfo;
+use schevo_pipeline::{MiningEngine, MiningOutput, StudyOptions};
+
+const SHARDS: usize = 8;
+
+fn engine() -> MiningEngine {
+    MiningEngine::new(StudyOptions {
+        reed_threshold: Some(REED_THRESHOLD),
+        workers: 1,
+        cache: true,
+        ..StudyOptions::default()
+    })
+}
+
+fn config(factor: usize) -> UniverseConfig {
+    UniverseConfig::small(SEED, 20).with_multiplier(factor)
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("schevo_bench_scale_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+struct Pass {
+    backend: &'static str,
+    factor: usize,
+    analyzed: usize,
+    mine_s: f64,
+    peak_rss_mb: f64,
+}
+
+/// One instrumented end-to-end pass: build the backend, reset the RSS
+/// watermark, mine, sample. Returns the row plus the output so callers
+/// can cross-check the backends against each other.
+fn pass(backend: &'static str, factor: usize) -> (Pass, MiningOutput) {
+    let cfg = config(factor);
+    let reset_ok = procinfo::reset_peak_rss();
+    let (out, mine_s) = match backend {
+        "resident" => {
+            let u = generate(cfg);
+            let start = Instant::now();
+            let out = engine().mine(&u).expect("clean corpus mines");
+            (out, start.elapsed().as_secs_f64())
+        }
+        _ => {
+            let dir = store_dir(&format!("{backend}_{factor}"));
+            generate_into_store(cfg, &dir, SHARDS).expect("store writes");
+            let store = ShardStore::open(&dir).expect("store opens");
+            let start = Instant::now();
+            let out = engine().mine(&store).expect("clean store mines");
+            let elapsed = start.elapsed().as_secs_f64();
+            let _ = std::fs::remove_dir_all(&dir);
+            (out, elapsed)
+        }
+    };
+    let peak = if reset_ok {
+        procinfo::peak_rss_bytes().unwrap_or(0)
+    } else {
+        0
+    };
+    let row = Pass {
+        backend,
+        factor,
+        analyzed: out.mined.len(),
+        mine_s,
+        peak_rss_mb: peak as f64 / 1e6,
+    };
+    (row, out)
+}
+
+fn bench(c: &mut Criterion) {
+    // Instrumented passes, smallest first; streaming 20× before
+    // resident 20× so the bounded-memory row is not inflated by
+    // allocator retention from the resident universe.
+    let (r1, resident_1x) = pass("resident", 1);
+    let (s1, streaming_1x) = pass("streaming", 1);
+    let (s20, _) = pass("streaming", 20);
+    let (r20, _) = pass("resident", 20);
+    assert_eq!(
+        resident_1x.mined, streaming_1x.mined,
+        "backends disagree on the mined profiles"
+    );
+
+    let mut body = String::from(
+        "backend    scale  analyzed  mine wall  projects/s  peak RSS (per-pass)\n",
+    );
+    for p in [&r1, &s1, &s20, &r20] {
+        body.push_str(&format!(
+            "{:<10} {:>4}x {:>9} {:>9.2}s {:>11.0} {:>12.0} MB\n",
+            p.backend,
+            p.factor,
+            p.analyzed,
+            p.mine_s,
+            p.analyzed as f64 / p.mine_s,
+            p.peak_rss_mb,
+        ));
+    }
+    if r1.peak_rss_mb == 0.0 {
+        body.push_str("(peak-RSS reset unavailable: RSS column suppressed)\n");
+    }
+    print_block("Resident vs streaming mining (1/20-scale base)", &body);
+
+    // Steady-state timing at 1×: criterion iterates the mine pass with
+    // the backend pre-built, so the comparison isolates source
+    // streaming + mining from corpus generation.
+    let cfg = config(1);
+    let universe = generate(cfg);
+    let dir = store_dir("criterion");
+    generate_into_store(cfg, &dir, SHARDS).expect("store writes");
+    let store = ShardStore::open(&dir).expect("store opens");
+
+    let mut group = c.benchmark_group("scale_mine");
+    group.throughput(Throughput::Elements(r1.analyzed as u64));
+    group.bench_function("resident", |b| {
+        b.iter(|| engine().mine(&universe).expect("clean corpus mines").mined.len())
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| engine().mine(&store).expect("clean store mines").mined.len())
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,6 +41,10 @@ pub enum ErrorClass {
     /// A mining task exceeded its soft watchdog deadline. Flagged, never
     /// fatal: the task's result is kept, the overrun is reported.
     DeadlineExceeded,
+    /// A sharded corpus store record failed length/checksum verification
+    /// or decoding during a streaming read. The affected record (or shard
+    /// tail) is quarantined; the stream continues over surviving data.
+    StoreCorrupt,
 }
 
 impl ErrorClass {
@@ -57,6 +61,7 @@ impl ErrorClass {
             ErrorClass::EmptyVersion => "empty-version",
             ErrorClass::Journal => "journal",
             ErrorClass::DeadlineExceeded => "deadline-exceeded",
+            ErrorClass::StoreCorrupt => "store-corrupt",
         }
     }
 }
@@ -217,6 +222,7 @@ mod tests {
             ErrorClass::EmptyVersion,
             ErrorClass::Journal,
             ErrorClass::DeadlineExceeded,
+            ErrorClass::StoreCorrupt,
         ];
         let labels: std::collections::HashSet<&str> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), all.len());

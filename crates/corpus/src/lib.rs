@@ -19,6 +19,7 @@ pub use realize::{realize, GeneratedProject};
 pub mod libio;
 pub mod faultgen;
 pub mod noise;
+pub mod store;
 pub mod universe;
 
 pub use libio::LibioRecord;

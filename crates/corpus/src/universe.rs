@@ -16,7 +16,8 @@ use crate::realize::{realize, GeneratedProject};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use schevo_core::taxa::Taxon;
-use std::collections::HashMap;
+use schevo_vcs::repo::Repository;
+use std::collections::{BTreeMap, HashMap};
 
 /// One record of the SQL-Collection: a repository known to contain `.sql`
 /// files, with the file paths GitHub Activity reports for it.
@@ -35,6 +36,27 @@ pub enum MaterializedBody {
     Evo(Box<GeneratedProject>),
     /// A project destined for exclusion (or the rigid side-line).
     Noise(NoiseProject),
+}
+
+impl MaterializedBody {
+    /// The underlying repository, whichever variant owns it.
+    pub fn repo(&self) -> &Repository {
+        match self {
+            MaterializedBody::Evo(p) => &p.repo,
+            MaterializedBody::Noise(n) => &n.repo,
+        }
+    }
+
+    /// Forge-reported metadata the funnel attributes to this repository:
+    /// `(PUP months, total commits)`. Noise projects report a fixed
+    /// plausible placeholder — they are dropped or side-lined before the
+    /// values matter, but the funnel still reads them off the forge.
+    pub fn reported_meta(&self) -> (u64, u64) {
+        match self {
+            MaterializedBody::Evo(p) => (p.reported_pup_months, p.reported_total_commits),
+            MaterializedBody::Noise(_) => (24, 100),
+        }
+    }
 }
 
 /// A materialized repository plus its advertised paths.
@@ -70,6 +92,17 @@ impl MaterializedRepo {
             MaterializedBody::Noise(n) => Some(n.kind),
         }
     }
+
+    /// The underlying repository, whichever body owns it.
+    pub fn repo(&self) -> &Repository {
+        self.body.repo()
+    }
+
+    /// Forge-reported `(PUP months, total commits)`; see
+    /// [`MaterializedBody::reported_meta`].
+    pub fn reported_meta(&self) -> (u64, u64) {
+        self.body.reported_meta()
+    }
 }
 
 /// Configuration of universe generation.
@@ -79,6 +112,11 @@ pub struct UniverseConfig {
     pub seed: u64,
     /// Divisor applied to every cardinality (1 = the paper's full scale).
     pub scale_divisor: usize,
+    /// Multiplier applied to every cardinality before the divisor
+    /// (1 = the paper's full scale). Multipliers above 1 grow the corpus
+    /// beyond the paper and are meant for the streaming store path —
+    /// a 20× universe does not fit comfortably in RAM.
+    pub scale_multiplier: usize,
 }
 
 impl UniverseConfig {
@@ -87,6 +125,7 @@ impl UniverseConfig {
         UniverseConfig {
             seed,
             scale_divisor: 1,
+            scale_multiplier: 1,
         }
     }
 
@@ -95,7 +134,25 @@ impl UniverseConfig {
         UniverseConfig {
             seed,
             scale_divisor: divisor.max(1),
+            scale_multiplier: 1,
         }
+    }
+
+    /// A scaled-up universe (counts multiplied by `factor`), for
+    /// beyond-paper-scale runs. Combine with the sharded store: the
+    /// streaming generator never holds more than one record resident.
+    pub fn scaled(seed: u64, factor: usize) -> Self {
+        UniverseConfig {
+            seed,
+            scale_divisor: 1,
+            scale_multiplier: factor.max(1),
+        }
+    }
+
+    /// This config with a different multiplier.
+    pub fn with_multiplier(mut self, factor: usize) -> Self {
+        self.scale_multiplier = factor.max(1);
+        self
     }
 }
 
@@ -121,10 +178,11 @@ pub struct ExpectedCounts {
 }
 
 impl ExpectedCounts {
-    /// Scale the paper's counts by the config's divisor.
+    /// Scale the paper's counts by the config's multiplier and divisor.
     pub fn for_config(config: &UniverseConfig) -> ExpectedCounts {
         let d = config.scale_divisor;
-        let scale = |n: usize| (n / d).max(1);
+        let m = config.scale_multiplier;
+        let scale = |n: usize| (n.saturating_mul(m) / d).max(1);
         let taxa = [
             scale(TAXON_COUNTS[0].1),
             scale(TAXON_COUNTS[1].1),
@@ -177,151 +235,160 @@ const ONE_CONTRIB_COUNT: usize = 20_000;
 const EXCLUDED_PATH_COUNT: usize = 10_000;
 const MULTI_FILE_COUNT: usize = 7_664;
 
-/// Generate the universe.
-pub fn generate(config: UniverseConfig) -> Universe {
-    let _span = schevo_obs::span!(
-        "corpus.generate",
-        seed = config.seed,
-        scale_divisor = config.scale_divisor
-    );
+/// One record of the streaming generator: everything the corpus knows
+/// about a repository, emitted exactly once, in SQL-Collection order.
+/// Lightweight (never-materialized) records carry no body; materialized
+/// records own theirs — after the sink returns, the generator keeps
+/// nothing alive, which is what makes beyond-RAM scales possible.
+#[derive(Debug)]
+pub struct CorpusRecord {
+    /// `owner/repo`.
+    pub name: String,
+    /// Paths advertised in the SQL-Collection for this repository.
+    pub sql_paths: Vec<String>,
+    /// Libraries.io metadata, absent for unmonitored repositories.
+    pub libio: Option<LibioRecord>,
+    /// The materialized repository, absent for lightweight records.
+    pub body: Option<MaterializedBody>,
+}
+
+/// Wrap one noise project into its corpus record. The libio draw happens
+/// *after* the project is built — the RNG stream must match the original
+/// monolithic generator call for call.
+fn noise_record(noise: NoiseProject, rng: &mut StdRng) -> CorpusRecord {
+    use rand::Rng;
+    let name = noise.repo.name.clone();
+    let paths = vec![noise.ddl_path.clone()];
+    let libio =
+        LibioRecord::new(name.clone(), false, rng.gen_range(1..200), rng.gen_range(2..20));
+    CorpusRecord {
+        name,
+        sql_paths: paths,
+        libio: Some(libio),
+        body: Some(MaterializedBody::Noise(noise)),
+    }
+}
+
+/// Wrap one lightweight excluded record.
+fn light_record(i: usize, paths: Vec<String>, meta: Option<LibioRecord>) -> CorpusRecord {
+    let name = crate::names::project_name(i);
+    let libio = meta.map(|mut m| {
+        m.repo_name = name.clone();
+        m.url = format!("https://github.example/{name}");
+        m
+    });
+    CorpusRecord {
+        name,
+        sql_paths: paths,
+        libio,
+        body: None,
+    }
+}
+
+/// Drive the generator, handing each [`CorpusRecord`] to `emit` in
+/// SQL-Collection order. This is the single source of truth for corpus
+/// content: [`generate`] collects the records into an in-memory
+/// [`Universe`], the sharded store writer streams them to disk, and both
+/// see the identical record sequence because the RNG stream depends only
+/// on the config.
+pub fn generate_records(config: UniverseConfig, emit: &mut dyn FnMut(CorpusRecord)) {
     let expected = ExpectedCounts::for_config(&config);
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut sql_collection = Vec::with_capacity(expected.sql_collection);
-    let mut libio = HashMap::new();
-    let mut materialized: HashMap<String, MaterializedRepo> = HashMap::new();
     let mut index = 0usize;
-    let mut next_index = || {
-        let i = index;
-        index += 1;
-        i
-    };
+    let mut emitted = 0usize;
+    macro_rules! next_index {
+        () => {{
+            let i = index;
+            index += 1;
+            i
+        }};
+    }
+    macro_rules! send {
+        ($record:expr) => {{
+            emitted += 1;
+            emit($record);
+        }};
+    }
 
     // --- materialized evolution projects, per taxon ---
     for (slot, (taxon, _)) in TAXON_COUNTS.iter().enumerate() {
-        for k in 0..expected.taxa[slot] {
-            let i = next_index();
+        for _ in 0..expected.taxa[slot] {
+            let i = next_index!();
             let plan = plan_project(&mut rng, i, *taxon);
             let mut project = realize(&mut rng, &plan);
             let mut paths = vec![project.ddl_path.clone()];
             // Projects realized with a vendor-specific layout (index ≡ 3 mod
             // 8) carry a postgres sibling file: the funnel must resolve the
             // vendor choice to MySQL.
-            let _ = k;
             if project.ddl_path.contains("mysql") {
                 let when = last_timestamp_plus(&project, 3_600);
                 add_postgres_sibling(&mut project.repo, &project.ddl_path, when);
                 paths.push(project.ddl_path.replace("mysql", "postgres"));
             }
             let name = plan.name.clone();
-            libio.insert(
-                name.clone(),
-                LibioRecord::new(name.clone(), false, plan.stars.max(1), plan.contributors.max(2)),
-            );
-            sql_collection.push(SqlCollectionEntry {
-                repo_name: name.clone(),
-                sql_paths: paths.clone(),
-            });
-            materialized.insert(
+            let libio =
+                LibioRecord::new(name.clone(), false, plan.stars.max(1), plan.contributors.max(2));
+            send!(CorpusRecord {
                 name,
-                MaterializedRepo {
-                    body: MaterializedBody::Evo(Box::new(project)),
-                    sql_paths: paths,
-                },
-            );
+                sql_paths: paths,
+                libio: Some(libio),
+                body: Some(MaterializedBody::Evo(Box::new(project))),
+            });
         }
     }
 
     // --- materialized noise projects ---
-    let push_noise = |noise: NoiseProject,
-                          sql_collection: &mut Vec<SqlCollectionEntry>,
-                          libio: &mut HashMap<String, LibioRecord>,
-                          materialized: &mut HashMap<String, MaterializedRepo>,
-                          rng: &mut StdRng| {
-        use rand::Rng;
-        let name = noise.repo.name.clone();
-        let paths = vec![noise.ddl_path.clone()];
-        libio.insert(
-            name.clone(),
-            LibioRecord::new(name.clone(), false, rng.gen_range(1..200), rng.gen_range(2..20)),
-        );
-        sql_collection.push(SqlCollectionEntry {
-            repo_name: name.clone(),
-            sql_paths: paths.clone(),
-        });
-        materialized.insert(
-            name,
-            MaterializedRepo {
-                body: MaterializedBody::Noise(noise),
-                sql_paths: paths,
-            },
-        );
-    };
     for _ in 0..expected.rigid {
-        let n = rigid_project(&mut rng, next_index());
-        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+        let n = rigid_project(&mut rng, next_index!());
+        send!(noise_record(n, &mut rng));
     }
     for _ in 0..expected.zero_version {
-        let n = zero_version_project(&mut rng, next_index());
-        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+        let n = zero_version_project(&mut rng, next_index!());
+        send!(noise_record(n, &mut rng));
     }
     // Split the empty/no-CT bucket roughly 40/60.
     let empty_count = (expected.empty_or_no_ct * 2) / 5;
     for _ in 0..empty_count {
-        let n = empty_file_project(&mut rng, next_index());
-        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+        let n = empty_file_project(&mut rng, next_index!());
+        send!(noise_record(n, &mut rng));
     }
     for _ in empty_count..expected.empty_or_no_ct {
-        let n = no_create_table_project(&mut rng, next_index());
-        push_noise(n, &mut sql_collection, &mut libio, &mut materialized, &mut rng);
+        let n = no_create_table_project(&mut rng, next_index!());
+        send!(noise_record(n, &mut rng));
     }
 
     // --- lightweight excluded records ---
     use rand::Rng;
     let d = config.scale_divisor;
-    let scale = |n: usize| (n / d).max(1);
-    let light = |paths: Vec<String>,
-                     meta: Option<LibioRecord>,
-                     sql_collection: &mut Vec<SqlCollectionEntry>,
-                     libio: &mut HashMap<String, LibioRecord>,
-                     i: usize| {
-        let name = crate::names::project_name(i);
-        if let Some(mut m) = meta {
-            m.repo_name = name.clone();
-            m.url = format!("https://github.example/{name}");
-            libio.insert(name.clone(), m);
-        }
-        sql_collection.push(SqlCollectionEntry {
-            repo_name: name,
-            sql_paths: paths,
-        });
-    };
+    let m = config.scale_multiplier;
+    let scale = |n: usize| (n.saturating_mul(m) / d).max(1);
     for _ in 0..scale(FORK_COUNT) {
-        let i = next_index();
+        let i = next_index!();
         let meta = LibioRecord::new("x", true, rng.gen_range(1..500), rng.gen_range(2..30));
-        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+        send!(light_record(i, vec!["db/schema.sql".into()], Some(meta)));
     }
     for _ in 0..scale(ZERO_STAR_COUNT) {
-        let i = next_index();
+        let i = next_index!();
         let meta = LibioRecord::new("x", false, 0, rng.gen_range(2..30));
-        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+        send!(light_record(i, vec!["db/schema.sql".into()], Some(meta)));
     }
     for _ in 0..scale(ONE_CONTRIB_COUNT) {
-        let i = next_index();
+        let i = next_index!();
         let meta = LibioRecord::new("x", false, rng.gen_range(1..500), 1);
-        light(vec!["db/schema.sql".into()], Some(meta), &mut sql_collection, &mut libio, i);
+        send!(light_record(i, vec!["db/schema.sql".into()], Some(meta)));
     }
     for k in 0..scale(EXCLUDED_PATH_COUNT) {
-        let i = next_index();
+        let i = next_index!();
         let meta = LibioRecord::new("x", false, rng.gen_range(1..500), rng.gen_range(2..30));
         let path = match k % 3 {
             0 => "test/fixtures/schema.sql",
             1 => "demo/demo_data.sql",
             _ => "docs/example/schema.sql",
         };
-        light(vec![path.into()], Some(meta), &mut sql_collection, &mut libio, i);
+        send!(light_record(i, vec![path.into()], Some(meta)));
     }
     for k in 0..scale(MULTI_FILE_COUNT) {
-        let i = next_index();
+        let i = next_index!();
         let meta = LibioRecord::new("x", false, rng.gen_range(1..500), rng.gen_range(2..30));
         let paths: Vec<String> = match k % 3 {
             // File-per-table layouts.
@@ -336,20 +403,106 @@ pub fn generate(config: UniverseConfig) -> Universe {
                 "sql/fr/postgres/schema.sql".into(),
             ],
         };
-        light(paths, Some(meta), &mut sql_collection, &mut libio, i);
+        send!(light_record(i, paths, Some(meta)));
     }
     // Remainder: not monitored by Libraries.io at all.
-    while sql_collection.len() < expected.sql_collection {
-        let i = next_index();
-        light(vec!["db/schema.sql".into()], None, &mut sql_collection, &mut libio, i);
+    while emitted < expected.sql_collection {
+        let i = next_index!();
+        send!(light_record(i, vec!["db/schema.sql".into()], None));
     }
+}
 
+/// Generate the universe, fully resident in memory.
+pub fn generate(config: UniverseConfig) -> Universe {
+    let _span = schevo_obs::span!(
+        "corpus.generate",
+        seed = config.seed,
+        scale_divisor = config.scale_divisor
+    );
+    let expected = ExpectedCounts::for_config(&config);
+    let mut sql_collection = Vec::with_capacity(expected.sql_collection);
+    let mut libio = HashMap::new();
+    let mut materialized: HashMap<String, MaterializedRepo> = HashMap::new();
+    generate_records(config, &mut |record| {
+        if let Some(meta) = record.libio {
+            libio.insert(record.name.clone(), meta);
+        }
+        if let Some(body) = record.body {
+            materialized.insert(
+                record.name.clone(),
+                MaterializedRepo {
+                    body,
+                    sql_paths: record.sql_paths.clone(),
+                },
+            );
+        }
+        sql_collection.push(SqlCollectionEntry {
+            repo_name: record.name,
+            sql_paths: record.sql_paths,
+        });
+    });
     Universe {
         config,
         expected,
         sql_collection,
         libio,
         materialized,
+    }
+}
+
+/// Incremental builder of the corpus content digest, shared by the
+/// in-memory [`corpus_digest`] and the sharded store writer so both
+/// backends report the identical digest for the same config.
+///
+/// Per-repository contributions are keyed by name in a sorted map and
+/// folded in name order at finalization, so insertion order does not
+/// matter. Only materialized repositories contribute (branch tips commit
+/// to the entire reachable object graph); the config's seed and scale
+/// are hashed first. The multiplier is hashed only when it is not 1, so
+/// digests of paper-scale and divided corpora are unchanged from
+/// earlier releases.
+#[derive(Debug, Default)]
+pub struct CorpusDigester {
+    parts: BTreeMap<String, Vec<u8>>,
+}
+
+impl CorpusDigester {
+    /// An empty digester.
+    pub fn new() -> CorpusDigester {
+        CorpusDigester::default()
+    }
+
+    /// Record one materialized repository's contribution.
+    pub fn add(&mut self, name: &str, sql_paths: &[String], repo: &Repository) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(name.as_bytes());
+        for path in sql_paths {
+            bytes.extend_from_slice(path.as_bytes());
+        }
+        let mut branches: Vec<&str> = repo.branch_names().collect();
+        branches.sort_unstable();
+        for branch in branches {
+            bytes.extend_from_slice(branch.as_bytes());
+            if let Some(tip) = repo.branch_tip(branch) {
+                bytes.extend_from_slice(&tip.0);
+            }
+        }
+        self.parts.insert(name.to_string(), bytes);
+    }
+
+    /// Fold the recorded contributions into the 40-hex digest.
+    pub fn finalize(&self, config: &UniverseConfig) -> String {
+        use schevo_vcs::sha1::Sha1;
+        let mut hasher = Sha1::new();
+        hasher.update(&config.seed.to_le_bytes());
+        hasher.update(&(config.scale_divisor as u64).to_le_bytes());
+        if config.scale_multiplier != 1 {
+            hasher.update(&(config.scale_multiplier as u64).to_le_bytes());
+        }
+        for bytes in self.parts.values() {
+            hasher.update(bytes);
+        }
+        hasher.finalize().to_hex()
     }
 }
 
@@ -362,32 +515,11 @@ pub fn generate(config: UniverseConfig) -> Universe {
 /// reproduces it exactly. Recorded in the run manifest to tie results to
 /// the corpus they were mined from.
 pub fn corpus_digest(universe: &Universe) -> String {
-    use schevo_vcs::sha1::Sha1;
-    let mut hasher = Sha1::new();
-    hasher.update(&universe.config.seed.to_le_bytes());
-    hasher.update(&(universe.config.scale_divisor as u64).to_le_bytes());
-    let mut names: Vec<&String> = universe.materialized.keys().collect();
-    names.sort();
-    for name in names {
-        let repo = &universe.materialized[name];
-        hasher.update(name.as_bytes());
-        for path in &repo.sql_paths {
-            hasher.update(path.as_bytes());
-        }
-        let r = match &repo.body {
-            MaterializedBody::Evo(p) => &p.repo,
-            MaterializedBody::Noise(n) => &n.repo,
-        };
-        let mut branches: Vec<&str> = r.branch_names().collect();
-        branches.sort_unstable();
-        for branch in branches {
-            hasher.update(branch.as_bytes());
-            if let Some(tip) = r.branch_tip(branch) {
-                hasher.update(&tip.0);
-            }
-        }
+    let mut digester = CorpusDigester::new();
+    for (name, repo) in &universe.materialized {
+        digester.add(name, &repo.sql_paths, repo.repo());
     }
-    hasher.finalize().to_hex()
+    digester.finalize(&universe.config)
 }
 
 /// A timestamp safely after every commit the realizer produced.

@@ -25,6 +25,8 @@
 //!   wall times, quarantine and journal summaries — a plain serializable
 //!   struct the CLI writes atomically through `report::atomic`.
 //! - [`progress`]: an opt-in stderr heartbeat with per-stage ETA.
+//! - [`procinfo`]: the peak-RSS sampler (`VmHWM` from procfs) behind
+//!   the `process.peak_rss_bytes` gauge and the CI memory ceiling.
 //! - [`events`]: the single formatter behind every operational stderr
 //!   line (`topic: message`), replacing the ad-hoc prints the CLI and
 //!   examples used to carry.
@@ -36,6 +38,7 @@
 pub mod events;
 pub mod manifest;
 pub mod metrics;
+pub mod procinfo;
 pub mod progress;
 pub mod trace;
 pub mod validate;

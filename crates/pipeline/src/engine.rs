@@ -1,0 +1,507 @@
+//! The unified mining engine: one entry point that pulls candidates from
+//! any [`CandidateSource`] through the bounded-window streaming executor
+//! and produces everything the legacy `mine_all_*` family produced —
+//! profiles, quarantine accounting, journal durability, observability —
+//! behind a single API.
+//!
+//! Candidates flow through a bounded in-flight window: the source is
+//! only polled when a worker slot frees up, so a sharded on-disk corpus
+//! never has to be resident in memory. Completed results reassemble in
+//! candidate order; once more than a threshold of them are parked
+//! out-of-order, further ones spill to an unlinked temp file. Output is
+//! bit-identical for every worker count, cache mode, window size, and
+//! spill threshold — and identical between the in-memory and on-disk
+//! backends.
+
+use crate::exec::{
+    execute_stream_with, ExecStats, MineCaches, SpillOptions, StageTally, StreamItem,
+};
+use crate::extract::{mine_task, mine_task_watched, MineOutcome, Mined};
+use crate::funnel::{CandidateHistory, FunnelReport};
+use crate::journal::{candidate_key, replay_file, JournalRecord, JournalSummary, JournalWriter};
+use crate::quarantine::QuarantineReport;
+use crate::source::{CandidateSource, SourceEvent};
+use crate::study::StudyOptions;
+use schevo_core::errors::{ErrorClass, SchevoError};
+use schevo_core::heartbeat::REED_THRESHOLD;
+use schevo_corpus::store::StoreIo;
+use schevo_obs::span;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How the engine treats damaged histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MinePolicy {
+    /// Recover what can be recovered, quarantine the rest, and report
+    /// every event — the behavior of the legacy graceful/durable path.
+    Graceful,
+    /// First-failure semantics per candidate: an unparseable history is
+    /// silently dropped and counted, with no salvage attempt — the
+    /// behavior of the legacy `mine_all`/`mine_all_stats` path.
+    Strict,
+}
+
+/// Streaming knobs of the engine: how much work may be in flight and
+/// when ordered reassembly spills to disk. The defaults reproduce the
+/// resident pipeline's output exactly; they only bound its memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Max candidates pulled from the source but not yet emitted. The
+    /// effective window is at least the worker count.
+    pub window: usize,
+    /// Max completed-but-out-of-order results parked in RAM before the
+    /// reassembly buffer spills to disk.
+    pub spill_threshold: usize,
+    /// Directory for the spill file; the system temp dir when `None`.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            window: 256,
+            spill_threshold: 512,
+            spill_dir: None,
+        }
+    }
+}
+
+/// Everything one mining pass produces, over any backend.
+#[derive(Debug)]
+pub struct MiningOutput {
+    /// The funnel ledger the source accumulated while streaming.
+    pub funnel: FunnelReport,
+    /// Mined results in candidate order.
+    pub mined: Vec<Mined>,
+    /// Degradation accounting (recoveries and quarantines, in candidate
+    /// order). Under [`MinePolicy::Strict`] only store-corruption events
+    /// appear here; parse failures are counted, not recorded.
+    pub quarantine: QuarantineReport,
+    /// Candidates that produced no profile: quarantined histories under
+    /// [`MinePolicy::Graceful`], silently dropped ones under
+    /// [`MinePolicy::Strict`].
+    pub parse_failures: usize,
+    /// Executor observability (cache counters, stage timings).
+    pub exec: ExecStats,
+    /// Journal accounting when a journal was configured.
+    pub journal: Option<JournalSummary>,
+    /// Backend I/O counters (zero for in-memory sources).
+    pub io: StoreIo,
+    /// Ordered-reassembly results spilled to disk.
+    pub spill_events: u64,
+    /// Bytes written to the reassembly spill file.
+    pub spill_bytes: u64,
+    /// Nanoseconds spent inside the source (funnel assessment and
+    /// backend reads), accumulated across every poll.
+    pub source_nanos: u64,
+}
+
+/// Per-candidate slot flowing through the streaming executor: the
+/// outcome plus its stage tally, with `fresh` marking slots that were
+/// actually computed this pass (replayed and corrupt slots are not).
+/// Serializable because out-of-order slots may spill to disk.
+#[derive(Clone, Serialize, Deserialize)]
+struct MineSlot {
+    outcome: MineOutcome,
+    tally: StageTally,
+    fresh: bool,
+}
+
+/// Journal state threaded through one durable pass.
+struct JournalCtx {
+    writer: JournalWriter,
+    crash_after: Option<u64>,
+    error: Option<SchevoError>,
+}
+
+/// The single mining entry point: configure once, mine any source.
+///
+/// ```no_run
+/// use schevo_corpus::universe::{generate, UniverseConfig};
+/// use schevo_pipeline::engine::MiningEngine;
+/// use schevo_pipeline::study::StudyOptions;
+///
+/// let universe = generate(UniverseConfig::paper(2019));
+/// let engine = MiningEngine::new(StudyOptions::default());
+/// let output = engine.mine(&universe).expect("mining");
+/// assert_eq!(output.mined.len(), output.funnel.analyzed - output.parse_failures);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MiningEngine {
+    options: StudyOptions,
+    policy: MinePolicy,
+}
+
+impl MiningEngine {
+    /// An engine with graceful degradation (the study default).
+    pub fn new(options: StudyOptions) -> MiningEngine {
+        MiningEngine {
+            options,
+            policy: MinePolicy::Graceful,
+        }
+    }
+
+    /// Override the damage policy.
+    pub fn with_policy(mut self, policy: MinePolicy) -> MiningEngine {
+        self.policy = policy;
+        self
+    }
+
+    /// The options this engine runs with.
+    pub fn options(&self) -> &StudyOptions {
+        &self.options
+    }
+
+    /// Mine every candidate the source yields.
+    ///
+    /// Candidates stream through a bounded in-flight window, so peak
+    /// memory is governed by [`StreamOptions`], not corpus size. Errors
+    /// are journal- or spill-scoped only; store corruption is
+    /// quarantined per record, never fatal.
+    pub fn mine(&self, source: &dyn CandidateSource) -> Result<MiningOutput, SchevoError> {
+        let o = &self.options;
+        let wall = Instant::now();
+        let reed = o.reed_threshold.unwrap_or(REED_THRESHOLD);
+        let caches = o.cache.then(MineCaches::default);
+        let deadline = o.durability.deadline;
+        let size_hint = source.size_hint();
+        let workers = o
+            .workers
+            .clamp(1, 32)
+            .min(size_hint.unwrap_or(usize::MAX).max(1));
+        let policy = self.policy;
+
+        // Journal setup: replay on resume, then open for appending past
+        // the valid prefix (or start fresh).
+        let mut summary: Option<JournalSummary> = None;
+        let mut replayed: HashMap<String, MineOutcome> = HashMap::new();
+        let mut ctx: Option<JournalCtx> = None;
+        if let Some(path) = &o.durability.journal {
+            let _span = span!("journal.open", resume = o.durability.resume);
+            let mut s = JournalSummary::default();
+            let writer = if o.durability.resume && path.exists() {
+                let _span = span!("journal.replay");
+                let replay = replay_file(path)?;
+                s.corruption = replay.corruption;
+                for r in replay.records {
+                    replayed.insert(r.key, r.outcome);
+                }
+                JournalWriter::resume(path, replay.valid_len)?
+            } else {
+                JournalWriter::create(path)?
+            };
+            ctx = Some(JournalCtx {
+                writer,
+                crash_after: o.durability.crash_after,
+                error: None,
+            });
+            summary = Some(s);
+        }
+        let journaling = ctx.is_some();
+
+        let _pass = span!("mine.pass", workers = workers);
+        if let Some(p) = o.obs.progress.as_deref() {
+            p.begin_stage("mine", size_hint.unwrap_or(0) as u64);
+        }
+
+        // The source closure runs on the caller thread: it polls the
+        // stream (funnel assessment happens here), turns replay hits and
+        // corruption into ready-made slots, and registers journal keys
+        // for fresh candidates. `keys` is shared with the completion
+        // hook, which also runs on the caller thread.
+        let mut stream = source.stream(o.strategy);
+        let keys: RefCell<HashMap<usize, String>> = RefCell::new(HashMap::new());
+        let mut replayed_count = 0usize;
+        let mut source_nanos = 0u64;
+        let src = |seq: usize| -> Option<StreamItem<CandidateHistory, MineSlot>> {
+            let t = Instant::now();
+            let event = stream.next_event();
+            source_nanos += t.elapsed().as_nanos() as u64;
+            match event? {
+                SourceEvent::Corrupt(e) => Some(StreamItem::Ready(MineSlot {
+                    outcome: MineOutcome::quarantine(Vec::new(), e, false),
+                    tally: StageTally::default(),
+                    fresh: false,
+                })),
+                SourceEvent::Candidate(c) => {
+                    if journaling {
+                        let key = candidate_key(&c, reed).to_hex();
+                        if let Some(outcome) = replayed.remove(&key) {
+                            replayed_count += 1;
+                            return Some(StreamItem::Ready(MineSlot {
+                                outcome,
+                                tally: StageTally::default(),
+                                fresh: false,
+                            }));
+                        }
+                        keys.borrow_mut().insert(seq, key);
+                    }
+                    Some(StreamItem::Work(c))
+                }
+            }
+        };
+
+        let work = |_seq: usize, c: &CandidateHistory| -> MineSlot {
+            let _span = span!("mine.task", project = c.name);
+            let mut tally = StageTally::default();
+            let outcome = match policy {
+                MinePolicy::Graceful => {
+                    mine_task_watched(c, reed, deadline, caches.as_ref(), &mut tally)
+                }
+                MinePolicy::Strict => MineOutcome {
+                    mined: mine_task(c, reed, caches.as_ref(), &mut tally),
+                    recovered: Vec::new(),
+                    quarantined: None,
+                },
+            };
+            MineSlot {
+                outcome,
+                tally,
+                fresh: true,
+            }
+        };
+
+        // Completion hook, caller thread, completion order: each freshly
+        // mined outcome is committed to the journal before anything else
+        // happens to it, and the crash-after kill switch fires only
+        // after its record is durable.
+        let progress = o.obs.progress.as_deref();
+        let mut ctx_slot = ctx;
+        let on_complete = |seq: usize, slot: &MineSlot| {
+            if let Some(p) = progress {
+                p.advance(1);
+            }
+            let Some(ctx) = ctx_slot.as_mut() else { return };
+            if ctx.error.is_some() {
+                return;
+            }
+            let Some(key) = keys.borrow_mut().remove(&seq) else {
+                return;
+            };
+            let record = JournalRecord {
+                key,
+                outcome: slot.outcome.clone(),
+            };
+            match ctx.writer.append(&record) {
+                Ok(()) => {
+                    if ctx.crash_after == Some(ctx.writer.commits()) {
+                        // Deterministic whole-process crash, as unkind as
+                        // a SIGKILL: no unwinding, no destructors, no
+                        // buffered-writer flushes.
+                        std::process::abort();
+                    }
+                }
+                Err(e) => ctx.error = Some(e),
+            }
+        };
+
+        // Emission, caller thread, strict candidate order: tallies merge
+        // and histograms observe exactly as the resident pipeline did.
+        let registry = o.obs.registry.as_deref();
+        let mut total = StageTally::default();
+        let mut mined: Vec<Mined> = Vec::new();
+        let mut report = QuarantineReport::default();
+        let mut strict_drops = 0usize;
+        let emit = |_seq: usize, slot: MineSlot| {
+            total.merge(&slot.tally);
+            if slot.fresh {
+                if let Some(reg) = registry {
+                    reg.observe("mine.task.parse_nanos", slot.tally.parse_nanos);
+                    reg.observe("mine.task.diff_nanos", slot.tally.diff_nanos);
+                    reg.observe("mine.task.profile_nanos", slot.tally.profile_nanos);
+                }
+            }
+            let outcome = slot.outcome;
+            report.recovered.extend(outcome.recovered);
+            match outcome.quarantined {
+                Some(q) => report.quarantined.push(q),
+                None => {
+                    if outcome.mined.is_none() {
+                        strict_drops += 1;
+                    }
+                }
+            }
+            if let Some(m) = outcome.mined {
+                mined.push(m);
+            }
+        };
+
+        let spill = SpillOptions {
+            threshold: o.stream.spill_threshold,
+            dir: o.stream.spill_dir.clone(),
+        };
+        let stream_report = execute_stream_with(
+            src,
+            workers,
+            o.stream.window,
+            &spill,
+            work,
+            on_complete,
+            emit,
+        )
+        .map_err(|e| {
+            SchevoError::project(
+                ErrorClass::Journal,
+                "mine-spill",
+                format!("ordered-reassembly spill unusable: {e}"),
+            )
+        })?;
+        if let Some(p) = progress {
+            p.end_stage();
+        }
+        if let Some(ctx) = ctx_slot {
+            if let Some(e) = ctx.error {
+                return Err(e);
+            }
+        }
+        if let Some(s) = summary.as_mut() {
+            s.replayed = replayed_count;
+            s.mined_fresh = stream_report.fresh;
+            s.stale_discarded = replayed.len();
+        }
+        let sources = stream.finish();
+
+        // Registry fold: counters, quarantine classes, journal and
+        // store/spill accounting — all deterministic (exports sort by
+        // metric name).
+        if let Some(reg) = registry {
+            reg.add("mine.parse.hits", total.parse_hits);
+            reg.add("mine.parse.misses", total.parse_misses);
+            reg.add("mine.diff.hits", total.diff_hits);
+            reg.add("mine.diff.misses", total.diff_misses);
+            for (class, rec, quar) in report.class_counts() {
+                if rec > 0 {
+                    reg.add(&format!("quarantine.recovered.{class}"), rec as u64);
+                }
+                if quar > 0 {
+                    reg.add(&format!("quarantine.quarantined.{class}"), quar as u64);
+                }
+            }
+            let deadline_exceeded = report
+                .recovered
+                .iter()
+                .filter(|r| r.error.class == ErrorClass::DeadlineExceeded)
+                .count();
+            if deadline_exceeded > 0 {
+                reg.add("mine.deadline_exceeded", deadline_exceeded as u64);
+            }
+            if let Some(s) = &summary {
+                reg.add("journal.commits", s.mined_fresh as u64);
+                reg.add("journal.replayed", s.replayed as u64);
+                reg.add("journal.stale_discarded", s.stale_discarded as u64);
+                if s.corruption.is_some() {
+                    reg.add("journal.corrupt_tail", 1);
+                }
+            }
+            if sources.io.records_read > 0 {
+                reg.add("store.records_read", sources.io.records_read);
+                reg.add("store.bytes_read", sources.io.bytes_read);
+            }
+            if stream_report.spill_events > 0 {
+                reg.add("mine.spill.events", stream_report.spill_events);
+                reg.add("mine.spill.bytes", stream_report.spill_bytes);
+            }
+        }
+
+        let parse_failures = match policy {
+            MinePolicy::Strict => strict_drops,
+            MinePolicy::Graceful => report.quarantined.len(),
+        };
+        let exec = ExecStats::from_tally(&total, workers, stream_report.total, o.cache, wall);
+        Ok(MiningOutput {
+            funnel: sources.funnel,
+            mined,
+            quarantine: report,
+            parse_failures,
+            exec,
+            journal: summary,
+            io: sources.io,
+            spill_events: stream_report.spill_events,
+            spill_bytes: stream_report.spill_bytes,
+            source_nanos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funnel::run_funnel;
+    use crate::source::SliceSource;
+    use schevo_corpus::store::generate_into_store;
+    use schevo_corpus::universe::{generate, UniverseConfig};
+    use schevo_vcs::history::WalkStrategy;
+
+    #[test]
+    fn engine_over_universe_matches_legacy_shape() {
+        let u = generate(UniverseConfig::small(2019, 20));
+        let engine = MiningEngine::new(StudyOptions::default());
+        let out = engine.mine(&u).expect("clean corpus");
+        assert_eq!(out.mined.len(), u.expected.analyzed);
+        assert!(out.quarantine.is_clean());
+        assert_eq!(out.parse_failures, 0);
+        assert_eq!(out.io.records_read, 0, "in-memory source does no I/O");
+        assert_eq!(out.funnel.analyzed, u.expected.analyzed);
+    }
+
+    #[test]
+    fn sharded_backend_is_bit_identical_to_memory() {
+        let config = UniverseConfig::small(2019, 20);
+        let dir = std::env::temp_dir().join(format!("schevo_engine_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_into_store(config, &dir, 8).expect("write store");
+        let store = schevo_corpus::store::ShardStore::open(&dir).expect("open");
+        let u = generate(config);
+
+        for workers in [1usize, 4] {
+            let options = StudyOptions {
+                workers,
+                ..StudyOptions::default()
+            };
+            let engine = MiningEngine::new(options);
+            let mem = engine.mine(&u).expect("memory");
+            let disk = engine.mine(&store).expect("disk");
+            assert_eq!(mem.mined, disk.mined, "workers={workers}");
+            assert_eq!(mem.funnel, disk.funnel);
+            assert_eq!(mem.quarantine, disk.quarantine);
+            assert!(disk.io.records_read > 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_window_and_spill_threshold_do_not_change_output() {
+        let u = generate(UniverseConfig::small(2019, 10));
+        let baseline = MiningEngine::new(StudyOptions::default())
+            .mine(&u)
+            .expect("baseline");
+        let squeezed = MiningEngine::new(StudyOptions {
+            workers: 8,
+            stream: StreamOptions {
+                window: 1,
+                spill_threshold: 1,
+                spill_dir: None,
+            },
+            ..StudyOptions::default()
+        })
+        .mine(&u)
+        .expect("squeezed");
+        assert_eq!(baseline.mined, squeezed.mined);
+        assert_eq!(baseline.quarantine, squeezed.quarantine);
+    }
+
+    #[test]
+    fn strict_policy_counts_drops_over_slices() {
+        let u = generate(UniverseConfig::small(11, 20));
+        let outcome = run_funnel(&u, WalkStrategy::FirstParent);
+        let slice = SliceSource::new(&outcome.analyzed);
+        let engine = MiningEngine::new(StudyOptions::default()).with_policy(MinePolicy::Strict);
+        let out = engine.mine(&slice).expect("slice");
+        assert_eq!(out.mined.len(), outcome.analyzed.len());
+        assert_eq!(out.parse_failures, 0);
+        assert_eq!(out.funnel.analyzed, outcome.analyzed.len());
+    }
+}

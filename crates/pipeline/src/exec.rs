@@ -30,8 +30,11 @@ use schevo_core::diff::{diff, SchemaDelta};
 use schevo_ddl::{parse_schema, Schema};
 use schevo_vcs::sha1::Digest;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{Read as _, Seek, SeekFrom, Write as _};
+use std::path::PathBuf;
 use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Execution options of a mining pass.
@@ -104,7 +107,7 @@ pub struct ExecStats {
 /// unlike the shared-atomic accumulation they replaced. The tally is
 /// also what the metrics registry ingests per task, so latency
 /// histograms see the same values in the same order on every run shape.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub(crate) struct StageTally {
     pub(crate) parse_hits: u64,
     pub(crate) parse_misses: u64,
@@ -333,6 +336,404 @@ where
         Ok(results) => results,
         Err(payload) => std::panic::resume_unwind(payload),
     }
+}
+
+/// One item pulled from a streaming candidate source.
+pub(crate) enum StreamItem<T, R> {
+    /// A task for the workers.
+    Work(T),
+    /// A result that needs no computation (journal replay, corruption
+    /// events): it bypasses the workers and goes straight to ordered
+    /// reassembly.
+    Ready(R),
+}
+
+/// Configuration of the ordered-reassembly spill: once more than
+/// `threshold` completed-but-out-of-order results are parked in RAM,
+/// further ones are serialized to an anonymous temp file and reloaded
+/// when their turn comes.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillOptions {
+    /// Max parked results held in RAM before spilling kicks in.
+    pub(crate) threshold: usize,
+    /// Directory for the spill file; the system temp dir when `None`.
+    pub(crate) dir: Option<PathBuf>,
+}
+
+impl Default for SpillOptions {
+    fn default() -> Self {
+        SpillOptions {
+            threshold: 512,
+            dir: None,
+        }
+    }
+}
+
+/// Accounting of one streaming pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StreamReport {
+    /// Items pulled from the source (work + ready).
+    pub(crate) total: usize,
+    /// Items dispatched to workers.
+    pub(crate) fresh: usize,
+    /// Results spilled to disk during reassembly.
+    pub(crate) spill_events: u64,
+    /// Bytes written to the spill file.
+    pub(crate) spill_bytes: u64,
+}
+
+/// Lock a std mutex, shrugging off poisoning: the data is plain counters
+/// and queued tasks, and a worker panic is separately propagated.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// The spill file: append-only writes, random-access reads, unlinked at
+/// creation so it can never outlive the pass. On any write failure the
+/// spill disables itself and the pass falls back to RAM parking.
+struct SpillFile {
+    dir: Option<PathBuf>,
+    file: Option<std::fs::File>,
+    write_offset: u64,
+    broken: bool,
+}
+
+impl SpillFile {
+    fn new(dir: Option<PathBuf>) -> SpillFile {
+        SpillFile {
+            dir,
+            file: None,
+            write_offset: 0,
+            broken: false,
+        }
+    }
+
+    fn store<R: Serialize>(&mut self, value: &R) -> Option<(u64, u32)> {
+        if self.broken {
+            return None;
+        }
+        let attempt = (|| -> std::io::Result<(u64, u32)> {
+            if self.file.is_none() {
+                static SPILL_SEQ: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let dir = self.dir.clone().unwrap_or_else(std::env::temp_dir);
+                let path = dir.join(format!(
+                    "schevo-spill-{}-{}.tmp",
+                    std::process::id(),
+                    SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                ));
+                let f = std::fs::OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                // Unlink immediately: the open handle keeps the storage
+                // alive, the name never lingers after a crash.
+                let _ = std::fs::remove_file(&path);
+                self.file = Some(f);
+            }
+            let json = serde_json::to_string(value).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?;
+            let bytes = json.as_bytes();
+            let offset = self.write_offset;
+            let Some(f) = self.file.as_mut() else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "spill file closed",
+                ));
+            };
+            f.seek(SeekFrom::Start(offset))?;
+            f.write_all(bytes)?;
+            self.write_offset += bytes.len() as u64;
+            Ok((offset, bytes.len() as u32))
+        })();
+        match attempt {
+            Ok(slot) => Some(slot),
+            Err(_) => {
+                // Spilling is an optimization; losing it costs memory,
+                // never correctness.
+                self.broken = true;
+                None
+            }
+        }
+    }
+
+    fn load<R: serde::Deserialize>(&mut self, offset: u64, len: u32) -> std::io::Result<R> {
+        let Some(f) = self.file.as_mut() else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                "spill file closed",
+            ));
+        };
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        let json = String::from_utf8(buf).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A parked completed-but-out-of-order result.
+enum Parked<R> {
+    Ram(R),
+    Spilled { offset: u64, len: u32 },
+}
+
+/// Ordered reassembly with bounded RAM: results arrive tagged with their
+/// sequence number in any order and leave strictly in sequence order.
+/// Up to `threshold` results park in RAM; past that they serialize to
+/// the spill file and reload when their turn comes. The spill encoding
+/// is the journal's JSON payload encoding, which the resume differential
+/// suite already proves lossless.
+struct Reorder<R> {
+    next: usize,
+    parked: BTreeMap<usize, Parked<R>>,
+    ram_count: usize,
+    spill: SpillFile,
+    threshold: usize,
+    spill_events: u64,
+    spill_bytes: u64,
+}
+
+impl<R: Serialize + serde::Deserialize> Reorder<R> {
+    fn new(options: &SpillOptions) -> Reorder<R> {
+        Reorder {
+            next: 0,
+            parked: BTreeMap::new(),
+            ram_count: 0,
+            spill: SpillFile::new(options.dir.clone()),
+            threshold: options.threshold.max(1),
+            spill_events: 0,
+            spill_bytes: 0,
+        }
+    }
+
+    fn push(&mut self, seq: usize, value: R) {
+        if seq != self.next && self.ram_count >= self.threshold {
+            if let Some((offset, len)) = self.spill.store(&value) {
+                self.spill_events += 1;
+                self.spill_bytes += len as u64;
+                self.parked.insert(seq, Parked::Spilled { offset, len });
+                return;
+            }
+        }
+        self.ram_count += 1;
+        self.parked.insert(seq, Parked::Ram(value));
+    }
+
+    /// Emit every result that is next in sequence.
+    fn drain(&mut self, emit: &mut impl FnMut(usize, R)) -> std::io::Result<()> {
+        while let Some(slot) = self.parked.remove(&self.next) {
+            let seq = self.next;
+            self.next += 1;
+            let value = match slot {
+                Parked::Ram(r) => {
+                    self.ram_count -= 1;
+                    r
+                }
+                Parked::Spilled { offset, len } => self.spill.load(offset, len)?,
+            };
+            emit(seq, value);
+        }
+        Ok(())
+    }
+}
+
+enum WorkerMsg<R> {
+    Done(usize, R),
+    Panicked(Box<dyn std::any::Any + Send>),
+}
+
+/// Streaming parallel map with bounded in-flight work and ordered,
+/// spill-backed reassembly.
+///
+/// `source(seq)` is pulled lazily from the caller thread; `seq` is the
+/// sequence number the returned item will occupy. [`StreamItem::Work`]
+/// items are dispatched to `workers` threads through a bounded window of
+/// at most `window` undelivered tasks — the source is simply not polled
+/// while the window is full, which is what bounds peak memory.
+/// [`StreamItem::Ready`] items skip the workers. `on_complete(seq, &r)`
+/// runs on the caller thread in completion order for computed results
+/// only (the durability hook, exactly as in [`execute_ordered_with`]);
+/// `emit(seq, r)` runs on the caller thread strictly in sequence order
+/// for every item. Worker panics propagate their original payload after
+/// the remaining workers drain. With `workers <= 1` no threads are
+/// spawned and items flow through serially.
+pub(crate) fn execute_stream_with<T, R, S, F, C, E>(
+    mut source: S,
+    workers: usize,
+    window: usize,
+    spill: &SpillOptions,
+    work: F,
+    mut on_complete: C,
+    mut emit: E,
+) -> std::io::Result<StreamReport>
+where
+    T: Send,
+    R: Send + Serialize + serde::Deserialize,
+    S: FnMut(usize) -> Option<StreamItem<T, R>>,
+    F: Fn(usize, &T) -> R + Sync,
+    C: FnMut(usize, &R),
+    E: FnMut(usize, R),
+{
+    let workers = workers.clamp(1, 32);
+    let mut report = StreamReport::default();
+    if workers <= 1 {
+        let mut seq = 0usize;
+        while let Some(item) = source(seq) {
+            match item {
+                StreamItem::Work(t) => {
+                    report.fresh += 1;
+                    let r = work(seq, &t);
+                    on_complete(seq, &r);
+                    emit(seq, r);
+                }
+                StreamItem::Ready(r) => emit(seq, r),
+            }
+            seq += 1;
+        }
+        report.total = seq;
+        return Ok(report);
+    }
+
+    let window = window.max(workers);
+    struct Queue<T> {
+        items: VecDeque<(usize, T)>,
+        closed: bool,
+    }
+    let queue: Mutex<Queue<T>> = Mutex::new(Queue {
+        items: VecDeque::new(),
+        closed: false,
+    });
+    let available = Condvar::new();
+    let (tx, rx) = mpsc::channel::<WorkerMsg<R>>();
+    let mut reorder: Reorder<R> = Reorder::new(spill);
+    let emit = &mut emit;
+
+    let scope_result = crossbeam::thread::scope(|scope| -> std::io::Result<()> {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                let queue = &queue;
+                let available = &available;
+                let work = &work;
+                scope.spawn(move |_| loop {
+                    let task = {
+                        let mut guard = lock(queue);
+                        loop {
+                            if let Some(t) = guard.items.pop_front() {
+                                break Some(t);
+                            }
+                            if guard.closed {
+                                break None;
+                            }
+                            guard = available.wait(guard).unwrap_or_else(|p| p.into_inner());
+                        }
+                    };
+                    let Some((seq, t)) = task else { break };
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| work(seq, &t)));
+                    let (msg, fatal) = match outcome {
+                        Ok(r) => (WorkerMsg::Done(seq, r), false),
+                        Err(p) => (WorkerMsg::Panicked(p), true),
+                    };
+                    if tx.send(msg).is_err() || fatal {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut seq = 0usize;
+        let mut in_flight = 0usize;
+        let mut source_done = false;
+        let mut failure: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut io_error: Option<std::io::Error> = None;
+
+        'pass: loop {
+            // Fill the window from the source.
+            while !source_done && in_flight < window && io_error.is_none() {
+                match source(seq) {
+                    None => {
+                        source_done = true;
+                        lock(&queue).closed = true;
+                        available.notify_all();
+                    }
+                    Some(StreamItem::Work(t)) => {
+                        report.fresh += 1;
+                        lock(&queue).items.push_back((seq, t));
+                        available.notify_one();
+                        in_flight += 1;
+                        seq += 1;
+                    }
+                    Some(StreamItem::Ready(r)) => {
+                        reorder.push(seq, r);
+                        if let Err(e) = reorder.drain(emit) {
+                            io_error = Some(e);
+                        }
+                        seq += 1;
+                    }
+                }
+            }
+            if (in_flight == 0 && source_done) || io_error.is_some() {
+                break 'pass;
+            }
+            // Wait for one completion.
+            match rx.recv() {
+                Ok(WorkerMsg::Done(i, r)) => {
+                    on_complete(i, &r);
+                    in_flight -= 1;
+                    reorder.push(i, r);
+                    if let Err(e) = reorder.drain(emit) {
+                        io_error = Some(e);
+                        break 'pass;
+                    }
+                }
+                Ok(WorkerMsg::Panicked(p)) => {
+                    failure = Some(p);
+                    break 'pass;
+                }
+                // All workers exited; nothing further can complete.
+                Err(_) => break 'pass,
+            }
+        }
+
+        // Shutdown: stop feeding, wake everyone, detach the channel so
+        // stragglers stop, then join.
+        {
+            let mut guard = lock(&queue);
+            guard.closed = true;
+            guard.items.clear();
+        }
+        available.notify_all();
+        drop(rx);
+        for handle in handles {
+            // Workers catch their own panics; join failures are impossible
+            // but must not mask the original failure either way.
+            let _ = handle.join();
+        }
+        if let Some(p) = failure {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        report.total = seq;
+        Ok(())
+    });
+    match scope_result {
+        Ok(inner) => inner?,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+    report.spill_events = reorder.spill_events;
+    report.spill_bytes = reorder.spill_bytes;
+    Ok(report)
 }
 
 /// Run one task under a soft watchdog deadline.

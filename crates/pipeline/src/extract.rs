@@ -8,15 +8,13 @@
 //! parses and version-pair diffs are shared across candidates through
 //! the content-addressed [`crate::exec::MineCaches`].
 
-use crate::exec::{
-    execute_ordered, execute_ordered_with, watchdog, ExecOptions, ExecStats, MineCaches,
-    StageTally,
-};
+use crate::engine::{MinePolicy, MiningEngine};
+use crate::exec::{watchdog, ExecOptions, ExecStats, MineCaches, StageTally};
 use crate::funnel::CandidateHistory;
-use crate::journal::{
-    candidate_key, replay_file, DurabilityOptions, JournalRecord, JournalSummary, JournalWriter,
-};
+use crate::journal::{DurabilityOptions, JournalSummary};
 use crate::quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
+use crate::source::SliceSource;
+use crate::study::StudyOptions;
 use schevo_core::diff::{diff, SchemaDelta};
 use schevo_core::errors::{ErrorClass, SchevoError};
 use schevo_core::fk::{fk_profile, fk_profile_with, FkProfile};
@@ -24,10 +22,9 @@ use schevo_core::measures::measure_history_with;
 use schevo_core::model::{CommitMeta, SchemaHistory, SchemaVersion};
 use schevo_core::profile::{EvolutionProfile, ProjectContext};
 use schevo_core::tables::{table_lives, table_lives_with, TableLife};
-use schevo_obs::{span, ObsHooks};
+use schevo_obs::ObsHooks;
 use schevo_vcs::sha1::{sha1, Digest};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// Everything one mining pass produces for a project: the paper's profile
@@ -132,7 +129,7 @@ fn build_history(
 /// per-stage timings. Produces exactly what [`mine_extended`] produces:
 /// parse and diff are pure functions of blob content, so the cached path
 /// differs only in *where* the values come from.
-fn mine_task(
+pub(crate) fn mine_task(
     candidate: &CandidateHistory,
     reed_threshold: u64,
     caches: Option<&MineCaches>,
@@ -207,34 +204,25 @@ fn diff_and_profile(
 /// count and cache setting; unparseable candidates are dropped and
 /// counted in the second return value; the third carries cache hit/miss
 /// counters and per-stage timings.
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all_stats(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     options: &ExecOptions,
 ) -> (Vec<Mined>, usize, ExecStats) {
-    let wall = Instant::now();
-    let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
-    let caches = options.cache.then(MineCaches::default);
-    let results: Vec<(Option<Mined>, StageTally)> = execute_ordered(candidates, workers, |_, c| {
-        let _span = span!("mine.task", project = c.name);
-        let mut tally = StageTally::default();
-        let mined = mine_task(c, reed_threshold, caches.as_ref(), &mut tally);
-        (mined, tally)
-    });
-    // Merge per-task tallies in candidate order: the aggregate is
-    // identical for every worker count and scheduling.
-    let mut total = StageTally::default();
-    let mut mined = Vec::new();
-    let mut failures = 0;
-    for (slot, tally) in results {
-        total.merge(&tally);
-        match slot {
-            Some(m) => mined.push(m),
-            None => failures += 1,
-        }
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers: options.workers,
+        cache: options.cache,
+        ..StudyOptions::default()
+    })
+    .with_policy(MinePolicy::Strict);
+    match engine.mine(&SliceSource::new(candidates)) {
+        Ok(out) => (out.mined, out.parse_failures, out.exec),
+        // Unreachable without a journal or spill pressure; degrade to an
+        // all-failed pass rather than panicking.
+        Err(_) => (Vec::new(), candidates.len(), ExecStats::default()),
     }
-    let stats = ExecStats::from_tally(&total, workers, candidates.len(), options.cache, wall);
-    (mined, failures, stats)
 }
 
 /// What graceful mining produced for one candidate. At most one of
@@ -253,7 +241,11 @@ pub struct MineOutcome {
 }
 
 impl MineOutcome {
-    fn quarantine(recovered: Vec<RecoveryRecord>, error: SchevoError, attempted: bool) -> Self {
+    pub(crate) fn quarantine(
+        recovered: Vec<RecoveryRecord>,
+        error: SchevoError,
+        attempted: bool,
+    ) -> Self {
         MineOutcome {
             mined: None,
             recovered,
@@ -416,20 +408,22 @@ fn mine_task_graceful(
 /// report, whose events are collected in candidate order. On a clean
 /// corpus the mined output is bit-identical to [`mine_all_stats`] and
 /// the report is empty.
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all_graceful(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     options: &ExecOptions,
 ) -> (Vec<Mined>, QuarantineReport, ExecStats) {
-    match mine_all_durable(
-        candidates,
-        reed_threshold,
-        options,
-        &DurabilityOptions::default(),
-    ) {
-        Ok((mined, report, stats, _)) => (mined, report, stats),
-        // Unreachable: without a journal configured the durable pass has
-        // no error source. Degrade to an empty result carrying the error
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers: options.workers,
+        cache: options.cache,
+        ..StudyOptions::default()
+    });
+    match engine.mine(&SliceSource::new(candidates)) {
+        Ok(out) => (out.mined, out.quarantine, out.exec),
+        // Unreachable: without a journal configured the pass has no
+        // error source. Degrade to an empty result carrying the error
         // rather than panicking.
         Err(e) => (
             Vec::new(),
@@ -450,7 +444,7 @@ pub fn mine_all_graceful(
 /// [`ErrorClass::DeadlineExceeded`] event — deterministic in position
 /// (always last), wall-clock-dependent in occurrence, which is why the
 /// deadline defaults to off.
-fn mine_task_watched(
+pub(crate) fn mine_task_watched(
     candidate: &CandidateHistory,
     reed_threshold: u64,
     deadline: Option<Duration>,
@@ -474,13 +468,6 @@ fn mine_task_watched(
     outcome
 }
 
-/// Journal state threaded through one durable mining pass.
-struct JournalCtx {
-    writer: JournalWriter,
-    crash_after: Option<u64>,
-    error: Option<SchevoError>,
-}
-
 /// [`mine_all_graceful`] with a durability layer: write-ahead journaling
 /// of every completed candidate, resume-from-journal, deterministic
 /// crash injection, and the per-task watchdog deadline.
@@ -498,19 +485,22 @@ struct JournalCtx {
 /// as [`ErrorClass::Journal`] errors; a corrupt journal *tail* is not an
 /// error (replay degrades to the valid prefix and reports it in the
 /// returned [`JournalSummary`]).
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all_durable(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     options: &ExecOptions,
     durability: &DurabilityOptions,
 ) -> Result<(Vec<Mined>, QuarantineReport, ExecStats, Option<JournalSummary>), SchevoError> {
-    mine_all_observed(
-        candidates,
-        reed_threshold,
-        options,
-        durability,
-        &ObsHooks::default(),
-    )
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers: options.workers,
+        cache: options.cache,
+        durability: durability.clone(),
+        ..StudyOptions::default()
+    });
+    let out = engine.mine(&SliceSource::new(candidates))?;
+    Ok((out.mined, out.quarantine, out.exec, out.journal))
 }
 
 /// [`mine_all_durable`] with observability hooks: per-task tallies fold
@@ -520,6 +510,7 @@ pub fn mine_all_durable(
 /// complete. With default hooks this *is* `mine_all_durable` — the
 /// hooks only read what the pass already computes, never steer it, so
 /// mined output is bit-identical with observability on or off.
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all_observed(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
@@ -527,229 +518,65 @@ pub fn mine_all_observed(
     durability: &DurabilityOptions,
     obs: &ObsHooks,
 ) -> Result<(Vec<Mined>, QuarantineReport, ExecStats, Option<JournalSummary>), SchevoError> {
-    let wall = Instant::now();
-    let workers = options.workers.clamp(1, 32).min(candidates.len().max(1));
-    let caches = options.cache.then(MineCaches::default);
-    let deadline = durability.deadline;
-
-    // Journal setup: replay on resume, then open for appending past the
-    // valid prefix (or start fresh).
-    let mut summary: Option<JournalSummary> = None;
-    let mut replayed: HashMap<String, MineOutcome> = HashMap::new();
-    let mut ctx: Option<JournalCtx> = None;
-    if let Some(path) = &durability.journal {
-        let _span = span!("journal.open", resume = durability.resume);
-        let mut s = JournalSummary::default();
-        let writer = if durability.resume && path.exists() {
-            let _span = span!("journal.replay");
-            let replay = replay_file(path)?;
-            s.corruption = replay.corruption;
-            for r in replay.records {
-                replayed.insert(r.key, r.outcome);
-            }
-            JournalWriter::resume(path, replay.valid_len)?
-        } else {
-            JournalWriter::create(path)?
-        };
-        ctx = Some(JournalCtx {
-            writer,
-            crash_after: durability.crash_after,
-            error: None,
-        });
-        summary = Some(s);
-    }
-
-    // Partition: candidates satisfied by replayed records keep their
-    // slot; the rest are mined fresh. Keys are only computed when a
-    // journal is in play — the default path pays nothing.
-    let journaling = ctx.is_some();
-    let keys: Vec<String> = if journaling {
-        candidates
-            .iter()
-            .map(|c| candidate_key(c, reed_threshold).to_hex())
-            .collect()
-    } else {
-        Vec::new()
-    };
-    let mut slots: Vec<Option<MineOutcome>> = (0..candidates.len())
-        .map(|i| {
-            if journaling {
-                replayed.remove(&keys[i])
-            } else {
-                None
-            }
-        })
-        .collect();
-    let replayed_count = slots.iter().filter(|s| s.is_some()).count();
-    let fresh: Vec<usize> = (0..candidates.len())
-        .filter(|&i| slots[i].is_none())
-        .collect();
-    let fresh_items: Vec<&CandidateHistory> = fresh.iter().map(|&i| &candidates[i]).collect();
-
-    // Mine the fresh subset. The completion hook runs on the caller
-    // thread in completion order: each outcome is committed to the
-    // journal before anything else happens to it, and the crash-after
-    // kill switch fires only after its record is durable. Progress
-    // advances here too — completion order is the honest order.
-    let _pass = span!(
-        "mine.pass",
-        candidates = candidates.len(),
-        fresh = fresh.len(),
-        workers = workers,
-    );
-    if let Some(p) = obs.progress.as_deref() {
-        p.begin_stage("mine", fresh.len() as u64);
-    }
-    let outcomes: Vec<(MineOutcome, StageTally)> = execute_ordered_with(
-        &fresh_items,
-        workers,
-        |_, c| {
-            let _span = span!("mine.task", project = c.name);
-            let mut tally = StageTally::default();
-            let outcome = mine_task_watched(c, reed_threshold, deadline, caches.as_ref(), &mut tally);
-            (outcome, tally)
-        },
-        |local, result| {
-            if let Some(p) = obs.progress.as_deref() {
-                p.advance(1);
-            }
-            let Some(ctx) = ctx.as_mut() else { return };
-            if ctx.error.is_some() {
-                return;
-            }
-            let record = JournalRecord {
-                key: keys[fresh[local]].clone(),
-                outcome: result.0.clone(),
-            };
-            match ctx.writer.append(&record) {
-                Ok(()) => {
-                    if ctx.crash_after == Some(ctx.writer.commits()) {
-                        // Deterministic whole-process crash, as unkind as
-                        // a SIGKILL: no unwinding, no destructors, no
-                        // buffered-writer flushes.
-                        std::process::abort();
-                    }
-                }
-                Err(e) => ctx.error = Some(e),
-            }
-        },
-    );
-    if let Some(p) = obs.progress.as_deref() {
-        p.end_stage();
-    }
-    if let Some(ctx) = ctx {
-        if let Some(e) = ctx.error {
-            return Err(e);
-        }
-    }
-
-    // Reassemble in candidate order: replayed slots stay put, fresh
-    // outcomes (and their tallies) land back in their original
-    // positions. Replayed candidates did no work, so their tallies stay
-    // zero — exactly what an uninterrupted run would have charged them.
-    let mut tallies: Vec<StageTally> = vec![StageTally::default(); candidates.len()];
-    for (local, (outcome, tally)) in outcomes.into_iter().enumerate() {
-        slots[fresh[local]] = Some(outcome);
-        tallies[fresh[local]] = tally;
-    }
-    let mut mined = Vec::new();
-    let mut report = QuarantineReport::default();
-    for slot in slots {
-        let Some(o) = slot else { continue };
-        report.recovered.extend(o.recovered);
-        if let Some(q) = o.quarantined {
-            report.quarantined.push(q);
-        }
-        if let Some(m) = o.mined {
-            mined.push(m);
-        }
-    }
-    if let Some(s) = summary.as_mut() {
-        s.replayed = replayed_count;
-        s.mined_fresh = fresh.len();
-        s.stale_discarded = replayed.len();
-    }
-
-    // Candidate-order merge of the per-task tallies (the fix for the
-    // old scheduling-dependent shared-atomic aggregation), then the
-    // registry fold — counters, per-task latency histograms, quarantine
-    // classes, journal accounting — all in deterministic order.
-    let mut total = StageTally::default();
-    for t in &tallies {
-        total.merge(t);
-    }
-    if let Some(reg) = obs.registry.as_deref() {
-        reg.add("mine.parse.hits", total.parse_hits);
-        reg.add("mine.parse.misses", total.parse_misses);
-        reg.add("mine.diff.hits", total.diff_hits);
-        reg.add("mine.diff.misses", total.diff_misses);
-        for &i in &fresh {
-            let t = &tallies[i];
-            reg.observe("mine.task.parse_nanos", t.parse_nanos);
-            reg.observe("mine.task.diff_nanos", t.diff_nanos);
-            reg.observe("mine.task.profile_nanos", t.profile_nanos);
-        }
-        for (class, rec, quar) in report.class_counts() {
-            if rec > 0 {
-                reg.add(&format!("quarantine.recovered.{class}"), rec as u64);
-            }
-            if quar > 0 {
-                reg.add(&format!("quarantine.quarantined.{class}"), quar as u64);
-            }
-        }
-        let deadline_exceeded = report
-            .recovered
-            .iter()
-            .filter(|r| r.error.class == ErrorClass::DeadlineExceeded)
-            .count();
-        if deadline_exceeded > 0 {
-            reg.add("mine.deadline_exceeded", deadline_exceeded as u64);
-        }
-        if let Some(s) = &summary {
-            reg.add("journal.commits", s.mined_fresh as u64);
-            reg.add("journal.replayed", s.replayed as u64);
-            reg.add("journal.stale_discarded", s.stale_discarded as u64);
-            if s.corruption.is_some() {
-                reg.add("journal.corrupt_tail", 1);
-            }
-        }
-    }
-    let stats = ExecStats::from_tally(&total, workers, candidates.len(), options.cache, wall);
-    Ok((mined, report, stats, summary))
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers: options.workers,
+        cache: options.cache,
+        durability: durability.clone(),
+        obs: obs.clone(),
+        ..StudyOptions::default()
+    });
+    let out = engine.mine(&SliceSource::new(candidates))?;
+    Ok((out.mined, out.quarantine, out.exec, out.journal))
 }
 
 /// Mine all candidates in parallel, producing profiles plus extension
 /// records. Order of the output matches the input; unparseable candidates
 /// are dropped and counted in the second return value.
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all_extended(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     workers: usize,
 ) -> (Vec<Mined>, usize) {
-    let (mined, failures, _) = mine_all_stats(
-        candidates,
-        reed_threshold,
-        &ExecOptions {
-            workers,
-            ..ExecOptions::default()
-        },
-    );
-    (mined, failures)
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers,
+        ..StudyOptions::default()
+    })
+    .with_policy(MinePolicy::Strict);
+    match engine.mine(&SliceSource::new(candidates)) {
+        Ok(out) => (out.mined, out.parse_failures),
+        Err(_) => (Vec::new(), candidates.len()),
+    }
 }
 
 /// Mine all candidates in parallel, keeping only the paper's profiles.
+#[deprecated(note = "use `MiningEngine::mine` over a `CandidateSource` (e.g. `SliceSource`)")]
 pub fn mine_all(
     candidates: &[CandidateHistory],
     reed_threshold: u64,
     workers: usize,
 ) -> (Vec<EvolutionProfile>, usize) {
-    let (mined, failures) = mine_all_extended(candidates, reed_threshold, workers);
-    (mined.into_iter().map(|m| m.profile).collect(), failures)
+    let engine = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(reed_threshold),
+        workers,
+        ..StudyOptions::default()
+    })
+    .with_policy(MinePolicy::Strict);
+    match engine.mine(&SliceSource::new(candidates)) {
+        Ok(out) => (
+            out.mined.into_iter().map(|m| m.profile).collect(),
+            out.parse_failures,
+        ),
+        Err(_) => (Vec::new(), candidates.len()),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::MiningOutput;
     use crate::funnel::{run_funnel, FunnelOutcome};
     use schevo_core::heartbeat::REED_THRESHOLD;
     use schevo_corpus::universe::{generate, UniverseConfig};
@@ -760,11 +587,23 @@ mod tests {
         run_funnel(&u, WalkStrategy::FirstParent)
     }
 
+    fn mine_strict(candidates: &[CandidateHistory], workers: usize, cache: bool) -> MiningOutput {
+        MiningEngine::new(StudyOptions {
+            workers,
+            cache,
+            ..StudyOptions::default()
+        })
+        .with_policy(MinePolicy::Strict)
+        .mine(&SliceSource::new(candidates))
+        .expect("no journal, no error source")
+    }
+
     #[test]
     fn parallel_equals_serial() {
         let o = outcome();
-        let (par, fail) = mine_all(&o.analyzed, REED_THRESHOLD, 8);
-        assert_eq!(fail, 0);
+        let out = mine_strict(&o.analyzed, 8, true);
+        assert_eq!(out.parse_failures, 0);
+        let par: Vec<_> = out.mined.iter().map(|m| m.profile.clone()).collect();
         let serial: Vec<_> = o
             .analyzed
             .iter()
@@ -776,12 +615,11 @@ mod tests {
     #[test]
     fn cached_equals_uncached() {
         let o = outcome();
-        let on = ExecOptions { workers: 4, cache: true };
-        let off = ExecOptions { workers: 4, cache: false };
-        let (with_cache, f1, s1) = mine_all_stats(&o.analyzed, REED_THRESHOLD, &on);
-        let (without, f2, s2) = mine_all_stats(&o.analyzed, REED_THRESHOLD, &off);
-        assert_eq!(with_cache, without);
-        assert_eq!(f1, f2);
+        let on = mine_strict(&o.analyzed, 4, true);
+        let off = mine_strict(&o.analyzed, 4, false);
+        assert_eq!(on.mined, off.mined);
+        assert_eq!(on.parse_failures, off.parse_failures);
+        let (s1, s2) = (on.exec, off.exec);
         assert!(s1.cache_enabled);
         assert!(!s2.cache_enabled);
         assert_eq!(s2.parse_hits, 0, "disabled cache cannot hit");
@@ -797,20 +635,20 @@ mod tests {
     #[test]
     fn profiles_carry_context() {
         let o = outcome();
-        let (profiles, _) = mine_all(&o.analyzed, REED_THRESHOLD, 4);
-        assert!(!profiles.is_empty());
-        for p in &profiles {
-            assert!(p.context.is_some());
-            assert!(p.ddl_commit_share().unwrap() > 0.0);
+        let out = mine_strict(&o.analyzed, 4, true);
+        assert!(!out.mined.is_empty());
+        for m in &out.mined {
+            assert!(m.profile.context.is_some());
+            assert!(m.profile.ddl_commit_share().unwrap() > 0.0);
         }
     }
 
     #[test]
     fn single_worker_path() {
         let o = outcome();
-        let (profiles, fail) = mine_all(&o.analyzed, REED_THRESHOLD, 1);
-        assert_eq!(fail, 0);
-        assert_eq!(profiles.len(), o.analyzed.len());
+        let out = mine_strict(&o.analyzed, 1, true);
+        assert_eq!(out.parse_failures, 0);
+        assert_eq!(out.mined.len(), o.analyzed.len());
     }
 
     #[test]
@@ -830,16 +668,32 @@ mod tests {
             pup_months: 1,
             total_commits: 1,
         };
-        let (profiles, failures) = mine_all(std::slice::from_ref(&bad), REED_THRESHOLD, 2);
-        assert!(profiles.is_empty());
-        assert_eq!(failures, 1);
+        let out = mine_strict(std::slice::from_ref(&bad), 2, false);
+        assert!(out.mined.is_empty());
+        assert_eq!(out.parse_failures, 1);
         // The cached path counts the same failure.
-        let (mined, failures, _) = mine_all_stats(
-            &[bad],
+        let cached = mine_strict(std::slice::from_ref(&bad), 1, true);
+        assert!(cached.mined.is_empty());
+        assert_eq!(cached.parse_failures, 1);
+    }
+
+    #[test]
+    fn deprecated_wrappers_still_work() {
+        #![allow(deprecated)]
+        let o = outcome();
+        let (profiles, failures) = mine_all(&o.analyzed, REED_THRESHOLD, 2);
+        assert_eq!(failures, 0);
+        assert_eq!(profiles.len(), o.analyzed.len());
+        let (mined, report, _) = mine_all_graceful(
+            &o.analyzed,
             REED_THRESHOLD,
-            &ExecOptions { workers: 1, cache: true },
+            &ExecOptions {
+                workers: 2,
+                cache: true,
+            },
         );
-        assert!(mined.is_empty());
-        assert_eq!(failures, 1);
+        assert!(report.is_clean());
+        let wrapped: Vec<_> = mined.into_iter().map(|m| m.profile).collect();
+        assert_eq!(wrapped, profiles);
     }
 }

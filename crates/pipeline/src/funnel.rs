@@ -13,8 +13,10 @@
 //!   = Schema_Evo_2019 (195)
 //! ```
 
+use schevo_corpus::libio::LibioRecord;
 use schevo_corpus::universe::{MaterializedRepo, Universe};
 use schevo_vcs::history::{file_history, FileVersion, WalkStrategy};
+use schevo_vcs::repo::Repository;
 use serde::{Deserialize, Serialize};
 
 /// Why a repository fell out of the funnel.
@@ -69,6 +71,34 @@ pub struct FunnelReport {
     pub analyzed: usize,
 }
 
+impl FunnelReport {
+    /// Tally one exclusion into its stage counter. Both the in-memory
+    /// funnel and the streaming store source feed their drops through
+    /// here, so the two backends produce identical reports.
+    pub fn note_exclusion(&mut self, e: Exclusion) {
+        match e {
+            Exclusion::NotInLibio => self.not_in_libio += 1,
+            Exclusion::Fork => self.forks += 1,
+            Exclusion::ZeroStars => self.zero_stars += 1,
+            Exclusion::OneContributor => self.one_contributor += 1,
+            Exclusion::ExcludedPath => self.excluded_paths += 1,
+            Exclusion::MultiFile => self.multi_file += 1,
+            Exclusion::ZeroVersions => self.zero_versions += 1,
+            Exclusion::EmptyOrNoCreateTable => self.empty_or_no_ct += 1,
+        }
+    }
+
+    /// Tally one surviving candidate (already counted into `lib_io`).
+    pub fn note_candidate(&mut self, rigid: bool) {
+        self.cloned += 1;
+        if rigid {
+            self.rigid += 1;
+        } else {
+            self.analyzed += 1;
+        }
+    }
+}
+
 /// A candidate that survived the funnel: its extracted DDL history plus
 /// repository metadata.
 #[derive(Debug, Clone)]
@@ -90,6 +120,52 @@ impl CandidateHistory {
     pub fn is_rigid(&self) -> bool {
         self.versions.len() == 1
     }
+}
+
+/// Funnel stages 1–3 (pre-clone): the Libraries.io join, the metadata
+/// filters, and path post-processing. Returns the resolved DDL path of
+/// a survivor — a record passing this step enters the Lib-io set.
+pub fn assess_metadata(
+    libio: Option<&LibioRecord>,
+    sql_paths: &[String],
+) -> Result<String, Exclusion> {
+    let Some(meta) = libio else {
+        return Err(Exclusion::NotInLibio);
+    };
+    if meta.is_fork {
+        return Err(Exclusion::Fork);
+    }
+    if meta.stars == 0 {
+        return Err(Exclusion::ZeroStars);
+    }
+    if meta.contributors <= 1 {
+        return Err(Exclusion::OneContributor);
+    }
+    match resolve_paths(sql_paths) {
+        Ok(p) => Ok(p),
+        Err(Exclusion::ExcludedPath) => Err(Exclusion::ExcludedPath),
+        Err(_) => Err(Exclusion::MultiFile),
+    }
+}
+
+/// Funnel stage 5 (post-clone): extract the DDL history from the cloned
+/// repository and build the candidate.
+pub fn assess_clone(
+    name: &str,
+    repo: &Repository,
+    ddl_path: String,
+    pup_months: u64,
+    total_commits: u64,
+    strategy: WalkStrategy,
+) -> Result<CandidateHistory, Exclusion> {
+    let versions = extract_versions_from(repo, &ddl_path, strategy)?;
+    Ok(CandidateHistory {
+        name: name.to_string(),
+        ddl_path,
+        versions,
+        pup_months,
+        total_commits,
+    })
 }
 
 /// Resolve the candidate `.sql` paths of one repository to a single DDL
@@ -128,10 +204,16 @@ pub fn extract_versions(
     path: &str,
     strategy: WalkStrategy,
 ) -> Result<Vec<FileVersion>, Exclusion> {
-    let r = match &repo.body {
-        schevo_corpus::universe::MaterializedBody::Evo(p) => &p.repo,
-        schevo_corpus::universe::MaterializedBody::Noise(n) => &n.repo,
-    };
+    extract_versions_from(repo.repo(), path, strategy)
+}
+
+/// [`extract_versions`] over a bare repository — the form the streaming
+/// store source uses, where no [`MaterializedRepo`] wrapper exists.
+pub fn extract_versions_from(
+    r: &Repository,
+    path: &str,
+    strategy: WalkStrategy,
+) -> Result<Vec<FileVersion>, Exclusion> {
     let raw = file_history(r, path, strategy).map_err(|_| Exclusion::ZeroVersions)?;
     let versions: Vec<FileVersion> = raw
         .into_iter()
@@ -182,34 +264,15 @@ pub fn run_funnel(universe: &Universe, strategy: WalkStrategy) -> FunnelOutcome 
     let mut rigid = Vec::new();
 
     for entry in &universe.sql_collection {
-        // 1. Join with Libraries.io on repo name and URL.
-        let Some(meta) = universe.libio.get(&entry.repo_name) else {
-            report.not_in_libio += 1;
-            continue;
-        };
-        debug_assert!(meta.url.ends_with(&entry.repo_name), "join on URL too");
-        // 2. Metadata filters.
-        if meta.is_fork {
-            report.forks += 1;
-            continue;
+        // 1–3. Libraries.io join, metadata filters, path post-processing.
+        let meta = universe.libio.get(&entry.repo_name);
+        if let Some(m) = meta {
+            debug_assert!(m.url.ends_with(&entry.repo_name), "join on URL too");
         }
-        if meta.stars == 0 {
-            report.zero_stars += 1;
-            continue;
-        }
-        if meta.contributors <= 1 {
-            report.one_contributor += 1;
-            continue;
-        }
-        // 3. Path post-processing.
-        let path = match resolve_paths(&entry.sql_paths) {
+        let path = match assess_metadata(meta, &entry.sql_paths) {
             Ok(p) => p,
-            Err(Exclusion::ExcludedPath) => {
-                report.excluded_paths += 1;
-                continue;
-            }
-            Err(_) => {
-                report.multi_file += 1;
+            Err(e) => {
+                report.note_exclusion(e);
                 continue;
             }
         };
@@ -222,37 +285,27 @@ pub fn run_funnel(universe: &Universe, strategy: WalkStrategy) -> FunnelOutcome 
             .unwrap_or_else(|| panic!("{} passed filters but is not materialized", entry.repo_name));
         report.lib_io += 1;
         // 5. Extract.
-        let versions = match extract_versions(repo, &path, strategy) {
-            Ok(v) => v,
-            Err(Exclusion::ZeroVersions) => {
-                report.zero_versions += 1;
-                continue;
-            }
-            Err(_) => {
-                report.empty_or_no_ct += 1;
-                continue;
-            }
-        };
-        report.cloned += 1;
-        let (pup_months, total_commits) = match &repo.body {
-            schevo_corpus::universe::MaterializedBody::Evo(p) => {
-                (p.reported_pup_months, p.reported_total_commits)
-            }
-            schevo_corpus::universe::MaterializedBody::Noise(_) => (24, 100),
-        };
-        let candidate = CandidateHistory {
-            name: entry.repo_name.clone(),
-            ddl_path: path,
-            versions,
+        let (pup_months, total_commits) = repo.reported_meta();
+        let candidate = match assess_clone(
+            &entry.repo_name,
+            repo.repo(),
+            path,
             pup_months,
             total_commits,
+            strategy,
+        ) {
+            Ok(c) => c,
+            Err(e) => {
+                report.note_exclusion(e);
+                continue;
+            }
         };
         // 6. Rigid split.
-        if candidate.is_rigid() {
-            report.rigid += 1;
+        let is_rigid = candidate.is_rigid();
+        report.note_candidate(is_rigid);
+        if is_rigid {
             rigid.push(candidate);
         } else {
-            report.analyzed += 1;
             analyzed.push(candidate);
         }
     }

@@ -17,18 +17,25 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod engine;
 pub mod exec;
 pub mod extract;
 pub mod funnel;
 pub mod journal;
 pub mod quarantine;
+pub mod source;
 pub mod study;
 
+pub use engine::{MinePolicy, MiningEngine, MiningOutput, StreamOptions};
 pub use exec::{default_workers, ExecOptions, ExecStats};
-pub use extract::{mine_all_durable, mine_all_graceful, MineOutcome};
+#[allow(deprecated)]
+pub use extract::{mine_all_durable, mine_all_graceful};
+pub use extract::MineOutcome;
 pub use journal::{candidate_key, DurabilityOptions, JournalRecord, JournalSummary, JournalWriter};
 pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelReport};
 pub use quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
+pub use source::{CandidateSource, CandidateStream, SliceSource, SourceEvent, SourceSummary};
 pub use study::{
-    run_study, try_run_study, Narrative, StatisticsBattery, StudyOptions, StudyResult, TaxonStats,
+    exit_code, run_study, try_run_study, try_run_study_source, Narrative, StatisticsBattery,
+    StudyOptions, StudyResult, TaxonStats,
 };

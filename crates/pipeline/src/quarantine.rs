@@ -66,7 +66,7 @@ impl QuarantineReport {
     /// `(class, recovered, quarantined)` counts over every class that
     /// appears, in [`ErrorClass`] catalog order.
     pub fn class_counts(&self) -> Vec<(ErrorClass, usize, usize)> {
-        const ORDER: [ErrorClass; 10] = [
+        const ORDER: [ErrorClass; 11] = [
             ErrorClass::Lex,
             ErrorClass::Syntax,
             ErrorClass::EmptySchema,
@@ -77,6 +77,7 @@ impl QuarantineReport {
             ErrorClass::EmptyVersion,
             ErrorClass::Journal,
             ErrorClass::DeadlineExceeded,
+            ErrorClass::StoreCorrupt,
         ];
         ORDER
             .iter()

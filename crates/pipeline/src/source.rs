@@ -1,0 +1,382 @@
+//! Candidate sources: the abstraction that lets the mining engine pull
+//! funnel survivors from *any* corpus backend — the resident in-memory
+//! [`Universe`], a sharded on-disk [`ShardStore`], or a plain candidate
+//! slice — through one streaming interface.
+//!
+//! A source yields [`SourceEvent`]s: surviving candidates in corpus
+//! order, interleaved (for on-disk backends) with corruption events
+//! that the engine quarantines. Both real backends run the *same*
+//! funnel-assessment steps ([`crate::funnel::assess_metadata`] /
+//! [`crate::funnel::assess_clone`]) and tally into the same
+//! [`FunnelReport`], which is what makes their study output
+//! byte-identical.
+
+use crate::funnel::{assess_clone, assess_metadata, run_funnel, CandidateHistory, FunnelReport};
+use schevo_core::errors::{ErrorClass, SchevoError};
+use schevo_corpus::store::{ShardStore, StoreEvent, StoreIo, StoreStream};
+use schevo_corpus::universe::{corpus_digest, Universe};
+use schevo_vcs::history::WalkStrategy;
+
+/// One event pulled from a candidate source.
+#[derive(Debug)]
+pub enum SourceEvent {
+    /// A funnel survivor, ready to mine.
+    Candidate(CandidateHistory),
+    /// A corrupt backend record ([`ErrorClass::StoreCorrupt`]): the
+    /// engine quarantines it in place and the stream continues.
+    Corrupt(SchevoError),
+}
+
+/// What a drained stream reports back.
+#[derive(Debug, Clone, Default)]
+pub struct SourceSummary {
+    /// The funnel ledger accumulated while streaming.
+    pub funnel: FunnelReport,
+    /// Backend I/O counters (zero for in-memory sources).
+    pub io: StoreIo,
+}
+
+/// An in-progress streaming read of one source.
+pub trait CandidateStream {
+    /// The next event, `None` once the source is exhausted.
+    fn next_event(&mut self) -> Option<SourceEvent>;
+    /// Consume the stream and report its funnel/I/O accounting. Call
+    /// after exhaustion; an early finish reports the partial tallies.
+    fn finish(self: Box<Self>) -> SourceSummary;
+}
+
+/// A corpus backend the mining engine can stream candidates from.
+pub trait CandidateSource {
+    /// Human-readable backend description for logs and manifests.
+    fn describe(&self) -> String;
+    /// Estimated number of candidates (progress/ETA sizing only).
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+    /// The corpus content digest, when the backend knows it.
+    fn corpus_digest(&self) -> Option<String> {
+        None
+    }
+    /// Begin streaming, linearizing histories with `strategy`.
+    fn stream(&self, strategy: WalkStrategy) -> Box<dyn CandidateStream + '_>;
+}
+
+// ---------------------------------------------------------------------
+// In-memory backend: the resident Universe.
+// ---------------------------------------------------------------------
+
+struct MemoryStream {
+    queue: std::vec::IntoIter<CandidateHistory>,
+    report: FunnelReport,
+}
+
+impl CandidateStream for MemoryStream {
+    fn next_event(&mut self) -> Option<SourceEvent> {
+        self.queue.next().map(SourceEvent::Candidate)
+    }
+
+    fn finish(self: Box<Self>) -> SourceSummary {
+        SourceSummary {
+            funnel: self.report,
+            io: StoreIo::default(),
+        }
+    }
+}
+
+impl CandidateSource for Universe {
+    fn describe(&self) -> String {
+        format!(
+            "in-memory universe (seed {}, {} repos)",
+            self.config.seed,
+            self.sql_collection.len()
+        )
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.expected.analyzed)
+    }
+
+    fn corpus_digest(&self) -> Option<String> {
+        Some(corpus_digest(self))
+    }
+
+    fn stream(&self, strategy: WalkStrategy) -> Box<dyn CandidateStream + '_> {
+        // The universe is already fully resident, so the funnel runs
+        // eagerly — the stream then just hands out the survivors.
+        let outcome = run_funnel(self, strategy);
+        Box::new(MemoryStream {
+            queue: outcome.analyzed.into_iter(),
+            report: outcome.report,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slice backend: pre-funneled candidates (the legacy mine_all_* shape).
+// ---------------------------------------------------------------------
+
+/// A source over candidates that already passed a funnel elsewhere —
+/// the compatibility shape behind the deprecated `mine_all_*` wrappers
+/// and the unit-level mining tests. The funnel ledger only counts the
+/// candidates through (`analyzed`); no filtering happens.
+#[derive(Debug, Clone, Copy)]
+pub struct SliceSource<'a> {
+    candidates: &'a [CandidateHistory],
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wrap a pre-funneled candidate slice.
+    pub fn new(candidates: &'a [CandidateHistory]) -> SliceSource<'a> {
+        SliceSource { candidates }
+    }
+}
+
+struct SliceStream<'a> {
+    candidates: std::slice::Iter<'a, CandidateHistory>,
+    report: FunnelReport,
+}
+
+impl CandidateStream for SliceStream<'_> {
+    fn next_event(&mut self) -> Option<SourceEvent> {
+        let c = self.candidates.next()?;
+        self.report.sql_collection += 1;
+        self.report.lib_io += 1;
+        self.report.note_candidate(false);
+        Some(SourceEvent::Candidate(c.clone()))
+    }
+
+    fn finish(self: Box<Self>) -> SourceSummary {
+        SourceSummary {
+            funnel: self.report,
+            io: StoreIo::default(),
+        }
+    }
+}
+
+impl CandidateSource for SliceSource<'_> {
+    fn describe(&self) -> String {
+        format!("candidate slice ({} candidates)", self.candidates.len())
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.candidates.len())
+    }
+
+    fn stream(&self, _strategy: WalkStrategy) -> Box<dyn CandidateStream + '_> {
+        Box::new(SliceStream {
+            candidates: self.candidates.iter(),
+            report: FunnelReport::default(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded on-disk backend.
+// ---------------------------------------------------------------------
+
+struct StoreSourceStream {
+    inner: StoreStream,
+    report: FunnelReport,
+    strategy: WalkStrategy,
+    /// Record count promised by the manifest; compared against the
+    /// read tally at exhaustion so a shard truncated exactly at a frame
+    /// boundary (clean EOF, nothing left to checksum) is still caught.
+    expected_records: u64,
+    tally_checked: bool,
+}
+
+impl CandidateStream for StoreSourceStream {
+    fn next_event(&mut self) -> Option<SourceEvent> {
+        loop {
+            let Some(event) = self.inner.next_event() else {
+                if !self.tally_checked {
+                    self.tally_checked = true;
+                    let read = self.inner.io().records_read;
+                    if read < self.expected_records {
+                        return Some(SourceEvent::Corrupt(SchevoError::project(
+                            ErrorClass::StoreCorrupt,
+                            "store",
+                            format!(
+                                "store ends early: {read} of {} records readable",
+                                self.expected_records
+                            ),
+                        )));
+                    }
+                }
+                return None;
+            };
+            match event {
+                StoreEvent::Corrupt {
+                    shard,
+                    offset,
+                    detail,
+                } => {
+                    return Some(SourceEvent::Corrupt(SchevoError::project(
+                        ErrorClass::StoreCorrupt,
+                        format!("shard-{shard:03}"),
+                        format!("{detail} (shard offset {offset})"),
+                    )));
+                }
+                StoreEvent::Record(r) => {
+                    self.report.sql_collection += 1;
+                    let path = match assess_metadata(r.libio.as_ref(), &r.sql_paths) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            self.report.note_exclusion(e);
+                            continue;
+                        }
+                    };
+                    // The in-memory funnel treats a survivor without a
+                    // repository as a corpus bug and panics; on disk the
+                    // same inconsistency is (potential) bit rot, so it is
+                    // quarantined instead of killing the run.
+                    let Some((repo, pup_months, total_commits)) = r.materialized else {
+                        return Some(SourceEvent::Corrupt(SchevoError::project(
+                            ErrorClass::StoreCorrupt,
+                            r.name,
+                            "record passed the funnel filters but carries no repository",
+                        )));
+                    };
+                    self.report.lib_io += 1;
+                    let candidate = match assess_clone(
+                        &r.name,
+                        &repo,
+                        path,
+                        pup_months,
+                        total_commits,
+                        self.strategy,
+                    ) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            self.report.note_exclusion(e);
+                            continue;
+                        }
+                    };
+                    let rigid = candidate.is_rigid();
+                    self.report.note_candidate(rigid);
+                    if rigid {
+                        // Counted (the paper reports them), never mined.
+                        continue;
+                    }
+                    return Some(SourceEvent::Candidate(candidate));
+                }
+            }
+        }
+    }
+
+    fn finish(self: Box<Self>) -> SourceSummary {
+        SourceSummary {
+            funnel: self.report,
+            io: self.inner.io(),
+        }
+    }
+}
+
+impl CandidateSource for ShardStore {
+    fn describe(&self) -> String {
+        let m = self.manifest();
+        format!(
+            "sharded store ({} shards, {} records, seed {})",
+            m.shards, m.records, m.seed
+        )
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        // Materialized records are the upper bound on funnel survivors.
+        Some(self.manifest().materialized as usize)
+    }
+
+    fn corpus_digest(&self) -> Option<String> {
+        Some(self.manifest().corpus_digest.clone())
+    }
+
+    fn stream(&self, strategy: WalkStrategy) -> Box<dyn CandidateStream + '_> {
+        Box::new(StoreSourceStream {
+            inner: ShardStore::stream(self),
+            report: FunnelReport::default(),
+            strategy,
+            expected_records: self.manifest().records,
+            tally_checked: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schevo_corpus::store::generate_into_store;
+    use schevo_corpus::universe::{generate, UniverseConfig};
+
+    fn drain(source: &dyn CandidateSource) -> (Vec<CandidateHistory>, SourceSummary) {
+        let mut stream = source.stream(WalkStrategy::FirstParent);
+        let mut candidates = Vec::new();
+        while let Some(event) = stream.next_event() {
+            match event {
+                SourceEvent::Candidate(c) => candidates.push(c),
+                SourceEvent::Corrupt(e) => panic!("clean source yielded corruption: {e}"),
+            }
+        }
+        (candidates, stream.finish())
+    }
+
+    #[test]
+    fn universe_source_equals_run_funnel() {
+        let config = UniverseConfig::small(2019, 20);
+        let u = generate(config);
+        let outcome = run_funnel(&u, WalkStrategy::FirstParent);
+        let (candidates, summary) = drain(&u);
+        assert_eq!(summary.funnel, outcome.report);
+        assert_eq!(candidates.len(), outcome.analyzed.len());
+        for (a, b) in candidates.iter().zip(outcome.analyzed.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.versions.len(), b.versions.len());
+        }
+    }
+
+    #[test]
+    fn store_source_equals_universe_source() {
+        let config = UniverseConfig::small(2019, 20);
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_source_store_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_into_store(config, &dir, 4).expect("write store");
+        let store = ShardStore::open(&dir).expect("open store");
+
+        let u = generate(config);
+        let (mem, mem_summary) = drain(&u);
+        let (disk, disk_summary) = drain(&store);
+
+        assert_eq!(mem_summary.funnel, disk_summary.funnel);
+        assert!(disk_summary.io.records_read > 0);
+        assert_eq!(mem.len(), disk.len());
+        for (a, b) in mem.iter().zip(disk.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.ddl_path, b.ddl_path);
+            assert_eq!(a.pup_months, b.pup_months);
+            assert_eq!(a.total_commits, b.total_commits);
+            assert_eq!(a.versions.len(), b.versions.len(), "{}", a.name);
+            for (va, vb) in a.versions.iter().zip(b.versions.iter()) {
+                assert_eq!(va.commit, vb.commit, "{}", a.name);
+                assert_eq!(va.content, vb.content, "{}", a.name);
+                assert_eq!(va.timestamp, vb.timestamp, "{}", a.name);
+            }
+        }
+        assert_eq!(
+            CandidateSource::corpus_digest(&u),
+            CandidateSource::corpus_digest(&store)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slice_source_round_trips() {
+        let u = generate(UniverseConfig::small(7, 40));
+        let outcome = run_funnel(&u, WalkStrategy::FirstParent);
+        let slice = SliceSource::new(&outcome.analyzed);
+        let (candidates, summary) = drain(&slice);
+        assert_eq!(candidates.len(), outcome.analyzed.len());
+        assert_eq!(summary.funnel.analyzed, outcome.analyzed.len());
+    }
+}

@@ -2,11 +2,12 @@
 //! statistical battery → narrative percentages. The output contains every
 //! number needed to regenerate the paper's tables and figures.
 
-use crate::exec::{ExecOptions, ExecStats};
-use crate::extract::mine_all_observed;
-use crate::funnel::{run_funnel, FunnelReport};
+use crate::engine::MiningEngine;
+use crate::exec::ExecStats;
+use crate::funnel::FunnelReport;
 use crate::journal::{DurabilityOptions, JournalSummary};
 use crate::quarantine::QuarantineReport;
+use crate::source::CandidateSource;
 use schevo_core::errors::SchevoError;
 use schevo_core::fk::{fk_corpus_stats, FkCorpusStats};
 use schevo_core::heartbeat::{derive_reed_threshold, REED_THRESHOLD};
@@ -52,6 +53,9 @@ pub struct StudyOptions {
     /// The default is fully off; hooks only read what the run already
     /// computes, so results are bit-identical either way.
     pub obs: ObsHooks,
+    /// Streaming knobs: in-flight window and reassembly spill. Results
+    /// are bit-identical for every setting; these only bound memory.
+    pub stream: crate::engine::StreamOptions,
 }
 
 impl Default for StudyOptions {
@@ -64,6 +68,7 @@ impl Default for StudyOptions {
             strict: false,
             durability: DurabilityOptions::default(),
             obs: ObsHooks::default(),
+            stream: crate::engine::StreamOptions::default(),
         }
     }
 }
@@ -293,6 +298,13 @@ fn record_funnel_rejects(reg: &schevo_obs::metrics::Registry, report: &FunnelRep
     reg.set_gauge("funnel.analyzed", report.analyzed as u64);
 }
 
+/// Map a study-aborting error to the CLI exit code contract: every
+/// [`SchevoError`] that escapes a study run — strict-mode degradation,
+/// journal failure — exits with code 3 (2 is flag misuse, 1 is I/O).
+pub fn exit_code(_error: &SchevoError) -> i32 {
+    3
+}
+
 /// Run the complete study over a universe.
 ///
 /// Damaged histories are quarantined (see [`StudyResult::quarantine`])
@@ -312,41 +324,50 @@ pub fn run_study(universe: &Universe, options: StudyOptions) -> StudyResult {
 ///
 /// Without `options.strict` and without a journal this never fails.
 pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<StudyResult, SchevoError> {
-    let registry = options.obs.registry.as_deref();
+    try_run_study_source(universe, options)
+}
 
-    let t_funnel = Instant::now();
-    let outcome = {
-        let _span = span!("study.funnel");
-        run_funnel(universe, options.strategy)
-    };
-    if let Some(reg) = registry {
-        reg.set_gauge("study.stage.funnel.nanos", t_funnel.elapsed().as_nanos() as u64);
-        record_funnel_rejects(reg, &outcome.report);
-    }
-
+/// Run the complete study over any [`CandidateSource`] — the in-memory
+/// universe or a sharded on-disk store. Candidates stream through the
+/// [`MiningEngine`]; the statistical battery runs on the mined
+/// population exactly as before, so output is byte-identical across
+/// backends.
+pub fn try_run_study_source(
+    source: &dyn CandidateSource,
+    options: StudyOptions,
+) -> Result<StudyResult, SchevoError> {
+    let registry = options.obs.registry.clone();
+    let registry = registry.as_deref();
+    let strict = options.strict;
     let used_reed_threshold = options.reed_threshold.unwrap_or(REED_THRESHOLD);
-    let t_mine = Instant::now();
-    let (mined, quarantine, exec, journal) = {
-        let _span = span!("study.mine", candidates = outcome.analyzed.len());
-        mine_all_observed(
-            &outcome.analyzed,
-            used_reed_threshold,
-            &ExecOptions {
-                workers: options.workers,
-                cache: options.cache,
-            },
-            &options.durability,
-            &options.obs,
-        )?
+
+    let t_run = Instant::now();
+    let output = {
+        let _span = span!("study.mine", candidates = source.size_hint().unwrap_or(0));
+        MiningEngine::new(options).mine(source)?
     };
     if let Some(reg) = registry {
-        reg.set_gauge("study.stage.mine.nanos", t_mine.elapsed().as_nanos() as u64);
+        // The funnel runs inside the source (eagerly for the in-memory
+        // backend, interleaved with reads for the sharded one); its
+        // stage wall time is the accumulated source time either way.
+        reg.set_gauge("study.stage.funnel.nanos", output.source_nanos);
+        reg.set_gauge(
+            "study.stage.mine.nanos",
+            (t_run.elapsed().as_nanos() as u64).saturating_sub(output.source_nanos),
+        );
+        record_funnel_rejects(reg, &output.funnel);
     }
-    if options.strict {
-        if let Some(e) = quarantine.first_error() {
+    if strict {
+        if let Some(e) = output.quarantine.first_error() {
             return Err(e.clone());
         }
     }
+    let report = output.funnel;
+    let mined = output.mined;
+    let quarantine = output.quarantine;
+    let exec = output.exec;
+    let journal = output.journal;
+
     let t_stats = Instant::now();
     let _stats_span = span!("study.stats");
     let parse_failures = quarantine.quarantined.len();
@@ -422,7 +443,7 @@ pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<Study
     let activity_ac_spearman = spearman(&all_act, &all_ac).expect("Spearman on activity/AC");
 
     // Narrative percentages.
-    let cloned = outcome.report.cloned.max(1) as f64;
+    let cloned = report.cloned.max(1) as f64;
     let count_of = |t: Taxon|
 
         profiles
@@ -440,10 +461,10 @@ pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<Study
         .filter(|p| p.class == ProjectClass::Taxon(Taxon::Moderate))
         .collect();
     let narrative = Narrative {
-        rigid_pct_of_cloned: 100.0 * outcome.report.rigid as f64 / cloned,
+        rigid_pct_of_cloned: 100.0 * report.rigid as f64 / cloned,
         frozen_pct_of_cloned: 100.0 * frozen / cloned,
         almost_frozen_pct_of_cloned: 100.0 * almost / cloned,
-        little_or_none_pct_of_cloned: 100.0 * (outcome.report.rigid as f64 + frozen + almost)
+        little_or_none_pct_of_cloned: 100.0 * (report.rigid as f64 + frozen + almost)
             / cloned,
         zero_to_three_active_pct: percent_where(&profiles, |p| p.active_commits <= 3),
         pup_over_24_pct: percent_where(&profiles, |p| {
@@ -465,7 +486,7 @@ pub fn try_run_study(universe: &Universe, options: StudyOptions) -> Result<Study
     }
 
     Ok(StudyResult {
-        report: outcome.report,
+        report,
         profiles,
         taxa,
         stats: StatisticsBattery {

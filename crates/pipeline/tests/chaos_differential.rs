@@ -24,11 +24,11 @@ use rand::SeedableRng;
 use schevo_core::errors::ErrorClass;
 use schevo_corpus::faultgen::{corrupt_versions, inject, FaultClass, FaultPlan};
 use schevo_corpus::universe::{generate, Universe, UniverseConfig};
-use schevo_pipeline::exec::ExecOptions;
-use schevo_pipeline::extract::mine_all_graceful;
+use schevo_pipeline::extract::Mined;
 use schevo_pipeline::funnel::{run_funnel, CandidateHistory};
 use schevo_pipeline::quarantine::QuarantineReport;
 use schevo_pipeline::study::{run_study, try_run_study, StudyOptions, StudyResult};
+use schevo_pipeline::{MiningEngine, SliceSource};
 use schevo_vcs::history::{FileVersion, WalkStrategy};
 use schevo_vcs::sha1::Digest;
 use schevo_vcs::timestamp::Timestamp;
@@ -364,12 +364,24 @@ fn candidate(versions: Vec<FileVersion>) -> CandidateHistory {
     }
 }
 
+fn mine_graceful(
+    cands: &[CandidateHistory],
+    workers: usize,
+    cache: bool,
+) -> (Vec<Mined>, QuarantineReport) {
+    let out = MiningEngine::new(StudyOptions {
+        reed_threshold: Some(schevo_core::heartbeat::REED_THRESHOLD),
+        workers,
+        cache,
+        ..StudyOptions::default()
+    })
+    .mine(&SliceSource::new(cands))
+    .expect("graceful mining never aborts without a journal");
+    (out.mined, out.quarantine)
+}
+
 fn mine_one(c: CandidateHistory, cache: bool) -> (usize, QuarantineReport) {
-    let (mined, report, _) = mine_all_graceful(
-        &[c],
-        schevo_core::heartbeat::REED_THRESHOLD,
-        &ExecOptions { workers: 1, cache },
-    );
+    let (mined, report) = mine_graceful(&[c], 1, cache);
     (mined.len(), report)
 }
 
@@ -500,17 +512,14 @@ fn candidate_injection_on_real_funnel_output_stays_ordered() {
     )
     .expect("duplicate injection applies to a real candidate");
 
-    let opts = ExecOptions { workers: 4, cache: true };
-    let (mined, report, _) =
-        mine_all_graceful(&candidates, schevo_core::heartbeat::REED_THRESHOLD, &opts);
+    let (mined, report) = mine_graceful(&candidates, 4, true);
     assert_eq!(mined.len(), candidates.len(), "duplicate drop must not lose the candidate");
     assert_eq!(report.recovered.len(), 1);
     assert_eq!(report.recovered[0].error.project, victim_name);
     assert_eq!(report.recovered[0].error.class, ErrorClass::DuplicateVersion);
     // Order and content of everything else match the clean mining pass.
     let clean = run_funnel(&u, WalkStrategy::FirstParent).analyzed;
-    let (clean_mined, clean_report, _) =
-        mine_all_graceful(&clean, schevo_core::heartbeat::REED_THRESHOLD, &opts);
+    let (clean_mined, clean_report) = mine_graceful(&clean, 4, true);
     assert!(clean_report.is_clean());
     for (a, b) in mined.iter().zip(clean_mined.iter()) {
         assert_eq!(a.profile, b.profile, "profile order or content changed");

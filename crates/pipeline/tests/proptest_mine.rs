@@ -1,14 +1,15 @@
 //! Property tests for the work-stealing miner: for *arbitrary* candidate
 //! sets — valid histories, unparseable blobs, duplicated contents — and
-//! arbitrary worker counts / cache settings, `mine_all` must equal a
-//! plain serial fold of `mine_candidate`, and `mine_all_stats` must be
-//! insensitive to its execution configuration.
+//! arbitrary worker counts / cache settings, a strict [`MiningEngine`]
+//! pass over a [`SliceSource`] must equal a plain serial fold of
+//! `mine_candidate`/`mine_extended`, insensitive to its execution
+//! configuration.
 
 use proptest::prelude::*;
 use schevo_core::heartbeat::REED_THRESHOLD;
-use schevo_pipeline::exec::ExecOptions;
-use schevo_pipeline::extract::{mine_all, mine_all_stats, mine_candidate, mine_extended};
+use schevo_pipeline::extract::{mine_candidate, mine_extended};
 use schevo_pipeline::funnel::CandidateHistory;
+use schevo_pipeline::{MinePolicy, MiningEngine, MiningOutput, SliceSource, StudyOptions};
 use schevo_vcs::history::FileVersion;
 use schevo_vcs::sha1::sha1;
 use schevo_vcs::timestamp::Timestamp;
@@ -70,24 +71,37 @@ fn candidates_strategy() -> impl Strategy<Value = Vec<CandidateHistory>> {
     })
 }
 
+fn mine_strict(cands: &[CandidateHistory], workers: usize, cache: bool) -> MiningOutput {
+    MiningEngine::new(StudyOptions {
+        reed_threshold: Some(REED_THRESHOLD),
+        workers,
+        cache,
+        ..StudyOptions::default()
+    })
+    .with_policy(MinePolicy::Strict)
+    .mine(&SliceSource::new(cands))
+    .expect("strict slice mining cannot fail without a journal")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// The paper-profile output of the parallel miner is exactly the
+    /// The paper-profile output of the parallel engine is exactly the
     /// serial `mine_candidate` fold, and the failure count is exactly
     /// the number of candidates the serial fold rejects.
     #[test]
-    fn mine_all_equals_serial_fold(
+    fn engine_equals_serial_fold(
         cands in candidates_strategy(),
         workers in 1usize..9,
     ) {
-        let (par, failures) = mine_all(&cands, REED_THRESHOLD, workers);
+        let out = mine_strict(&cands, workers, true);
+        let par: Vec<_> = out.mined.into_iter().map(|m| m.profile).collect();
         let serial: Vec<_> = cands
             .iter()
             .filter_map(|c| mine_candidate(c, REED_THRESHOLD))
             .collect();
         let serial_failures = cands.len() - serial.len();
-        prop_assert_eq!(failures, serial_failures);
+        prop_assert_eq!(out.parse_failures, serial_failures);
         prop_assert_eq!(par, serial);
     }
 
@@ -95,24 +109,23 @@ proptest! {
     /// serial fold of `mine_extended`, independent of worker count and
     /// cache setting.
     #[test]
-    fn mine_all_stats_is_config_invariant(
+    fn engine_output_is_config_invariant(
         cands in candidates_strategy(),
         workers in 1usize..9,
         cache in any::<bool>(),
     ) {
-        let opts = ExecOptions { workers, cache };
-        let (mined, failures, stats) = mine_all_stats(&cands, REED_THRESHOLD, &opts);
+        let out = mine_strict(&cands, workers, cache);
         let serial: Vec<_> = cands
             .iter()
             .filter_map(|c| mine_extended(c, REED_THRESHOLD))
             .collect();
-        prop_assert_eq!(failures, cands.len() - serial.len());
-        prop_assert_eq!(mined, serial);
-        prop_assert_eq!(stats.tasks, cands.len());
-        prop_assert_eq!(stats.cache_enabled, cache);
+        prop_assert_eq!(out.parse_failures, cands.len() - serial.len());
+        prop_assert_eq!(out.mined, serial);
+        prop_assert_eq!(out.exec.tasks, cands.len());
+        prop_assert_eq!(out.exec.cache_enabled, cache);
         if !cache {
-            prop_assert_eq!(stats.parse_hits, 0);
-            prop_assert_eq!(stats.diff_hits, 0);
+            prop_assert_eq!(out.exec.parse_hits, 0);
+            prop_assert_eq!(out.exec.diff_hits, 0);
         }
     }
 }

@@ -93,13 +93,31 @@ fn put_lstr(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(s.as_bytes());
 }
 
-struct Reader<'a> {
+/// A bounds-checked little-endian byte reader over a borrowed buffer.
+///
+/// Every read is length-checked against the remaining buffer (with
+/// overflow-safe arithmetic), so corrupted length fields surface as
+/// [`PackError::Truncated`] instead of panics. Public because the
+/// sharded corpus store (`schevo-corpus`) frames its records with the
+/// same primitives.
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], PackError> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], PackError> {
         // `saturating_sub` keeps the check overflow-free even if an attacker
         // smuggles a near-usize::MAX length through a corrupted header.
         if self.buf.len().saturating_sub(self.pos) < n {
@@ -111,39 +129,51 @@ impl<'a> Reader<'a> {
     }
 
     /// Read exactly `N` bytes into a fixed array, bounds-checked by `take`.
-    fn array<const N: usize>(&mut self) -> Result<[u8; N], PackError> {
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], PackError> {
         let s = self.take(N)?;
         let mut a = [0u8; N];
         a.copy_from_slice(s);
         Ok(a)
     }
 
-    fn u8(&mut self) -> Result<u8, PackError> {
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, PackError> {
         Ok(self.array::<1>()?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, PackError> {
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, PackError> {
         Ok(u16::from_le_bytes(self.array()?))
     }
 
-    fn u32(&mut self) -> Result<u32, PackError> {
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PackError> {
         Ok(u32::from_le_bytes(self.array()?))
     }
 
-    fn i64(&mut self) -> Result<i64, PackError> {
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PackError> {
+        Ok(u64::from_le_bytes(self.array()?))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, PackError> {
         Ok(i64::from_le_bytes(self.array()?))
     }
 
-    fn digest(&mut self) -> Result<Digest, PackError> {
+    /// Read a 20-byte digest.
+    pub fn digest(&mut self) -> Result<Digest, PackError> {
         Ok(Digest(self.array()?))
     }
 
-    fn string(&mut self) -> Result<String, PackError> {
+    /// Read a `u16`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, PackError> {
         let n = self.u16()? as usize;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| PackError::BadString)
     }
 
-    fn lstring(&mut self) -> Result<String, PackError> {
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn lstring(&mut self) -> Result<String, PackError> {
         let n = self.u32()? as usize;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| PackError::BadString)
     }

@@ -22,7 +22,7 @@ use schevo::obs::metrics::Registry;
 use schevo::obs::{manifest, ObsHooks};
 use schevo::report::experiments::{
     experiments_markdown, ExperimentExtras, FaultDemo, LatencyRow, ObsDemo, ResumeDemo,
-    ResumePoint,
+    ResumePoint, ScaleDemo, ScaleRow,
 };
 use schevo::report::{
     fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
@@ -94,6 +94,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         fault_demo: None,
         resume_demo: None,
         obs_demo: None,
+        scale_demo: None,
     };
     eprintln!("building observability appendix...");
     extras.obs_demo = Some(obs_demo(&universe, &study, &registry, workers, cache, t0.elapsed())?);
@@ -101,6 +102,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     extras.fault_demo = Some(fault_demo(&study, workers, cache));
     eprintln!("running durability pass (crash/resume)...");
     extras.resume_demo = Some(resume_demo(&universe, &study)?);
+    let scale_factor: usize = args
+        .iter()
+        .position(|a| a == "--scale-factor")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    eprintln!("running scale pass (sharded store, {scale_factor}x streaming)...");
+    extras.scale_demo = scale_demo(scale_factor, 8)?;
     if write {
         let md = experiments_markdown(&study, &extras);
         write_atomic(Path::new("EXPERIMENTS.md"), md.as_bytes())?;
@@ -288,6 +297,127 @@ fn resume_demo(
         points,
         all_identical,
     })
+}
+
+/// One measured CLI run of the scale pass.
+struct ScaleRun {
+    stdout: Vec<u8>,
+    results_json: Vec<u8>,
+    analyzed: u64,
+    mine_s: f64,
+    rss_mb: f64,
+    manifest_json: String,
+}
+
+/// The `schevo` CLI binary, expected next to this example's own
+/// executable (`target/<profile>/examples/full_study` → `../schevo`).
+fn cli_binary() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let bin = exe.parent()?.parent()?.join("schevo");
+    bin.exists().then_some(bin)
+}
+
+/// Run one `schevo study` subprocess and harvest its stdout,
+/// `study_results.json`, metrics (peak RSS, mining wall, funnel gauge)
+/// and manifest. Each run is a fresh process, so `process.peak_rss_bytes`
+/// is that configuration's own high-water mark.
+fn scale_run(
+    bin: &Path,
+    factor: usize,
+    store: Option<(&Path, usize)>,
+    tag: &str,
+) -> Result<ScaleRun, Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("schevo_scale_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let metrics = dir.join("metrics.json");
+    let manifest = dir.join("manifest.json");
+    let out_dir = dir.join("out");
+    let mut cmd = std::process::Command::new(bin);
+    cmd.args(["study", "--seed", "2019"]);
+    if factor > 1 {
+        cmd.args(["--scale-factor", &factor.to_string()]);
+    }
+    if let Some((store_dir, shards)) = store {
+        cmd.arg("--store-dir").arg(store_dir);
+        cmd.args(["--shards", &shards.to_string()]);
+    }
+    // The parse/diff cache never hits on the salted synthetic corpus
+    // (every blob is unique), so at scale it is pure memory overhead;
+    // disabling it lets every row show its backend's true footprint.
+    cmd.arg("--no-cache");
+    cmd.arg("--metrics-out").arg(&metrics);
+    cmd.arg("--manifest-out").arg(&manifest);
+    cmd.arg("--out").arg(&out_dir);
+    cmd.stderr(std::process::Stdio::null());
+    let out = cmd.output()?;
+    if !out.status.success() {
+        return Err(format!("scale run `{tag}` failed with {:?}", out.status.code()).into());
+    }
+    let snapshot = std::fs::read_to_string(&metrics)?;
+    let v: serde_json::Value = serde_json::from_str(&snapshot)?;
+    let gauge = |name: &str| -> Option<u64> {
+        v.get("gauges")?.as_seq()?.iter().find_map(|pair| {
+            let pair = pair.as_seq()?;
+            (pair.first()?.as_str()? == name).then(|| pair.get(1)?.as_u64())?
+        })
+    };
+    let analyzed = gauge("funnel.analyzed").ok_or("metrics missing funnel.analyzed")?;
+    let mine_s =
+        gauge("study.stage.mine.nanos").ok_or("metrics missing mine stage")? as f64 / 1e9;
+    let rss_mb =
+        gauge("process.peak_rss_bytes").ok_or("metrics missing peak RSS")? as f64 / 1e6;
+    let run = ScaleRun {
+        stdout: out.stdout,
+        results_json: std::fs::read(out_dir.join("study_results.json"))?,
+        analyzed,
+        mine_s,
+        rss_mb,
+        manifest_json: std::fs::read_to_string(&manifest)?,
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(run)
+}
+
+/// The scale pass for the EXPERIMENTS.md appendix: prove the sharded
+/// streaming backend byte-equivalent to the resident backend at paper
+/// scale, then measure it at `factor`× paper scale — a corpus the
+/// resident path would have to hold fully in RAM.
+fn scale_demo(
+    factor: usize,
+    shards: usize,
+) -> Result<Option<ScaleDemo>, Box<dyn std::error::Error>> {
+    let Some(bin) = cli_binary() else {
+        eprintln!("scale pass skipped: `schevo` binary not found next to this example");
+        return Ok(None);
+    };
+    let stores = std::env::temp_dir().join(format!("schevo_scale_stores_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&stores);
+    let resident = scale_run(&bin, 1, None, "resident1x")?;
+    let streaming1 = scale_run(&bin, 1, Some((&stores.join("s1"), shards)), "stream1x")?;
+    let outputs_identical = resident.stdout == streaming1.stdout
+        && resident.results_json == streaming1.results_json;
+    let streaming_n = scale_run(&bin, factor, Some((&stores.join("sN"), shards)), "streamNx")?;
+    let _ = std::fs::remove_dir_all(&stores);
+    let row = |backend: &str, factor: usize, r: &ScaleRun| ScaleRow {
+        backend: backend.to_string(),
+        factor,
+        analyzed: r.analyzed,
+        mine_s: r.mine_s,
+        projects_per_s: if r.mine_s > 0.0 { r.analyzed as f64 / r.mine_s } else { 0.0 },
+        peak_rss_mb: r.rss_mb,
+    };
+    Ok(Some(ScaleDemo {
+        factor,
+        shards,
+        outputs_identical,
+        rows: vec![
+            row("resident", 1, &resident),
+            row("streaming", 1, &streaming1),
+            row("streaming", factor, &streaming_n),
+        ],
+        manifest_json: streaming_n.manifest_json,
+    }))
 }
 
 /// The canonical chaos pass for the EXPERIMENTS.md appendix: damage 20%

@@ -2,8 +2,10 @@
 # CI gate: build, full test suite, lint wall, a black-box differential
 # check that the work-stealing executor's output is bit-identical for every
 # worker count and with the parse/diff cache on or off, the chaos suite
-# (fault injection + graceful degradation), and a panic-site budget over
-# the mining-path crates.
+# (fault injection + graceful degradation), the scale tier (sharded store
+# byte-identity plus a 20x streaming run under a fixed peak-RSS ceiling),
+# a deprecation gate over the legacy mine_all_* wrappers, and a panic-site
+# budget over the mining-path crates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -138,6 +140,62 @@ if ! diff -q "$clean_dir/study_results.json" "$resume_dir/study_results.json" >/
   exit 1
 fi
 echo "    kill at commit 3 -> resume reproduces the clean run byte-for-byte"
+
+echo "==> scale tier: sharded store byte-identity + streaming RSS ceiling"
+# In-memory vs sharded: the same study streamed out of an on-disk shard
+# store must not change a single stdout byte.
+store_small="$tmp/store-small"
+stream_out="$tmp/stream.txt"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache --store-dir "$store_small" --shards 4 \
+  > "$stream_out" 2>/dev/null
+if ! diff -q "$baseline" "$stream_out" >/dev/null; then
+  echo "SCALE FAILURE: sharded backend changed the study output" >&2
+  diff "$baseline" "$stream_out" | head -40 >&2
+  exit 1
+fi
+echo "    sharded backend identical to in-memory baseline"
+# The bounded-memory proof: a 20x paper-scale corpus (~2.7M records,
+# ~870 MB of shards) generated straight into the store and mined end to
+# end must stay under a fixed peak-RSS ceiling. Measured: ~138 MB. The
+# ceiling leaves allocator headroom while sitting far below the ~6.5 GB
+# a resident 20x universe costs — any regression back toward residency
+# (or unbounded reassembly buffering) blows through it immediately.
+RSS_CEILING_MB=256
+store_big="$tmp/store-20x"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale-factor 20 \
+  --workers 1 --no-cache --store-dir "$store_big" --shards 8 \
+  --metrics-out "$tmp/scale-metrics.json" >/dev/null 2>&1
+rss=$(awk '/"process.peak_rss_bytes"/ { getline; gsub(/[ ,]/, ""); print; exit }' \
+  "$tmp/scale-metrics.json")
+if [ -z "$rss" ]; then
+  echo "SCALE FAILURE: peak-RSS gauge missing from metrics export" >&2
+  exit 1
+fi
+rss_mb=$((rss / 1000000))
+rm -rf "$store_big"
+if [ "$rss_mb" -gt "$RSS_CEILING_MB" ]; then
+  echo "SCALE FAILURE: 20x streaming run peaked at ${rss_mb} MB (ceiling ${RSS_CEILING_MB} MB)" >&2
+  exit 1
+fi
+echo "    20x streaming run peaked at ${rss_mb} MB (ceiling ${RSS_CEILING_MB} MB)"
+
+echo "==> deprecation gate: no first-party callers of mine_all_*"
+# The legacy mine_all_* family survives only as #[deprecated] wrappers in
+# crates/pipeline/src/extract.rs (plus the one compatibility re-export in
+# the pipeline crate root). Everything else goes through MiningEngine.
+offenders=$(grep -rn "mine_all_" \
+  crates/*/src crates/*/tests crates/*/benches src examples tests \
+  --include='*.rs' 2>/dev/null \
+  | grep -v "^crates/pipeline/src/extract.rs:" \
+  | grep -v "^crates/pipeline/src/lib.rs:[0-9]*:pub use extract::" \
+  | grep -v "^[^:]*:[0-9]*:[[:space:]]*//" || true)
+if [ -n "$offenders" ]; then
+  echo "DEPRECATION FAILURE: first-party code still calls mine_all_*:" >&2
+  echo "$offenders" >&2
+  exit 1
+fi
+echo "    mining entry point is MiningEngine everywhere outside the wrappers"
 
 echo "==> panic-site budget (ddl, vcs, pipeline, obs, atomic writer)"
 # Graceful degradation means the mining path must not grow new panic

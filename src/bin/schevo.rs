@@ -1,7 +1,8 @@
 //! `schevo` — command-line front end for the schema-evolution study.
 //!
 //! ```text
-//! schevo study [--seed N] [--scale D] [--out DIR] [--workers N] [--no-cache]
+//! schevo study [--seed N] [--scale D] [--scale-factor F] [--out DIR]
+//!              [--store-dir DIR] [--shards N] [--workers N] [--no-cache]
 //!              [--strict] [--inject-faults PCT] [--fault-seed N]
 //!              [--journal PATH] [--resume] [--crash-after N] [--deadline-ms N]
 //!              [--trace-out PATH] [--metrics-out PATH] [--metrics-format json|prom]
@@ -45,7 +46,8 @@ fn print_help() {
     println!(
         "schevo — profiles of schema evolution in FOSS projects\n\n\
          USAGE:\n  \
-         schevo study [--seed N] [--scale D] [--out DIR]\n               \
+         schevo study [--seed N] [--scale D] [--scale-factor F] [--out DIR]\n               \
+         [--store-dir DIR] [--shards N]\n               \
          [--workers N] [--no-cache] [--strict]\n               \
          [--inject-faults PCT] [--fault-seed N]\n               \
          [--journal PATH] [--resume]\n               \
@@ -106,6 +108,34 @@ fn cmd_study(args: &[String]) -> i32 {
         return 2;
     }
 
+    // --- storage backend flags ---
+    let store_dir = flag_value(args, "--store-dir").map(std::path::PathBuf::from);
+    let shards: usize = match flag_value(args, "--shards") {
+        None => 8,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                events::warn("store", "--shards must be a positive integer");
+                return 2;
+            }
+        },
+    };
+    if flag_value(args, "--shards").is_some() && store_dir.is_none() {
+        events::warn("store", "--shards requires --store-dir DIR");
+        return 2;
+    }
+    let scale_factor: usize = flag_value(args, "--scale-factor")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    if inject_pct > 0 && store_dir.is_some() {
+        events::warn(
+            "store",
+            "--inject-faults mutates a resident universe; drop --store-dir to use it",
+        );
+        return 2;
+    }
+
     // --- observability flags ---
     let trace_out = flag_value(args, "--trace-out");
     let metrics_out = flag_value(args, "--metrics-out");
@@ -157,29 +187,103 @@ fn cmd_study(args: &[String]) -> i32 {
         UniverseConfig::paper(seed)
     } else {
         UniverseConfig::small(seed, scale)
-    };
-    events::info("corpus", &format!("generating universe (seed {seed}, scale 1/{scale})..."));
-    let t_generate = std::time::Instant::now();
-    let mut universe = generate(config);
-    if inject_pct > 0 {
-        let faults = inject(&mut universe, &FaultPlan::all(fault_seed, inject_pct));
-        events::info(
-            "faults",
-            &format!(
-                "injected {} fault(s) into {inject_pct}% of evolving projects (fault seed {fault_seed})",
-                faults.len()
-            ),
-        );
     }
+    .with_multiplier(scale_factor);
+    let t_generate = std::time::Instant::now();
+    let mut universe: Option<Universe> = None;
+    let store: Option<schevo::corpus::store::ShardStore> = if let Some(dir) = &store_dir {
+        use schevo::corpus::store::{generate_into_store, ShardStore};
+        let reusable = ShardStore::open(dir)
+            .ok()
+            .filter(|s| s.manifest().matches(&config, shards));
+        let opened = match reusable {
+            Some(s) => {
+                events::info(
+                    "store",
+                    &format!(
+                        "reusing store at {} ({} shards, {} records)",
+                        dir.display(),
+                        s.manifest().shards,
+                        s.manifest().records
+                    ),
+                );
+                s
+            }
+            None => {
+                if dir.join("MANIFEST.json").exists() {
+                    events::info("store", "existing store does not match this config; regenerating");
+                    if let Err(e) = std::fs::remove_dir_all(dir) {
+                        events::warn("store", &format!("cannot clear {}: {e}", dir.display()));
+                        return 1;
+                    }
+                }
+                events::info(
+                    "corpus",
+                    &format!(
+                        "generating universe into store (seed {seed}, scale {scale_factor}x/{scale}, {shards} shards)..."
+                    ),
+                );
+                let (m, io) = match generate_into_store(config, dir, shards) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        events::warn("store", &e.to_string());
+                        return 1;
+                    }
+                };
+                if let Some(reg) = &registry {
+                    reg.add("store.records_written", io.records_written);
+                    reg.add("store.bytes_written", io.bytes_written);
+                }
+                events::info(
+                    "store",
+                    &format!(
+                        "wrote {} records ({} bytes) into {shards} shard(s)",
+                        m.records, io.bytes_written
+                    ),
+                );
+                match ShardStore::open(dir) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        events::warn("store", &e.to_string());
+                        return 1;
+                    }
+                }
+            }
+        };
+        Some(opened)
+    } else {
+        events::info("corpus", &format!("generating universe (seed {seed}, scale 1/{scale})..."));
+        let mut u = generate(config);
+        if inject_pct > 0 {
+            let faults = inject(&mut u, &FaultPlan::all(fault_seed, inject_pct));
+            events::info(
+                "faults",
+                &format!(
+                    "injected {} fault(s) into {inject_pct}% of evolving projects (fault seed {fault_seed})",
+                    faults.len()
+                ),
+            );
+        }
+        universe = Some(u);
+        None
+    };
     if let Some(reg) = &registry {
         reg.set_gauge("study.stage.generate.nanos", t_generate.elapsed().as_nanos() as u64);
     }
+    let source: &dyn CandidateSource = match (&store, &universe) {
+        (Some(s), _) => s,
+        (None, Some(u)) => u,
+        (None, None) => {
+            events::warn("study", "no corpus backend configured");
+            return 1;
+        }
+    };
     events::info(
         "study",
         &format!("running study ({workers} workers, cache {})...", if cache { "on" } else { "off" }),
     );
-    let study = match try_run_study(
-        &universe,
+    let study = match try_run_study_source(
+        source,
         StudyOptions {
             workers,
             cache,
@@ -192,7 +296,7 @@ fn cmd_study(args: &[String]) -> i32 {
         Ok(study) => study,
         Err(e) => {
             events::warn("study", &format!("aborted: {e}"));
-            return 3;
+            return schevo::pipeline::exit_code(&e);
         }
     };
     if let Some(j) = &study.journal {
@@ -259,6 +363,13 @@ fn cmd_study(args: &[String]) -> i32 {
     }
 
     // --- observability artifacts (stdout is already fully written) ---
+    if let Some(reg) = &registry {
+        // Sampled after mining so the gauge carries the run's high-water
+        // mark; the scale-tier gate in scripts/ci.sh reads it.
+        if let Some(rss) = schevo::obs::procinfo::peak_rss_bytes() {
+            reg.set_gauge("process.peak_rss_bytes", rss);
+        }
+    }
     if let Some(path) = &trace_out {
         // Spans from every stage have been dropped by now; drain the
         // shards and publish. With --no-trace the file is still written
@@ -298,7 +409,11 @@ fn cmd_study(args: &[String]) -> i32 {
             deadline_ms: deadline.map(|d| d.as_millis() as u64),
             trace_out: trace_out.clone(),
             metrics_out: metrics_out.clone(),
-            corpus_digest: schevo::corpus::universe::corpus_digest(&universe),
+            corpus_digest: match (&store, &universe) {
+                (Some(s), _) => s.manifest().corpus_digest.clone(),
+                (_, Some(u)) => schevo::corpus::universe::corpus_digest(u),
+                _ => String::new(),
+            },
             wall_us: run_start.elapsed().as_micros() as u64,
             stages: manifest::stages_from_snapshot(snap),
             quarantine: manifest::QuarantineManifest {

@@ -47,6 +47,16 @@ pub use schevo_report as report;
 pub use schevo_stats as stats;
 pub use schevo_vcs as vcs;
 
+// The stable mining surface, re-exported at the root so the CLI,
+// examples, and tests never deep-import crate paths (see DESIGN.md,
+// "Stable surface"). Everything else re-exported by the workspace
+// crates is reachable but considered internal.
+pub use schevo_core::errors::SchevoError;
+pub use schevo_pipeline::{
+    exit_code, run_study, try_run_study, try_run_study_source, CandidateSource, MiningEngine,
+    SliceSource, StudyOptions, StudyResult,
+};
+
 /// The types most callers need, in one import.
 pub mod prelude {
     pub use schevo_core::errors::{ErrorClass, SchevoError};
@@ -60,7 +70,10 @@ pub mod prelude {
     pub use schevo_ddl::{parse_schema, parse_schema_recovering, Schema};
     pub use schevo_obs::ObsHooks;
     pub use schevo_pipeline::quarantine::QuarantineReport;
-    pub use schevo_pipeline::study::{run_study, try_run_study, StudyOptions, StudyResult};
+    pub use schevo_pipeline::study::{
+        run_study, try_run_study, try_run_study_source, StudyOptions, StudyResult,
+    };
+    pub use schevo_pipeline::{CandidateSource, MinePolicy, MiningEngine, SliceSource};
     pub use schevo_report::ProjectSeries;
     pub use schevo_vcs::history::{file_history, WalkStrategy};
     pub use schevo_vcs::repo::{FileChange, Repository};
