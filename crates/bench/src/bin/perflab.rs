@@ -1,0 +1,75 @@
+//! `perflab` — run the variance-controlled perf lab and emit
+//! `BENCH_mine.json` / `BENCH_parse.json`.
+//!
+//! ```text
+//! perflab                  # paper tier (the committed repo-root reports)
+//! perflab --bench-smoke    # smoke tier, <10 s, the CI gate
+//! perflab --out <dir>      # write reports into <dir> (default: cwd)
+//! perflab --check <file>      # validate a report, print its median
+//! perflab --check-min <file>  # validate a report, print its minimum
+//! ```
+
+use schevo_bench::lab::Tier;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut tier = Tier::Paper;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench-smoke" => tier = Tier::Smoke,
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            flag @ ("--check" | "--check-min") => {
+                let Some(f) = args.next() else {
+                    eprintln!("{flag} needs a report file argument");
+                    return ExitCode::FAILURE;
+                };
+                let stat = if flag == "--check" {
+                    schevo_bench::perflab::check(Path::new(&f))
+                } else {
+                    schevo_bench::perflab::check_min(Path::new(&f))
+                };
+                return match stat {
+                    Ok(v) => {
+                        println!("{v}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("check failed for {f}: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: perflab [--bench-smoke] [--out <dir>] [--check <file>] [--check-min <file>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match schevo_bench::perflab::run(tier, &out_dir) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perflab failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

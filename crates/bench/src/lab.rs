@@ -1,0 +1,366 @@
+//! The variance-controlled perf lab: warmup + repeated in-process runs,
+//! robust summary statistics (median/MAD), full sample distributions, and
+//! self-validating `BENCH_*.json` reports.
+//!
+//! Criterion answers "how fast is this function"; the lab answers "did the
+//! hot path regress" with a protocol CI can gate on:
+//!
+//! 1. every workload runs `warmup` times unmeasured, so the first-touch
+//!    costs (page faults, lazy statics, branch-predictor training) never
+//!    land in a sample;
+//! 2. the measured runs are summarized by **median** and **MAD** (median
+//!    absolute deviation), which a single noisy neighbor on a shared box
+//!    cannot drag the way a mean/stddev pair can;
+//! 3. the full sample vector is kept in the report, so a later reader can
+//!    re-derive any statistic without re-running;
+//! 4. [`validate_bench_json`] checks every report against the
+//!    `schevo-bench/v1` shape before it is written *and* in CI before it
+//!    is compared, so a torn or hand-edited file fails loudly.
+
+use serde::Serialize;
+use serde_json::Value;
+
+/// Report schema identifier; bump when the JSON shape changes.
+pub const BENCH_SCHEMA: &str = "schevo-bench/v1";
+
+/// Which scale a lab run measured at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Sub-10-second tier for CI gating (heavily scaled-down corpus).
+    Smoke,
+    /// The scale the study itself runs at (1/20 of the full corpus, the
+    /// same divisor as the committed goldens).
+    Paper,
+}
+
+impl Tier {
+    /// The string stored in the report's `tier` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::Smoke => "smoke",
+            Tier::Paper => "paper",
+        }
+    }
+}
+
+/// Robust summary of one sample vector, in the sample's unit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SummaryStats {
+    /// Type-7 median.
+    pub median: f64,
+    /// Median absolute deviation: `median(|x − median|)`.
+    pub mad: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// 10th percentile (type-7).
+    pub p10: f64,
+    /// 90th percentile (type-7).
+    pub p90: f64,
+}
+
+/// Summarize a sample vector. `None` when empty.
+pub fn summarize(samples: &[f64]) -> Option<SummaryStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let median = schevo_stats::median(samples);
+    let deviations: Vec<f64> = samples.iter().map(|x| (x - median).abs()).collect();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    for &x in samples {
+        min = min.min(x);
+        max = max.max(x);
+        sum += x;
+    }
+    Some(SummaryStats {
+        median,
+        mad: schevo_stats::median(&deviations),
+        mean: sum / samples.len() as f64,
+        min,
+        max,
+        p10: schevo_stats::quantile(samples, 0.10),
+        p90: schevo_stats::quantile(samples, 0.90),
+    })
+}
+
+/// One lab measurement: the protocol parameters, every sample, and the
+/// robust summary. Serializes to the `BENCH_*.json` shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Always [`BENCH_SCHEMA`].
+    pub schema: String,
+    /// Workload name (`mine`, `parse`).
+    pub name: String,
+    /// `smoke` or `paper`.
+    pub tier: String,
+    /// Corpus seed the workload was built from.
+    pub seed: u64,
+    /// Unmeasured warmup runs executed before sampling.
+    pub warmup_runs: usize,
+    /// Number of measured runs (`== samples.len()`).
+    pub measured_runs: usize,
+    /// Unit of every sample (`seconds`).
+    pub unit: String,
+    /// Per-run wall times, in run order.
+    pub samples: Vec<f64>,
+    /// Robust summary of `samples`.
+    pub stats: SummaryStats,
+}
+
+impl BenchReport {
+    /// Serialize to pretty JSON (trailing newline included).
+    pub fn to_json_string(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).unwrap_or_default();
+        s.push('\n');
+        s
+    }
+}
+
+/// Run one workload under the lab protocol: `warmup` unmeasured calls,
+/// then `runs` measured calls of `f` (which returns one run's wall time in
+/// seconds). Panics if `runs` is zero — a report without samples is
+/// meaningless.
+pub fn run_lab(
+    name: &str,
+    tier: Tier,
+    seed: u64,
+    warmup: usize,
+    runs: usize,
+    mut f: impl FnMut() -> f64,
+) -> BenchReport {
+    assert!(runs > 0, "a lab run needs at least one measured sample");
+    for _ in 0..warmup {
+        let _ = f();
+    }
+    let samples: Vec<f64> = (0..runs).map(|_| f()).collect();
+    let stats = match summarize(&samples) {
+        Some(s) => s,
+        None => unreachable!("runs > 0 was asserted above"),
+    };
+    BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        name: name.to_string(),
+        tier: tier.as_str().to_string(),
+        seed,
+        warmup_runs: warmup,
+        measured_runs: runs,
+        unit: "seconds".to_string(),
+        samples,
+        stats,
+    }
+}
+
+fn require_f64(stats: &Value, key: &str) -> Result<f64, String> {
+    let v = stats
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `stats.{key}`"))?;
+    if !v.is_finite() {
+        return Err(format!("field `stats.{key}` is not finite"));
+    }
+    Ok(v)
+}
+
+/// Validate a parsed `BENCH_*.json` document against the
+/// `schevo-bench/v1` shape. Returns the first violation found.
+pub fn validate_bench_json(doc: &Value) -> Result<(), String> {
+    let obj = doc;
+    if obj.as_map().is_none() {
+        return Err("report is not a JSON object".to_string());
+    }
+    match obj.get("schema").and_then(Value::as_str) {
+        Some(s) if s == BENCH_SCHEMA => {}
+        Some(s) => return Err(format!("unknown schema `{s}`, expected `{BENCH_SCHEMA}`")),
+        None => return Err("missing string field `schema`".to_string()),
+    }
+    let name = obj
+        .get("name")
+        .and_then(Value::as_str)
+        .ok_or("missing string field `name`")?;
+    if name.is_empty() {
+        return Err("empty `name`".to_string());
+    }
+    match obj.get("tier").and_then(Value::as_str) {
+        Some("smoke") | Some("paper") => {}
+        Some(t) => return Err(format!("unknown tier `{t}`")),
+        None => return Err("missing string field `tier`".to_string()),
+    }
+    if obj.get("seed").and_then(Value::as_u64).is_none() {
+        return Err("missing integer field `seed`".to_string());
+    }
+    let warmup = obj
+        .get("warmup_runs")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field `warmup_runs`")?;
+    let _ = warmup;
+    let measured = obj
+        .get("measured_runs")
+        .and_then(Value::as_u64)
+        .ok_or("missing integer field `measured_runs`")?;
+    match obj.get("unit").and_then(Value::as_str) {
+        Some("seconds") => {}
+        Some(u) => return Err(format!("unknown unit `{u}`")),
+        None => return Err("missing string field `unit`".to_string()),
+    }
+    let samples = obj
+        .get("samples")
+        .and_then(Value::as_array)
+        .ok_or("missing array field `samples`")?;
+    if samples.is_empty() {
+        return Err("`samples` is empty".to_string());
+    }
+    if samples.len() as u64 != measured {
+        return Err(format!(
+            "`measured_runs` ({measured}) disagrees with samples.len() ({})",
+            samples.len()
+        ));
+    }
+    for (i, s) in samples.iter().enumerate() {
+        match s.as_f64() {
+            Some(v) if v.is_finite() && v >= 0.0 => {}
+            _ => return Err(format!("sample[{i}] is not a finite non-negative number")),
+        }
+    }
+    let stats = obj.get("stats").ok_or("missing object field `stats`")?;
+    if stats.as_map().is_none() {
+        return Err("`stats` is not a JSON object".to_string());
+    }
+    for key in ["median", "mad", "mean", "min", "max", "p10", "p90"] {
+        let v = require_f64(stats, key)?;
+        if key != "mad" && v < 0.0 {
+            return Err(format!("stats.{key} is negative"));
+        }
+    }
+    let min = require_f64(stats, "min")?;
+    let max = require_f64(stats, "max")?;
+    let med = require_f64(stats, "median")?;
+    if min > max || med < min || med > max {
+        return Err("stats ordering violated (min ≤ median ≤ max)".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_is_exact_on_fixed_samples() {
+        // Odd count: median is the middle element; MAD is the median of
+        // |x − 5| = [4, 3, 0, 2, 5] → sorted [0, 2, 3, 4, 5] → 3.
+        let s = summarize(&[1.0, 2.0, 5.0, 7.0, 10.0]).unwrap();
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.mad, 3.0);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn summary_even_count_interpolates() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        // |x − 2.5| = [1.5, 0.5, 0.5, 1.5] → median 1.0.
+        assert_eq!(s.mad, 1.0);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn percentiles_match_r_type7() {
+        // R: quantile(1:10, c(.1, .9)) → 1.9, 9.1.
+        let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let s = summarize(&v).unwrap();
+        assert!((s.p10 - 1.9).abs() < 1e-12);
+        assert!((s.p90 - 9.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_samples_have_zero_spread() {
+        let s = summarize(&[3.0; 7]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mad, 0.0);
+        assert_eq!((s.min, s.max), (3.0, 3.0));
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn run_lab_warms_up_then_samples() {
+        let mut calls = 0usize;
+        let report = run_lab("t", Tier::Smoke, 1, 2, 5, || {
+            calls += 1;
+            calls as f64
+        });
+        assert_eq!(calls, 7, "2 warmup + 5 measured");
+        // Samples are the measured calls only (3..=7).
+        assert_eq!(report.samples, vec![3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(report.stats.median, 5.0);
+        assert_eq!(report.warmup_runs, 2);
+        assert_eq!(report.measured_runs, 5);
+    }
+
+    #[test]
+    fn own_reports_validate() {
+        let report = run_lab("mine", Tier::Paper, 2019, 1, 3, || 0.5);
+        let doc: Value = serde_json::from_str(&report.to_json_string()).unwrap();
+        validate_bench_json(&doc).unwrap();
+    }
+
+    /// Replace `doc[key]` in place (the vendored `Value` has no IndexMut).
+    fn set(doc: &mut Value, key: &str, v: Value) {
+        if let Value::Map(entries) = doc {
+            if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                e.1 = v;
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_reports() {
+        let good = run_lab("parse", Tier::Smoke, 2019, 0, 2, || 1.0);
+        let doc: Value = serde_json::from_str(&good.to_json_string()).unwrap();
+        validate_bench_json(&doc).unwrap();
+
+        let mut wrong_schema = doc.clone();
+        set(&mut wrong_schema, "schema", Value::Str("schevo-bench/v0".into()));
+        assert!(validate_bench_json(&wrong_schema).is_err());
+
+        let mut bad_tier = doc.clone();
+        set(&mut bad_tier, "tier", Value::Str("warp".into()));
+        assert!(validate_bench_json(&bad_tier).is_err());
+
+        let mut count_mismatch = doc.clone();
+        set(&mut count_mismatch, "measured_runs", Value::U64(99));
+        assert!(validate_bench_json(&count_mismatch).is_err());
+
+        let mut no_samples = doc.clone();
+        set(&mut no_samples, "samples", Value::Seq(vec![]));
+        assert!(validate_bench_json(&no_samples).is_err());
+
+        let mut negative_sample = doc.clone();
+        set(
+            &mut negative_sample,
+            "samples",
+            Value::Seq(vec![Value::F64(-1.0), Value::F64(1.0)]),
+        );
+        assert!(validate_bench_json(&negative_sample).is_err());
+
+        let mut missing_stat = doc.clone();
+        if let Some(Value::Map(stats)) = match &mut missing_stat {
+            Value::Map(entries) => entries
+                .iter_mut()
+                .find(|(k, _)| k == "stats")
+                .map(|(_, v)| v),
+            _ => None,
+        } {
+            stats.retain(|(k, _)| k != "mad");
+        }
+        assert!(validate_bench_json(&missing_stat).is_err());
+
+        assert!(validate_bench_json(&Value::U64(42)).is_err());
+    }
+}

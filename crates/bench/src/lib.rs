@@ -6,6 +6,9 @@ use schevo_corpus::universe::{generate, Universe, UniverseConfig};
 use schevo_pipeline::study::{run_study, StudyOptions, StudyResult};
 use std::sync::OnceLock;
 
+pub mod lab;
+pub mod perflab;
+
 /// The canonical seed of the reproduction.
 pub const SEED: u64 = 2019;
 

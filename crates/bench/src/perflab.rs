@@ -1,0 +1,198 @@
+//! The perf-lab workloads: what `BENCH_mine.json` and `BENCH_parse.json`
+//! actually measure, shared by the `perflab` binary and the smoke-tier
+//! integration test.
+//!
+//! * **mine** — one full `MiningEngine::mine` pass over the resident
+//!   universe, single worker, caches off, so every run exercises the
+//!   parse + diff hot path end to end (cache hits would measure the cache,
+//!   not the rewrite).
+//! * **parse** — `parse_schema` over every DDL file version of every
+//!   materialized repository, extracted once up front so the runs time the
+//!   parser alone, not VCS walking.
+
+use crate::lab::{run_lab, validate_bench_json, BenchReport, Tier};
+use crate::SEED;
+use schevo_corpus::universe::{generate, Universe, UniverseConfig};
+use schevo_pipeline::{MiningEngine, StudyOptions};
+use schevo_vcs::history::{file_history, WalkStrategy};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Corpus scale divisor per tier. Paper tier matches the committed
+/// goldens (`--scale 20`); smoke is 4× smaller again so the whole lab
+/// finishes inside CI's 10-second budget.
+fn scale_divisor(tier: Tier) -> usize {
+    match tier {
+        Tier::Smoke => 80,
+        Tier::Paper => 20,
+    }
+}
+
+/// Measured runs per tier (after warmup). Smoke measures five runs —
+/// the CI fence compares minima, and a deeper sample makes the minimum
+/// robust to transient load on a shared box.
+fn protocol(tier: Tier) -> (usize, usize) {
+    match tier {
+        Tier::Smoke => (1, 5),
+        Tier::Paper => (2, 5),
+    }
+}
+
+fn build_universe(tier: Tier) -> Universe {
+    generate(UniverseConfig::small(SEED, scale_divisor(tier)))
+}
+
+/// Every DDL file version in the universe, in deterministic
+/// (SQL-Collection, path, history) order.
+fn ddl_corpus(universe: &Universe) -> Vec<String> {
+    let mut texts = Vec::new();
+    for entry in &universe.sql_collection {
+        let Some(repo) = universe.materialized.get(&entry.repo_name) else {
+            continue;
+        };
+        for path in &entry.sql_paths {
+            let Ok(versions) = file_history(repo.repo(), path, WalkStrategy::FirstParent) else {
+                continue;
+            };
+            for v in versions {
+                texts.push(v.content);
+            }
+        }
+    }
+    texts
+}
+
+fn mine_report(universe: &Universe, tier: Tier) -> BenchReport {
+    let (warmup, runs) = protocol(tier);
+    run_lab("mine", tier, SEED, warmup, runs, || {
+        let engine = MiningEngine::new(StudyOptions {
+            workers: 1,
+            cache: false,
+            ..StudyOptions::default()
+        });
+        let start = Instant::now();
+        let out = engine.mine(universe).expect("clean corpus mines");
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(!out.mined.is_empty(), "mine workload produced no profiles");
+        elapsed
+    })
+}
+
+fn parse_report(universe: &Universe, tier: Tier) -> BenchReport {
+    let corpus = ddl_corpus(universe);
+    assert!(!corpus.is_empty(), "parse workload has no DDL versions");
+    let (warmup, runs) = protocol(tier);
+    run_lab("parse", tier, SEED, warmup, runs, || {
+        let start = Instant::now();
+        let mut tables = 0usize;
+        for sql in &corpus {
+            if let Ok(schema) = schevo_ddl::parse_schema(sql) {
+                tables += schema.table_count();
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(tables > 0, "parse workload produced no tables");
+        elapsed
+    })
+}
+
+/// Run the full lab at `tier` and write `BENCH_mine.json` and
+/// `BENCH_parse.json` into `out_dir`. Every report is schema-validated
+/// before it touches disk. Returns the written paths.
+pub fn run(tier: Tier, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let universe = build_universe(tier);
+    let mut written = Vec::new();
+    for report in [mine_report(&universe, tier), parse_report(&universe, tier)] {
+        let json = report.to_json_string();
+        let doc: serde_json::Value =
+            serde_json::from_str(&json).expect("report serializes to valid JSON");
+        if let Err(e) = validate_bench_json(&doc) {
+            panic!("generated report failed self-validation: {e}");
+        }
+        let path = out_dir.join(format!("BENCH_{}.json", report.name));
+        std::fs::write(&path, json)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+/// Validate the report at `path` against the perf-lab schema and return
+/// the requested summary statistic. This backs `perflab --check` /
+/// `--check-min`: the CI gate uses it to schema-check both the freshly
+/// produced smoke reports and the checked-in baselines, and to extract
+/// the values it fences against.
+fn checked_stat(path: &Path, key: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    validate_bench_json(&doc)?;
+    doc.get("stats")
+        .and_then(|s| s.get(key))
+        .and_then(serde_json::Value::as_f64)
+        .ok_or_else(|| format!("validated report lost its {key}"))
+}
+
+/// Schema-check a report and return its median sample.
+pub fn check(path: &Path) -> Result<f64, String> {
+    checked_stat(path, "median")
+}
+
+/// Schema-check a report and return its minimum sample. The CI
+/// regression fence compares minima rather than medians: background
+/// load can only inflate a timing, never deflate it, so the minimum of
+/// five runs approximates quiet-box performance even on a busy runner.
+pub fn check_min(path: &Path) -> Result<f64, String> {
+    checked_stat(path, "min")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_tier_finishes_under_ten_seconds_and_validates() {
+        let dir = std::env::temp_dir().join(format!("schevo_perflab_smoke_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let start = Instant::now();
+        let paths = run(Tier::Smoke, &dir).unwrap();
+        let elapsed = start.elapsed().as_secs_f64();
+        assert!(
+            elapsed < 10.0,
+            "smoke lab took {elapsed:.1}s, budget is 10s"
+        );
+        assert_eq!(paths.len(), 2);
+        for p in &paths {
+            let doc: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+            validate_bench_json(&doc).unwrap();
+            assert_eq!(
+                doc.get("tier").and_then(serde_json::Value::as_str),
+                Some("smoke")
+            );
+            let median = check(p).unwrap();
+            let min = check_min(p).unwrap();
+            assert!(median.is_finite() && median >= 0.0);
+            assert!(min.is_finite() && min <= median);
+        }
+        let names: Vec<String> = paths
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["BENCH_mine.json", "BENCH_parse.json"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_rejects_missing_and_malformed_files() {
+        assert!(check(Path::new("/nonexistent/BENCH_mine.json")).is_err());
+        assert!(check_min(Path::new("/nonexistent/BENCH_mine.json")).is_err());
+        let dir = std::env::temp_dir().join(format!("schevo_perflab_check_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("BENCH_bad.json");
+        std::fs::write(&bad, "{\"schema\": \"wrong\"}").unwrap();
+        assert!(check(&bad).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

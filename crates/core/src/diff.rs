@@ -17,7 +17,8 @@
 //! its type and its key participation counts once in each category — the
 //! categories quantify *updates*, not touched attributes.
 
-use schevo_ddl::Schema;
+use crate::intern::{self, Symbol, SymbolMap};
+use schevo_ddl::{Schema, Table};
 use serde::{Deserialize, Serialize};
 
 /// A named attribute occurrence `(table, attribute)`.
@@ -83,28 +84,119 @@ impl SchemaDelta {
     }
 }
 
+/// A [`Table`] annotated with interned identifiers: attribute symbols in
+/// declaration order, a symbol-keyed attribute index, and the primary key
+/// as symbols. All matching inside [`diff`] happens on these `u32` views;
+/// the emitted [`SchemaDelta`] clones strings back out of the table itself.
+struct TableView<'a> {
+    table: &'a Table,
+    /// Attribute symbols, parallel to `table.attributes()`.
+    attr_syms: Vec<Symbol>,
+    /// Symbol → index into `table.attributes()`. Attribute names are
+    /// unique within a table (`push_attribute` replaces in place), so the
+    /// map is total over `attr_syms`.
+    attrs: SymbolMap<u32>,
+    /// Primary-key attribute symbols, in key order.
+    pk: Vec<Symbol>,
+}
+
+impl TableView<'_> {
+    fn attribute(&self, sym: Symbol) -> Option<&schevo_ddl::Attribute> {
+        self.attrs
+            .get(&sym)
+            .and_then(|&i| self.table.attributes().get(i as usize))
+    }
+
+    fn in_primary_key(&self, sym: Symbol) -> bool {
+        self.pk.contains(&sym)
+    }
+}
+
+/// A [`Schema`] annotated with interned identifiers: table views in file
+/// order plus a symbol-keyed table index.
+struct SchemaView<'a> {
+    tables: Vec<(Symbol, TableView<'a>)>,
+    index: SymbolMap<u32>,
+}
+
+impl<'a> SchemaView<'a> {
+    /// Build the view, interning every table and attribute name. One lock
+    /// acquisition per schema, not per name.
+    fn build(schema: &'a Schema) -> Self {
+        intern::with_interner(|it| {
+            let mut tables = Vec::with_capacity(schema.tables().len());
+            let mut index = SymbolMap::default();
+            for (ti, table) in schema.tables().iter().enumerate() {
+                let tsym = it.intern(&table.name);
+                let attr_syms: Vec<Symbol> = table
+                    .attributes()
+                    .iter()
+                    .map(|a| it.intern(&a.name))
+                    .collect();
+                let mut attrs = SymbolMap::default();
+                attrs.reserve(attr_syms.len());
+                for (ai, &asym) in attr_syms.iter().enumerate() {
+                    attrs.insert(asym, ai as u32);
+                }
+                let pk = table
+                    .primary_key()
+                    .iter()
+                    .map(|k| it.intern(k))
+                    .collect();
+                index.insert(tsym, ti as u32);
+                tables.push((
+                    tsym,
+                    TableView {
+                        table,
+                        attr_syms,
+                        attrs,
+                        pk,
+                    },
+                ));
+            }
+            SchemaView { tables, index }
+        })
+    }
+
+    fn table(&self, sym: Symbol) -> Option<&TableView<'a>> {
+        self.index
+            .get(&sym)
+            .and_then(|&i| self.tables.get(i as usize))
+            .map(|(_, tv)| tv)
+    }
+}
+
 /// Diff two schema versions into a [`SchemaDelta`].
 ///
 /// Tables and attributes are matched by name; renames register as a
 /// delete/insert pair, mirroring the original Hecate tool (rename detection
 /// is undecidable from DDL text alone and the paper's measures do not
 /// include it).
+///
+/// Internally names are interned ([`crate::intern`]) and matched as `u32`
+/// symbols; the emitted delta carries strings cloned from the input
+/// schemas in file order, so the output is bit-identical to a string-keyed
+/// diff and independent of symbol-id assignment order.
 pub fn diff(old: &Schema, new: &Schema) -> SchemaDelta {
     let _span = schevo_obs::span!("core.diff");
     let mut delta = SchemaDelta::default();
+    let old_view = SchemaView::build(old);
+    let new_view = SchemaView::build(new);
 
-    for table in new.tables() {
-        match old.table(&table.name) {
+    for (tsym, tv) in &new_view.tables {
+        let table = tv.table;
+        match old_view.table(*tsym) {
             None => {
                 delta.tables_inserted.push(table.name.clone());
                 for attr in table.attributes() {
                     delta.born.push((table.name.clone(), attr.name.clone()));
                 }
             }
-            Some(old_table) => {
-                // Surviving table: attribute-level comparison.
-                for attr in table.attributes() {
-                    match old_table.attribute(&attr.name) {
+            Some(old_tv) => {
+                let old_table = old_tv.table;
+                // Surviving table: attribute-level comparison on symbols.
+                for (attr, &asym) in table.attributes().iter().zip(&tv.attr_syms) {
+                    match old_tv.attribute(asym) {
                         None => {
                             delta
                                 .injected
@@ -116,8 +208,8 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDelta {
                                     .type_changed
                                     .push((table.name.clone(), attr.name.clone()));
                             }
-                            let was_pk = old_table.in_primary_key(&attr.name);
-                            let is_pk = table.in_primary_key(&attr.name);
+                            let was_pk = old_tv.in_primary_key(asym);
+                            let is_pk = tv.in_primary_key(asym);
                             if was_pk != is_pk {
                                 delta
                                     .pk_changed
@@ -126,8 +218,8 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDelta {
                         }
                     }
                 }
-                for old_attr in old_table.attributes() {
-                    if table.attribute(&old_attr.name).is_none() {
+                for (old_attr, &asym) in old_table.attributes().iter().zip(&old_tv.attr_syms) {
+                    if !tv.attrs.contains_key(&asym) {
                         delta
                             .ejected
                             .push((table.name.clone(), old_attr.name.clone()));
@@ -165,8 +257,9 @@ pub fn diff(old: &Schema, new: &Schema) -> SchemaDelta {
             }
         }
     }
-    for old_table in old.tables() {
-        if new.table(&old_table.name).is_none() {
+    for (tsym, old_tv) in &old_view.tables {
+        if !new_view.index.contains_key(tsym) {
+            let old_table = old_tv.table;
             delta.tables_deleted.push(old_table.name.clone());
             for attr in old_table.attributes() {
                 delta

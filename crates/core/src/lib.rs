@@ -33,6 +33,7 @@ pub mod diff;
 pub mod errors;
 pub mod fk;
 pub mod heartbeat;
+pub mod intern;
 pub mod measures;
 pub mod migrate;
 pub mod model;
@@ -46,6 +47,7 @@ pub use diff::{diff, SchemaDelta};
 pub use errors::{ErrorClass, SchevoError};
 pub use fk::{fk_corpus_stats, fk_profile, fk_snapshot, FkCorpusStats, FkProfile, FkSnapshot};
 pub use heartbeat::{derive_reed_threshold, Heartbeat, HeartbeatPoint, REED_THRESHOLD};
+pub use intern::{intern, symbol_count, Symbol, SymbolMap};
 pub use measures::{measure_history, monthly_activity, TransitionMeasure};
 pub use migrate::{apply_migration, generate_migration, logically_equivalent, Migration, MigrationStep};
 pub use model::{CommitMeta, SchemaHistory, SchemaVersion};

@@ -59,6 +59,11 @@ impl TransitionMeasure {
 /// fanning them out replaces three independent diff passes per history,
 /// and lets callers substitute cached deltas (the pipeline's
 /// content-addressed diff cache does exactly that).
+///
+/// Each [`diff`] call matches names as interned `u32` symbols
+/// ([`crate::intern`]); repeated transitions over the same history amortize
+/// the interning because table and attribute names recur verbatim from one
+/// version to the next.
 pub fn compute_deltas(history: &SchemaHistory) -> Vec<SchemaDelta> {
     history
         .transitions()

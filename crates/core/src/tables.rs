@@ -9,10 +9,10 @@
 //! update activity (attribute injections/ejections/type/PK changes while
 //! the table was alive).
 
+use crate::intern::{intern, SymbolMap};
 use crate::model::SchemaHistory;
 use schevo_vcs::timestamp::Timestamp;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// The fate of a table at the end of the observed history.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -78,8 +78,12 @@ pub fn table_lives_with(
         "one delta per transition"
     );
     let mut lives: Vec<TableLife> = Vec::new();
-    // Open lives by table name → index into `lives`.
-    let mut open: HashMap<String, usize> = HashMap::new();
+    // Open lives by interned table name → index into `lives`. Keys are
+    // symbols, so every per-delta lookup below is an integer probe; the
+    // map is never iterated for output (only `values()` at the end, where
+    // each entry is updated independently), so symbol-id order cannot
+    // leak into results.
+    let mut open: SymbolMap<usize> = SymbolMap::default();
     let Some(v0) = history.v0() else {
         return lives;
     };
@@ -88,7 +92,7 @@ pub fn table_lives_with(
 
     // Birth pass for V0.
     for table in v0.schema.tables() {
-        open.insert(table.name.clone(), lives.len());
+        open.insert(intern(&table.name), lives.len());
         lives.push(TableLife {
             name: table.name.clone(),
             birth_version: 0,
@@ -106,7 +110,7 @@ pub fn table_lives_with(
     for ((idx, old, new), delta) in history.transitions().zip(deltas) {
         // Deaths.
         for dead_name in &delta.tables_deleted {
-            if let Some(i) = open.remove(dead_name) {
+            if let Some(i) = open.remove(&intern(dead_name)) {
                 let life = &mut lives[i];
                 life.death_version = Some(idx);
                 life.died_at = Some(new.meta.timestamp);
@@ -126,7 +130,7 @@ pub fn table_lives_with(
                 .table(born_name)
                 .map(|t| t.arity())
                 .unwrap_or(0);
-            open.insert(born_name.clone(), lives.len());
+            open.insert(intern(born_name), lives.len());
             lives.push(TableLife {
                 name: born_name.clone(),
                 birth_version: idx,
@@ -141,8 +145,8 @@ pub fn table_lives_with(
             });
         }
         // Intra-table activity for surviving tables.
-        let credit = |lives: &mut Vec<TableLife>, open: &HashMap<String, usize>, t: &str, n: u64| {
-            if let Some(&i) = open.get(t) {
+        let credit = |lives: &mut Vec<TableLife>, open: &SymbolMap<usize>, t: &str, n: u64| {
+            if let Some(&i) = open.get(&intern(t)) {
                 lives[i].update_activity += n;
             }
         };
@@ -160,7 +164,7 @@ pub fn table_lives_with(
         }
         // Track current arity of open tables.
         for table in new.schema.tables() {
-            if let Some(&i) = open.get(&table.name) {
+            if let Some(&i) = open.get(&intern(&table.name)) {
                 lives[i].arity_at_end = table.arity();
             }
         }

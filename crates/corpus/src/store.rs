@@ -492,6 +492,11 @@ struct ShardCursor {
     /// length there is no next-record boundary.
     dead: bool,
     open_error: Option<String>,
+    /// Reused payload scratch: each `refill` overwrites it in place and
+    /// decodes straight out of it, so a streamed read performs one payload
+    /// allocation per shard (growing to the largest frame seen) instead of
+    /// one per frame.
+    payload_buf: Vec<u8>,
 }
 
 impl ShardCursor {
@@ -502,12 +507,14 @@ impl ShardCursor {
                 offset: 0,
                 dead: false,
                 open_error: None,
+                payload_buf: Vec::new(),
             },
             Err(e) => ShardCursor {
                 file: None,
                 offset: 0,
                 dead: true,
                 open_error: Some(format!("{}: {e}", path.display())),
+                payload_buf: Vec::new(),
             },
         }
     }
@@ -619,8 +626,8 @@ impl StoreStream {
             };
             return;
         }
-        let mut payload = vec![0u8; len as usize];
-        if let Err(detail) = Self::read_frame_bytes(file, &mut payload, false) {
+        cursor.payload_buf.resize(len as usize, 0);
+        if let Err(detail) = Self::read_frame_bytes(file, &mut cursor.payload_buf, false) {
             cursor.dead = true;
             self.pending[i] = Pending::Corrupt {
                 offset: frame_offset,
@@ -629,7 +636,7 @@ impl StoreStream {
             return;
         }
         let stored: [u8; 20] = header[4..24].try_into().unwrap_or([0u8; 20]);
-        let actual = sha1(&payload);
+        let actual = sha1(&cursor.payload_buf);
         if actual.0 != stored {
             cursor.dead = true;
             self.pending[i] = Pending::Corrupt {
@@ -638,11 +645,13 @@ impl StoreStream {
             };
             return;
         }
-        cursor.offset += (FRAME_LEN + payload.len()) as u64;
-        self.io.bytes_read += (FRAME_LEN + payload.len()) as u64;
+        cursor.offset += (FRAME_LEN + len as usize) as u64;
+        self.io.bytes_read += (FRAME_LEN + len as usize) as u64;
         // The frame verified, so the boundary is trustworthy: a decode
         // failure (a store bug, not bit rot) skips only this record.
-        match decode_record(&payload) {
+        // Decoding borrows the scratch buffer in place — the record owns
+        // its strings and pack, so nothing aliases the buffer afterwards.
+        match decode_record(&self.cursors[i].payload_buf) {
             Ok(record) => {
                 self.io.records_read += 1;
                 self.pending[i] = Pending::Record(Box::new(record));

@@ -5,9 +5,32 @@
 //! vendor directives (`/*!40101 SET ... */`), `#` comments, Windows line
 //! endings, and stray punctuation. All of it must tokenize so that the
 //! tolerant parser can decide what to keep.
+//!
+//! # Fast path
+//!
+//! Tokenization is the single hottest operation in the mining pipeline
+//! (every schema version of every repository is lexed at least once), so
+//! this module is written as a byte-level fast path:
+//!
+//! - a 256-entry ASCII dispatch table ([`CLASS`]) classifies each leading
+//!   byte in one load instead of a cascading `match` with lookahead guards;
+//! - runs of whitespace, identifier characters, comments and string bodies
+//!   are consumed with memchr-style SWAR scans ([`memchr1`]/[`memchr2`])
+//!   that examine eight bytes per iteration rather than one character at a
+//!   time;
+//! - string and quoted-identifier bodies are copied out in whole chunks
+//!   between escape characters instead of `char`-by-`char`.
+//!
+//! The original character-oriented implementation is preserved unchanged in
+//! [`reference`] and serves as the oracle: the proptest battery in
+//! `crates/ddl/tests/proptest_lexer_fastpath.rs` checks both lexers produce
+//! bit-identical token streams and error spans on arbitrary inputs.
 
 use crate::error::{ParseError, Span};
 use crate::token::{Token, TokenKind};
+
+#[doc(hidden)]
+pub mod reference;
 
 /// Tokenize a whole SQL script.
 ///
@@ -38,6 +61,176 @@ pub fn tokenize_recovering(input: &str) -> (Vec<Token>, Option<ParseError>) {
     Lexer::new(input).run()
 }
 
+// Byte classes for the leading-byte dispatch table. Each input byte maps to
+// exactly one class; the lexer's main loop is a single table load plus a
+// jump, with no lookahead needed to pick the handler.
+const CL_PUNCT: u8 = 0; // fallback: emit as Punct
+const CL_WS: u8 = 1; // space, \t, \r, \n, VT, FF
+const CL_IDENT: u8 = 2; // ASCII alpha, `_`, `$`, and all bytes >= 0x80
+const CL_DIGIT: u8 = 3; // 0-9
+const CL_LPAREN: u8 = 4;
+const CL_RPAREN: u8 = 5;
+const CL_COMMA: u8 = 6;
+const CL_SEMI: u8 = 7;
+const CL_EQ: u8 = 8;
+const CL_DOT: u8 = 9; // Dot token or leading-dot number
+const CL_MINUS: u8 = 10; // `--` line comment or Punct('-')
+const CL_HASH: u8 = 11; // `#` line comment
+const CL_SLASH: u8 = 12; // `/*` block comment or Punct('/')
+const CL_SQUOTE: u8 = 13; // string literal
+const CL_DQUOTE: u8 = 14; // string literal or ANSI quoted identifier
+const CL_BACKQ: u8 = 15; // backquoted identifier
+const CL_LBRACK: u8 = 16; // T-SQL bracket-quoted identifier
+
+const fn build_class_table() -> [u8; 256] {
+    let mut t = [CL_PUNCT; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = i as u8;
+        t[i] = match b {
+            b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => CL_WS,
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => CL_IDENT,
+            b'0'..=b'9' => CL_DIGIT,
+            b'(' => CL_LPAREN,
+            b')' => CL_RPAREN,
+            b',' => CL_COMMA,
+            b';' => CL_SEMI,
+            b'=' => CL_EQ,
+            b'.' => CL_DOT,
+            b'-' => CL_MINUS,
+            b'#' => CL_HASH,
+            b'/' => CL_SLASH,
+            b'\'' => CL_SQUOTE,
+            b'"' => CL_DQUOTE,
+            b'`' => CL_BACKQ,
+            b'[' => CL_LBRACK,
+            _ => {
+                if b >= 0x80 {
+                    CL_IDENT // MySQL permits non-ASCII identifier bytes
+                } else {
+                    CL_PUNCT
+                }
+            }
+        };
+        i += 1;
+    }
+    t
+}
+
+/// Leading-byte dispatch table: byte value → token class.
+static CLASS: [u8; 256] = build_class_table();
+
+// Identifier-continuation lookup: true for ASCII alnum, `_`, `$`. Non-ASCII
+// continuation bytes are handled separately (they advance by UTF-8 width).
+const fn build_ident_cont_table() -> [bool; 256] {
+    let mut t = [false; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let b = i as u8;
+        t[i] = matches!(b, b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$');
+        i += 1;
+    }
+    t
+}
+
+static IDENT_CONT: [bool; 256] = build_ident_cont_table();
+
+// ---- memchr-style SWAR scanning -----------------------------------------
+//
+// The vendored dependency set has no `memchr` crate, so the classic
+// word-at-a-time trick is implemented here: read eight bytes as a `u64`,
+// XOR with the needle splatted across all lanes, and detect a zero lane
+// with the `(x - 0x01..) & !x & 0x80..` bit test. Only the hit chunk is
+// re-scanned bytewise.
+
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+#[inline(always)]
+fn contains_zero_byte(x: u64) -> bool {
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI != 0
+}
+
+#[inline(always)]
+fn splat(b: u8) -> u64 {
+    u64::from(b) * SWAR_LO
+}
+
+/// Index of the first occurrence of `needle` in `hay`, if any.
+#[inline]
+fn memchr1(needle: u8, hay: &[u8]) -> Option<usize> {
+    let n = splat(needle);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let chunk = u64::from_ne_bytes([
+            hay[i],
+            hay[i + 1],
+            hay[i + 2],
+            hay[i + 3],
+            hay[i + 4],
+            hay[i + 5],
+            hay[i + 6],
+            hay[i + 7],
+        ]);
+        if contains_zero_byte(chunk ^ n) {
+            break;
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == needle {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the first occurrence of `a` or `b` in `hay`, if any.
+#[inline]
+fn memchr2(a: u8, b: u8, hay: &[u8]) -> Option<usize> {
+    let na = splat(a);
+    let nb = splat(b);
+    let mut i = 0usize;
+    while i + 8 <= hay.len() {
+        let chunk = u64::from_ne_bytes([
+            hay[i],
+            hay[i + 1],
+            hay[i + 2],
+            hay[i + 3],
+            hay[i + 4],
+            hay[i + 5],
+            hay[i + 6],
+            hay[i + 7],
+        ]);
+        if contains_zero_byte(chunk ^ na) || contains_zero_byte(chunk ^ nb) {
+            break;
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        if hay[i] == a || hay[i] == b {
+            return Some(i);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Byte width of the UTF-8 character whose lead byte is `b`.
+///
+/// The lexer only receives `&str` input, so lead bytes are always valid;
+/// the `_ => 1` arm keeps the function total without panicking.
+#[inline(always)]
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
 struct Lexer<'s> {
     src: &'s [u8],
     pos: usize,
@@ -49,90 +242,111 @@ impl<'s> Lexer<'s> {
         Lexer {
             src: input.as_bytes(),
             pos: 0,
-            tokens: Vec::new(),
+            // One token per ~6 source bytes is typical for DDL dumps;
+            // pre-sizing avoids the early doubling churn on every parse.
+            tokens: Vec::with_capacity(input.len() / 6 + 4),
         }
     }
 
-    fn peek(&self) -> Option<u8> {
-        self.src.get(self.pos).copied()
+    #[inline(always)]
+    fn byte(&self, i: usize) -> Option<u8> {
+        self.src.get(i).copied()
     }
 
-    fn peek2(&self) -> Option<u8> {
-        self.src.get(self.pos + 1).copied()
-    }
-
+    #[inline(always)]
     fn push(&mut self, kind: TokenKind, start: usize) {
         self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
     }
 
     fn run(mut self) -> (Vec<Token>, Option<ParseError>) {
-        while let Some(b) = self.peek() {
+        let len = self.src.len();
+        while self.pos < len {
+            let b = self.src[self.pos];
             let start = self.pos;
-            let step = match b {
-                b' ' | b'\t' | b'\r' | b'\n' | 0x0b | 0x0c => {
+            let step: Result<(), ParseError> = match CLASS[b as usize] {
+                CL_WS => {
+                    // Consume the whole whitespace run in one tight loop.
                     self.pos += 1;
+                    while self.pos < len && CLASS[self.src[self.pos] as usize] == CL_WS {
+                        self.pos += 1;
+                    }
                     Ok(())
                 }
-                b'-' if self.peek2() == Some(b'-') => {
-                    self.line_comment();
+                CL_IDENT => {
+                    self.bare_ident(start);
                     Ok(())
                 }
-                b'#' => {
-                    self.line_comment();
+                CL_DIGIT => {
+                    self.number(start);
                     Ok(())
                 }
-                b'/' if self.peek2() == Some(b'*') => self.block_comment(start),
-                b'\'' => self.string_lit(b'\'', start),
-                b'"' => self.string_lit(b'"', start),
-                b'`' => self.quoted_ident(b'`', b'`', start),
-                b'[' => self.quoted_ident(b'[', b']', start),
-                b'(' => {
+                CL_LPAREN => {
                     self.pos += 1;
                     self.push(TokenKind::LParen, start);
                     Ok(())
                 }
-                b')' => {
+                CL_RPAREN => {
                     self.pos += 1;
                     self.push(TokenKind::RParen, start);
                     Ok(())
                 }
-                b',' => {
+                CL_COMMA => {
                     self.pos += 1;
                     self.push(TokenKind::Comma, start);
                     Ok(())
                 }
-                b';' => {
+                CL_SEMI => {
                     self.pos += 1;
                     self.push(TokenKind::Semicolon, start);
                     Ok(())
                 }
-                b'=' => {
+                CL_EQ => {
                     self.pos += 1;
                     self.push(TokenKind::Eq, start);
                     Ok(())
                 }
-                b'.' if !self.next_is_digit() => {
-                    self.pos += 1;
-                    self.push(TokenKind::Dot, start);
+                CL_DOT => {
+                    if matches!(self.byte(self.pos + 1), Some(b'0'..=b'9')) {
+                        self.number(start);
+                    } else {
+                        self.pos += 1;
+                        self.push(TokenKind::Dot, start);
+                    }
                     Ok(())
                 }
-                b'0'..=b'9' => {
-                    self.number(start);
+                CL_MINUS => {
+                    if self.byte(self.pos + 1) == Some(b'-') {
+                        self.line_comment();
+                    } else {
+                        self.pos += 1;
+                        self.push(TokenKind::Punct('-'), start);
+                    }
                     Ok(())
                 }
-                b'.' => {
-                    self.number(start);
+                CL_HASH => {
+                    self.line_comment();
                     Ok(())
                 }
-                _ if is_ident_start(b) => {
-                    self.bare_ident(start);
-                    Ok(())
+                CL_SLASH => {
+                    if self.byte(self.pos + 1) == Some(b'*') {
+                        self.block_comment(start)
+                    } else {
+                        self.pos += 1;
+                        self.push(TokenKind::Punct('/'), start);
+                        Ok(())
+                    }
                 }
+                CL_SQUOTE => self.string_lit(b'\'', start),
+                CL_DQUOTE => self.string_lit(b'"', start),
+                CL_BACKQ => self.quoted_ident(b'`', b'`', start),
+                CL_LBRACK => self.quoted_ident(b'[', b']', start),
                 _ => {
                     // Any other punctuation: emit as Punct so the tolerant
-                    // parser can skip it inside statements it ignores.
-                    let c = self.bump_char(start);
-                    self.push(TokenKind::Punct(c), start);
+                    // parser can skip it inside statements it ignores. Only
+                    // ASCII bytes reach here (>= 0x80 classifies as ident),
+                    // so the char is the byte itself.
+                    self.pos += 1;
+                    self.push(TokenKind::Punct(b as char), start);
                     Ok(())
                 }
             };
@@ -145,26 +359,39 @@ impl<'s> Lexer<'s> {
         (self.tokens, None)
     }
 
-    /// Consume one (possibly multi-byte) character and return it.
-    fn bump_char(&mut self, start: usize) -> char {
-        // Find the full UTF-8 character beginning at `start`.
-        let rest = &self.src[start..];
-        let s = std::str::from_utf8(rest).unwrap_or("\u{fffd}");
-        let c = s.chars().next().unwrap_or('\u{fffd}');
-        self.pos = start + c.len_utf8();
-        c
+    /// Decode the character at `pos` and return it with its byte width.
+    ///
+    /// Input is always a `&str`, so decoding cannot actually fail; the
+    /// fallback arms keep this panic-free regardless.
+    #[inline]
+    fn char_at(&self, pos: usize) -> (char, usize) {
+        let rest = &self.src[pos..];
+        let w = utf8_width(rest[0]).min(rest.len());
+        match std::str::from_utf8(&rest[..w]) {
+            Ok(s) => match s.chars().next() {
+                Some(c) => (c, c.len_utf8()),
+                None => ('\u{fffd}', 1),
+            },
+            Err(_) => ('\u{fffd}', 1),
+        }
     }
 
-    fn next_is_digit(&self) -> bool {
-        matches!(self.peek2(), Some(b'0'..=b'9'))
+    /// Slice `[start, end)` out of the source as UTF-8 text.
+    ///
+    /// Both bounds always fall on character boundaries (scans only stop on
+    /// ASCII bytes or after whole characters), so the lossy fallback never
+    /// allocates in practice.
+    #[inline]
+    fn text(&self, start: usize, end: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..end]).into_owned()
     }
 
     fn line_comment(&mut self) {
-        while let Some(b) = self.peek() {
-            if b == b'\n' {
-                break;
-            }
-            self.pos += 1;
+        // Leave the terminating `\n` for the whitespace handler, exactly
+        // like the reference lexer does.
+        match memchr1(b'\n', &self.src[self.pos..]) {
+            Some(i) => self.pos += i,
+            None => self.pos = self.src.len(),
         }
     }
 
@@ -172,12 +399,18 @@ impl<'s> Lexer<'s> {
         self.pos += 2; // consume `/*`
         let mut depth = 1usize;
         while depth > 0 {
-            match self.peek() {
-                Some(b'*') if self.peek2() == Some(b'/') => {
+            // Skip ahead to the next byte that could open or close a
+            // comment; everything in between is comment body.
+            match memchr2(b'*', b'/', &self.src[self.pos..]) {
+                Some(i) => self.pos += i,
+                None => self.pos = self.src.len(),
+            }
+            match self.byte(self.pos) {
+                Some(b'*') if self.byte(self.pos + 1) == Some(b'/') => {
                     self.pos += 2;
                     depth -= 1;
                 }
-                Some(b'/') if self.peek2() == Some(b'*') => {
+                Some(b'/') if self.byte(self.pos + 1) == Some(b'*') => {
                     // MySQL does not nest comments but some dumps do; be lenient.
                     self.pos += 2;
                     depth += 1;
@@ -200,25 +433,33 @@ impl<'s> Lexer<'s> {
         self.pos += 1; // opening quote
         let mut text = String::new();
         loop {
-            match self.peek() {
+            // Bulk-copy everything up to the next quote or escape; plain
+            // string bodies take exactly one scan and one extend.
+            let chunk_start = self.pos;
+            match memchr2(quote, b'\\', &self.src[self.pos..]) {
+                Some(i) => self.pos += i,
+                None => self.pos = self.src.len(),
+            }
+            if self.pos > chunk_start {
+                text.push_str(&String::from_utf8_lossy(&self.src[chunk_start..self.pos]));
+            }
+            match self.byte(self.pos) {
                 Some(b'\\') => {
                     // MySQL-style backslash escape: keep the escaped char.
                     self.pos += 1;
-                    match self.peek() {
-                        Some(_) => {
-                            let c = self.bump_char(self.pos);
-                            text.push(unescape(c));
-                        }
-                        None => {
-                            return Err(ParseError::lex(
-                                "unterminated string literal",
-                                Span::new(start, self.pos),
-                            ));
-                        }
+                    if self.pos >= self.src.len() {
+                        return Err(ParseError::lex(
+                            "unterminated string literal",
+                            Span::new(start, self.pos),
+                        ));
                     }
+                    let (c, w) = self.char_at(self.pos);
+                    self.pos += w;
+                    text.push(unescape(c));
                 }
-                Some(b) if b == quote => {
-                    if self.peek2() == Some(quote) {
+                Some(_) => {
+                    // Must be the quote byte itself.
+                    if self.byte(self.pos + 1) == Some(quote) {
                         // Doubled quote: literal quote character.
                         text.push(quote as char);
                         self.pos += 2;
@@ -226,10 +467,6 @@ impl<'s> Lexer<'s> {
                         self.pos += 1;
                         break;
                     }
-                }
-                Some(_) => {
-                    let c = self.bump_char(self.pos);
-                    text.push(c);
                 }
                 None => {
                     return Err(ParseError::lex(
@@ -256,9 +493,18 @@ impl<'s> Lexer<'s> {
         self.pos += 1; // opening delimiter
         let mut text = String::new();
         loop {
-            match self.peek() {
-                Some(b) if b == close => {
-                    if close == open && self.peek2() == Some(close) {
+            let chunk_start = self.pos;
+            match memchr1(close, &self.src[self.pos..]) {
+                Some(i) => self.pos += i,
+                None => self.pos = self.src.len(),
+            }
+            if self.pos > chunk_start {
+                text.push_str(&String::from_utf8_lossy(&self.src[chunk_start..self.pos]));
+            }
+            match self.byte(self.pos) {
+                Some(_) => {
+                    // Must be the close byte.
+                    if close == open && self.byte(self.pos + 1) == Some(close) {
                         // Doubled backquote inside a backquoted name.
                         text.push(close as char);
                         self.pos += 2;
@@ -266,10 +512,6 @@ impl<'s> Lexer<'s> {
                         self.pos += 1;
                         break;
                     }
-                }
-                Some(_) => {
-                    let c = self.bump_char(self.pos);
-                    text.push(c);
                 }
                 None => {
                     return Err(ParseError::lex(
@@ -284,20 +526,22 @@ impl<'s> Lexer<'s> {
     }
 
     fn number(&mut self, start: usize) {
+        let len = self.src.len();
         let mut seen_dot = false;
         let mut seen_exp = false;
         // Hex literal.
-        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+        if self.src[self.pos] == b'0' && matches!(self.byte(self.pos + 1), Some(b'x') | Some(b'X'))
+        {
             self.pos += 2;
-            while matches!(self.peek(), Some(b) if b.is_ascii_hexdigit()) {
+            while self.pos < len && self.src[self.pos].is_ascii_hexdigit() {
                 self.pos += 1;
             }
-            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            let text = self.text(start, self.pos);
             self.push(TokenKind::Number(text), start);
             return;
         }
-        while let Some(b) = self.peek() {
-            match b {
+        while self.pos < len {
+            match self.src[self.pos] {
                 b'0'..=b'9' => self.pos += 1,
                 b'.' if !seen_dot && !seen_exp => {
                     seen_dot = true;
@@ -305,15 +549,15 @@ impl<'s> Lexer<'s> {
                 }
                 b'e' | b'E' if !seen_exp => {
                     // Only an exponent if followed by digit or sign+digit.
-                    let next = self.peek2();
-                    let after_sign = self.src.get(self.pos + 2).copied();
+                    let next = self.byte(self.pos + 1);
+                    let after_sign = self.byte(self.pos + 2);
                     let is_exp = matches!(next, Some(b'0'..=b'9'))
                         || (matches!(next, Some(b'+') | Some(b'-'))
                             && matches!(after_sign, Some(b'0'..=b'9')));
                     if is_exp {
                         seen_exp = true;
                         self.pos += 1;
-                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        if matches!(self.byte(self.pos), Some(b'+') | Some(b'-')) {
                             self.pos += 1;
                         }
                     } else {
@@ -323,22 +567,27 @@ impl<'s> Lexer<'s> {
                 _ => break,
             }
         }
-        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = self.text(start, self.pos);
         self.push(TokenKind::Number(text), start);
     }
 
     fn bare_ident(&mut self, start: usize) {
-        while let Some(b) = self.peek() {
-            if is_ident_continue(b) {
+        let len = self.src.len();
+        // ASCII identifiers (the overwhelmingly common case) run through
+        // the continuation table one byte per iteration; non-ASCII chars
+        // advance by their UTF-8 width.
+        while self.pos < len {
+            let b = self.src[self.pos];
+            if IDENT_CONT[b as usize] {
                 self.pos += 1;
             } else if b >= 0x80 {
                 // Non-ASCII identifier characters (MySQL permits them).
-                self.bump_char(self.pos);
+                self.pos += utf8_width(b).min(len - self.pos);
             } else {
                 break;
             }
         }
-        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let text = self.text(start, self.pos);
         self.push(TokenKind::Ident(text), start);
     }
 }
@@ -565,5 +814,48 @@ mod tests {
         let (tokens, err) = tokenize_recovering(clean);
         assert!(err.is_none());
         assert_eq!(tokens, tokenize(clean).unwrap());
+    }
+
+    #[test]
+    fn memchr_helpers_cover_chunk_and_tail_positions() {
+        let hay = b"abcdefghijklmnop";
+        for (i, &b) in hay.iter().enumerate() {
+            assert_eq!(memchr1(b, hay), Some(i));
+            assert_eq!(memchr2(b, 0, hay), Some(i));
+            assert_eq!(memchr2(0, b, hay), Some(i));
+        }
+        assert_eq!(memchr1(b'z', hay), None);
+        assert_eq!(memchr2(b'z', b'!', hay), None);
+        assert_eq!(memchr1(b'x', b""), None);
+    }
+
+    #[test]
+    fn fast_path_matches_reference_on_representative_corpus() {
+        // Belt-and-braces behind the proptest battery: a fixed set of
+        // nasty inputs runs on every `cargo test`.
+        let cases = [
+            "CREATE TABLE `t` (id INT(11) NOT NULL, PRIMARY KEY (id));",
+            "/* outer /* inner */ still comment */ SELECT 1;",
+            "-- line\n# hash\nCREATE TABLE x(y TEXT DEFAULT 'a\\'b');",
+            "'unterminated",
+            "`unterminated",
+            "/* unterminated",
+            "\"ansi_ident\" \"two words\" [bracketed] `back``quote`",
+            "0x 0xFF 1.5e+10 .5 1. a.b .x",
+            "sel\u{fffd}ect größe 'füß\\ne'",
+            "a\\b \u{0b}\u{0c}\r\n ; = < > ~ @ ^",
+            "",
+            "'' \"\" ``",
+        ];
+        for sql in cases {
+            let (fast, fe) = tokenize_recovering(sql);
+            let (slow, se) = reference::tokenize_recovering(sql);
+            assert_eq!(fast, slow, "token divergence on {sql:?}");
+            assert_eq!(
+                fe.map(|e| (e.span, e.to_string())),
+                se.map(|e| (e.span, e.to_string())),
+                "error divergence on {sql:?}"
+            );
+        }
     }
 }

@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ast;
 pub mod error;
 pub mod lexer;
@@ -61,9 +62,10 @@ pub mod schema;
 pub mod token;
 pub mod types;
 
+pub use arena::{arena_bytes_total, ScriptArena};
 pub use error::{ParseError, Span};
 pub use lexer::tokenize_recovering;
-pub use parser::{parse_script, Parser};
+pub use parser::{parse_script, parse_script_arena, Parser};
 pub use schema::{Attribute, Schema, Table};
 
 /// Parse the text of a DDL file straight into its logical [`Schema`].
@@ -80,8 +82,9 @@ pub use schema::{Attribute, Schema, Table};
 /// `CREATE TABLE` statements are structurally broken beyond recovery.
 pub fn parse_schema(sql: &str) -> Result<Schema, ParseError> {
     let _span = schevo_obs::span!("ddl.parse", bytes = sql.len());
-    let script = parse_script(sql)?;
-    Ok(schema::Schema::from_script(&script))
+    let arena = parse_script_arena(sql)?;
+    arena::record_arena_bytes(arena.heap_bytes());
+    Ok(schema::Schema::from_arena(&arena))
 }
 
 /// The result of a best-effort parse: the schema salvaged from the
@@ -115,18 +118,17 @@ impl RecoveredSchema {
 /// `parse_schema(sql)` with no error and no drops — recovery never
 /// perturbs the strict path.
 pub fn parse_schema_recovering(sql: &str) -> RecoveredSchema {
-    use ast::{Script, Statement};
+    use arena::ArenaStatement;
     let (tokens, lex_error) = lexer::tokenize_recovering(sql);
-    let script = Parser::new(tokens)
-        .script()
-        .unwrap_or_else(|_| Script { statements: Vec::new() });
-    let dropped_statements = script
-        .statements
+    let arena = Parser::new(tokens).script_arena().unwrap_or_default();
+    arena::record_arena_bytes(arena.heap_bytes());
+    let dropped_statements = arena
+        .statements()
         .iter()
-        .filter(|s| matches!(s, Statement::Other { keyword } if keyword == "CREATE TABLE"))
+        .filter(|s| matches!(s, ArenaStatement::Other { keyword } if keyword == "CREATE TABLE"))
         .count();
     RecoveredSchema {
-        schema: schema::Schema::from_script(&script),
+        schema: schema::Schema::from_arena(&arena),
         lex_error,
         dropped_statements,
     }

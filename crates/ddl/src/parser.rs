@@ -7,7 +7,8 @@
 //! function body does not derail the scan — string literals were already
 //! resolved by the lexer.
 
-use crate::ast::{ColumnDef, CreateTable, Script, Statement, TableConstraint};
+use crate::arena::{ArenaCreateTable, ArenaStatement, PoolRange, ScriptArena};
+use crate::ast::{ColumnDef, Script, TableConstraint};
 use crate::error::{ParseError, Span};
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
@@ -20,8 +21,22 @@ use crate::types::{DataType, TypeFamily};
 /// Propagates lexer errors and structural errors inside `CREATE TABLE`
 /// statements. Other malformed statements are skipped silently.
 pub fn parse_script(sql: &str) -> Result<Script, ParseError> {
+    Ok(parse_script_arena(sql)?.to_script())
+}
+
+/// Parse a whole script into arena form.
+///
+/// This is the allocation-lean path the mining pipeline uses: statements
+/// share flat pools instead of owning per-statement vectors, and the
+/// result lowers straight to a schema via
+/// [`crate::schema::Schema::from_arena`].
+///
+/// # Errors
+///
+/// Same contract as [`parse_script`].
+pub fn parse_script_arena(sql: &str) -> Result<ScriptArena, ParseError> {
     let tokens = tokenize(sql)?;
-    Parser::new(tokens).script()
+    Parser::new(tokens).script_arena()
 }
 
 /// The parser state machine. Most callers should use [`parse_script`] or
@@ -29,12 +44,17 @@ pub fn parse_script(sql: &str) -> Result<Script, ParseError> {
 pub struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    arena: ScriptArena,
 }
 
 impl Parser {
     /// Create a parser over a pre-lexed token stream.
     pub fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            arena: ScriptArena::default(),
+        }
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -123,8 +143,20 @@ impl Parser {
     }
 
     /// Top-level: a sequence of statements separated by semicolons.
+    ///
+    /// Compatibility wrapper over [`Self::script_arena`] that copies the
+    /// arena out into self-contained statements.
     pub fn script(&mut self) -> Result<Script, ParseError> {
-        let mut statements = Vec::new();
+        Ok(self.script_arena()?.to_script())
+    }
+
+    /// Top-level parse into arena form; the fast path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::script`]: statement-level breakage degrades
+    /// to skipped statements, so errors only reflect unrecoverable input.
+    pub fn script_arena(&mut self) -> Result<ScriptArena, ParseError> {
         loop {
             // Swallow stray semicolons.
             while self.eat_kind(&TokenKind::Semicolon) {}
@@ -133,37 +165,44 @@ impl Parser {
             }
             if self.at_create_table() {
                 match self.create_table() {
-                    Ok(ct) => statements.push(Statement::CreateTable(ct)),
+                    Ok(ct) => self.arena.push_statement(ArenaStatement::CreateTable(ct)),
                     Err(_) => {
                         // A CREATE TABLE too broken to parse: degrade to a
                         // skipped statement rather than failing the file.
-                        statements.push(Statement::Other {
+                        self.arena.push_statement(ArenaStatement::Other {
                             keyword: "CREATE TABLE".to_string(),
                         });
                         self.skip_statement();
                     }
                 }
             } else if self.at_keyword("ALTER") && self.at_keyword_at(1, "TABLE") {
+                let mark = self.arena.mark();
                 match self.alter_table() {
-                    Ok(at) => {
-                        statements.push(Statement::AlterTable(at));
+                    Ok(name) => {
+                        let ops = self.arena.ops_since(mark);
+                        self.arena
+                            .push_statement(ArenaStatement::AlterTable { name, ops });
                         self.skip_statement();
                     }
                     Err(_) => {
-                        statements.push(Statement::Other {
+                        self.arena.truncate(mark);
+                        self.arena.push_statement(ArenaStatement::Other {
                             keyword: "ALTER TABLE".to_string(),
                         });
                         self.skip_statement();
                     }
                 }
             } else if self.at_keyword("DROP") && self.at_keyword_at(1, "TABLE") {
+                let mark = self.arena.mark();
                 match self.drop_table() {
                     Ok(names) => {
-                        statements.push(Statement::DropTable { names });
+                        self.arena
+                            .push_statement(ArenaStatement::DropTable { names });
                         self.skip_statement();
                     }
                     Err(_) => {
-                        statements.push(Statement::Other {
+                        self.arena.truncate(mark);
+                        self.arena.push_statement(ArenaStatement::Other {
                             keyword: "DROP TABLE".to_string(),
                         });
                         self.skip_statement();
@@ -171,11 +210,11 @@ impl Parser {
                 }
             } else {
                 let keyword = self.leading_keyword();
-                statements.push(Statement::Other { keyword });
+                self.arena.push_statement(ArenaStatement::Other { keyword });
                 self.skip_statement();
             }
         }
-        Ok(Script { statements })
+        Ok(std::mem::take(&mut self.arena))
     }
 
     /// Whether the cursor sits at `CREATE [TEMPORARY] TABLE`.
@@ -222,16 +261,20 @@ impl Parser {
     }
 
     /// Parse `CREATE [TEMPORARY] TABLE [IF NOT EXISTS] name ( ... ) options ;`
-    fn create_table(&mut self) -> Result<CreateTable, ParseError> {
+    fn create_table(&mut self) -> Result<ArenaCreateTable, ParseError> {
         let checkpoint = self.pos;
+        let mark = self.arena.mark();
         let result = self.create_table_inner();
         if result.is_err() {
+            // Roll both the cursor and the arena pools back so the degraded
+            // statement leaves no orphaned pool entries behind.
             self.pos = checkpoint;
+            self.arena.truncate(mark);
         }
         result
     }
 
-    fn create_table_inner(&mut self) -> Result<CreateTable, ParseError> {
+    fn create_table_inner(&mut self) -> Result<ArenaCreateTable, ParseError> {
         self.expect_keyword("CREATE")?;
         let temporary = self.eat_keyword("TEMPORARY");
         self.expect_keyword("TABLE")?;
@@ -251,16 +294,18 @@ impl Parser {
         };
         self.expect_kind(TokenKind::LParen)?;
 
-        let mut columns = Vec::new();
-        let mut constraints = Vec::new();
+        // Columns and constraints go straight into the arena's flat pools;
+        // the statement records only the index ranges.
+        let mark = self.arena.mark();
         loop {
             if self.eat_kind(&TokenKind::RParen) {
                 break;
             }
             if let Some(c) = self.table_constraint()? {
-                constraints.push(c);
+                self.arena.push_constraint(c);
             } else {
-                columns.push(self.column_def()?);
+                let col = self.column_def()?;
+                self.arena.push_column(col);
             }
             if self.eat_kind(&TokenKind::Comma) {
                 continue;
@@ -268,12 +313,16 @@ impl Parser {
             self.expect_kind(TokenKind::RParen)?;
             break;
         }
+        let columns = self.arena.columns_since(mark);
+        let constraints = self.arena.constraints_since(mark);
 
-        let options = self.table_options();
+        let options_mark = self.arena.mark();
+        self.table_options();
+        let options = self.arena.strings_since(options_mark);
         // Consume the terminating semicolon if present.
         self.eat_kind(&TokenKind::Semicolon);
 
-        Ok(CreateTable {
+        Ok(ArenaCreateTable {
             name,
             qualifier,
             if_not_exists,
@@ -718,8 +767,10 @@ impl Parser {
     }
 
     /// Parse `ALTER TABLE name <op> [, <op>]*` up to (not including) the
-    /// terminating semicolon. Unmodelled ops are skipped element-wise.
-    fn alter_table(&mut self) -> Result<crate::ast::AlterTable, ParseError> {
+    /// terminating semicolon, pushing ops into the arena pool. Returns the
+    /// target table name; the caller derives the op range from its mark.
+    /// Unmodelled ops are skipped element-wise.
+    fn alter_table(&mut self) -> Result<String, ParseError> {
         use crate::ast::AlterOp;
         self.expect_keyword("ALTER")?;
         self.expect_keyword("TABLE")?;
@@ -733,7 +784,6 @@ impl Parser {
         } else {
             first
         };
-        let mut ops = Vec::new();
         loop {
             match self.peek().map(|t| t.kind.clone()) {
                 None | Some(TokenKind::Semicolon) => break,
@@ -745,7 +795,8 @@ impl Parser {
                     if self.eat_keyword("ADD") {
                         if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
                             self.pos += 2;
-                            ops.push(AlterOp::AddPrimaryKey(self.paren_name_list()?));
+                            let cols = self.paren_name_list()?;
+                            self.arena.push_op(AlterOp::AddPrimaryKey(cols));
                         } else if self.at_keyword("CONSTRAINT")
                             || self.at_keyword("FOREIGN")
                             || self.at_keyword("UNIQUE")
@@ -758,12 +809,13 @@ impl Parser {
                             self.skip_to_element_end();
                         } else {
                             let _ = self.eat_keyword("COLUMN");
-                            ops.push(AlterOp::AddColumn(self.column_def()?));
+                            let def = self.column_def()?;
+                            self.arena.push_op(AlterOp::AddColumn(def));
                         }
                     } else if self.eat_keyword("DROP") {
                         if self.at_keyword("PRIMARY") && self.at_keyword_at(1, "KEY") {
                             self.pos += 2;
-                            ops.push(AlterOp::DropPrimaryKey);
+                            self.arena.push_op(AlterOp::DropPrimaryKey);
                         } else if self.at_keyword("INDEX")
                             || self.at_keyword("KEY")
                             || self.at_keyword("FOREIGN")
@@ -773,25 +825,26 @@ impl Parser {
                             self.skip_to_element_end();
                         } else {
                             let _ = self.eat_keyword("COLUMN");
-                            ops.push(AlterOp::DropColumn(self.identifier()?));
+                            let col = self.identifier()?;
+                            self.arena.push_op(AlterOp::DropColumn(col));
                         }
                     } else if self.eat_keyword("MODIFY") {
                         let _ = self.eat_keyword("COLUMN");
-                        ops.push(AlterOp::ModifyColumn(self.column_def()?));
+                        let def = self.column_def()?;
+                        self.arena.push_op(AlterOp::ModifyColumn(def));
                     } else if self.eat_keyword("CHANGE") {
                         let _ = self.eat_keyword("COLUMN");
                         let old_name = self.identifier()?;
-                        ops.push(AlterOp::ChangeColumn {
-                            old_name,
-                            def: self.column_def()?,
-                        });
+                        let def = self.column_def()?;
+                        self.arena.push_op(AlterOp::ChangeColumn { old_name, def });
                     } else if self.eat_keyword("RENAME") {
                         if self.eat_keyword("COLUMN") {
                             // RENAME COLUMN a TO b: unmodelled (no type info).
                             self.skip_to_element_end();
                         } else {
                             let _ = self.eat_keyword("TO") || self.eat_keyword("AS");
-                            ops.push(AlterOp::RenameTable(self.identifier()?));
+                            let new_name = self.identifier()?;
+                            self.arena.push_op(AlterOp::RenameTable(new_name));
                         }
                     } else {
                         // ENGINE=..., CONVERT TO, ORDER BY, ...: skip.
@@ -806,18 +859,19 @@ impl Parser {
                 }
             }
         }
-        Ok(crate::ast::AlterTable { name, ops })
+        Ok(name)
     }
 
-    /// Parse `DROP TABLE [IF EXISTS] a [, b]*` up to the semicolon.
-    fn drop_table(&mut self) -> Result<Vec<String>, ParseError> {
+    /// Parse `DROP TABLE [IF EXISTS] a [, b]*` up to the semicolon, pushing
+    /// names into the string pool.
+    fn drop_table(&mut self) -> Result<PoolRange, ParseError> {
         self.expect_keyword("DROP")?;
         self.expect_keyword("TABLE")?;
         if self.at_keyword("IF") {
             self.pos += 1;
             self.expect_keyword("EXISTS")?;
         }
-        let mut names = Vec::new();
+        let mark = self.arena.mark();
         loop {
             let first = self.identifier()?;
             let name = if self.eat_kind(&TokenKind::Dot) {
@@ -825,12 +879,12 @@ impl Parser {
             } else {
                 first
             };
-            names.push(name);
+            self.arena.push_string(name);
             if !self.eat_kind(&TokenKind::Comma) {
                 break;
             }
         }
-        Ok(names)
+        Ok(self.arena.strings_since(mark))
     }
 
     /// Skip a balanced `( ... )` group; the cursor must be at `(`.
@@ -871,9 +925,9 @@ impl Parser {
         }
     }
 
-    /// Collect trailing table options until the semicolon or EOF.
-    fn table_options(&mut self) -> Vec<String> {
-        let mut options = Vec::new();
+    /// Collect trailing table options until the semicolon or EOF, pushing
+    /// each option string into the arena's string pool.
+    fn table_options(&mut self) {
         let mut current = String::new();
         loop {
             match self.peek().map(|t| t.kind.clone()) {
@@ -884,13 +938,13 @@ impl Parser {
                 }
                 Some(TokenKind::Comma) => {
                     if !current.is_empty() {
-                        options.push(std::mem::take(&mut current));
+                        self.arena.push_string(std::mem::take(&mut current));
                     }
                     self.pos += 1;
                 }
                 Some(TokenKind::Ident(s)) | Some(TokenKind::QuotedIdent(s)) => {
                     if !current.is_empty() && !current.ends_with('=') {
-                        options.push(std::mem::take(&mut current));
+                        self.arena.push_string(std::mem::take(&mut current));
                     }
                     current.push_str(&s);
                     self.pos += 1;
@@ -914,16 +968,15 @@ impl Parser {
             }
         }
         if !current.is_empty() {
-            options.push(current);
+            self.arena.push_string(current);
         }
-        options
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::Statement;
+    use crate::ast::{CreateTable, Statement};
     use crate::types::TypeFamily;
 
     fn one_table(sql: &str) -> CreateTable {

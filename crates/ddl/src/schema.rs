@@ -5,6 +5,7 @@
 //! study calls a *logical-level* construct lives here; indexes, storage
 //! options, comments and data do not.
 
+use crate::arena::{ArenaStatement, ScriptArena};
 use crate::ast::Script;
 use crate::types::DataType;
 use serde::{Deserialize, Serialize};
@@ -302,6 +303,96 @@ impl Schema {
                     }
                 }
                 Statement::Other { .. } => {}
+            }
+        }
+        schema
+    }
+
+    /// Lower a parsed [`ScriptArena`] into its logical schema, applying
+    /// statements in file order.
+    ///
+    /// The arena-native twin of [`Schema::from_script`], with identical
+    /// semantics; the mining pipeline uses this path so no intermediate
+    /// boxed AST is materialized.
+    pub fn from_arena(arena: &ScriptArena) -> Schema {
+        use crate::ast::AlterOp;
+        let mut schema = Schema::new();
+        for statement in arena.statements() {
+            match statement {
+                ArenaStatement::CreateTable(ct) => {
+                    if ct.temporary {
+                        continue;
+                    }
+                    let columns = arena.columns(ct.columns);
+                    let mut table = Table::new(ct.name.clone());
+                    table.attributes.reserve(columns.len());
+                    for col in columns {
+                        table.push_attribute(column_to_attribute(col));
+                    }
+                    table.set_primary_key(arena.primary_key_columns(ct));
+                    for constraint in arena.constraints(ct.constraints) {
+                        if let crate::ast::TableConstraint::ForeignKey {
+                            columns,
+                            foreign_table,
+                            foreign_columns,
+                            ..
+                        } = constraint
+                        {
+                            table.push_foreign_key(ForeignKey {
+                                columns: columns.clone(),
+                                foreign_table: foreign_table.clone(),
+                                foreign_columns: foreign_columns.clone(),
+                            });
+                        }
+                    }
+                    schema.upsert_table(table);
+                }
+                ArenaStatement::DropTable { names } => {
+                    for n in arena.strings(*names) {
+                        schema.remove_table(n);
+                    }
+                }
+                ArenaStatement::AlterTable { name, ops } => {
+                    for op in arena.ops(*ops) {
+                        if let AlterOp::RenameTable(new_name) = op {
+                            if let Some(mut t) = schema.remove_table(name) {
+                                t.name = new_name.clone();
+                                schema.upsert_table(t);
+                            }
+                            continue;
+                        }
+                        let Some(table) = schema.table_mut(name) else {
+                            continue;
+                        };
+                        match op {
+                            AlterOp::AddColumn(def) => {
+                                table.push_attribute(column_to_attribute(def));
+                                if def.inline_primary_key {
+                                    table.set_primary_key(vec![def.name.clone()]);
+                                }
+                            }
+                            AlterOp::DropColumn(col) => {
+                                table.remove_attribute(col);
+                            }
+                            AlterOp::ModifyColumn(def) => {
+                                table.replace_attribute(&def.name.clone(), column_to_attribute(def));
+                            }
+                            AlterOp::ChangeColumn { old_name, def } => {
+                                table.replace_attribute(old_name, column_to_attribute(def));
+                            }
+                            AlterOp::AddPrimaryKey(cols) => {
+                                table.set_primary_key(cols.clone());
+                            }
+                            AlterOp::DropPrimaryKey => {
+                                table.set_primary_key(Vec::new());
+                            }
+                            // Renames are applied before the table lookup
+                            // above; nothing left to do here.
+                            AlterOp::RenameTable(_) => {}
+                        }
+                    }
+                }
+                ArenaStatement::Other { .. } => {}
             }
         }
         schema

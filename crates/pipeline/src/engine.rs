@@ -164,6 +164,10 @@ impl MiningEngine {
     pub fn mine(&self, source: &dyn CandidateSource) -> Result<MiningOutput, SchevoError> {
         let o = &self.options;
         let wall = Instant::now();
+        // Snapshot the process-cumulative arena counter so the registry
+        // fold below can attribute to this pass only the bytes its own
+        // parses allocated.
+        let arena_bytes_at_start = schevo_ddl::arena_bytes_total();
         let reed = o.reed_threshold.unwrap_or(REED_THRESHOLD);
         let caches = o.cache.then(MineCaches::default);
         let deadline = o.durability.deadline;
@@ -404,6 +408,14 @@ impl MiningEngine {
                 reg.add("mine.spill.events", stream_report.spill_events);
                 reg.add("mine.spill.bytes", stream_report.spill_bytes);
             }
+            // Hot-path telemetry: AST-arena bytes allocated by this pass's
+            // parses (delta over a process-cumulative counter) and the
+            // current size of the global symbol-interning table.
+            reg.add(
+                "parse.arena_bytes",
+                schevo_ddl::arena_bytes_total().saturating_sub(arena_bytes_at_start),
+            );
+            reg.set_gauge("intern.symbols", schevo_core::symbol_count() as u64);
         }
 
         let parse_failures = match policy {

@@ -180,6 +180,32 @@ if [ "$rss_mb" -gt "$RSS_CEILING_MB" ]; then
 fi
 echo "    20x streaming run peaked at ${rss_mb} MB (ceiling ${RSS_CEILING_MB} MB)"
 
+echo "==> perf lab: bench-smoke gate (schema + regression fence)"
+# The smoke-tier lab must finish fast and self-validate, and its timings
+# must stay within 20% of the checked-in smoke baselines (tests/golden/).
+# The fence compares the *minimum* of the five measured runs: background
+# load only ever inflates a timing, so the minimum approximates quiet-box
+# performance even on a busy runner, while a real hot-path regression
+# slows every run including the fastest. The repo-root BENCH_*.json are
+# paper-tier and are NOT regenerated here — refresh them with
+# `perflab --out .` when the hot path changes on purpose.
+bench_dir="$tmp/bench-smoke"
+mkdir -p "$bench_dir"
+cargo run -q --release -p schevo-bench --bin perflab -- \
+  --bench-smoke --out "$bench_dir" >/dev/null
+for name in mine parse; do
+  fresh="$bench_dir/BENCH_$name.json"
+  base="tests/golden/BENCH_smoke_$name.json"
+  # --check-min schema-validates the report and prints its minimum sample.
+  fresh_min=$(cargo run -q --release -p schevo-bench --bin perflab -- --check-min "$fresh")
+  base_min=$(cargo run -q --release -p schevo-bench --bin perflab -- --check-min "$base")
+  if awk -v f="$fresh_min" -v b="$base_min" 'BEGIN { exit !(f > b * 1.20) }'; then
+    echo "PERF REGRESSION: $name min ${fresh_min}s vs smoke baseline ${base_min}s (fence: +20%)" >&2
+    exit 1
+  fi
+  echo "    $name min ${fresh_min}s vs smoke baseline ${base_min}s (fence: +20%)"
+done
+
 echo "==> deprecation gate: no first-party callers of mine_all_*"
 # The legacy mine_all_* family survives only as #[deprecated] wrappers in
 # crates/pipeline/src/extract.rs (plus the one compatibility re-export in

@@ -147,6 +147,18 @@ fn prometheus_format_exports_and_manifest_records_journal() {
     assert!(prom.contains("# TYPE mine_parse_misses counter"), "missing counter:\n{prom}");
     assert!(prom.contains("mine_task_parse_nanos_count"), "missing histogram:\n{prom}");
     assert!(prom.contains("le=\"+Inf\""), "missing +Inf bucket:\n{prom}");
+    // Hot-path rewrite telemetry: arena allocation is a counter, the
+    // interner's size a gauge — and neither may perturb outputs (the
+    // stdout/results diffs above and in `instrumented_run_is_byte_identical_
+    // across_schedules` run with metrics both on and off).
+    assert!(
+        prom.contains("# TYPE parse_arena_bytes counter"),
+        "missing arena counter:\n{prom}"
+    );
+    assert!(
+        prom.contains("# TYPE intern_symbols gauge"),
+        "missing interner gauge:\n{prom}"
+    );
 
     let m = schevo::obs::manifest::RunManifest::from_json(&read(&manifest))
         .expect("manifest parses");
