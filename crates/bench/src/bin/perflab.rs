@@ -1,12 +1,13 @@
-//! `perflab` — run the variance-controlled perf lab and emit
-//! `BENCH_mine.json` / `BENCH_parse.json`.
+//! `perflab` — run the variance-controlled perf lab and append to
+//! `BENCH_mine.json` / `BENCH_parse.json` history documents.
 //!
 //! ```text
-//! perflab                  # paper tier (the committed repo-root reports)
+//! perflab                  # paper tier (appends to the repo-root histories)
 //! perflab --bench-smoke    # smoke tier, <10 s, the CI gate
 //! perflab --out <dir>      # write reports into <dir> (default: cwd)
-//! perflab --check <file>      # validate a report, print its median
-//! perflab --check-min <file>  # validate a report, print its minimum
+//! perflab --check <file>      # validate a report, print its latest median
+//! perflab --check-min <file>  # validate a report, print its latest minimum
+//! perflab --migrate <file>    # wrap a legacy single-run report as history
 //! ```
 
 use schevo_bench::lab::Tier;
@@ -27,6 +28,26 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--migrate" => {
+                let Some(f) = args.next() else {
+                    eprintln!("--migrate needs a report file argument");
+                    return ExitCode::FAILURE;
+                };
+                return match schevo_bench::perflab::migrate(Path::new(&f)) {
+                    Ok(true) => {
+                        println!("migrated {f} to history format");
+                        ExitCode::SUCCESS
+                    }
+                    Ok(false) => {
+                        println!("{f} is already a history document");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("migrate failed for {f}: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             flag @ ("--check" | "--check-min") => {
                 let Some(f) = args.next() else {
                     eprintln!("{flag} needs a report file argument");
@@ -50,7 +71,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perflab [--bench-smoke] [--out <dir>] [--check <file>] [--check-min <file>]"
+                    "usage: perflab [--bench-smoke] [--out <dir>] [--check <file>] [--check-min <file>] [--migrate <file>]"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -15,8 +15,16 @@ use crate::SEED;
 use schevo_corpus::universe::{generate, Universe, UniverseConfig};
 use schevo_pipeline::{MiningEngine, StudyOptions};
 use schevo_vcs::history::{file_history, WalkStrategy};
+use serde_json::Value;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Schema identifier of the append-only bench *history* files: one
+/// entry per lab run, oldest first, each entry a full
+/// [`crate::lab::BENCH_SCHEMA`] report. The lab appends to these
+/// instead of clobbering them, so `BENCH_mine.json` / `BENCH_parse.json`
+/// accumulate a per-PR performance trend.
+pub const HISTORY_SCHEMA: &str = "schevo-bench-history/v1";
 
 /// Corpus scale divisor per tier. Paper tier matches the committed
 /// goldens (`--scale 20`); smoke is 4× smaller again so the whole lab
@@ -96,24 +104,97 @@ fn parse_report(universe: &Universe, tier: Tier) -> BenchReport {
     })
 }
 
+/// Interpret a bench document as its list of validated report entries:
+/// a bare single-run report is one entry; a history document is all of
+/// them, in append order. Every entry is schema-checked.
+fn entries_of(doc: &Value) -> Result<Vec<Value>, String> {
+    if doc.get("schema").and_then(Value::as_str) == Some(HISTORY_SCHEMA) {
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| "history document missing `entries` array".to_string())?;
+        if entries.is_empty() {
+            return Err("history document has no entries".to_string());
+        }
+        for e in entries {
+            validate_bench_json(e)?;
+        }
+        Ok(entries.clone())
+    } else {
+        validate_bench_json(doc)?;
+        Ok(vec![doc.clone()])
+    }
+}
+
+fn render_history(name: &str, entries: Vec<Value>) -> Result<String, String> {
+    let doc = Value::Map(vec![
+        ("schema".to_string(), Value::Str(HISTORY_SCHEMA.to_string())),
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("entries".to_string(), Value::Seq(entries)),
+    ]);
+    serde_json::to_string_pretty(&doc)
+        .map(|s| s + "\n")
+        .map_err(|e| format!("render history: {e:?}"))
+}
+
+fn invalid(detail: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail)
+}
+
 /// Run the full lab at `tier` and write `BENCH_mine.json` and
-/// `BENCH_parse.json` into `out_dir`. Every report is schema-validated
-/// before it touches disk. Returns the written paths.
+/// `BENCH_parse.json` into `out_dir` as history documents. An existing
+/// file — single-run report or history — is **appended to**, never
+/// clobbered, so repeated runs accumulate a trend. Every report is
+/// schema-validated before it touches disk. Returns the written paths.
 pub fn run(tier: Tier, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let universe = build_universe(tier);
     let mut written = Vec::new();
     for report in [mine_report(&universe, tier), parse_report(&universe, tier)] {
         let json = report.to_json_string();
-        let doc: serde_json::Value =
-            serde_json::from_str(&json).expect("report serializes to valid JSON");
+        let doc: Value = serde_json::from_str(&json).expect("report serializes to valid JSON");
         if let Err(e) = validate_bench_json(&doc) {
             panic!("generated report failed self-validation: {e}");
         }
         let path = out_dir.join(format!("BENCH_{}.json", report.name));
-        std::fs::write(&path, json)?;
+        let mut entries = match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let existing: Value = serde_json::from_str(&text)
+                    .map_err(|e| invalid(format!("existing {}: {e:?}", path.display())))?;
+                entries_of(&existing)
+                    .map_err(|e| invalid(format!("existing {}: {e}", path.display())))?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        entries.push(doc);
+        let rendered = render_history(&report.name, entries).map_err(invalid)?;
+        std::fs::write(&path, rendered)?;
         written.push(path);
     }
     Ok(written)
+}
+
+/// Rewrite a single-run report file as a one-entry history document in
+/// place. Idempotent: a file already in history format is validated and
+/// left untouched. Returns whether the file was rewritten.
+pub fn migrate(path: &Path) -> Result<bool, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    if doc.get("schema").and_then(Value::as_str) == Some(HISTORY_SCHEMA) {
+        entries_of(&doc)?;
+        return Ok(false);
+    }
+    validate_bench_json(&doc)?;
+    let name = doc
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or("bench")
+        .to_string();
+    let rendered = render_history(&name, vec![doc])?;
+    std::fs::write(path, rendered).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(true)
 }
 
 /// Validate the report at `path` against the perf-lab schema and return
@@ -124,12 +205,18 @@ pub fn run(tier: Tier, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
 fn checked_stat(path: &Path, key: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("read {}: {e}", path.display()))?;
-    let doc: serde_json::Value = serde_json::from_str(&text)
+    let doc: Value = serde_json::from_str(&text)
         .map_err(|e| format!("parse {}: {e:?}", path.display()))?;
-    validate_bench_json(&doc)?;
-    doc.get("stats")
+    // Accept both the single-run report shape and the append-only
+    // history shape; a history is judged by its most recent entry.
+    let entries = entries_of(&doc)?;
+    let latest = entries
+        .last()
+        .ok_or_else(|| "no entries to check".to_string())?;
+    latest
+        .get("stats")
         .and_then(|s| s.get(key))
-        .and_then(serde_json::Value::as_f64)
+        .and_then(Value::as_f64)
         .ok_or_else(|| format!("validated report lost its {key}"))
 }
 
@@ -164,11 +251,17 @@ mod tests {
         );
         assert_eq!(paths.len(), 2);
         for p in &paths {
-            let doc: serde_json::Value =
-                serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
-            validate_bench_json(&doc).unwrap();
+            let doc: Value = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
             assert_eq!(
-                doc.get("tier").and_then(serde_json::Value::as_str),
+                doc.get("schema").and_then(Value::as_str),
+                Some(HISTORY_SCHEMA),
+                "fresh lab output is a one-entry history document"
+            );
+            let entries = doc.get("entries").and_then(Value::as_array).unwrap();
+            assert_eq!(entries.len(), 1);
+            validate_bench_json(&entries[0]).unwrap();
+            assert_eq!(
+                entries[0].get("tier").and_then(Value::as_str),
                 Some("smoke")
             );
             let median = check(p).unwrap();
@@ -181,6 +274,69 @@ mod tests {
             .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
             .collect();
         assert_eq!(names, ["BENCH_mine.json", "BENCH_parse.json"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reruns_append_history_entries_and_check_reads_the_latest() {
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_perflab_history_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = run(Tier::Smoke, &dir).unwrap();
+        let second = run(Tier::Smoke, &dir).unwrap();
+        assert_eq!(first, second, "reruns write the same paths");
+        for p in &second {
+            let doc: Value = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+            let entries = doc.get("entries").and_then(Value::as_array).unwrap();
+            assert_eq!(entries.len(), 2, "the second run appended, not clobbered");
+            // --check judges the latest entry, so the fence always fences
+            // against the run that was just produced.
+            let latest_min = entries[1]
+                .get("stats")
+                .and_then(|s| s.get("min"))
+                .and_then(Value::as_f64)
+                .unwrap();
+            assert_eq!(check_min(p).unwrap(), latest_min);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn migrate_wraps_single_reports_in_place_and_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_perflab_migrate_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // A legacy single-run report, as PR 6 committed them.
+        let legacy = crate::lab::run_lab("mine", Tier::Smoke, SEED, 0, 3, || 0.01)
+            .to_json_string();
+        let path = dir.join("BENCH_mine.json");
+        std::fs::write(&path, &legacy).unwrap();
+        let single_min = check_min(&path).unwrap();
+
+        assert!(migrate(&path).unwrap(), "first migration rewrites the file");
+        let doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some(HISTORY_SCHEMA));
+        assert_eq!(
+            doc.get("entries").and_then(Value::as_array).map(Vec::len),
+            Some(1)
+        );
+        assert_eq!(
+            check_min(&path).unwrap(),
+            single_min,
+            "migration preserves the checked statistic"
+        );
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(!migrate(&path).unwrap(), "second migration is a no-op");
+        assert_eq!(std::fs::read(&path).unwrap(), bytes, "idempotent bytes");
+
+        assert!(migrate(Path::new("/nonexistent/BENCH.json")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

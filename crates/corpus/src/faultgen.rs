@@ -200,6 +200,42 @@ fn corrupt_project(project: &mut GeneratedProject, class: FaultClass, rng: &mut 
     Some(idx)
 }
 
+/// Corrupt every version of `project`'s DDL history **except the
+/// first** and rebuild the repository as a linear chain with the same
+/// commit metadata. The intact first version keeps the history inside
+/// the collection funnel (it still has a parseable `CREATE TABLE`); the
+/// rest each get an unterminated quote at byte 0, so the whole version
+/// is one hostile token — the strict parse fails, statement-level
+/// salvage recovers nothing, and graceful mining must quarantine the
+/// history. The append-aware chaos tests rely on that. Returns the
+/// number of versions corrupted.
+pub fn poison_history(project: &mut GeneratedProject) -> usize {
+    let Ok(versions) = file_history(&project.repo, &project.ddl_path, WalkStrategy::FirstParent)
+    else {
+        return 0;
+    };
+    let mut corrupted = 0usize;
+    let mut rebuilt = Vec::with_capacity(versions.len());
+    for (i, mut v) in versions.into_iter().enumerate() {
+        if i > 0 {
+            v.content.insert(0, '\'');
+            corrupted += 1;
+        }
+        rebuilt.push(v);
+    }
+    let mut repo = Repository::new(project.repo.name.clone());
+    for v in &rebuilt {
+        let _ = repo.commit(
+            &[FileChange::write(&project.ddl_path, v.content.clone())],
+            &v.author,
+            v.timestamp,
+            &v.message,
+        );
+    }
+    project.repo = repo;
+    corrupted
+}
+
 /// Apply one corruption class to an extracted version list in place.
 /// Returns the index of the affected version, or `None` when the list
 /// cannot express the class (too short, nothing to unbalance, ...).

@@ -142,6 +142,10 @@ pub struct StoreManifest {
     /// The corpus content digest — identical to what
     /// [`crate::universe::corpus_digest`] reports for the same config.
     pub corpus_digest: String,
+    /// Records appended after the initial generation pass (absent or
+    /// zero for a pristine generated store). Older manifests omit the
+    /// field entirely; they deserialize as `None`.
+    pub appended: Option<u64>,
 }
 
 impl StoreManifest {
@@ -154,11 +158,20 @@ impl StoreManifest {
         }
     }
 
+    /// Records appended after initial generation (zero for pristine).
+    pub fn appended_records(&self) -> u64 {
+        self.appended.unwrap_or(0)
+    }
+
     /// Whether this store can serve a request for `config` × `shards`.
+    /// An appended store never matches: its contents are a superset of
+    /// what `config` generates, so callers that want exactly the
+    /// generated corpus must regenerate (or opt into the store as-is).
     pub fn matches(&self, config: &UniverseConfig, shards: usize) -> bool {
         self.store_version == STORE_VERSION
             && self.config() == *config
             && self.shards == shards as u64
+            && self.appended_records() == 0
     }
 }
 
@@ -287,6 +300,9 @@ pub struct StoreWriter {
     materialized: u64,
     io: StoreIo,
     digester: CorpusDigester,
+    /// `(records, appended)` of the manifest this writer extends, or
+    /// `None` for a freshly created store.
+    append_base: Option<(u64, u64)>,
 }
 
 impl StoreWriter {
@@ -317,6 +333,60 @@ impl StoreWriter {
                 ..StoreIo::default()
             },
             digester: CorpusDigester::new(),
+            append_base: None,
+        })
+    }
+
+    /// Reopen the store at `dir` for appending. The existing records are
+    /// streamed once to re-prime the corpus digester (the digest is
+    /// order-independent, so appended records fold in cleanly); any
+    /// corruption or short read fails closed — appending to a store we
+    /// cannot fully account for would silently launder the damage into a
+    /// fresh manifest.
+    pub fn append_to(dir: &Path) -> Result<StoreWriter, StoreError> {
+        let store = ShardStore::open(dir)?;
+        let manifest = store.manifest().clone();
+        let mut digester = CorpusDigester::new();
+        let mut seen = 0u64;
+        let mut stream = store.stream();
+        while let Some(event) = stream.next_event() {
+            match event {
+                StoreEvent::Record(r) => {
+                    if let Some((repo, _, _)) = &r.materialized {
+                        digester.add(&r.name, &r.sql_paths, repo);
+                    }
+                    seen += 1;
+                }
+                StoreEvent::Corrupt { shard, offset, detail } => {
+                    return Err(StoreError::Manifest(format!(
+                        "cannot append to corrupt store (shard {shard} @ {offset}: {detail})"
+                    )));
+                }
+            }
+        }
+        if seen != manifest.records {
+            return Err(StoreError::Manifest(format!(
+                "cannot append: store holds {seen} records, manifest claims {}",
+                manifest.records
+            )));
+        }
+        let shard_count = manifest.shards as usize;
+        let mut files = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let f = fs::OpenOptions::new()
+                .append(true)
+                .open(shard_path(dir, i))?;
+            files.push(BufWriter::new(f));
+        }
+        Ok(StoreWriter {
+            dir: dir.to_path_buf(),
+            config: manifest.config(),
+            shards: files,
+            seq: manifest.records,
+            materialized: manifest.materialized,
+            io: StoreIo::default(),
+            digester,
+            append_base: Some((manifest.records, manifest.appended_records())),
         })
     }
 
@@ -356,6 +426,9 @@ impl StoreWriter {
             records: self.seq,
             materialized: self.materialized,
             corpus_digest: self.digester.finalize(&self.config),
+            appended: self
+                .append_base
+                .map(|(base_records, base_appended)| base_appended + (self.seq - base_records)),
         };
         let json = match serde_json::to_string_pretty(&manifest) {
             Ok(mut s) => {
@@ -402,6 +475,22 @@ pub fn generate_into_store(
         Some(e) => Err(e),
         None => writer.finalize(),
     }
+}
+
+/// Append `records` to an existing store at `dir`, republishing the
+/// manifest with an updated `appended` count and corpus digest. The
+/// appended store deliberately stops `matches()`-ing its generation
+/// config: it now holds more than that config generates.
+pub fn append_into_store(
+    dir: &Path,
+    records: &[CorpusRecord],
+) -> Result<(StoreManifest, StoreIo), StoreError> {
+    let _span = schevo_obs::span!("store.append", records = records.len());
+    let mut writer = StoreWriter::append_to(dir)?;
+    for record in records {
+        writer.write(record)?;
+    }
+    writer.finalize()
 }
 
 /// A store opened for reading.
@@ -832,6 +921,80 @@ mod tests {
             ShardStore::open(&dir),
             Err(StoreError::Manifest(_))
         ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_extends_records_reprimes_digest_and_defeats_reuse() {
+        use crate::universe::generate_appendix;
+        let config = UniverseConfig::small(11, 40);
+        let dir = scratch("append");
+        let (base, _) = generate_into_store(config, &dir, 3).expect("write store");
+        assert_eq!(base.appended_records(), 0);
+        assert!(base.matches(&config, 3));
+
+        let batch = generate_appendix(config, 0, 4, 1);
+        assert_eq!(batch.records.len(), 4);
+        assert_eq!(batch.corrupted.len(), 1);
+        let (appended, io) = append_into_store(&dir, &batch.records).expect("append");
+        assert_eq!(appended.records, base.records + 4);
+        assert_eq!(appended.appended_records(), 4);
+        assert_eq!(io.records_written, 4);
+        assert_ne!(
+            appended.corpus_digest, base.corpus_digest,
+            "the digest must fold appended records in"
+        );
+        assert!(
+            !appended.matches(&config, 3),
+            "an appended store must never be silently reused as pristine"
+        );
+
+        // Every record — old and new — streams back in seq order.
+        let store = ShardStore::open(&dir).expect("reopen");
+        let mut seq = 0u64;
+        let mut names = Vec::new();
+        let mut stream = store.stream();
+        while let Some(event) = stream.next_event() {
+            match event {
+                StoreEvent::Record(r) => {
+                    assert_eq!(r.seq, seq, "seq order across the append boundary");
+                    seq += 1;
+                    names.push(r.name);
+                }
+                StoreEvent::Corrupt { detail, .. } => panic!("appended store corrupt: {detail}"),
+            }
+        }
+        assert_eq!(seq, appended.records);
+        for r in &batch.records {
+            assert!(names.contains(&r.name), "appended record {} streams back", r.name);
+        }
+
+        // A second append stacks on the first.
+        let more = generate_appendix(config, 1, 2, 0);
+        let (twice, _) = append_into_store(&dir, &more.records).expect("second append");
+        assert_eq!(twice.records, base.records + 6);
+        assert_eq!(twice.appended_records(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_to_a_corrupt_store_fails_closed() {
+        let config = UniverseConfig::small(13, 40);
+        let dir = scratch("appendcorrupt");
+        generate_into_store(config, &dir, 1).expect("write store");
+        let path = dir.join("shard-000.pack");
+        let mut bytes = fs::read(&path).expect("read shard");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        fs::write(&path, &bytes).expect("rewrite shard");
+
+        let batch = crate::universe::generate_appendix(config, 0, 1, 0);
+        match append_into_store(&dir, &batch.records) {
+            Err(StoreError::Manifest(detail)) => {
+                assert!(detail.contains("corrupt"), "{detail}");
+            }
+            other => panic!("appending to a corrupt store must fail, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -450,6 +450,71 @@ pub fn generate(config: UniverseConfig) -> Universe {
     }
 }
 
+/// One deterministic batch of appendix projects, meant for
+/// [`crate::store::append_into_store`]: fresh evolution histories that
+/// arrive *after* a store was generated, plus the ground-truth names of
+/// the ones whose every DDL version was corrupted.
+#[derive(Debug)]
+pub struct AppendixBatch {
+    /// Records in emission order — all materialized evolution projects.
+    pub records: Vec<CorpusRecord>,
+    /// Names of the projects corrupted into guaranteed quarantine.
+    pub corrupted: Vec<String>,
+}
+
+/// Generate `count` appendix projects for batch number `batch`, the
+/// first `corrupt` of them with every DDL version byte-flip-corrupted
+/// (always-detectable, so graceful mining must quarantine them).
+///
+/// Determinism and freshness: the RNG is seeded from `(config.seed,
+/// batch)` only, and project indices come from a high per-batch range —
+/// [`crate::names::project_name`] is injective over its index, so
+/// appendix names never collide with the base corpus or other batches.
+/// Indices step by 8 to stay clear of the vendor-specific layout
+/// (index ≡ 3 mod 8), keeping every appendix record single-path.
+pub fn generate_appendix(
+    config: UniverseConfig,
+    batch: u64,
+    count: usize,
+    corrupt: usize,
+) -> AppendixBatch {
+    use crate::faultgen::poison_history;
+    // Taxa with ≥4 active commits: appendix histories must never be
+    // rigid (single-version), or they would be excluded by the funnel
+    // instead of mined/quarantined.
+    const APPENDIX_TAXA: [Taxon; 3] = [Taxon::Moderate, Taxon::FocusedShotLow, Taxon::Active];
+    let mut rng = StdRng::seed_from_u64(
+        config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(batch)
+            .wrapping_add(1),
+    );
+    let base = (1usize << 20).saturating_mul(batch as usize + 1);
+    let mut records = Vec::with_capacity(count);
+    let mut corrupted = Vec::with_capacity(corrupt.min(count));
+    for k in 0..count {
+        let taxon = APPENDIX_TAXA[k % APPENDIX_TAXA.len()];
+        let plan = plan_project(&mut rng, base + k * 8, taxon);
+        let mut project = realize(&mut rng, &plan);
+        if k < corrupt {
+            poison_history(&mut project);
+            corrupted.push(plan.name.clone());
+        }
+        let paths = vec![project.ddl_path.clone()];
+        let name = plan.name.clone();
+        let libio =
+            LibioRecord::new(name.clone(), false, plan.stars.max(1), plan.contributors.max(2));
+        records.push(CorpusRecord {
+            name,
+            sql_paths: paths,
+            libio: Some(libio),
+            body: Some(MaterializedBody::Evo(Box::new(project))),
+        });
+    }
+    AppendixBatch { records, corrupted }
+}
+
 /// Incremental builder of the corpus content digest, shared by the
 /// in-memory [`corpus_digest`] and the sharded store writer so both
 /// backends report the identical digest for the same config.

@@ -30,6 +30,7 @@ use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the engine treats damaged histories.
@@ -110,6 +111,24 @@ struct MineSlot {
     fresh: bool,
 }
 
+/// A parse/diff cache that outlives one mining pass, for resident
+/// callers (the serve daemon) that mine the same store over and over.
+/// The caches are content-addressed — parse results are keyed by blob
+/// SHA-1 and diff results by digest pairs — so sharing them across
+/// passes, or across concurrent requests, cannot change any output bit:
+/// a hit returns exactly what a fresh computation would.
+#[derive(Debug, Clone, Default)]
+pub struct WarmCaches {
+    inner: Arc<MineCaches>,
+}
+
+impl WarmCaches {
+    /// An empty warm cache.
+    pub fn new() -> WarmCaches {
+        WarmCaches::default()
+    }
+}
+
 /// Journal state threaded through one durable pass.
 struct JournalCtx {
     writer: JournalWriter,
@@ -133,6 +152,7 @@ struct JournalCtx {
 pub struct MiningEngine {
     options: StudyOptions,
     policy: MinePolicy,
+    warm: Option<Arc<MineCaches>>,
 }
 
 impl MiningEngine {
@@ -141,12 +161,20 @@ impl MiningEngine {
         MiningEngine {
             options,
             policy: MinePolicy::Graceful,
+            warm: None,
         }
     }
 
     /// Override the damage policy.
     pub fn with_policy(mut self, policy: MinePolicy) -> MiningEngine {
         self.policy = policy;
+        self
+    }
+
+    /// Mine with a shared long-lived parse/diff cache instead of a
+    /// fresh per-pass one. Only consulted when `options.cache` is on.
+    pub fn with_warm(mut self, warm: &WarmCaches) -> MiningEngine {
+        self.warm = Some(warm.inner.clone());
         self
     }
 
@@ -169,7 +197,7 @@ impl MiningEngine {
         // parses allocated.
         let arena_bytes_at_start = schevo_ddl::arena_bytes_total();
         let reed = o.reed_threshold.unwrap_or(REED_THRESHOLD);
-        let caches = o.cache.then(MineCaches::default);
+        let caches = o.cache.then(|| self.warm.clone().unwrap_or_default());
         let deadline = o.durability.deadline;
         let size_hint = source.size_hint();
         let workers = o
@@ -253,10 +281,10 @@ impl MiningEngine {
             let mut tally = StageTally::default();
             let outcome = match policy {
                 MinePolicy::Graceful => {
-                    mine_task_watched(c, reed, deadline, caches.as_ref(), &mut tally)
+                    mine_task_watched(c, reed, deadline, caches.as_deref(), &mut tally)
                 }
                 MinePolicy::Strict => MineOutcome {
-                    mined: mine_task(c, reed, caches.as_ref(), &mut tally),
+                    mined: mine_task(c, reed, caches.as_deref(), &mut tally),
                     recovered: Vec::new(),
                     quarantined: None,
                 },

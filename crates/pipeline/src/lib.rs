@@ -26,7 +26,7 @@ pub mod quarantine;
 pub mod source;
 pub mod study;
 
-pub use engine::{MinePolicy, MiningEngine, MiningOutput, StreamOptions};
+pub use engine::{MinePolicy, MiningEngine, MiningOutput, StreamOptions, WarmCaches};
 pub use exec::{default_workers, ExecOptions, ExecStats};
 #[allow(deprecated)]
 pub use extract::{mine_all_durable, mine_all_graceful};
@@ -36,6 +36,6 @@ pub use funnel::{run_funnel, CandidateHistory, Exclusion, FunnelOutcome, FunnelR
 pub use quarantine::{QuarantineRecord, QuarantineReport, RecoveryRecord};
 pub use source::{CandidateSource, CandidateStream, SliceSource, SourceEvent, SourceSummary};
 pub use study::{
-    exit_code, run_study, try_run_study, try_run_study_source, Narrative, StatisticsBattery,
-    StudyOptions, StudyResult, TaxonStats,
+    exit_code, run_study, try_run_study, try_run_study_engine, try_run_study_source, Narrative,
+    StatisticsBattery, StudyOptions, StudyResult, TaxonStats,
 };

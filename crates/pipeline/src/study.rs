@@ -336,6 +336,19 @@ pub fn try_run_study_source(
     source: &dyn CandidateSource,
     options: StudyOptions,
 ) -> Result<StudyResult, SchevoError> {
+    try_run_study_engine(&MiningEngine::new(options), source)
+}
+
+/// Run the complete study through a caller-owned [`MiningEngine`] — the
+/// entry point for resident callers (the serve daemon) that reuse one
+/// configured engine, warm caches and all, across many requests. The
+/// batch paths above delegate here, so output is byte-identical however
+/// the engine was obtained.
+pub fn try_run_study_engine(
+    engine: &MiningEngine,
+    source: &dyn CandidateSource,
+) -> Result<StudyResult, SchevoError> {
+    let options = engine.options();
     let registry = options.obs.registry.clone();
     let registry = registry.as_deref();
     let strict = options.strict;
@@ -344,7 +357,7 @@ pub fn try_run_study_source(
     let t_run = Instant::now();
     let output = {
         let _span = span!("study.mine", candidates = source.size_hint().unwrap_or(0));
-        MiningEngine::new(options).mine(source)?
+        engine.mine(source)?
     };
     if let Some(reg) = registry {
         // The funnel runs inside the source (eagerly for the in-memory

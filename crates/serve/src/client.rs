@@ -1,0 +1,105 @@
+//! A minimal blocking client for the serve protocol, used by the CLI's
+//! client mode and the differential tests.
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::proto::{decode_response, encode_request, Request, Response};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the transport failed mid-call.
+    Io(std::io::Error),
+    /// The response frame was torn, oversize, or failed its checksum.
+    Frame(FrameError),
+    /// The payload was not a valid request or response.
+    Proto(String),
+    /// The server closed the connection instead of answering.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O: {e}"),
+            ClientError::Frame(e) => write!(f, "client framing: {e}"),
+            ClientError::Proto(e) => write!(f, "client protocol: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> ClientError {
+        ClientError::Frame(e)
+    }
+}
+
+#[derive(Debug)]
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a serve daemon; requests pipeline in order.
+#[derive(Debug)]
+pub struct Conn {
+    stream: Stream,
+}
+
+/// Connect to `addr`: `unix:/path/to.sock` for a Unix socket, anything
+/// else is a TCP address like `127.0.0.1:4000`.
+pub fn connect(addr: &str) -> Result<Conn, ClientError> {
+    let stream = match addr.strip_prefix("unix:") {
+        Some(path) => Stream::Unix(UnixStream::connect(path)?),
+        None => Stream::Tcp(TcpStream::connect(addr)?),
+    };
+    Ok(Conn { stream })
+}
+
+impl Conn {
+    /// Send one request and block for its response.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(request).map_err(ClientError::Proto)?;
+        write_frame(&mut self.stream, &payload)?;
+        let Some(reply) = read_frame(&mut self.stream)? else {
+            return Err(ClientError::Closed);
+        };
+        decode_response(&reply).map_err(ClientError::Proto)
+    }
+}

@@ -1,0 +1,421 @@
+//! The resident study server: one warm [`MiningEngine`] configuration,
+//! one open shard store, one shared parse/diff cache — answering
+//! concurrent study requests with admission control, per-request
+//! watchdog deadlines, queryable results, and Prometheus metrics.
+//!
+//! Determinism contract: a served study runs the exact same
+//! `try_run_study_engine` path as the batch CLI over the same store, and
+//! the warm cache is content-addressed, so the `study_json` bytes in an
+//! `ok` response are identical to the CLI's `study_results.json` for
+//! the same store and options — whatever else the server is doing
+//! concurrently.
+
+use crate::frame::{read_frame, write_frame};
+use crate::proto::{decode_request, encode_response, Request, Response};
+use parking_lot::Mutex;
+use schevo_corpus::store::{ShardStore, StoreError};
+use schevo_obs::manifest::{
+    stages_from_snapshot, ClassCount, JournalManifest, QuarantineManifest, RunManifest,
+    MANIFEST_VERSION,
+};
+use schevo_obs::metrics::Registry;
+use schevo_obs::ObsHooks;
+use schevo_pipeline::exec::watchdog;
+use schevo_pipeline::journal::DurabilityOptions;
+use schevo_pipeline::{try_run_study_engine, MiningEngine, StudyOptions, WarmCaches};
+use schevo_report::{fig04_csv, fig10_csv, study_to_json, write_atomic};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Static configuration of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The shard store directory to serve studies from.
+    pub store_dir: PathBuf,
+    /// Max studies in flight; further `study` requests get `busy`.
+    pub max_inflight: usize,
+    /// Default worker count per study (requests may override).
+    pub workers: usize,
+    /// Default cache mode per study (requests may override).
+    pub cache: bool,
+    /// Journal path backing `resume: true` requests; `None` rejects them.
+    pub journal: Option<PathBuf>,
+    /// Deterministic crash injection forwarded to durable requests
+    /// (testing only — aborts the whole process mid-request).
+    pub crash_after: Option<u64>,
+    /// Default per-request watchdog deadline.
+    pub deadline: Option<Duration>,
+    /// Directory for per-request CSV artifacts; `None` publishes none.
+    pub artifacts_dir: Option<PathBuf>,
+}
+
+impl ServerConfig {
+    /// A config serving `store_dir` with library defaults: 4 studies in
+    /// flight, engine-default workers, cache on, no journal, no
+    /// deadline, no artifacts.
+    pub fn new(store_dir: PathBuf) -> ServerConfig {
+        ServerConfig {
+            store_dir,
+            max_inflight: 4,
+            workers: StudyOptions::default().workers,
+            cache: true,
+            journal: None,
+            crash_after: None,
+            deadline: None,
+            artifacts_dir: None,
+        }
+    }
+}
+
+/// The listening endpoint of [`Server::serve`].
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener (loopback in every shipped configuration).
+    Tcp(TcpListener),
+    /// A Unix domain socket listener.
+    Unix(UnixListener),
+}
+
+/// The server state shared across connection threads.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    store: ShardStore,
+    warm: WarmCaches,
+    inflight: AtomicUsize,
+    served: AtomicU64,
+    next_id: AtomicU64,
+    results: Mutex<HashMap<String, Response>>,
+    registry: Registry,
+    /// One journal file, one writer: durable requests serialize here.
+    journal_gate: Mutex<()>,
+    shutdown: AtomicBool,
+}
+
+impl Server {
+    /// Open the store and build a server around it.
+    pub fn new(config: ServerConfig) -> Result<Server, StoreError> {
+        let store = ShardStore::open(&config.store_dir)?;
+        Ok(Server {
+            config,
+            store,
+            warm: WarmCaches::new(),
+            inflight: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            results: Mutex::new(HashMap::new()),
+            registry: Registry::new(),
+            journal_gate: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The manifest of the store being served.
+    pub fn store_manifest(&self) -> &schevo_corpus::store::StoreManifest {
+        self.store.manifest()
+    }
+
+    /// Serve one framed request stream until clean EOF, an unframeable
+    /// byte sequence (torn/garbage/bit-flipped frame — the connection is
+    /// dropped, because no trustworthy frame boundary remains), or a
+    /// `shutdown` request. Returns whether shutdown was requested.
+    ///
+    /// Generic over the transport so protocol tests can drive it with
+    /// in-memory readers/writers — no socket required.
+    pub fn serve_stream<S: Read + Write>(&self, stream: &mut S) -> bool {
+        loop {
+            let payload = match read_frame(stream) {
+                Ok(Some(p)) => p,
+                Ok(None) => return false,
+                Err(_) => {
+                    self.registry.add("serve.frame_errors", 1);
+                    return false;
+                }
+            };
+            let (response, shutdown) = match decode_request(&payload) {
+                Ok(request) => self.dispatch(request),
+                Err(e) => {
+                    self.registry.add("serve.bad_requests", 1);
+                    (Response::error(None, &e), false)
+                }
+            };
+            let Ok(bytes) = encode_response(&response) else {
+                return shutdown;
+            };
+            if write_frame(stream, &bytes).is_err() {
+                return shutdown;
+            }
+            if shutdown {
+                return true;
+            }
+        }
+    }
+
+    /// Handle one decoded request. Returns the response and whether the
+    /// server should shut down.
+    pub fn dispatch(&self, request: Request) -> (Response, bool) {
+        self.registry.add("serve.requests", 1);
+        match request.op.as_str() {
+            "study" => (self.admit_study(&request), false),
+            "result" => (self.lookup_result(&request), false),
+            "metrics" => (self.metrics_response(&request), false),
+            "status" => (self.status_response(&request), false),
+            "shutdown" => (Response::ok(request.id), true),
+            other => (
+                Response::error(request.id, &format!("unknown op `{other}`")),
+                false,
+            ),
+        }
+    }
+
+    fn status_response(&self, request: &Request) -> Response {
+        Response {
+            inflight: Some(self.inflight.load(Ordering::SeqCst) as u64),
+            served: Some(self.served.load(Ordering::SeqCst)),
+            ..Response::ok(request.id.clone())
+        }
+    }
+
+    fn metrics_response(&self, request: &Request) -> Response {
+        self.registry
+            .set_gauge("serve.inflight", self.inflight.load(Ordering::SeqCst) as u64);
+        self.registry
+            .set_gauge("serve.served", self.served.load(Ordering::SeqCst));
+        Response {
+            metrics: Some(self.registry.snapshot().to_prometheus()),
+            ..Response::ok(request.id.clone())
+        }
+    }
+
+    fn lookup_result(&self, request: &Request) -> Response {
+        let Some(id) = &request.id else {
+            return Response::error(None, "`result` needs an `id`");
+        };
+        match self.results.lock().get(id) {
+            Some(stored) => stored.clone(),
+            None => Response::error(request.id.clone(), &format!("no result for id `{id}`")),
+        }
+    }
+
+    /// Admission control: bounded in-flight studies with an explicit
+    /// `busy` backpressure response — the server never queues unbounded
+    /// mining work behind a socket.
+    fn admit_study(&self, request: &Request) -> Response {
+        let cap = self.config.max_inflight.max(1);
+        let admitted = self
+            .inflight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < cap).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            self.registry.add("serve.busy", 1);
+            return Response::busy(request.id.clone());
+        }
+        let response = self.run_study(request);
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+        response
+    }
+
+    fn run_study(&self, request: &Request) -> Response {
+        let id = match &request.id {
+            Some(id) => id.clone(),
+            None => format!("req-{}", self.next_id.fetch_add(1, Ordering::SeqCst)),
+        };
+        let workers = request
+            .workers
+            .map(|w| w as usize)
+            .unwrap_or(self.config.workers);
+        let cache = request.cache.unwrap_or(self.config.cache);
+        let resume = request.resume.unwrap_or(false);
+        let deadline = request
+            .deadline_ms
+            .map(Duration::from_millis)
+            .or(self.config.deadline);
+        let durability = if resume {
+            let Some(journal) = self.config.journal.clone() else {
+                return Response::error(
+                    Some(id),
+                    "resume requested but the server has no journal configured",
+                );
+            };
+            DurabilityOptions {
+                journal: Some(journal),
+                resume: true,
+                crash_after: self.config.crash_after,
+                deadline: None,
+            }
+        } else {
+            DurabilityOptions::default()
+        };
+        let request_registry = Arc::new(Registry::new());
+        let options = StudyOptions {
+            workers,
+            cache,
+            durability,
+            obs: ObsHooks::with_registry(request_registry.clone()),
+            ..StudyOptions::default()
+        };
+        let engine = MiningEngine::new(options).with_warm(&self.warm);
+        // Durable requests serialize on the journal gate: the journal is
+        // one append-only file with one writer. Non-durable studies run
+        // concurrently up to the admission cap.
+        let journal_guard = resume.then(|| self.journal_gate.lock());
+        let started = Instant::now();
+        let (outcome, overrun) = watchdog(deadline, || try_run_study_engine(&engine, &self.store));
+        drop(journal_guard);
+        let study = match outcome {
+            Ok(study) => study,
+            Err(e) => {
+                self.registry.add("serve.study_errors", 1);
+                return Response::error(Some(id), &format!("study aborted: {e}"));
+            }
+        };
+        let study_json = match study_to_json(&study) {
+            Ok(json) => json,
+            Err(e) => {
+                self.registry.add("serve.study_errors", 1);
+                return Response::error(Some(id), &format!("cannot serialize study: {e}"));
+            }
+        };
+        if let Some(dir) = &self.config.artifacts_dir {
+            let sub = dir.join(&id);
+            let published = std::fs::create_dir_all(&sub)
+                .map_err(|e| format!("cannot create {}: {e}", sub.display()))
+                .and_then(|()| {
+                    write_atomic(&sub.join("fig04.csv"), fig04_csv(&study).render().as_bytes())
+                        .map_err(|e| e.to_string())
+                })
+                .and_then(|()| {
+                    write_atomic(&sub.join("fig10.csv"), fig10_csv(&study).render().as_bytes())
+                        .map_err(|e| e.to_string())
+                });
+            if let Err(e) = published {
+                self.registry.add("serve.study_errors", 1);
+                return Response::error(Some(id), &format!("artifact publication failed: {e}"));
+            }
+        }
+        let snapshot = request_registry.snapshot();
+        let store_manifest = self.store.manifest();
+        let manifest = RunManifest {
+            manifest_version: MANIFEST_VERSION,
+            command: "serve".to_string(),
+            seed: store_manifest.seed,
+            scale_divisor: store_manifest.scale_divisor,
+            workers: workers as u64,
+            cache,
+            strict: false,
+            inject_faults_pct: None,
+            fault_seed: None,
+            deadline_ms: deadline.map(|d| d.as_millis() as u64),
+            trace_out: None,
+            metrics_out: None,
+            corpus_digest: store_manifest.corpus_digest.clone(),
+            wall_us: started.elapsed().as_micros() as u64,
+            stages: stages_from_snapshot(&snapshot),
+            quarantine: QuarantineManifest {
+                recovered: study.quarantine.recovered.len() as u64,
+                quarantined: study.quarantine.quarantined.len() as u64,
+                deadline_exceeded: snapshot.counter("mine.deadline_exceeded").unwrap_or(0),
+                classes: study
+                    .quarantine
+                    .class_counts()
+                    .iter()
+                    .map(|(class, recovered, quarantined)| ClassCount {
+                        class: class.to_string(),
+                        recovered: *recovered as u64,
+                        quarantined: *quarantined as u64,
+                    })
+                    .collect(),
+            },
+            journal: study.journal.as_ref().map(|j| JournalManifest {
+                path: self
+                    .config
+                    .journal
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default(),
+                replayed: j.replayed as u64,
+                mined_fresh: j.mined_fresh as u64,
+                stale_discarded: j.stale_discarded as u64,
+                corrupt_tail: j.corruption.as_ref().map(|c| c.to_string()),
+            }),
+        };
+        self.registry.add("serve.studies_ok", 1);
+        self.registry
+            .add("serve.quarantined", study.quarantine.quarantined.len() as u64);
+        if let Some(j) = &study.journal {
+            self.registry.add("serve.replayed", j.replayed as u64);
+            self.registry.add("serve.mined_fresh", j.mined_fresh as u64);
+        }
+        let response = Response {
+            study_json: Some(study_json),
+            manifest_json: Some(manifest.render()),
+            replayed: study.journal.as_ref().map(|j| j.replayed as u64),
+            mined_fresh: study.journal.as_ref().map(|j| j.mined_fresh as u64),
+            stale_discarded: study.journal.as_ref().map(|j| j.stale_discarded as u64),
+            quarantined: Some(study.quarantine.quarantined.len() as u64),
+            deadline_overrun_ms: overrun.map(|d| d.as_millis().max(1) as u64),
+            ..Response::ok(Some(id.clone()))
+        };
+        self.results.lock().insert(id, response.clone());
+        self.served.fetch_add(1, Ordering::SeqCst);
+        response
+    }
+
+    /// Accept connections until a `shutdown` request arrives, one thread
+    /// per connection. In-flight studies on other connections keep
+    /// running until the process exits.
+    pub fn serve(self: &Arc<Self>, listener: Listener) -> std::io::Result<()> {
+        match listener {
+            Listener::Tcp(l) => {
+                let local = l.local_addr()?;
+                loop {
+                    let (stream, _) = l.accept()?;
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    let server = Arc::clone(self);
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        if server.serve_stream(&mut stream) {
+                            server.shutdown.store(true, Ordering::SeqCst);
+                            // Unblock the accept loop so it can observe
+                            // the flag and exit.
+                            let _ = TcpStream::connect(local);
+                        }
+                    });
+                }
+            }
+            Listener::Unix(l) => {
+                let path = l
+                    .local_addr()
+                    .ok()
+                    .and_then(|a| a.as_pathname().map(|p| p.to_path_buf()));
+                loop {
+                    let (stream, _) = l.accept()?;
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Ok(());
+                    }
+                    let server = Arc::clone(self);
+                    let path = path.clone();
+                    std::thread::spawn(move || {
+                        let mut stream = stream;
+                        if server.serve_stream(&mut stream) {
+                            server.shutdown.store(true, Ordering::SeqCst);
+                            if let Some(p) = &path {
+                                let _ = UnixStream::connect(p);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+    }
+}

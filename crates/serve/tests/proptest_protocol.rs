@@ -1,0 +1,249 @@
+//! Property tests of the serve wire protocol: whatever bytes arrive —
+//! valid request batches, partial reads, torn frames, bit flips, pure
+//! garbage, hostile length fields — the server must never panic. Every
+//! outcome is either a typed error response or a clean connection drop,
+//! and the server stays fully alive for the next connection.
+//!
+//! The server runs in-process over an in-memory transport, so these
+//! tests exercise [`Server::serve_stream`] directly with deterministic
+//! byte streams — no sockets, no timing.
+
+use proptest::prelude::*;
+use schevo_corpus::store::generate_into_store;
+use schevo_corpus::universe::UniverseConfig;
+use schevo_serve::frame::{read_frame, write_frame};
+use schevo_serve::proto::{decode_response, encode_request, Request};
+use schevo_serve::{Server, ServerConfig};
+use std::io::{Cursor, Read, Write};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// One shared tiny server for the whole file: building the store once
+/// keeps each proptest case at pure protocol cost.
+fn server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_serve_proptest_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        generate_into_store(UniverseConfig::small(7, 40), &dir, 2).expect("tiny store");
+        Server::new(ServerConfig::new(PathBuf::from(&dir))).expect("server opens")
+    })
+}
+
+/// In-memory duplex: the server reads scripted input, writes responses
+/// to a buffer. `chunk` caps bytes per read to model partial reads.
+struct MemStream {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+    chunk: usize,
+}
+
+impl MemStream {
+    fn new(input: Vec<u8>, chunk: usize) -> MemStream {
+        MemStream {
+            input: Cursor::new(input),
+            output: Vec::new(),
+            chunk: chunk.max(1),
+        }
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let cap = self.chunk.min(buf.len());
+        self.input.read(&mut buf[..cap])
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drive one scripted connection; prove the server survived it by
+/// running a clean status request on a fresh stream afterwards.
+fn drive_and_check_alive(input: Vec<u8>, chunk: usize) -> Vec<u8> {
+    let mut stream = MemStream::new(input, chunk);
+    let shutdown = server().serve_stream(&mut stream);
+    assert!(!shutdown, "nothing here requests shutdown");
+    let probe = encode_request(&Request {
+        op: "status".to_string(),
+        ..Request::default()
+    })
+    .expect("encode probe");
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &probe).expect("frame probe");
+    let mut alive = MemStream::new(framed, usize::MAX);
+    server().serve_stream(&mut alive);
+    let mut out = Cursor::new(alive.output);
+    let reply = read_frame(&mut out)
+        .expect("probe response frame")
+        .expect("probe response present");
+    let response = decode_response(&reply).expect("probe response decodes");
+    assert_eq!(response.status, "ok", "server must stay alive");
+    stream.output
+}
+
+/// Decode every response frame the server wrote.
+fn responses(output: &[u8]) -> Vec<schevo_serve::Response> {
+    let mut out = Cursor::new(output.to_vec());
+    let mut decoded = Vec::new();
+    while let Ok(Some(payload)) = read_frame(&mut out) {
+        decoded.push(decode_response(&payload).expect("server frames hold valid responses"));
+    }
+    decoded
+}
+
+/// A valid non-study, non-shutdown request (protocol cost only).
+fn cheap_request() -> impl Strategy<Value = Request> {
+    (
+        proptest::option::of("[a-z]{1,8}"),
+        prop_oneof![
+            Just("status".to_string()),
+            Just("metrics".to_string()),
+            Just("result".to_string()),
+            "[a-z]{3,10}", // unknown ops get typed errors
+        ],
+    )
+        .prop_map(|(id, op)| Request {
+            id,
+            op,
+            ..Request::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Pure garbage bytes: the server drops the connection without
+    /// panicking and stays alive.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200),
+                            chunk in 1usize..64) {
+        let output = drive_and_check_alive(bytes, chunk);
+        // Garbage before any valid frame means no response at all.
+        for r in responses(&output) {
+            prop_assert_eq!(r.status.as_str(), "error");
+        }
+    }
+
+    /// Valid frame, garbage JSON inside: a typed error response, and the
+    /// connection stays open for the next frame.
+    #[test]
+    fn garbage_json_gets_a_typed_error(bytes in proptest::collection::vec(any::<u8>(), 1..100),
+                                       chunk in 1usize..64) {
+        let mut input = Vec::new();
+        write_frame(&mut input, &bytes).expect("frame garbage");
+        let probe = encode_request(&Request { op: "status".to_string(), ..Request::default() })
+            .expect("encode");
+        write_frame(&mut input, &probe).expect("frame probe");
+        let output = drive_and_check_alive(input, chunk);
+        let replies = responses(&output);
+        prop_assert_eq!(replies.len(), 2, "error reply, then the probe's reply");
+        // Random bytes are almost never a valid request — but when they
+        // are, the reply is a normal dispatch result, not a panic.
+        prop_assert!(replies[0].status == "error" || replies[0].status == "ok");
+        prop_assert_eq!(replies[1].status.as_str(), "ok");
+    }
+
+    /// Torn frames (stream cut mid-frame) drop cleanly.
+    #[test]
+    fn torn_frames_drop_cleanly(cut_back in 1usize..24, chunk in 1usize..64) {
+        let payload = encode_request(&Request { op: "status".to_string(), ..Request::default() })
+            .expect("encode");
+        let mut input = Vec::new();
+        write_frame(&mut input, &payload).expect("frame");
+        let keep = input.len().saturating_sub(cut_back).max(1);
+        input.truncate(keep);
+        let output = drive_and_check_alive(input, chunk);
+        prop_assert!(responses(&output).is_empty(), "no trustworthy frame, no reply");
+    }
+
+    /// A single flipped bit anywhere in a framed request: checksum or
+    /// length verification fails and the connection drops — or the flip
+    /// lands in the length field prefix in a way that still reads as a
+    /// short torn frame. Never a panic, never a corrupted dispatch.
+    #[test]
+    fn bit_flips_never_panic(flip_byte in 0usize..64, flip_bit in 0u8..8, chunk in 1usize..64) {
+        let payload = encode_request(&Request {
+            id: Some("flip".to_string()),
+            op: "status".to_string(),
+            ..Request::default()
+        }).expect("encode");
+        let mut input = Vec::new();
+        write_frame(&mut input, &payload).expect("frame");
+        let pos = flip_byte % input.len();
+        input[pos] ^= 1 << flip_bit;
+        let output = drive_and_check_alive(input, chunk);
+        for r in responses(&output) {
+            // A flip that survives framing (it cannot — SHA-1 covers the
+            // payload, the length covers the header) would still be a
+            // typed response.
+            prop_assert!(r.status == "ok" || r.status == "error");
+        }
+    }
+
+    /// Hostile length fields — up to u32::MAX — are rejected before any
+    /// allocation, and the connection drops.
+    #[test]
+    fn oversize_lengths_are_rejected(len in (1u64 << 26)..=u32::MAX as u64, chunk in 1usize..64) {
+        let mut input = ((len + 1) as u32).to_le_bytes().to_vec();
+        input.extend_from_slice(&[0u8; 20]); // checksum never inspected
+        input.extend_from_slice(b"trailing");
+        let output = drive_and_check_alive(input, chunk);
+        prop_assert!(responses(&output).is_empty());
+    }
+
+    /// Batches of valid requests — under arbitrarily fragmented reads —
+    /// get exactly one in-order response each, ids echoed.
+    #[test]
+    fn valid_batches_roundtrip_in_order(reqs in proptest::collection::vec(cheap_request(), 1..8),
+                                        chunk in 1usize..48) {
+        let mut input = Vec::new();
+        for r in &reqs {
+            let payload = encode_request(r).expect("encode");
+            write_frame(&mut input, &payload).expect("frame");
+        }
+        let output = drive_and_check_alive(input, chunk);
+        let replies = responses(&output);
+        prop_assert_eq!(replies.len(), reqs.len());
+        for (req, reply) in reqs.iter().zip(&replies) {
+            if let Some(id) = &req.id {
+                prop_assert_eq!(reply.id.as_ref(), Some(id), "ids echo");
+            }
+            match req.op.as_str() {
+                "status" | "metrics" => prop_assert_eq!(reply.status.as_str(), "ok"),
+                // `result` without a known id and unknown ops are errors.
+                _ => prop_assert_eq!(reply.status.as_str(), "error"),
+            }
+        }
+    }
+}
+
+#[test]
+fn shutdown_request_ends_the_stream_after_acking() {
+    let mut input = Vec::new();
+    for op in ["status", "shutdown", "status"] {
+        let payload = encode_request(&Request {
+            op: op.to_string(),
+            ..Request::default()
+        })
+        .expect("encode");
+        write_frame(&mut input, &payload).expect("frame");
+    }
+    let mut stream = MemStream::new(input, 7);
+    let shutdown = server().serve_stream(&mut stream);
+    assert!(shutdown, "shutdown must be reported to the accept loop");
+    let replies = responses(&stream.output);
+    assert_eq!(replies.len(), 2, "the request after shutdown is not served");
+    assert_eq!(replies[0].status, "ok");
+    assert_eq!(replies[1].status, "ok");
+}

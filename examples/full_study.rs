@@ -22,7 +22,7 @@ use schevo::obs::metrics::Registry;
 use schevo::obs::{manifest, ObsHooks};
 use schevo::report::experiments::{
     experiments_markdown, ExperimentExtras, FaultDemo, LatencyRow, ObsDemo, ResumeDemo,
-    ResumePoint, ScaleDemo, ScaleRow,
+    ResumePoint, ScaleDemo, ScaleRow, ServeDemo,
 };
 use schevo::report::{
     fig04_table, fig10_scatter, fig11_matrix, fig12_quartiles, fig13_boxplot, funnel_table,
@@ -95,6 +95,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         resume_demo: None,
         obs_demo: None,
         scale_demo: None,
+        serve_demo: None,
     };
     eprintln!("building observability appendix...");
     extras.obs_demo = Some(obs_demo(&universe, &study, &registry, workers, cache, t0.elapsed())?);
@@ -110,6 +111,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         .unwrap_or(20);
     eprintln!("running scale pass (sharded store, {scale_factor}x streaming)...");
     extras.scale_demo = scale_demo(scale_factor, 8)?;
+    eprintln!("running serve pass (resident daemon, concurrent clients)...");
+    extras.serve_demo = serve_demo()?;
     if write {
         let md = experiments_markdown(&study, &extras);
         write_atomic(Path::new("EXPERIMENTS.md"), md.as_bytes())?;
@@ -418,6 +421,172 @@ fn scale_demo(
         ],
         manifest_json: streaming_n.manifest_json,
     }))
+}
+
+/// A serve daemon subprocess that dies with the demo even on error paths.
+struct ServeDaemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl ServeDaemon {
+    fn spawn(bin: &Path, args: &[&str]) -> Result<ServeDaemon, Box<dyn std::error::Error>> {
+        use std::io::BufRead;
+        let mut child = std::process::Command::new(bin)
+            .args(args)
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::null())
+            .spawn()?;
+        let stdout = child.stdout.take().ok_or("daemon stdout not piped")?;
+        let mut lines = std::io::BufReader::new(stdout).lines();
+        let addr = loop {
+            let Some(line) = lines.next() else {
+                let _ = child.kill();
+                return Err("daemon exited before announcing its address".into());
+            };
+            if let Some(rest) = line?.strip_prefix("serve: listening on ") {
+                break rest.trim().to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+        Ok(ServeDaemon { child, addr })
+    }
+
+    fn study(&self, resume: bool) -> Result<schevo::serve::Response, Box<dyn std::error::Error>> {
+        let mut conn = schevo::serve::connect(&self.addr)?;
+        let response = conn.roundtrip(&schevo::serve::Request {
+            op: "study".to_string(),
+            resume: resume.then_some(true),
+            ..Default::default()
+        })?;
+        if response.status != "ok" {
+            return Err(format!("serve request failed: {:?}", response.error).into());
+        }
+        Ok(response)
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The serve pass for the EXPERIMENTS.md appendix: start a resident
+/// daemon over a freshly generated store, drive it with concurrent
+/// clients checking every response against the batch CLI, then grow the
+/// store with `schevo append` (two histories poisoned) and measure the
+/// journal-backed replayed-vs-re-mined split. Smoke scale: the pass
+/// measures protocol and engine behaviour, not corpus size.
+fn serve_demo() -> Result<Option<ServeDemo>, Box<dyn std::error::Error>> {
+    let Some(bin) = cli_binary() else {
+        eprintln!("serve pass skipped: `schevo` binary not found next to this example");
+        return Ok(None);
+    };
+    let dir = std::env::temp_dir().join(format!("schevo_serve_demo_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let store = dir.join("store");
+    let batch = dir.join("batch");
+    let status = std::process::Command::new(&bin)
+        .args(["study", "--seed", "2019", "--scale", "80"])
+        .arg("--store-dir")
+        .arg(&store)
+        .arg("--out")
+        .arg(&batch)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()?;
+    if !status.success() {
+        return Err("serve pass: batch CLI run failed".into());
+    }
+    let golden = std::fs::read(batch.join("study_results.json"))?;
+    let journal = dir.join("serve.wal");
+    let daemon = ServeDaemon::spawn(
+        &bin,
+        &[
+            "serve",
+            "--store-dir",
+            store.to_str().ok_or("non-utf8 temp dir")?,
+            "--journal",
+            journal.to_str().ok_or("non-utf8 temp dir")?,
+        ],
+    )?;
+
+    // Warm journaled pass: everything mines fresh, the journal fills.
+    let warm = daemon.study(true)?;
+    let baseline_mined = warm.mined_fresh.ok_or("warm pass reported no journal counters")?;
+
+    // Concurrent load, every response checked against the batch golden.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 3;
+    let t = std::time::Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = daemon.addr.clone();
+            std::thread::spawn(move || -> Result<Vec<String>, String> {
+                let mut served = Vec::new();
+                for _ in 0..PER_CLIENT {
+                    let mut conn = schevo::serve::connect(&addr).map_err(|e| e.to_string())?;
+                    let r = conn
+                        .roundtrip(&schevo::serve::Request {
+                            op: "study".to_string(),
+                            ..Default::default()
+                        })
+                        .map_err(|e| e.to_string())?;
+                    if r.status != "ok" {
+                        return Err(format!("load request failed: {:?}", r.error));
+                    }
+                    served.push(r.study_json.unwrap_or_default());
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+    let mut outputs_identical = true;
+    for handle in handles {
+        let served = handle.join().map_err(|_| "load client panicked")??;
+        for json in served {
+            outputs_identical &= json.as_bytes() == &golden[..];
+        }
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    let requests = (CLIENTS * PER_CLIENT) as u64;
+
+    // Grow the store (two appended histories poisoned) and re-mine.
+    const APPENDED: u64 = 6;
+    let append = std::process::Command::new(&bin)
+        .args(["append", "--count", "6", "--corrupt", "2"])
+        .arg("--store")
+        .arg(&store)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()?;
+    if !append.success() {
+        return Err("serve pass: append failed".into());
+    }
+    let after = daemon.study(true)?;
+    let demo = ServeDemo {
+        clients: CLIENTS,
+        requests,
+        wall_s,
+        requests_per_s: if wall_s > 0.0 { requests as f64 / wall_s } else { 0.0 },
+        outputs_identical,
+        baseline_mined,
+        appended: APPENDED,
+        replayed: after.replayed.ok_or("post-append pass reported no journal counters")?,
+        mined_fresh: after.mined_fresh.unwrap_or(0),
+        quarantined: after.quarantined.unwrap_or(0),
+    };
+    let mut conn = schevo::serve::connect(&daemon.addr)?;
+    let _ = conn.roundtrip(&schevo::serve::Request {
+        op: "shutdown".to_string(),
+        ..Default::default()
+    });
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(Some(demo))
 }
 
 /// The canonical chaos pass for the EXPERIMENTS.md appendix: damage 20%

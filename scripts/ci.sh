@@ -206,6 +206,58 @@ for name in mine parse; do
   echo "    $name min ${fresh_min}s vs smoke baseline ${base_min}s (fence: +20%)"
 done
 
+echo "==> serve: daemon smoke gate (2-client differential + metrics)"
+# The resident server must hand concurrent clients the exact bytes the
+# batch CLI writes for the same store, and expose Prometheus metrics.
+# Smoke scale (1/80) keeps this whole gate well under 15 seconds.
+serve_store="$tmp/serve-store"
+serve_batch="$tmp/serve-batch"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 80 \
+  --store-dir "$serve_store" --out "$serve_batch" >/dev/null 2>&1
+serve_log="$tmp/serve.log"
+cargo run -q --release --bin schevo -- serve --store-dir "$serve_store" \
+  > "$serve_log" 2>/dev/null &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^serve: listening on //p' "$serve_log" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "SERVE FAILURE: daemon never announced its address" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+cargo run -q --release --bin schevo -- serve --connect "$addr" --op study \
+  --id ci-1 --out "$tmp/served-1.json" >/dev/null 2>&1 &
+client1=$!
+cargo run -q --release --bin schevo -- serve --connect "$addr" --op study \
+  --id ci-2 --out "$tmp/served-2.json" >/dev/null 2>&1 &
+client2=$!
+wait "$client1" "$client2"
+for n in 1 2; do
+  if ! cmp -s "$serve_batch/study_results.json" "$tmp/served-$n.json"; then
+    echo "SERVE FAILURE: served study $n diverged from the batch CLI" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+done
+echo "    2 concurrent served studies byte-identical to batch CLI"
+cargo run -q --release --bin schevo -- serve --connect "$addr" --op metrics \
+  2>/dev/null > "$tmp/serve-metrics.prom"
+if ! grep -q '^# TYPE serve_requests counter$' "$tmp/serve-metrics.prom" \
+  || ! grep -q '^serve_studies_ok 2$' "$tmp/serve-metrics.prom"; then
+  echo "SERVE FAILURE: prometheus metrics response malformed" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+echo "    serve metrics exposition well-formed"
+cargo run -q --release --bin schevo -- serve --connect "$addr" --op shutdown \
+  >/dev/null 2>&1
+wait "$serve_pid" 2>/dev/null || true
+echo "    daemon shut down cleanly"
+
 echo "==> deprecation gate: no first-party callers of mine_all_*"
 # The legacy mine_all_* family survives only as #[deprecated] wrappers in
 # crates/pipeline/src/extract.rs (plus the one compatibility re-export in
@@ -223,7 +275,7 @@ if [ -n "$offenders" ]; then
 fi
 echo "    mining entry point is MiningEngine everywhere outside the wrappers"
 
-echo "==> panic-site budget (ddl, vcs, pipeline, obs, atomic writer)"
+echo "==> panic-site budget (ddl, vcs, pipeline, obs, serve, atomic writer)"
 # Graceful degradation means the mining path must not grow new panic
 # sites: count unwrap/expect/panic!/unreachable! in non-test code. The
 # remaining budget covers documented invariants only (the statistical
@@ -240,7 +292,7 @@ while IFS= read -r f; do
     END { print n + 0 }
   ' "$f")
   count=$((count + n))
-done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src crates/obs/src crates/report/src/atomic.rs -name '*.rs')
+done < <(find crates/ddl/src crates/vcs/src crates/pipeline/src crates/obs/src crates/serve/src crates/report/src/atomic.rs -name '*.rs')
 if [ "$count" -gt "$PANIC_BUDGET" ]; then
   echo "PANIC BUDGET EXCEEDED: $count sites (budget $PANIC_BUDGET)" >&2
   exit 1

@@ -29,6 +29,8 @@ fn main() {
         Some("exemplars") => cmd_exemplars(),
         Some("export") => cmd_export(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("append") => cmd_append(&args[1..]),
         Some("help") | None => {
             print_help();
             0
@@ -59,6 +61,15 @@ fn print_help() {
          schevo exemplars                                   print the figure exemplars\n  \
          schevo export <seed> <out.pack>                    generate + pack one project\n  \
          schevo mine <in.pack> <ddl-path>                   mine a packed repository\n  \
+         schevo serve --store-dir DIR [--port N | --socket PATH]\n               \
+         [--max-inflight N] [--workers N] [--no-cache]\n               \
+         [--journal PATH] [--deadline-ms N] [--artifacts DIR]\n                                                    \
+         serve studies from a warm engine\n  \
+         schevo serve --connect ADDR --op study|result|metrics|status|shutdown\n               \
+         [--id ID] [--workers N] [--no-cache] [--resume]\n               \
+         [--deadline-ms N] [--out FILE]                     one client request\n  \
+         schevo append --store DIR --count N [--corrupt M] [--batch B]\n                                                    \
+         append commits to a resident store\n  \
          schevo help"
     );
 }
@@ -110,6 +121,11 @@ fn cmd_study(args: &[String]) -> i32 {
 
     // --- storage backend flags ---
     let store_dir = flag_value(args, "--store-dir").map(std::path::PathBuf::from);
+    let store_as_is = args.iter().any(|a| a == "--store-as-is");
+    if store_as_is && store_dir.is_none() {
+        events::warn("store", "--store-as-is requires --store-dir DIR");
+        return 2;
+    }
     let shards: usize = match flag_value(args, "--shards") {
         None => 8,
         Some(v) => match v.parse() {
@@ -193,6 +209,28 @@ fn cmd_study(args: &[String]) -> i32 {
     let mut universe: Option<Universe> = None;
     let store: Option<schevo::corpus::store::ShardStore> = if let Some(dir) = &store_dir {
         use schevo::corpus::store::{generate_into_store, ShardStore};
+        // --store-as-is trusts whatever the store holds (e.g. a corpus
+        // extended by `schevo append`) — no config check, no regeneration.
+        if store_as_is {
+            match ShardStore::open(dir) {
+                Ok(s) => {
+                    events::info(
+                        "store",
+                        &format!(
+                            "using store at {} as-is ({} records, {} appended)",
+                            dir.display(),
+                            s.manifest().records,
+                            s.manifest().appended_records()
+                        ),
+                    );
+                    Some(s)
+                }
+                Err(e) => {
+                    events::warn("store", &e.to_string());
+                    return 1;
+                }
+            }
+        } else {
         let reusable = ShardStore::open(dir)
             .ok()
             .filter(|s| s.manifest().matches(&config, shards));
@@ -251,6 +289,7 @@ fn cmd_study(args: &[String]) -> i32 {
             }
         };
         Some(opened)
+        }
     } else {
         events::info("corpus", &format!("generating universe (seed {seed}, scale 1/{scale})..."));
         let mut u = generate(config);
@@ -563,5 +602,221 @@ fn cmd_mine(args: &[String]) -> i32 {
     );
     let series = schevo::report::ProjectSeries::from_history(&history);
     println!("{}", series.render(false));
+    0
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    if let Some(addr) = flag_value(args, "--connect") {
+        return serve_client(&addr, args);
+    }
+    use schevo::obs::events;
+    use schevo::serve::{Listener, Server, ServerConfig};
+    use std::sync::Arc;
+    let Some(store_dir) = flag_value(args, "--store-dir") else {
+        events::warn("serve", "serve needs --store-dir DIR (or --connect ADDR for client mode)");
+        return 2;
+    };
+    let mut config = ServerConfig::new(std::path::PathBuf::from(store_dir));
+    if let Some(n) = flag_value(args, "--max-inflight").and_then(|v| v.parse().ok()) {
+        config.max_inflight = n;
+    }
+    if let Some(n) = flag_value(args, "--workers").and_then(|v| v.parse().ok()) {
+        config.workers = n;
+    }
+    config.cache = !args.iter().any(|a| a == "--no-cache");
+    config.journal = flag_value(args, "--journal").map(std::path::PathBuf::from);
+    config.crash_after = flag_value(args, "--crash-after").and_then(|v| v.parse().ok());
+    config.deadline = flag_value(args, "--deadline-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+    config.artifacts_dir = flag_value(args, "--artifacts").map(std::path::PathBuf::from);
+    if config.crash_after.is_some() && config.journal.is_none() {
+        events::warn("serve", "--crash-after requires --journal PATH");
+        return 2;
+    }
+    let server = match Server::new(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            events::warn("serve", &format!("cannot open store: {e}"));
+            return 1;
+        }
+    };
+    events::info(
+        "serve",
+        &format!(
+            "store has {} records ({} appended)",
+            server.store_manifest().records,
+            server.store_manifest().appended_records()
+        ),
+    );
+    let listener = if let Some(path) = flag_value(args, "--socket") {
+        let _ = std::fs::remove_file(&path);
+        match std::os::unix::net::UnixListener::bind(&path) {
+            Ok(l) => {
+                println!("serve: listening on unix:{path}");
+                Listener::Unix(l)
+            }
+            Err(e) => {
+                events::warn("serve", &format!("cannot bind {path}: {e}"));
+                return 1;
+            }
+        }
+    } else {
+        let port: u16 = flag_value(args, "--port").and_then(|v| v.parse().ok()).unwrap_or(0);
+        match std::net::TcpListener::bind(("127.0.0.1", port)) {
+            Ok(l) => {
+                match l.local_addr() {
+                    Ok(addr) => println!("serve: listening on {addr}"),
+                    Err(e) => {
+                        events::warn("serve", &format!("cannot read bound address: {e}"));
+                        return 1;
+                    }
+                }
+                Listener::Tcp(l)
+            }
+            Err(e) => {
+                events::warn("serve", &format!("cannot bind 127.0.0.1:{port}: {e}"));
+                return 1;
+            }
+        }
+    };
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.serve(listener) {
+        events::warn("serve", &format!("accept loop failed: {e}"));
+        return 1;
+    }
+    events::info("serve", "shutdown requested; exiting");
+    0
+}
+
+fn serve_client(addr: &str, args: &[String]) -> i32 {
+    use schevo::obs::events;
+    use schevo::serve::proto::Request;
+    let op = flag_value(args, "--op").unwrap_or_else(|| "status".to_string());
+    let request = Request {
+        id: flag_value(args, "--id"),
+        op: op.clone(),
+        workers: flag_value(args, "--workers").and_then(|v| v.parse().ok()),
+        cache: args.iter().any(|a| a == "--no-cache").then_some(false),
+        resume: args.iter().any(|a| a == "--resume").then_some(true),
+        deadline_ms: flag_value(args, "--deadline-ms").and_then(|v| v.parse().ok()),
+    };
+    let mut conn = match schevo::serve::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            events::warn("serve", &format!("cannot connect to {addr}: {e}"));
+            return 1;
+        }
+    };
+    let response = match conn.roundtrip(&request) {
+        Ok(r) => r,
+        Err(e) => {
+            events::warn("serve", &format!("request failed: {e}"));
+            return 1;
+        }
+    };
+    match response.status.as_str() {
+        "busy" => {
+            events::warn("serve", "server is at its in-flight limit; retry later");
+            3
+        }
+        "error" => {
+            events::warn(
+                "serve",
+                response.error.as_deref().unwrap_or("unknown server error"),
+            );
+            1
+        }
+        _ => {
+            if let Some(overrun) = response.deadline_overrun_ms {
+                events::warn("serve", &format!("request overran its deadline by {overrun} ms"));
+            }
+            if let (Some(r), Some(f)) = (response.replayed, response.mined_fresh) {
+                events::info(
+                    "serve",
+                    &format!(
+                        "{r} outcome(s) replayed, {f} mined fresh, {} stale discarded",
+                        response.stale_discarded.unwrap_or(0)
+                    ),
+                );
+            }
+            if let Some(q) = response.quarantined {
+                if q > 0 {
+                    events::info("serve", &format!("{q} history(ies) quarantined"));
+                }
+            }
+            if let Some(metrics) = &response.metrics {
+                print!("{metrics}");
+            }
+            if let (Some(inflight), Some(served)) = (response.inflight, response.served) {
+                println!("serve: {inflight} in flight, {served} served");
+            }
+            if let Some(json) = &response.study_json {
+                match flag_value(args, "--out") {
+                    Some(path) => {
+                        if let Err(e) = schevo::report::write_atomic(
+                            std::path::Path::new(&path),
+                            json.as_bytes(),
+                        ) {
+                            events::warn("serve", &e.to_string());
+                            return 1;
+                        }
+                        events::info("serve", &format!("wrote {path}"));
+                    }
+                    None => print!("{json}"),
+                }
+            }
+            if op == "shutdown" {
+                events::info("serve", "server acknowledged shutdown");
+            }
+            0
+        }
+    }
+}
+
+fn cmd_append(args: &[String]) -> i32 {
+    use schevo::corpus::store::{append_into_store, ShardStore};
+    use schevo::corpus::universe::generate_appendix;
+    use schevo::obs::events;
+    let Some(dir) = flag_value(args, "--store") else {
+        events::warn("append", "append needs --store DIR");
+        return 2;
+    };
+    let dir = std::path::PathBuf::from(dir);
+    let count: usize = flag_value(args, "--count").and_then(|v| v.parse().ok()).unwrap_or(6);
+    let corrupt: usize = flag_value(args, "--corrupt").and_then(|v| v.parse().ok()).unwrap_or(0);
+    let batch: u64 = flag_value(args, "--batch").and_then(|v| v.parse().ok()).unwrap_or(0);
+    if corrupt > count {
+        events::warn("append", "--corrupt cannot exceed --count");
+        return 2;
+    }
+    let config = match ShardStore::open(&dir) {
+        Ok(s) => s.manifest().config(),
+        Err(e) => {
+            events::warn("append", &format!("cannot open store: {e}"));
+            return 1;
+        }
+    };
+    let appendix = generate_appendix(config, batch, count, corrupt);
+    let (manifest, io) = match append_into_store(&dir, &appendix.records) {
+        Ok(r) => r,
+        Err(e) => {
+            events::warn("append", &e.to_string());
+            return 1;
+        }
+    };
+    events::info(
+        "append",
+        &format!(
+            "appended {count} record(s) ({} bytes); store now {} records, {} appended",
+            io.bytes_written,
+            manifest.records,
+            manifest.appended_records()
+        ),
+    );
+    for name in &appendix.corrupted {
+        events::info("append", &format!("corrupted every version of {name}"));
+    }
     0
 }

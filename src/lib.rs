@@ -44,6 +44,7 @@ pub use schevo_ddl as ddl;
 pub use schevo_obs as obs;
 pub use schevo_pipeline as pipeline;
 pub use schevo_report as report;
+pub use schevo_serve as serve;
 pub use schevo_stats as stats;
 pub use schevo_vcs as vcs;
 

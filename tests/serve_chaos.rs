@@ -1,0 +1,252 @@
+//! Chaos tests for the serve daemon's append-aware incremental
+//! re-mining: append faultgen-poisoned commits to a warm store and the
+//! server must replay every untouched history from its journal
+//! (counter-asserted), re-mine only the appended candidate keys,
+//! quarantine the poisoned ones under PR-2 graceful-degradation
+//! semantics — and a kill-9 mid-request followed by a restart with
+//! `--resume` must still produce batch-CLI byte-identical results.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+const SEED: &str = "7";
+const SCALE: &str = "5000";
+
+fn schevo() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_schevo"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("schevo_serve_chaos_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    fn spawn(extra: &[&str]) -> Daemon {
+        let mut child = schevo()
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("daemon prints its address before EOF")
+                .expect("daemon stdout readable");
+            if let Some(rest) = line.strip_prefix("serve: listening on ") {
+                break rest.trim().to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child, addr }
+    }
+
+    fn study_resume(&self, id: &str) -> Result<schevo::serve::Response, schevo::serve::ClientError> {
+        let mut conn = schevo::serve::connect(&self.addr)?;
+        conn.roundtrip(&schevo::serve::Request {
+            id: Some(id.to_string()),
+            op: "study".to_string(),
+            resume: Some(true),
+            ..schevo::serve::Request::default()
+        })
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Generate the store (and a batch golden) via the real CLI.
+fn build_store(dir: &Path) -> Vec<u8> {
+    let out = dir.join("batch");
+    let status = schevo()
+        .args([
+            "study",
+            "--seed",
+            SEED,
+            "--scale",
+            SCALE,
+            "--store-dir",
+            dir.join("store").to_str().expect("utf8"),
+            "--out",
+            out.to_str().expect("utf8"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("batch CLI runs");
+    assert!(status.success());
+    std::fs::read(out.join("study_results.json")).expect("batch golden")
+}
+
+/// Batch-CLI golden over the store *as it now is* (post-append).
+fn batch_as_is(dir: &Path, tag: &str) -> Vec<u8> {
+    let out = dir.join(format!("batch_{tag}"));
+    let output = schevo()
+        .args([
+            "study",
+            "--seed",
+            SEED,
+            "--scale",
+            SCALE,
+            "--store-dir",
+            dir.join("store").to_str().expect("utf8"),
+            "--store-as-is",
+            "--out",
+            out.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("batch CLI runs");
+    assert!(
+        output.status.success(),
+        "{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    std::fs::read(out.join("study_results.json")).expect("as-is golden")
+}
+
+#[test]
+fn append_replays_untouched_histories_and_quarantines_poisoned_ones() {
+    let dir = scratch("append");
+    let _pristine_golden = build_store(&dir);
+    let store = dir.join("store");
+    let journal = dir.join("serve.wal");
+    let daemon = Daemon::spawn(&[
+        "serve",
+        "--store-dir",
+        store.to_str().expect("utf8"),
+        "--journal",
+        journal.to_str().expect("utf8"),
+    ]);
+
+    // Warm pass: everything mines fresh and lands in the journal.
+    let warm = daemon.study_resume("warm").expect("warm study");
+    assert_eq!(warm.status, "ok", "{:?}", warm.error);
+    assert_eq!(warm.replayed, Some(0), "cold journal replays nothing");
+    let baseline = warm.mined_fresh.expect("durable response counts fresh mines");
+    assert!(baseline > 0, "the warm pass must mine something");
+    assert_eq!(warm.quarantined, Some(0), "the pristine corpus is clean");
+
+    // Append 6 histories, 2 of them poisoned (every version after the
+    // first is an unterminated-quote lex bomb).
+    let append = schevo()
+        .args([
+            "append",
+            "--store",
+            store.to_str().expect("utf8"),
+            "--count",
+            "6",
+            "--corrupt",
+            "2",
+        ])
+        .output()
+        .expect("append runs");
+    assert!(
+        append.status.success(),
+        "{}",
+        String::from_utf8_lossy(&append.stderr)
+    );
+
+    // Re-mine: every pre-append history replays from the journal; only
+    // the appended keys mine fresh; the poisoned pair quarantines.
+    let after = daemon.study_resume("after").expect("post-append study");
+    assert_eq!(after.status, "ok", "{:?}", after.error);
+    assert_eq!(
+        after.replayed,
+        Some(baseline),
+        "every untouched history must be served from journal replay"
+    );
+    assert_eq!(
+        after.mined_fresh,
+        Some(6),
+        "only the appended candidate keys are re-mined"
+    );
+    assert_eq!(after.stale_discarded, Some(0), "no journal entry went stale");
+    assert_eq!(
+        after.quarantined,
+        Some(2),
+        "the poisoned histories quarantine under graceful degradation"
+    );
+
+    // The manifest carries the same replayed-vs-re-mined split.
+    let manifest = after.manifest_json.as_deref().expect("manifest in response");
+    assert!(
+        manifest.contains(&format!("\"replayed\": {baseline}")),
+        "manifest must counter-assert the replay: {manifest}"
+    );
+    assert!(manifest.contains("\"mined_fresh\": 6"), "{manifest}");
+
+    // And the bytes still match the batch CLI over the appended store.
+    let golden = batch_as_is(&dir, "appended");
+    assert_eq!(
+        after.study_json.as_deref().map(str::as_bytes),
+        Some(&golden[..]),
+        "served post-append study diverged from the batch CLI"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill9_mid_request_then_restart_resume_is_byte_identical() {
+    let dir = scratch("kill9");
+    let golden = build_store(&dir);
+    let store = dir.join("store");
+    let journal = dir.join("crash.wal");
+
+    // The daemon aborts (SIGABRT — a kill-9-grade death, no destructors,
+    // no journal flush beyond the commit boundary) after the 3rd durable
+    // journal commit of the in-flight study.
+    let mut crashing = Daemon::spawn(&[
+        "serve",
+        "--store-dir",
+        store.to_str().expect("utf8"),
+        "--journal",
+        journal.to_str().expect("utf8"),
+        "--crash-after",
+        "3",
+    ]);
+    let died = crashing.study_resume("doomed");
+    assert!(
+        died.is_err(),
+        "the connection must drop when the server dies mid-request"
+    );
+    let status = crashing.child.wait().expect("reap crashed daemon");
+    assert!(!status.success(), "the daemon must die, not exit cleanly");
+
+    // Restart over the same store + journal; the half-written journal
+    // resumes: 3 outcomes replay, the rest re-mine, bytes match batch.
+    let daemon = Daemon::spawn(&[
+        "serve",
+        "--store-dir",
+        store.to_str().expect("utf8"),
+        "--journal",
+        journal.to_str().expect("utf8"),
+    ]);
+    let resumed = daemon.study_resume("recovered").expect("resume after restart");
+    assert_eq!(resumed.status, "ok", "{:?}", resumed.error);
+    assert_eq!(
+        resumed.replayed,
+        Some(3),
+        "exactly the journal commits that survived the crash replay"
+    );
+    assert_eq!(
+        resumed.study_json.as_deref().map(str::as_bytes),
+        Some(&golden[..]),
+        "post-crash resume diverged from the uninterrupted batch CLI"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
