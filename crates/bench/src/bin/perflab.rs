@@ -7,6 +7,8 @@
 //! perflab --out <dir>      # write reports into <dir> (default: cwd)
 //! perflab --check <file>      # validate a report, print its latest median
 //! perflab --check-min <file>  # validate a report, print its latest minimum
+//! perflab --check-failpoint-overhead <file>
+//!                             # print the latest armed-vs-disabled overhead %
 //! perflab --migrate <file>    # wrap a legacy single-run report as history
 //! ```
 
@@ -48,15 +50,15 @@ fn main() -> ExitCode {
                     }
                 };
             }
-            flag @ ("--check" | "--check-min") => {
+            flag @ ("--check" | "--check-min" | "--check-failpoint-overhead") => {
                 let Some(f) = args.next() else {
                     eprintln!("{flag} needs a report file argument");
                     return ExitCode::FAILURE;
                 };
-                let stat = if flag == "--check" {
-                    schevo_bench::perflab::check(Path::new(&f))
-                } else {
-                    schevo_bench::perflab::check_min(Path::new(&f))
+                let stat = match flag {
+                    "--check" => schevo_bench::perflab::check(Path::new(&f)),
+                    "--check-min" => schevo_bench::perflab::check_min(Path::new(&f)),
+                    _ => schevo_bench::perflab::check_failpoint_overhead(Path::new(&f)),
                 };
                 return match stat {
                     Ok(v) => {

@@ -12,6 +12,7 @@
 
 use crate::lab::{run_lab, validate_bench_json, BenchReport, Tier};
 use crate::SEED;
+use schevo_core::failpoint;
 use schevo_corpus::universe::{generate, Universe, UniverseConfig};
 use schevo_pipeline::{MiningEngine, StudyOptions};
 use schevo_vcs::history::{file_history, WalkStrategy};
@@ -72,18 +73,7 @@ fn ddl_corpus(universe: &Universe) -> Vec<String> {
 
 fn mine_report(universe: &Universe, tier: Tier) -> BenchReport {
     let (warmup, runs) = protocol(tier);
-    run_lab("mine", tier, SEED, warmup, runs, || {
-        let engine = MiningEngine::new(StudyOptions {
-            workers: 1,
-            cache: false,
-            ..StudyOptions::default()
-        });
-        let start = Instant::now();
-        let out = engine.mine(universe).expect("clean corpus mines");
-        let elapsed = start.elapsed().as_secs_f64();
-        assert!(!out.mined.is_empty(), "mine workload produced no profiles");
-        elapsed
-    })
+    run_lab("mine", tier, SEED, warmup, runs, || mine_once(universe))
 }
 
 fn parse_report(universe: &Universe, tier: Tier) -> BenchReport {
@@ -102,6 +92,54 @@ fn parse_report(universe: &Universe, tier: Tier) -> BenchReport {
         assert!(tables > 0, "parse workload produced no tables");
         elapsed
     })
+}
+
+fn mine_once(universe: &Universe) -> f64 {
+    let engine = MiningEngine::new(StudyOptions {
+        workers: 1,
+        cache: false,
+        ..StudyOptions::default()
+    });
+    let start = Instant::now();
+    let out = engine.mine(universe).expect("clean corpus mines");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert!(!out.mined.is_empty(), "mine workload produced no profiles");
+    elapsed
+}
+
+/// Interleaved in-process A/B of the mine workload: failpoints disabled
+/// (the shipped default — one relaxed atomic load per site) vs armed
+/// with an inert schedule (a rule on a site the pipeline never reaches,
+/// so every site check runs the registry's full slow path without ever
+/// firing). Alternating the legs run-by-run cancels thermal and load
+/// drift; comparing minima cancels background noise, which can only
+/// inflate a timing. The CI smoke gate fences `overhead_pct` below 1%.
+fn failpoint_overhead(universe: &Universe, tier: Tier) -> Value {
+    let (warmup, runs) = protocol(tier);
+    failpoint::reset();
+    for _ in 0..warmup.max(1) {
+        let _ = mine_once(universe);
+    }
+    let mut disabled = Vec::with_capacity(runs);
+    let mut armed = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        failpoint::reset();
+        disabled.push(mine_once(universe));
+        failpoint::configure("bench.inert=eio@0", 0).expect("inert spec parses");
+        armed.push(mine_once(universe));
+    }
+    failpoint::reset();
+    let min_of = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let disabled_min = min_of(&disabled);
+    let armed_min = min_of(&armed);
+    Value::Map(vec![
+        ("disabled_min_s".to_string(), Value::F64(disabled_min)),
+        ("armed_min_s".to_string(), Value::F64(armed_min)),
+        (
+            "overhead_pct".to_string(),
+            Value::F64((armed_min / disabled_min - 1.0) * 100.0),
+        ),
+    ])
 }
 
 /// Interpret a bench document as its list of validated report entries:
@@ -148,12 +186,21 @@ fn invalid(detail: String) -> std::io::Error {
 /// schema-validated before it touches disk. Returns the written paths.
 pub fn run(tier: Tier, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
     let universe = build_universe(tier);
+    let overhead = failpoint_overhead(&universe, tier);
     let mut written = Vec::new();
     for report in [mine_report(&universe, tier), parse_report(&universe, tier)] {
         let json = report.to_json_string();
-        let doc: Value = serde_json::from_str(&json).expect("report serializes to valid JSON");
+        let mut doc: Value = serde_json::from_str(&json).expect("report serializes to valid JSON");
         if let Err(e) = validate_bench_json(&doc) {
             panic!("generated report failed self-validation: {e}");
+        }
+        // The mine entry carries the failpoint A/B alongside its primary
+        // stats; extra fields are schema-tolerated, and `--check-min`
+        // keeps reading `stats.min`, so the perf fence is undisturbed.
+        if report.name == "mine" {
+            if let Value::Map(fields) = &mut doc {
+                fields.push(("failpoint_overhead".to_string(), overhead.clone()));
+            }
         }
         let path = out_dir.join(format!("BENCH_{}.json", report.name));
         let mut entries = match std::fs::read_to_string(&path) {
@@ -231,6 +278,26 @@ pub fn check(path: &Path) -> Result<f64, String> {
 /// five runs approximates quiet-box performance even on a busy runner.
 pub fn check_min(path: &Path) -> Result<f64, String> {
     checked_stat(path, "min")
+}
+
+/// Return the latest entry's `failpoint_overhead.overhead_pct` — the
+/// armed-inert vs disabled mine-workload overhead in percent. The CI
+/// smoke gate fences this below 1%.
+pub fn check_failpoint_overhead(path: &Path) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    let entries = entries_of(&doc)?;
+    let latest = entries
+        .last()
+        .ok_or_else(|| "no entries to check".to_string())?;
+    latest
+        .get("failpoint_overhead")
+        .and_then(|o| o.get("overhead_pct"))
+        .and_then(Value::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| "latest entry has no finite failpoint_overhead.overhead_pct".to_string())
 }
 
 #[cfg(test)]
@@ -337,6 +404,34 @@ mod tests {
         assert_eq!(std::fs::read(&path).unwrap(), bytes, "idempotent bytes");
 
         assert!(migrate(Path::new("/nonexistent/BENCH.json")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mine_entries_carry_the_failpoint_overhead_ab() {
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_perflab_fp_overhead_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths = run(Tier::Smoke, &dir).unwrap();
+        let mine = &paths[0];
+        assert!(mine.ends_with("BENCH_mine.json"));
+        let pct = check_failpoint_overhead(mine).unwrap();
+        assert!(pct.is_finite(), "overhead is a finite percentage");
+        let doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(mine).unwrap()).unwrap();
+        let entry = &doc.get("entries").and_then(Value::as_array).unwrap()[0];
+        let ab = entry.get("failpoint_overhead").expect("A/B recorded");
+        for key in ["disabled_min_s", "armed_min_s"] {
+            let v = ab.get(key).and_then(Value::as_f64).unwrap();
+            assert!(v.is_finite() && v > 0.0, "{key} is a positive timing");
+        }
+        // The parse entry stays a pure report, and the primary fence
+        // statistic is still the mine stats.min, not the A/B.
+        assert!(check_failpoint_overhead(&paths[1]).is_err());
+        assert!(check_min(mine).unwrap() > 0.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -45,6 +45,12 @@ pub enum ErrorClass {
     /// or decoding during a streaming read. The affected record (or shard
     /// tail) is quarantined; the stream continues over surviving data.
     StoreCorrupt,
+    /// An underlying I/O syscall failed after the site's bounded retry
+    /// loop was exhausted (transient errors) or immediately (permanent
+    /// errors such as `ENOSPC`). By construction these are permanent by
+    /// the time they surface: transient conditions were already retried
+    /// at the failing site.
+    Io,
 }
 
 impl ErrorClass {
@@ -62,7 +68,21 @@ impl ErrorClass {
             ErrorClass::Journal => "journal",
             ErrorClass::DeadlineExceeded => "deadline-exceeded",
             ErrorClass::StoreCorrupt => "store-corrupt",
+            ErrorClass::Io => "io",
         }
+    }
+
+    /// Whether re-running the *whole operation* (study, export, serve
+    /// request) may succeed without any change to the inputs.
+    ///
+    /// Syscall-level transience (EIO, timeouts) is classified and
+    /// retried at each I/O site by [`crate::failpoint::retry_io`]
+    /// before a [`SchevoError`] ever materializes, so `Io` here means
+    /// the retries were exhausted — still worth one *operation-level*
+    /// retry (a flaky disk may have recovered), as is a watchdog
+    /// overrun. Data-shaped classes are deterministic and permanent.
+    pub fn transient(&self) -> bool {
+        matches!(self, ErrorClass::Io | ErrorClass::DeadlineExceeded)
     }
 }
 
@@ -140,6 +160,21 @@ impl SchevoError {
             project: project.into(),
             version_index: Some(version_index as u64),
             message: message.into(),
+            byte_offset: None,
+        }
+    }
+
+    /// Build from an exhausted I/O failure at a named failpoint site.
+    /// `scope` names the artifact or store being operated on (it fills
+    /// the `project` provenance slot); the site and os-error detail go
+    /// into the message so operators can map the failure back to the
+    /// exact syscall.
+    pub fn from_io(site: &str, scope: impl Into<String>, e: &std::io::Error) -> Self {
+        SchevoError {
+            class: ErrorClass::Io,
+            project: scope.into(),
+            version_index: None,
+            message: format!("{site}: {e}"),
             byte_offset: None,
         }
     }
@@ -223,8 +258,21 @@ mod tests {
             ErrorClass::Journal,
             ErrorClass::DeadlineExceeded,
             ErrorClass::StoreCorrupt,
+            ErrorClass::Io,
         ];
         let labels: std::collections::HashSet<&str> = all.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn io_errors_carry_site_and_are_transient_at_operation_level() {
+        let ioe = std::io::Error::from_raw_os_error(28);
+        let e = SchevoError::from_io("journal.fsync", "out/study.journal", &ioe);
+        assert_eq!(e.class, ErrorClass::Io);
+        assert!(e.class.transient());
+        assert!(e.message.starts_with("journal.fsync: "), "{}", e.message);
+        assert!(e.to_string().contains("[io] out/study.journal"));
+        assert!(!ErrorClass::Syntax.transient());
+        assert!(ErrorClass::DeadlineExceeded.transient());
     }
 }

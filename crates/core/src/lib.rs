@@ -31,6 +31,7 @@
 
 pub mod diff;
 pub mod errors;
+pub mod failpoint;
 pub mod fk;
 pub mod heartbeat;
 pub mod intern;
@@ -45,6 +46,7 @@ pub mod tempo;
 
 pub use diff::{diff, SchemaDelta};
 pub use errors::{ErrorClass, SchevoError};
+pub use failpoint::{retry_io, transient_io, RetryPolicy};
 pub use fk::{fk_corpus_stats, fk_profile, fk_snapshot, FkCorpusStats, FkProfile, FkSnapshot};
 pub use heartbeat::{derive_reed_threshold, Heartbeat, HeartbeatPoint, REED_THRESHOLD};
 pub use intern::{intern, symbol_count, Symbol, SymbolMap};

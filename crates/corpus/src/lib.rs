@@ -19,8 +19,11 @@ pub use realize::{realize, GeneratedProject};
 pub mod libio;
 pub mod faultgen;
 pub mod noise;
+pub mod scrub;
 pub mod store;
 pub mod universe;
+
+pub use scrub::{scrub_store, ScrubReport, ShardScrub};
 
 pub use libio::LibioRecord;
 pub use noise::{NoiseKind, NoiseProject, TAXON_COUNTS};

@@ -52,6 +52,7 @@
 
 use crate::libio::LibioRecord;
 use crate::universe::{generate_records, CorpusDigester, CorpusRecord, UniverseConfig};
+use schevo_core::failpoint;
 use schevo_vcs::pack::{read_pack, write_pack, PackError, Reader};
 use schevo_vcs::repo::Repository;
 use schevo_vcs::sha1::sha1;
@@ -64,14 +65,14 @@ use std::path::{Path, PathBuf};
 pub const STORE_VERSION: u64 = 1;
 
 /// Shard-file magic.
-const SHARD_MAGIC: &[u8; 8] = b"SCHEVOST";
+pub(crate) const SHARD_MAGIC: &[u8; 8] = b"SCHEVOST";
 
 /// Upper bound on one record's payload (the largest paper-scale record
 /// is ~3 orders of magnitude smaller; anything bigger is corruption).
-const MAX_RECORD_LEN: u32 = 1 << 26;
+pub(crate) const MAX_RECORD_LEN: u32 = 1 << 26;
 
 /// Frame header size: u32 length + 20-byte SHA-1.
-const FRAME_LEN: usize = 24;
+pub(crate) const FRAME_LEN: usize = 24;
 
 /// Errors from store creation, writing, or opening.
 #[derive(Debug)]
@@ -146,6 +147,10 @@ pub struct StoreManifest {
     /// zero for a pristine generated store). Older manifests omit the
     /// field entirely; they deserialize as `None`.
     pub appended: Option<u64>,
+    /// Cumulative records lost to corruption and compacted away by
+    /// `schevo scrub` (absent or zero for an undamaged store). Like
+    /// `appended`, older manifests deserialize as `None`.
+    pub lost: Option<u64>,
 }
 
 impl StoreManifest {
@@ -163,23 +168,32 @@ impl StoreManifest {
         self.appended.unwrap_or(0)
     }
 
+    /// Records lost to corruption and scrubbed away (zero for pristine).
+    pub fn lost_records(&self) -> u64 {
+        self.lost.unwrap_or(0)
+    }
+
     /// Whether this store can serve a request for `config` × `shards`.
     /// An appended store never matches: its contents are a superset of
     /// what `config` generates, so callers that want exactly the
     /// generated corpus must regenerate (or opt into the store as-is).
+    /// A scrubbed store that lost records never matches either — its
+    /// clean subset mines deterministically but is not the corpus
+    /// `config` generates, so silent reuse would change results.
     pub fn matches(&self, config: &UniverseConfig, shards: usize) -> bool {
         self.store_version == STORE_VERSION
             && self.config() == *config
             && self.shards == shards as u64
             && self.appended_records() == 0
+            && self.lost_records() == 0
     }
 }
 
-fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+pub(crate) fn shard_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:03}.pack"))
 }
 
-fn manifest_path(dir: &Path) -> PathBuf {
+pub(crate) fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("MANIFEST.json")
 }
 
@@ -250,7 +264,7 @@ pub struct DecodedRecord {
 }
 
 /// Decode one verified payload.
-fn decode_record(payload: &[u8]) -> Result<DecodedRecord, PackError> {
+pub(crate) fn decode_record(payload: &[u8]) -> Result<DecodedRecord, PackError> {
     let mut r = Reader::new(payload);
     let seq = r.u64()?;
     let kind = r.u8()?;
@@ -303,6 +317,9 @@ pub struct StoreWriter {
     /// `(records, appended)` of the manifest this writer extends, or
     /// `None` for a freshly created store.
     append_base: Option<(u64, u64)>,
+    /// Cumulative lost-record count carried over from the manifest this
+    /// writer extends (zero for a freshly created store).
+    lost_base: u64,
 }
 
 impl StoreWriter {
@@ -318,8 +335,15 @@ impl StoreWriter {
         let _ = fs::remove_file(manifest_path(dir));
         let mut files = Vec::with_capacity(shards);
         for i in 0..shards {
-            let mut w = BufWriter::new(File::create(shard_path(dir, i))?);
-            w.write_all(SHARD_MAGIC)?;
+            // Re-create from scratch on each retry: a fresh shard file
+            // holds at most the magic, so replays cannot tear it.
+            let mut w = failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+                failpoint::check("store.create")?;
+                let mut w = BufWriter::new(File::create(shard_path(dir, i))?);
+                w.write_all(SHARD_MAGIC)?;
+                Ok(w)
+            })?;
+            w.flush()?;
             files.push(w);
         }
         Ok(StoreWriter {
@@ -334,6 +358,7 @@ impl StoreWriter {
             },
             digester: CorpusDigester::new(),
             append_base: None,
+            lost_base: 0,
         })
     }
 
@@ -387,6 +412,7 @@ impl StoreWriter {
             io: StoreIo::default(),
             digester,
             append_base: Some((manifest.records, manifest.appended_records())),
+            lost_base: manifest.lost_records(),
         })
     }
 
@@ -399,6 +425,13 @@ impl StoreWriter {
         put_u32(&mut frame, payload.len() as u32);
         frame.extend_from_slice(&digest.0);
         frame.extend_from_slice(&payload);
+        // The failpoint fires *before* any bytes reach the buffered
+        // writer, so an absorbed transient fault cannot duplicate the
+        // frame. A real mid-write error is not retried: `write_all`
+        // through a `BufWriter` does not report how much it consumed.
+        failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("store.write")
+        })?;
         self.shards[shard].write_all(&frame)?;
         self.seq += 1;
         self.io.records_written += 1;
@@ -414,8 +447,14 @@ impl StoreWriter {
     /// (temp-file + rename, so a crash never leaves a torn manifest).
     pub fn finalize(mut self) -> Result<(StoreManifest, StoreIo), StoreError> {
         for w in &mut self.shards {
-            w.flush()?;
-            w.get_ref().sync_data()?;
+            // `BufWriter::flush` drops only the bytes it actually
+            // wrote, so retrying it after a transient error resumes
+            // from the exact unwritten remainder — no duplication.
+            failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+                w.flush()?;
+                failpoint::check("store.fsync")?;
+                w.get_ref().sync_data()
+            })?;
         }
         let manifest = StoreManifest {
             store_version: STORE_VERSION,
@@ -429,6 +468,7 @@ impl StoreWriter {
             appended: self
                 .append_base
                 .map(|(base_records, base_appended)| base_appended + (self.seq - base_records)),
+            lost: (self.lost_base > 0).then_some(self.lost_base),
         };
         let json = match serde_json::to_string_pretty(&manifest) {
             Ok(mut s) => {
@@ -438,12 +478,20 @@ impl StoreWriter {
             Err(e) => return Err(StoreError::Manifest(format!("encode: {e}"))),
         };
         let tmp = self.dir.join("MANIFEST.json.tmp");
-        {
+        // Re-created whole on every retry, renamed into place, then the
+        // directory is fsynced so the rename itself is durable.
+        let published = failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("store.manifest")?;
             let mut f = File::create(&tmp)?;
             f.write_all(json.as_bytes())?;
             f.sync_data()?;
+            fs::rename(&tmp, manifest_path(&self.dir))?;
+            File::open(&self.dir)?.sync_all()
+        });
+        if let Err(e) = published {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::Io(e));
         }
-        fs::rename(&tmp, manifest_path(&self.dir))?;
         Ok((manifest, self.io))
     }
 }
@@ -504,8 +552,11 @@ impl ShardStore {
     /// Open the store at `dir`, validating its manifest.
     pub fn open(dir: &Path) -> Result<ShardStore, StoreError> {
         let path = manifest_path(dir);
-        let json = fs::read_to_string(&path)
-            .map_err(|e| StoreError::Manifest(format!("{}: {e}", path.display())))?;
+        let json = failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("store.manifest")?;
+            fs::read_to_string(&path)
+        })
+        .map_err(|e| StoreError::Manifest(format!("{}: {e}", path.display())))?;
         let manifest: StoreManifest = serde_json::from_str(&json)
             .map_err(|e| StoreError::Manifest(format!("{}: {e}", path.display())))?;
         if manifest.store_version != STORE_VERSION {
@@ -666,6 +717,21 @@ impl StoreStream {
             self.pending[i] = Pending::Empty;
             return;
         };
+        // One failpoint hit per frame read. The check precedes any
+        // consumption from the reader, so an absorbed transient fault
+        // retries cleanly; an exhausted or permanent fault becomes a
+        // corruption event and fails the shard closed like real bit
+        // rot — callers quarantine and continue over surviving data.
+        if let Err(e) = failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("store.read")
+        }) {
+            cursor.dead = true;
+            self.pending[i] = Pending::Corrupt {
+                offset: cursor.offset,
+                detail: format!("read: {e}"),
+            };
+            return;
+        }
         // Shard magic, once, at offset zero.
         if cursor.offset == 0 {
             let mut magic = [0u8; 8];

@@ -24,6 +24,7 @@
 use crate::extract::MineOutcome;
 use crate::funnel::CandidateHistory;
 use schevo_core::errors::{ErrorClass, SchevoError};
+use schevo_core::failpoint;
 use schevo_vcs::sha1::{sha1, Digest, Sha1};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -249,9 +250,12 @@ impl JournalWriter {
     /// Start a fresh journal at `path`, truncating any existing file and
     /// writing the header.
     pub fn create(path: &Path) -> Result<Self, SchevoError> {
-        let mut file = File::create(path).map_err(|e| io_error(path, "create journal", &e))?;
-        file.write_all(&JOURNAL_MAGIC)
-            .and_then(|()| file.sync_data())
+        let mut file = failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("journal.create")?;
+            File::create(path)
+        })
+        .map_err(|e| io_error(path, "create journal", &e))?;
+        write_frame_at(&mut file, 0, &JOURNAL_MAGIC)
             .map_err(|e| io_error(path, "write journal header", &e))?;
         Ok(JournalWriter {
             file,
@@ -273,10 +277,14 @@ impl JournalWriter {
             .write(true)
             .open(path)
             .map_err(|e| io_error(path, "open journal", &e))?;
-        file.set_len(valid_len)
-            .and_then(|()| file.seek(SeekFrom::Start(valid_len)).map(|_| ()))
-            .and_then(|()| file.sync_data())
-            .map_err(|e| io_error(path, "truncate journal to valid prefix", &e))?;
+        failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+            failpoint::check("journal.truncate")?;
+            file.set_len(valid_len)?;
+            file.seek(SeekFrom::Start(valid_len))?;
+            failpoint::check("journal.fsync")?;
+            file.sync_data()
+        })
+        .map_err(|e| io_error(path, "truncate journal to valid prefix", &e))?;
         Ok(JournalWriter {
             file,
             path: path.to_path_buf(),
@@ -286,11 +294,18 @@ impl JournalWriter {
 
     /// Commit one record: encode, write the whole frame in one call,
     /// flush to disk. On return the record is durable.
+    ///
+    /// Transient I/O failures are retried with bounded deterministic
+    /// backoff; before each retry the file is rewound (truncated and
+    /// re-seeked) to the pre-append offset so a partially flushed
+    /// attempt can never leave a torn or duplicated frame.
     pub fn append(&mut self, record: &JournalRecord) -> Result<(), SchevoError> {
         let frame = encode_record(record)?;
-        self.file
-            .write_all(&frame)
-            .and_then(|()| self.file.sync_data())
+        let start = self
+            .file
+            .stream_position()
+            .map_err(|e| io_error(&self.path, "locate journal tail", &e))?;
+        write_frame_at(&mut self.file, start, &frame)
             .map_err(|e| io_error(&self.path, "append journal record", &e))?;
         self.commits += 1;
         Ok(())
@@ -305,6 +320,27 @@ impl JournalWriter {
     pub fn path(&self) -> &Path {
         &self.path
     }
+}
+
+/// Write `bytes` at `start` and fsync, retrying transient failures.
+/// Every retry first truncates back to `start` and re-seeks, so a
+/// partial write from a failed attempt is physically discarded before
+/// the frame is written again — the file only ever ends at a frame
+/// boundary or mid-way through the *final* attempt (which surfaces as
+/// an error and is truncated away by the next replay).
+fn write_frame_at(file: &mut File, start: u64, bytes: &[u8]) -> std::io::Result<()> {
+    let mut dirty = false;
+    failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+        if dirty {
+            file.set_len(start)?;
+            file.seek(SeekFrom::Start(start))?;
+        }
+        dirty = true;
+        failpoint::check("journal.append")?;
+        file.write_all(bytes)?;
+        failpoint::check("journal.fsync")?;
+        file.sync_data()
+    })
 }
 
 /// Content key of a candidate: SHA-1 over the candidate's identity,

@@ -1,0 +1,94 @@
+//! Failpoint-backed regression tests for the write-ahead journal.
+//!
+//! Own test binary: the failpoint registry is process-global, so
+//! arming `journal.*` sites must not race with the crate's other
+//! tests (which also append journals). Tests serialize on one mutex
+//! and reset the registry before returning.
+
+use schevo_core::errors::ErrorClass;
+use schevo_core::failpoint;
+use schevo_pipeline::extract::MineOutcome;
+use schevo_pipeline::journal::{replay_file, JournalRecord, JournalWriter};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("schevo_journal_fp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn record(i: usize) -> JournalRecord {
+    JournalRecord {
+        key: format!("{i:040x}"),
+        outcome: MineOutcome { mined: None, recovered: Vec::new(), quarantined: None },
+    }
+}
+
+#[test]
+fn transient_eio_on_append_is_absorbed_without_torn_or_duplicate_frames() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("eio_append.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut w = JournalWriter::create(&path).expect("create");
+    // Fault the fsync *after* the frame bytes were written: the retry
+    // must rewind to the pre-append offset before writing again, or
+    // the frame would be duplicated.
+    failpoint::configure("journal.fsync=eio@0", 3).expect("arm");
+    for i in 0..3 {
+        w.append(&record(i)).expect("append survives one EIO");
+    }
+    let fired = failpoint::fired();
+    failpoint::reset();
+    assert_eq!(fired.len(), 1);
+    let replay = replay_file(&path).expect("readable");
+    assert!(replay.corruption.is_none(), "{:?}", replay.corruption);
+    assert_eq!(replay.records.len(), 3, "no duplicated or torn frames");
+    assert_eq!(replay.records, (0..3).map(record).collect::<Vec<_>>());
+}
+
+#[test]
+fn persistent_enospc_on_append_surfaces_typed_journal_error() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("enospc_append.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut w = JournalWriter::create(&path).expect("create");
+    w.append(&record(0)).expect("clean append");
+    failpoint::configure("journal.append=enospc@0+", 3).expect("arm");
+    let e = w.append(&record(1)).expect_err("disk full");
+    failpoint::reset();
+    assert_eq!(e.class, ErrorClass::Journal);
+    assert!(e.message.contains("append journal record"), "{}", e.message);
+    // The committed prefix is untouched and still replays cleanly.
+    let replay = replay_file(&path).expect("readable");
+    assert!(replay.corruption.is_none());
+    assert_eq!(replay.records, vec![record(0)]);
+    assert_eq!(w.commits(), 1);
+}
+
+#[test]
+fn truncate_fault_during_resume_is_typed_and_retried() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("resume_fault.journal");
+    let _ = std::fs::remove_file(&path);
+    let mut w = JournalWriter::create(&path).expect("create");
+    w.append(&record(0)).expect("append");
+    let valid = replay_file(&path).expect("readable").valid_len;
+
+    // One transient EIO at the truncate site: resume succeeds anyway.
+    failpoint::configure("journal.truncate=eio@0", 3).expect("arm");
+    let mut w2 = JournalWriter::resume(&path, valid).expect("resume absorbs EIO");
+    failpoint::reset();
+    w2.append(&record(1)).expect("append after resume");
+    let replay = replay_file(&path).expect("readable");
+    assert_eq!(replay.records, vec![record(0), record(1)]);
+
+    // Persistent ENOSPC: resume fails with a typed Journal error.
+    failpoint::configure("journal.truncate=enospc@0+", 3).expect("arm");
+    let e = JournalWriter::resume(&path, valid).expect_err("disk full");
+    failpoint::reset();
+    assert_eq!(e.class, ErrorClass::Journal);
+    assert!(e.message.contains("truncate journal"), "{}", e.message);
+}

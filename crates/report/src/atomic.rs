@@ -3,12 +3,20 @@
 //! Every on-disk artifact of the study (`study_results.json`,
 //! `EXPERIMENTS.md`, `artifacts/*.csv`) is published through
 //! [`write_atomic`]: the contents are written to a temporary file in the
-//! *same directory*, fsynced, and renamed into place. A crash — ours via
-//! `--crash-after`, or the machine's — therefore leaves either the
-//! previous complete artifact or the new complete artifact, never a
-//! half-written file. Readers polling the output directory can always
-//! parse what they find.
+//! *same directory*, fsynced, renamed into place, and the parent
+//! directory is fsynced so the rename itself is durable (on ext4/xfs a
+//! rename is only guaranteed to survive power loss once the directory
+//! entry hits disk). A crash — ours via `--crash-after`, or the
+//! machine's — therefore leaves either the previous complete artifact or
+//! the new complete artifact, never a half-written file. Readers polling
+//! the output directory can always parse what they find.
+//!
+//! Each phase is guarded by a failpoint site (`report.create`,
+//! `report.write`, `report.fsync`, `report.rename`, `report.dirsync`)
+//! and transient failures are absorbed by a bounded deterministic
+//! retry; see `schevo_core::failpoint`.
 
+use schevo_core::failpoint;
 use std::fmt;
 use std::fs::File;
 use std::io::Write;
@@ -17,14 +25,14 @@ use std::path::{Path, PathBuf};
 /// Failure to publish one artifact atomically.
 ///
 /// Carries the destination path and the phase (`create temp file`,
-/// `write`, `sync`, `rename`) so a caller can report *which* artifact
-/// failed and *how* without guessing.
+/// `write`, `sync`, `rename`, `sync dir`) so a caller can report
+/// *which* artifact failed and *how* without guessing.
 #[derive(Debug)]
 pub struct AtomicWriteError {
     /// The destination the artifact was being published to.
     pub path: PathBuf,
     /// The phase that failed: `"create temp file"`, `"write"`,
-    /// `"sync"`, or `"rename"`.
+    /// `"sync"`, `"rename"`, or `"sync dir"`.
     pub op: &'static str,
     /// The underlying I/O error.
     pub source: std::io::Error,
@@ -49,14 +57,16 @@ impl std::error::Error for AtomicWriteError {
 }
 
 /// Write `contents` to `path` atomically: temp file in the same
-/// directory, `write_all` + `sync_all`, then rename over `path`.
+/// directory, `write_all` + `sync_all`, rename over `path`, then fsync
+/// the parent directory so the rename is durable.
 ///
 /// The temp file is named `.{file_name}.tmp.{pid}` so concurrent
 /// processes publishing to the same directory cannot collide, and a
 /// leftover from a crashed run is identifiable (and harmless — the next
 /// successful publish of the same artifact reuses and renames it away).
-/// On any failure the temp file is removed before the error is returned,
-/// and the destination is untouched.
+/// On any failure before the rename the temp file is removed and the
+/// destination is untouched; transient I/O errors are retried with
+/// bounded deterministic backoff before surfacing.
 pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), AtomicWriteError> {
     let _span = schevo_obs::span!("report.write_atomic", path = path.display());
     let err = |op: &'static str, source: std::io::Error| AtomicWriteError {
@@ -69,17 +79,49 @@ pub fn write_atomic(path: &Path, contents: &[u8]) -> Result<(), AtomicWriteError
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "artifact".to_string());
     let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+    let retry = failpoint::RetryPolicy::default();
+    let phase = std::cell::Cell::new("create temp file");
     let publish = (|| {
-        let mut file = File::create(&tmp).map_err(|e| err("create temp file", e))?;
-        file.write_all(contents).map_err(|e| err("write", e))?;
-        file.sync_all().map_err(|e| err("sync", e))?;
-        drop(file);
-        std::fs::rename(&tmp, path).map_err(|e| err("rename", e))
+        // Re-create the temp file on every retry so a torn partial
+        // write from a transient failure never leaks into the payload.
+        failpoint::retry_io(retry, || {
+            phase.set("create temp file");
+            failpoint::check("report.create")?;
+            let mut file = File::create(&tmp)?;
+            phase.set("write");
+            failpoint::check("report.write")?;
+            file.write_all(contents)?;
+            phase.set("sync");
+            failpoint::check("report.fsync")?;
+            file.sync_all()
+        })
+        .map_err(|e| err(phase.get(), e))?;
+        failpoint::retry_io(retry, || {
+            failpoint::check("report.rename")?;
+            std::fs::rename(&tmp, path)
+        })
+        .map_err(|e| err("rename", e))?;
+        failpoint::retry_io(retry, || {
+            failpoint::check("report.dirsync")?;
+            sync_parent_dir(path)
+        })
+        .map_err(|e| err("sync dir", e))
     })();
     if publish.is_err() {
         let _ = std::fs::remove_file(&tmp);
     }
     publish
+}
+
+/// Fsync the directory containing `path`, making a just-completed
+/// rename durable. A missing parent (relative path with no directory
+/// component) syncs `"."`.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
 }
 
 #[cfg(test)]

@@ -1,0 +1,85 @@
+//! Failpoint-backed regression tests for atomic artifact publication.
+//!
+//! These live in their own integration-test binary because the
+//! failpoint registry is process-global: arming `report.*` sites here
+//! must not race with the crate's other tests, which also publish
+//! through `write_atomic`. Within this binary every test serializes on
+//! one mutex and resets the registry before returning.
+
+use schevo_core::failpoint;
+use schevo_report::atomic::write_atomic;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("schevo_atomic_fp_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn enospc_during_fsync_is_typed_and_leaves_destination_untouched() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("faulted.txt");
+    let _ = std::fs::remove_file(&path);
+    write_atomic(&path, b"stable").expect("clean publish");
+    // `0+` makes the fault persistent so the retry loop cannot clear
+    // it (each retry advances the site's hit counter).
+    failpoint::configure("report.fsync=enospc@0+", 7).expect("arm");
+    let e = write_atomic(&path, b"doomed").expect_err("fsync faulted");
+    failpoint::reset();
+    assert_eq!(e.op, "sync");
+    assert_eq!(e.source.raw_os_error(), Some(28));
+    // Destination still holds the previous complete artifact and the
+    // temp file was cleaned up: no torn state.
+    assert_eq!(std::fs::read(&path).expect("read back"), b"stable");
+    let name = path.file_name().expect("has name").to_string_lossy();
+    let sibling = path.with_file_name(format!(".{name}.tmp.{}", std::process::id()));
+    assert!(!sibling.exists(), "temp file survived a failed publish");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn transient_eio_during_rename_is_absorbed_by_retry() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("transient.txt");
+    let _ = std::fs::remove_file(&path);
+    failpoint::configure("report.rename=eio@0", 7).expect("arm");
+    write_atomic(&path, b"survives").expect("retry absorbs one EIO");
+    let fired = failpoint::fired();
+    failpoint::reset();
+    assert_eq!(fired.len(), 1, "exactly one injected fault");
+    assert_eq!(std::fs::read(&path).expect("read back"), b"survives");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn dirsync_failure_reports_sync_dir_phase() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("dirsync.txt");
+    let _ = std::fs::remove_file(&path);
+    failpoint::configure("report.dirsync=enospc@0+", 7).expect("arm");
+    let e = write_atomic(&path, b"x").expect_err("dirsync faulted");
+    failpoint::reset();
+    assert_eq!(e.op, "sync dir");
+    // The rename itself completed; only its durability barrier failed.
+    // The destination holds the complete new artifact either way.
+    assert_eq!(std::fs::read(&path).expect("read back"), b"x");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn persistent_eio_exhausts_retries_then_surfaces_the_write_phase() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let path = tmp("exhausted.txt");
+    let _ = std::fs::remove_file(&path);
+    failpoint::configure("report.write=eio@0+", 7).expect("arm");
+    let e = write_atomic(&path, b"never").expect_err("persistent EIO fails");
+    let fired = failpoint::fired();
+    failpoint::reset();
+    assert_eq!(e.op, "write");
+    assert_eq!(e.source.raw_os_error(), Some(5));
+    assert_eq!(fired.len(), 5, "default policy makes five attempts");
+    assert!(!path.exists(), "no artifact published");
+    let _ = std::fs::remove_file(&path);
+}

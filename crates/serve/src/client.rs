@@ -1,11 +1,19 @@
 //! A minimal blocking client for the serve protocol, used by the CLI's
 //! client mode and the differential tests.
+//!
+//! Failure handling is layered: socket read/write timeouts turn a hung
+//! peer into a typed transient error ([`ClientError::is_transient`]),
+//! and [`retrying_roundtrip`] reconnects with capped deterministic
+//! backoff across transient errors and `busy`/`draining` backpressure —
+//! so a retry that straddles a server restart still lands, and serves
+//! the identical bytes for the same store and options.
 
 use crate::frame::{read_frame, write_frame, FrameError};
 use crate::proto::{decode_response, encode_request, Request, Response};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -32,6 +40,42 @@ impl std::fmt::Display for ClientError {
 }
 
 impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether retrying this failure against the same address can
+    /// plausibly succeed: the server restarting (refused/reset/broken
+    /// pipe, a Unix socket path briefly gone, the connection dropped
+    /// mid-answer, a torn frame) or a socket timeout. Protocol and
+    /// checksum errors are permanent — the peer is speaking garbage and
+    /// retrying would re-read the same garbage.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Io(e) => io_transient(e),
+            ClientError::Frame(FrameError::Io(e)) => io_transient(e),
+            ClientError::Frame(FrameError::Torn { .. }) => true,
+            ClientError::Frame(_) => false,
+            ClientError::Proto(_) => false,
+            ClientError::Closed => true,
+        }
+    }
+}
+
+fn io_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            // A Unix socket path vanishes between unlink and rebind
+            // while the server restarts.
+            | ErrorKind::NotFound
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::Interrupted
+    ) || schevo_core::transient_io(e)
+}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> ClientError {
@@ -85,9 +129,27 @@ pub struct Conn {
 /// Connect to `addr`: `unix:/path/to.sock` for a Unix socket, anything
 /// else is a TCP address like `127.0.0.1:4000`.
 pub fn connect(addr: &str) -> Result<Conn, ClientError> {
+    connect_timeout(addr, None)
+}
+
+/// [`connect`] with a socket read/write timeout: a peer that accepts
+/// the connection but never answers (or stalls mid-frame) surfaces as a
+/// typed transient `TimedOut`/`WouldBlock` error instead of hanging the
+/// client forever. `None` keeps the sockets fully blocking.
+pub fn connect_timeout(addr: &str, timeout: Option<Duration>) -> Result<Conn, ClientError> {
     let stream = match addr.strip_prefix("unix:") {
-        Some(path) => Stream::Unix(UnixStream::connect(path)?),
-        None => Stream::Tcp(TcpStream::connect(addr)?),
+        Some(path) => {
+            let s = UnixStream::connect(path)?;
+            s.set_read_timeout(timeout)?;
+            s.set_write_timeout(timeout)?;
+            Stream::Unix(s)
+        }
+        None => {
+            let s = TcpStream::connect(addr)?;
+            s.set_read_timeout(timeout)?;
+            s.set_write_timeout(timeout)?;
+            Stream::Tcp(s)
+        }
     };
     Ok(Conn { stream })
 }
@@ -101,5 +163,80 @@ impl Conn {
             return Err(ClientError::Closed);
         };
         decode_response(&reply).map_err(ClientError::Proto)
+    }
+}
+
+/// How [`retrying_roundtrip`] paces itself: `attempts` tries total,
+/// deterministic exponential backoff `base · 2^n` capped at `cap`
+/// between them (no jitter — retry timing is reproducible), and an
+/// optional per-socket read/write `timeout`.
+#[derive(Debug, Clone)]
+pub struct RetrySpec {
+    /// Total connection attempts (min 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub cap: Duration,
+    /// Socket read/write timeout per attempt (`None` = blocking).
+    pub timeout: Option<Duration>,
+}
+
+impl Default for RetrySpec {
+    fn default() -> RetrySpec {
+        RetrySpec {
+            attempts: 8,
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(2),
+            timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl RetrySpec {
+    /// The backoff sleep after failed attempt `n` (0-based):
+    /// `min(base · 2^n, cap)`.
+    pub fn delay(&self, n: u32) -> Duration {
+        self.base.saturating_mul(1u32 << n.min(16)).min(self.cap)
+    }
+}
+
+/// Send `request`, reconnecting and retrying with capped backoff across
+/// transient transport errors and `busy`/`draining` backpressure.
+///
+/// Each attempt opens a fresh connection, so a retry sequence that
+/// straddles a server restart succeeds once the new server binds — and,
+/// because a served study is deterministic over the store, it returns
+/// the identical bytes the pre-restart server would have. Permanent
+/// errors (protocol garbage, checksum mismatch) surface immediately.
+/// If every attempt was turned away with backpressure, the last
+/// `busy`/`draining` response is returned so the caller sees the typed
+/// status rather than a synthetic error.
+pub fn retrying_roundtrip(
+    addr: &str,
+    request: &Request,
+    spec: &RetrySpec,
+) -> Result<Response, ClientError> {
+    let attempts = spec.attempts.max(1);
+    let mut last_error: Option<ClientError> = None;
+    let mut last_backpressure: Option<Response> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(spec.delay(attempt - 1));
+        }
+        let outcome = connect_timeout(addr, spec.timeout)
+            .and_then(|mut conn| conn.roundtrip(request));
+        match outcome {
+            Ok(resp) if resp.status == "busy" || resp.status == "draining" => {
+                last_backpressure = Some(resp);
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) if e.is_transient() => last_error = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    match last_backpressure {
+        Some(resp) => Ok(resp),
+        None => Err(last_error.unwrap_or(ClientError::Closed)),
     }
 }

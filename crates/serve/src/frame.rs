@@ -10,6 +10,7 @@
 //! so the caller must drop the connection. A clean EOF exactly at a
 //! frame boundary is not an error ([`read_frame`] returns `Ok(None)`).
 
+use schevo_core::failpoint;
 use schevo_vcs::sha1::sha1;
 use std::io::{Read, Write};
 
@@ -60,10 +61,17 @@ impl From<std::io::Error> for FrameError {
 }
 
 /// Write one framed payload and flush the transport.
-pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> Result<(), FrameError> {
     if payload.is_empty() || payload.len() > MAX_FRAME_LEN as usize {
         return Err(FrameError::BadLength(payload.len() as u64));
     }
+    // The failpoint fires before any bytes hit the transport, so an
+    // absorbed transient fault cannot interleave a torn frame. Real
+    // mid-write socket errors are not retried here — the peer's read
+    // side has no way to resynchronize a half-sent frame.
+    failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+        failpoint::check("serve.write")
+    })?;
     let digest = sha1(payload);
     let mut header = [0u8; HEADER_LEN];
     header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -76,7 +84,11 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), FrameError
 
 /// Fill `buf` completely, distinguishing clean EOF before the first byte
 /// (`Ok(false)`, only accepted when `at_boundary`) from a torn read.
-fn read_full<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<bool, FrameError> {
+fn read_full<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> Result<bool, FrameError> {
     let mut filled = 0usize;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
@@ -99,7 +111,10 @@ fn read_full<R: Read>(r: &mut R, buf: &mut [u8], at_boundary: bool) -> Result<bo
 
 /// Read the next verified payload, or `Ok(None)` on clean EOF at a
 /// frame boundary.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    failpoint::retry_io(failpoint::RetryPolicy::default(), || {
+        failpoint::check("serve.read")
+    })?;
     let mut header = [0u8; HEADER_LEN];
     if !read_full(r, &mut header, true)? {
         return Ok(None);

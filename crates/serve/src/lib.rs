@@ -33,7 +33,7 @@ pub mod frame;
 pub mod proto;
 pub mod server;
 
-pub use client::{connect, ClientError, Conn};
+pub use client::{connect, connect_timeout, retrying_roundtrip, ClientError, Conn, RetrySpec};
 pub use frame::{read_frame, write_frame, FrameError, MAX_FRAME_LEN};
 pub use proto::{Request, Response};
-pub use server::{Listener, Server, ServerConfig};
+pub use server::{install_drain_signals, Listener, Server, ServerConfig};

@@ -81,6 +81,19 @@ impl Response {
         }
     }
 
+    /// The drain response: the server is shutting down gracefully and
+    /// no longer admits studies (existing results, metrics, and status
+    /// stay queryable). The study was not started; a client should
+    /// retry with backoff — the restarted server serves the identical
+    /// bytes for the same store and options.
+    pub fn draining(id: Option<String>) -> Response {
+        Response {
+            id,
+            status: "draining".to_string(),
+            ..Response::default()
+        }
+    }
+
     /// A typed error response.
     pub fn error(id: Option<String>, message: &str) -> Response {
         Response {

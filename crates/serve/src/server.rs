@@ -26,8 +26,8 @@ use schevo_pipeline::{try_run_study_engine, MiningEngine, StudyOptions, WarmCach
 use schevo_report::{fig04_csv, fig10_csv, study_to_json, write_atomic};
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -53,6 +53,13 @@ pub struct ServerConfig {
     pub deadline: Option<Duration>,
     /// Directory for per-request CSV artifacts; `None` publishes none.
     pub artifacts_dir: Option<PathBuf>,
+    /// How long a drain waits for in-flight studies before giving up
+    /// and exiting anyway (they run the same deterministic path on the
+    /// next request, so abandoning them loses no durable state).
+    pub drain_deadline: Duration,
+    /// Where to flush the final metrics snapshot (Prometheus text,
+    /// written atomically) when the server exits; `None` skips it.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -69,6 +76,8 @@ impl ServerConfig {
             crash_after: None,
             deadline: None,
             artifacts_dir: None,
+            drain_deadline: Duration::from_secs(5),
+            metrics_out: None,
         }
     }
 }
@@ -96,6 +105,37 @@ pub struct Server {
     /// One journal file, one writer: durable requests serialize here.
     journal_gate: Mutex<()>,
     shutdown: AtomicBool,
+    draining: AtomicBool,
+}
+
+/// Set by the SIGINT/SIGTERM handler; polled by [`Server::serve`].
+/// Process-global because a signal handler cannot carry state, and a
+/// process runs at most one serving accept loop.
+static DRAIN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_drain_signal(_signum: i32) {
+    // Only async-signal-safe work here: one atomic store.
+    DRAIN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    // Raw libc `signal(2)`; declared directly because the workspace
+    // vendors no libc crate. `usize` stands in for the handler pointer.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Route SIGINT (ctrl-c) and SIGTERM into a graceful drain: the serving
+/// loop stops admitting studies, lets in-flight work finish (bounded by
+/// [`ServerConfig::drain_deadline`]), flushes metrics, and exits —
+/// instead of the default immediate kill.
+pub fn install_drain_signals() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_drain_signal as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
 }
 
 impl Server {
@@ -113,7 +153,22 @@ impl Server {
             registry: Registry::new(),
             journal_gate: Mutex::new(()),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
         })
+    }
+
+    /// Stop admitting studies: further `study` requests get a typed
+    /// `draining` response while `result`/`metrics`/`status` stay
+    /// queryable, and [`Server::serve`] exits once the last in-flight
+    /// study finishes (or the drain deadline passes). Idempotent; also
+    /// reached via SIGINT/SIGTERM when [`install_drain_signals`] ran.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     /// The manifest of the store being served.
@@ -128,7 +183,7 @@ impl Server {
     ///
     /// Generic over the transport so protocol tests can drive it with
     /// in-memory readers/writers — no socket required.
-    pub fn serve_stream<S: Read + Write>(&self, stream: &mut S) -> bool {
+    pub fn serve_stream<S: Read + Write + ?Sized>(&self, stream: &mut S) -> bool {
         loop {
             let payload = match read_frame(stream) {
                 Ok(Some(p)) => p,
@@ -162,6 +217,10 @@ impl Server {
     pub fn dispatch(&self, request: Request) -> (Response, bool) {
         self.registry.add("serve.requests", 1);
         match request.op.as_str() {
+            "study" if self.is_draining() => {
+                self.registry.add("serve.drained_away", 1);
+                (Response::draining(request.id), false)
+            }
             "study" => (self.admit_study(&request), false),
             "result" => (self.lookup_result(&request), false),
             "metrics" => (self.metrics_response(&request), false),
@@ -369,53 +428,108 @@ impl Server {
         response
     }
 
-    /// Accept connections until a `shutdown` request arrives, one thread
-    /// per connection. In-flight studies on other connections keep
-    /// running until the process exits.
+    /// Accept connections, one thread per connection, until either a
+    /// `shutdown` request arrives or a drain (SIGINT/SIGTERM or
+    /// [`Server::begin_drain`]) completes. The listener keeps accepting
+    /// during a drain so clients receive the typed `draining` response
+    /// — and can still query `result`/`metrics`/`status` — rather than
+    /// a refused connection; the loop exits once no study is in flight
+    /// or [`ServerConfig::drain_deadline`] passes, then flushes the
+    /// final metrics snapshot to [`ServerConfig::metrics_out`].
     pub fn serve(self: &Arc<Self>, listener: Listener) -> std::io::Result<()> {
-        match listener {
-            Listener::Tcp(l) => {
-                let local = l.local_addr()?;
-                loop {
-                    let (stream, _) = l.accept()?;
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
+        // Nonblocking accept + a short poll keeps the loop responsive
+        // to the drain/shutdown flags without a wake-up side channel.
+        // glibc's `signal()` installs SA_RESTART handlers, so a blocking
+        // accept would never return on SIGTERM.
+        const POLL: Duration = Duration::from_millis(25);
+        listener.set_nonblocking(true)?;
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if DRAIN_SIGNAL.load(Ordering::SeqCst) {
+                self.begin_drain();
+            }
+            if self.is_draining() {
+                let started = *drain_started.get_or_insert_with(Instant::now);
+                let idle = self.inflight.load(Ordering::SeqCst) == 0;
+                if idle || started.elapsed() >= self.config.drain_deadline {
+                    break;
+                }
+            }
+            match listener.try_accept() {
+                Ok(Some(mut stream)) => {
                     let server = Arc::clone(self);
                     std::thread::spawn(move || {
-                        let mut stream = stream;
-                        if server.serve_stream(&mut stream) {
+                        if server.serve_stream(&mut *stream) {
                             server.shutdown.store(true, Ordering::SeqCst);
-                            // Unblock the accept loop so it can observe
-                            // the flag and exit.
-                            let _ = TcpStream::connect(local);
                         }
                     });
                 }
-            }
-            Listener::Unix(l) => {
-                let path = l
-                    .local_addr()
-                    .ok()
-                    .and_then(|a| a.as_pathname().map(|p| p.to_path_buf()));
-                loop {
-                    let (stream, _) = l.accept()?;
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return Ok(());
-                    }
-                    let server = Arc::clone(self);
-                    let path = path.clone();
-                    std::thread::spawn(move || {
-                        let mut stream = stream;
-                        if server.serve_stream(&mut stream) {
-                            server.shutdown.store(true, Ordering::SeqCst);
-                            if let Some(p) = &path {
-                                let _ = UnixStream::connect(p);
-                            }
-                        }
-                    });
+                Ok(None) => std::thread::sleep(POLL),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.flush_metrics();
+                    return Err(e);
                 }
             }
+        }
+        self.flush_metrics();
+        Ok(())
+    }
+
+    /// Write the final metrics snapshot atomically to
+    /// [`ServerConfig::metrics_out`], if configured. Failure to flush
+    /// is counted but never blocks exit.
+    fn flush_metrics(&self) {
+        let Some(path) = &self.config.metrics_out else {
+            return;
+        };
+        self.registry
+            .set_gauge("serve.inflight", self.inflight.load(Ordering::SeqCst) as u64);
+        self.registry
+            .set_gauge("serve.served", self.served.load(Ordering::SeqCst));
+        let text = self.registry.snapshot().to_prometheus();
+        if write_atomic(path, text.as_bytes()).is_err() {
+            self.registry.add("serve.metrics_flush_errors", 1);
+        }
+    }
+}
+
+/// A transport-erased accepted connection.
+trait ServeIo: Read + Write + Send {}
+impl<T: Read + Write + Send> ServeIo for T {}
+
+impl Listener {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(on),
+            Listener::Unix(l) => l.set_nonblocking(on),
+        }
+    }
+
+    /// One nonblocking accept: `Ok(None)` when no connection is
+    /// pending. Accepted streams are switched back to blocking — only
+    /// the accept itself polls.
+    fn try_accept(&self) -> std::io::Result<Option<Box<dyn ServeIo>>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nonblocking(false)?;
+                    Ok(Some(Box::new(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
         }
     }
 }

@@ -141,6 +141,96 @@ if ! diff -q "$clean_dir/study_results.json" "$resume_dir/study_results.json" >/
 fi
 echo "    kill at commit 3 -> resume reproduces the clean run byte-for-byte"
 
+echo "==> io-chaos: seeded syscall faults, typed failures, no torn artifacts"
+# Transient EIO at the journal sites must be absorbed by the retry loops
+# without changing a single stdout byte; the fired-fault lines land on
+# stderr only.
+iochaos_out="$tmp/iochaos.txt"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --workers 1 --no-cache --journal "$tmp/iochaos.wal" \
+  --io-faults "journal.fsync=eio@0.3;journal.append=eio@0.3" --io-fault-seed 42 \
+  > "$iochaos_out" 2>"$tmp/iochaos.err"
+if ! diff -q "$baseline" "$iochaos_out" >/dev/null; then
+  echo "IO-CHAOS FAILURE: absorbed transient faults changed the study output" >&2
+  diff "$baseline" "$iochaos_out" | head -40 >&2
+  exit 1
+fi
+if ! grep -q '^fault-fired:' "$tmp/iochaos.err"; then
+  echo "IO-CHAOS FAILURE: the seeded schedule fired no faults (gate is vacuous)" >&2
+  exit 1
+fi
+echo "    transient EIO absorbed; stdout identical to baseline"
+# Persistent ENOSPC is a typed failure: exit 3, root cause on stderr.
+set +e
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --journal "$tmp/iochaos-enospc.wal" \
+  --io-faults "journal.append=enospc@3+" >/dev/null 2>"$tmp/iochaos-enospc.err"
+enospc_code=$?
+set -e
+if [ "$enospc_code" -ne 3 ] || ! grep -q 'No space left' "$tmp/iochaos-enospc.err"; then
+  echo "IO-CHAOS FAILURE: ENOSPC exit code $enospc_code (want 3) or cause missing" >&2
+  exit 1
+fi
+echo "    persistent ENOSPC is a typed failure (exit 3)"
+# A faulted artifact publication leaves no torn or temporary files: the
+# destination either keeps its old bytes or does not exist.
+report_dir="$tmp/iochaos-report"
+set +e
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 20 \
+  --out "$report_dir" --io-faults "report.rename=enospc@0+" >/dev/null 2>&1
+rename_code=$?
+set -e
+if [ "$rename_code" -eq 0 ] || [ -e "$report_dir/study_results.json" ] \
+  || ls "$report_dir"/.study_results.json.* >/dev/null 2>&1; then
+  echo "IO-CHAOS FAILURE: faulted publication left a torn artifact (exit $rename_code)" >&2
+  exit 1
+fi
+echo "    faulted publication leaves no torn artifacts"
+
+echo "==> scrub: bit-flipped shard store is repaired in place"
+scrub_store="$tmp/scrub-store"
+cargo run -q --release --bin schevo -- study --seed 2019 --scale 80 \
+  --store-dir "$scrub_store" >/dev/null 2>&1
+# Flip one byte mid-shard, the way a bad sector would.
+python3 - "$scrub_store/shard-000.pack" <<'EOF'
+import os, sys
+path = sys.argv[1]
+offset = os.path.getsize(path) // 2
+with open(path, "r+b") as f:
+    f.seek(offset)
+    b = f.read(1)
+    f.seek(offset)
+    f.write(bytes([b[0] ^ 0x01]))
+EOF
+scrub_log="$tmp/scrub.log"
+cargo run -q --release --bin schevo -- scrub --store "$scrub_store" \
+  > "$scrub_log" 2>&1
+if ! grep -q 'byte(s) quarantined' "$scrub_log" \
+  || ! ls "$scrub_store"/shard-000.pack.quarantine >/dev/null 2>&1; then
+  echo "SCRUB FAILURE: corruption not quarantined:" >&2
+  cat "$scrub_log" >&2
+  exit 1
+fi
+# A second scrub finds a clean store (repair converged)...
+cargo run -q --release --bin schevo -- scrub --store "$scrub_store" \
+  > "$tmp/scrub2.log" 2>&1
+if ! grep -q 'store is clean' "$tmp/scrub2.log"; then
+  echo "SCRUB FAILURE: second scrub still finds damage:" >&2
+  cat "$tmp/scrub2.log" >&2
+  exit 1
+fi
+# ...and the clean subset mines deterministically: two runs over the
+# scrubbed store are byte-identical and exit 0.
+cargo run -q --release --bin schevo -- study --store-dir "$scrub_store" \
+  --store-as-is --workers 1 --no-cache > "$tmp/scrubbed-1.txt" 2>/dev/null
+cargo run -q --release --bin schevo -- study --store-dir "$scrub_store" \
+  --store-as-is --workers 8 > "$tmp/scrubbed-2.txt" 2>/dev/null
+if ! diff -q "$tmp/scrubbed-1.txt" "$tmp/scrubbed-2.txt" >/dev/null; then
+  echo "SCRUB FAILURE: scrubbed store mines nondeterministically" >&2
+  exit 1
+fi
+echo "    bit-flip quarantined, repair converges, clean subset mines deterministically"
+
 echo "==> scale tier: sharded store byte-identity + streaming RSS ceiling"
 # In-memory vs sharded: the same study streamed out of an on-disk shard
 # store must not change a single stdout byte.
@@ -205,6 +295,16 @@ for name in mine parse; do
   fi
   echo "    $name min ${fresh_min}s vs smoke baseline ${base_min}s (fence: +20%)"
 done
+# Disabled failpoints must stay free: every mine entry carries an A/B of
+# an armed-but-inert schedule against the fully disabled path (min of
+# five interleaved runs each). The latest overhead stays under 1%.
+fp_pct=$(cargo run -q --release -p schevo-bench --bin perflab -- \
+  --check-failpoint-overhead "$bench_dir/BENCH_mine.json")
+if awk -v p="$fp_pct" 'BEGIN { exit !(p >= 1.0) }'; then
+  echo "PERF REGRESSION: disabled-failpoint overhead ${fp_pct}% (fence: <1%)" >&2
+  exit 1
+fi
+echo "    disabled-failpoint overhead ${fp_pct}% (fence: <1%)"
 
 echo "==> serve: daemon smoke gate (2-client differential + metrics)"
 # The resident server must hand concurrent clients the exact bytes the
@@ -257,6 +357,57 @@ cargo run -q --release --bin schevo -- serve --connect "$addr" --op shutdown \
   >/dev/null 2>&1
 wait "$serve_pid" 2>/dev/null || true
 echo "    daemon shut down cleanly"
+
+echo "==> serve: drain gate (SIGTERM → metrics flush → restart → identical bytes)"
+# SIGTERM drains instead of killing: in-flight work finishes, the final
+# metrics snapshot lands on disk, and the process exits 0. A client
+# retrying through the restart gap gets byte-identical study bytes.
+drain_sock="$tmp/drain.sock"
+drain_log="$tmp/drain.log"
+drain_metrics="$tmp/drain-final.prom"
+cargo run -q --release --bin schevo -- serve --store-dir "$serve_store" \
+  --socket "$drain_sock" --final-metrics "$drain_metrics" \
+  > "$drain_log" 2>&1 &
+drain_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$drain_sock" ] && break
+  sleep 0.1
+done
+cargo run -q --release --bin schevo -- serve --connect "unix:$drain_sock" \
+  --op study --id drain-1 --out "$tmp/drain-before.json" >/dev/null 2>&1
+kill -TERM "$drain_pid"
+if ! wait "$drain_pid"; then
+  echo "DRAIN FAILURE: SIGTERM did not produce a clean exit" >&2
+  exit 1
+fi
+if ! grep -q 'drained; exiting' "$drain_log"; then
+  echo "DRAIN FAILURE: daemon did not report a drain exit:" >&2
+  cat "$drain_log" >&2
+  exit 1
+fi
+if ! grep -q '^# TYPE serve_requests counter$' "$drain_metrics"; then
+  echo "DRAIN FAILURE: final metrics snapshot missing or malformed" >&2
+  exit 1
+fi
+echo "    SIGTERM drained cleanly; final metrics flushed"
+# Restart on the same socket while the client is already retrying: the
+# reconnect-per-attempt loop rides out the refused connections.
+cargo run -q --release --bin schevo -- serve --store-dir "$serve_store" \
+  --socket "$drain_sock" > "$drain_log" 2>&1 &
+drain_pid=$!
+cargo run -q --release --bin schevo -- serve --connect "unix:$drain_sock" \
+  --op study --id drain-2 --retries 20 --timeout-ms 10000 \
+  --out "$tmp/drain-after.json" >/dev/null 2>&1
+if ! cmp -s "$tmp/drain-before.json" "$tmp/drain-after.json" \
+  || ! cmp -s "$serve_batch/study_results.json" "$tmp/drain-after.json"; then
+  echo "DRAIN FAILURE: study bytes changed across the drain/restart cycle" >&2
+  kill "$drain_pid" 2>/dev/null || true
+  exit 1
+fi
+cargo run -q --release --bin schevo -- serve --connect "unix:$drain_sock" \
+  --op shutdown >/dev/null 2>&1
+wait "$drain_pid" 2>/dev/null || true
+echo "    retry through restart returned byte-identical study bytes"
 
 echo "==> deprecation gate: no first-party callers of mine_all_*"
 # The legacy mine_all_* family survives only as #[deprecated] wrappers in

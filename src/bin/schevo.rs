@@ -22,7 +22,30 @@ use schevo::report::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Failpoints arm before any command I/O: the env pair first (so
+    // black-box tests fault child processes without touching their
+    // command lines), then explicit flags, which override the env.
+    if let Err(e) = schevo::core::failpoint::init_from_env() {
+        eprintln!("io-faults: {e}");
+        std::process::exit(2);
+    }
+    let io_fault_seed: u64 = match take_flag_value(&mut args, "--io-fault-seed") {
+        None => 0,
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("io-faults: bad --io-fault-seed `{v}` (want u64)");
+                std::process::exit(2);
+            }
+        },
+    };
+    if let Some(spec) = take_flag_value(&mut args, "--io-faults") {
+        if let Err(e) = schevo::core::failpoint::configure(&spec, io_fault_seed) {
+            eprintln!("io-faults: {e}");
+            std::process::exit(2);
+        }
+    }
     let code = match args.first().map(String::as_str) {
         Some("study") => cmd_study(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
@@ -31,6 +54,7 @@ fn main() {
         Some("mine") => cmd_mine(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
+        Some("scrub") => cmd_scrub(&args[1..]),
         Some("help") | None => {
             print_help();
             0
@@ -41,7 +65,23 @@ fn main() {
             2
         }
     };
+    // One line per injected fault, on stderr so stdout stays
+    // byte-identical to a clean run. The determinism tests diff these
+    // sequences across worker counts.
+    for line in schevo::core::failpoint::fired_summary() {
+        eprintln!("{line}");
+    }
     std::process::exit(code);
+}
+
+/// Remove `name` and its value from `args`, returning the value. Global
+/// flags are extracted before dispatch so positional subcommands
+/// (`classify`, `export`, `mine`) never see them.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == name)?;
+    let value = args.get(i + 1).cloned()?;
+    args.drain(i..i + 2);
+    Some(value)
 }
 
 fn print_help() {
@@ -63,14 +103,22 @@ fn print_help() {
          schevo mine <in.pack> <ddl-path>                   mine a packed repository\n  \
          schevo serve --store-dir DIR [--port N | --socket PATH]\n               \
          [--max-inflight N] [--workers N] [--no-cache]\n               \
-         [--journal PATH] [--deadline-ms N] [--artifacts DIR]\n                                                    \
+         [--journal PATH] [--deadline-ms N] [--artifacts DIR]\n               \
+         [--drain-deadline-ms N] [--final-metrics PATH]\n                                                    \
          serve studies from a warm engine\n  \
          schevo serve --connect ADDR --op study|result|metrics|status|shutdown\n               \
          [--id ID] [--workers N] [--no-cache] [--resume]\n               \
-         [--deadline-ms N] [--out FILE]                     one client request\n  \
+         [--deadline-ms N] [--out FILE]\n               \
+         [--retries N] [--timeout-ms N]                     one client request\n  \
          schevo append --store DIR --count N [--corrupt M] [--batch B]\n                                                    \
          append commits to a resident store\n  \
-         schevo help"
+         schevo scrub --store DIR                           verify + repair a shard store\n  \
+         schevo help\n\n\
+         Every command accepts --io-faults \"site=kind[@trigger];...\" and\n\
+         --io-fault-seed N (env: SCHEVO_IO_FAULTS / SCHEVO_IO_FAULT_SEED)\n\
+         to inject deterministic I/O faults at named syscall sites; kinds\n\
+         are enospc, eio, kill. Fired faults print on stderr.\n\n\
+         Exit codes: 0 ok, 1 I/O failure, 2 flag misuse, 3 typed study error."
     );
 }
 
@@ -630,6 +678,10 @@ fn cmd_serve(args: &[String]) -> i32 {
         .and_then(|v| v.parse::<u64>().ok())
         .map(std::time::Duration::from_millis);
     config.artifacts_dir = flag_value(args, "--artifacts").map(std::path::PathBuf::from);
+    if let Some(ms) = flag_value(args, "--drain-deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        config.drain_deadline = std::time::Duration::from_millis(ms);
+    }
+    config.metrics_out = flag_value(args, "--final-metrics").map(std::path::PathBuf::from);
     if config.crash_after.is_some() && config.journal.is_none() {
         events::warn("serve", "--crash-after requires --journal PATH");
         return 2;
@@ -682,11 +734,19 @@ fn cmd_serve(args: &[String]) -> i32 {
     };
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
+    // SIGINT/SIGTERM drain instead of killing: stop admitting studies,
+    // finish in-flight work (bounded by --drain-deadline-ms), flush the
+    // final metrics snapshot, exit 0.
+    schevo::serve::install_drain_signals();
     if let Err(e) = server.serve(listener) {
         events::warn("serve", &format!("accept loop failed: {e}"));
         return 1;
     }
-    events::info("serve", "shutdown requested; exiting");
+    if server.is_draining() {
+        events::info("serve", "drained; exiting");
+    } else {
+        events::info("serve", "shutdown requested; exiting");
+    }
     0
 }
 
@@ -702,23 +762,51 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
         resume: args.iter().any(|a| a == "--resume").then_some(true),
         deadline_ms: flag_value(args, "--deadline-ms").and_then(|v| v.parse().ok()),
     };
-    let mut conn = match schevo::serve::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            events::warn("serve", &format!("cannot connect to {addr}: {e}"));
-            return 1;
+    let retries: u32 = flag_value(args, "--retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let timeout = flag_value(args, "--timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+    let response = if retries > 0 {
+        // Reconnect-per-attempt with capped deterministic backoff: a
+        // retry sequence that straddles a server restart still lands,
+        // and `busy`/`draining` backpressure is retried, not fatal.
+        let spec = schevo::serve::RetrySpec {
+            attempts: retries + 1,
+            timeout,
+            ..schevo::serve::RetrySpec::default()
+        };
+        match schevo::serve::retrying_roundtrip(addr, &request, &spec) {
+            Ok(r) => r,
+            Err(e) => {
+                events::warn("serve", &format!("request failed after {} attempts: {e}", retries + 1));
+                return 1;
+            }
         }
-    };
-    let response = match conn.roundtrip(&request) {
-        Ok(r) => r,
-        Err(e) => {
-            events::warn("serve", &format!("request failed: {e}"));
-            return 1;
+    } else {
+        let mut conn = match schevo::serve::connect_timeout(addr, timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                events::warn("serve", &format!("cannot connect to {addr}: {e}"));
+                return 1;
+            }
+        };
+        match conn.roundtrip(&request) {
+            Ok(r) => r,
+            Err(e) => {
+                events::warn("serve", &format!("request failed: {e}"));
+                return 1;
+            }
         }
     };
     match response.status.as_str() {
         "busy" => {
             events::warn("serve", "server is at its in-flight limit; retry later");
+            3
+        }
+        "draining" => {
+            events::warn("serve", "server is draining for shutdown; retry after restart");
             3
         }
         "error" => {
@@ -773,6 +861,34 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
             0
         }
     }
+}
+
+fn cmd_scrub(args: &[String]) -> i32 {
+    use schevo::obs::events;
+    let Some(dir) = flag_value(args, "--store") else {
+        events::warn("scrub", "scrub needs --store DIR");
+        return 2;
+    };
+    let report = match schevo::corpus::scrub_store(std::path::Path::new(&dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            events::warn("scrub", &e.to_string());
+            return 1;
+        }
+    };
+    println!("{report}");
+    if report.clean() {
+        events::info("scrub", "store is clean; nothing rewritten");
+    } else {
+        events::info(
+            "scrub",
+            &format!(
+                "repaired store: {} record(s) kept, {} lost to quarantine, {} resynced",
+                report.kept, report.lost, report.resynced
+            ),
+        );
+    }
+    0
 }
 
 fn cmd_append(args: &[String]) -> i32 {
