@@ -9,6 +9,8 @@
 //! perflab --check-min <file>  # validate a report, print its latest minimum
 //! perflab --check-failpoint-overhead <file>
 //!                             # print the latest armed-vs-disabled overhead %
+//! perflab --history <file>    # render the per-revision median/MAD trend
+//!                             # table; exit 1 on a >20% median regression
 //! perflab --migrate <file>    # wrap a legacy single-run report as history
 //! ```
 
@@ -50,6 +52,27 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--history" => {
+                let Some(f) = args.next() else {
+                    eprintln!("--history needs a report file argument");
+                    return ExitCode::FAILURE;
+                };
+                return match schevo_bench::perflab::history(Path::new(&f)) {
+                    Ok((table, regressed)) => {
+                        print!("{table}");
+                        if regressed {
+                            eprintln!("history fence tripped for {f}");
+                            ExitCode::FAILURE
+                        } else {
+                            ExitCode::SUCCESS
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("history failed for {f}: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
             flag @ ("--check" | "--check-min" | "--check-failpoint-overhead") => {
                 let Some(f) = args.next() else {
                     eprintln!("{flag} needs a report file argument");
@@ -73,7 +96,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: perflab [--bench-smoke] [--out <dir>] [--check <file>] [--check-min <file>] [--migrate <file>]"
+                    "usage: perflab [--bench-smoke] [--out <dir>] [--check <file>] [--check-min <file>] [--history <file>] [--migrate <file>]"
                 );
                 return ExitCode::SUCCESS;
             }

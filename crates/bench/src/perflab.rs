@@ -267,6 +267,90 @@ fn checked_stat(path: &Path, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("validated report lost its {key}"))
 }
 
+/// Median regression fence for `--history`: the latest entry failing to
+/// stay within +20% of its predecessor's median is flagged.
+pub const HISTORY_REGRESSION_PCT: f64 = 20.0;
+
+/// Render the bench document at `path` as a per-entry median/MAD trend
+/// table — one row per recorded run, oldest first, with each row's
+/// median delta against its predecessor — and flag whether the latest
+/// entry's median regressed more than [`HISTORY_REGRESSION_PCT`] over
+/// the previous one. Returns `(rendered_table, regressed)`.
+pub fn history(path: &Path) -> Result<(String, bool), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let doc: Value = serde_json::from_str(&text)
+        .map_err(|e| format!("parse {}: {e:?}", path.display()))?;
+    let entries = entries_of(&doc)?;
+    let name = doc
+        .get("name")
+        .or_else(|| entries[0].get("name"))
+        .and_then(Value::as_str)
+        .unwrap_or("bench")
+        .to_string();
+    let stat_of = |entry: &Value, key: &str| -> Result<f64, String> {
+        entry
+            .get("stats")
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("entry missing finite stats.{key}"))
+    };
+    let mut out = format!(
+        "history: {name} ({} entr{})\n{:<7}{:<8}{:>12}{:>12}{:>12}{:>10}\n",
+        entries.len(),
+        if entries.len() == 1 { "y" } else { "ies" },
+        "entry",
+        "tier",
+        "median_s",
+        "mad_s",
+        "min_s",
+        "delta%"
+    );
+    let mut prev_median: Option<f64> = None;
+    let mut latest_delta: Option<f64> = None;
+    for (i, entry) in entries.iter().enumerate() {
+        let median = stat_of(entry, "median")?;
+        let mad = stat_of(entry, "mad")?;
+        let min = stat_of(entry, "min")?;
+        let tier = entry.get("tier").and_then(Value::as_str).unwrap_or("?");
+        let delta = prev_median.map(|p| {
+            if p > 0.0 {
+                (median / p - 1.0) * 100.0
+            } else {
+                0.0
+            }
+        });
+        out.push_str(&format!(
+            "{:<7}{:<8}{:>12.6}{:>12.6}{:>12.6}{:>10}\n",
+            i,
+            tier,
+            median,
+            mad,
+            min,
+            match delta {
+                Some(d) => format!("{d:+.1}"),
+                None => "-".to_string(),
+            }
+        ));
+        prev_median = Some(median);
+        latest_delta = delta;
+    }
+    let regressed = latest_delta.is_some_and(|d| d > HISTORY_REGRESSION_PCT);
+    if let Some(d) = latest_delta {
+        if regressed {
+            out.push_str(&format!(
+                "REGRESSION: latest median {d:+.1}% vs previous entry (fence {HISTORY_REGRESSION_PCT}%)\n"
+            ));
+        } else {
+            out.push_str(&format!(
+                "latest median {d:+.1}% vs previous entry (fence {HISTORY_REGRESSION_PCT}%)\n"
+            ));
+        }
+    }
+    Ok((out, regressed))
+}
+
 /// Schema-check a report and return its median sample.
 pub fn check(path: &Path) -> Result<f64, String> {
     checked_stat(path, "median")
@@ -432,6 +516,54 @@ mod tests {
         // statistic is still the mine stats.min, not the A/B.
         assert!(check_failpoint_overhead(&paths[1]).is_err());
         assert!(check_min(mine).unwrap() > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_renders_a_trend_table_and_fences_median_regressions() {
+        let dir = std::env::temp_dir().join(format!(
+            "schevo_perflab_trend_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let entry = |secs: f64| {
+            let json = crate::lab::run_lab("mine", Tier::Smoke, SEED, 0, 3, || secs)
+                .to_json_string();
+            serde_json::from_str::<Value>(&json).unwrap()
+        };
+        let path = dir.join("BENCH_mine.json");
+
+        // Within the fence: +10% median drift renders, no regression.
+        let ok = render_history("mine", vec![entry(0.010), entry(0.011)]).unwrap();
+        std::fs::write(&path, ok).unwrap();
+        let (table, regressed) = history(&path).unwrap();
+        assert!(!regressed, "+10% is inside the 20% fence:\n{table}");
+        assert!(table.contains("median_s") && table.contains("+10.0"));
+        assert!(table.contains("2 entries"));
+
+        // Past the fence: +25% flags a regression but still renders.
+        let bad = render_history("mine", vec![entry(0.010), entry(0.0125)]).unwrap();
+        std::fs::write(&path, bad).unwrap();
+        let (table, regressed) = history(&path).unwrap();
+        assert!(regressed, "+25% must trip the fence:\n{table}");
+        assert!(table.contains("REGRESSION"));
+
+        // A single entry has no predecessor: never a regression.
+        let single = render_history("mine", vec![entry(0.010)]).unwrap();
+        std::fs::write(&path, single).unwrap();
+        let (table, regressed) = history(&path).unwrap();
+        assert!(!regressed);
+        assert!(table.contains("1 entry"));
+
+        // A recovery after a slow entry is negative drift, not a fence trip.
+        let recovery =
+            render_history("mine", vec![entry(0.010), entry(0.020), entry(0.011)]).unwrap();
+        std::fs::write(&path, recovery).unwrap();
+        let (_, regressed) = history(&path).unwrap();
+        assert!(!regressed, "the fence judges only the latest step");
+
+        assert!(history(Path::new("/nonexistent/BENCH.json")).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -10,8 +10,32 @@
 //!
 //! Events never touch stdout — stdout is reserved for study output and
 //! is covered by the byte-identical differential gates.
+//!
+//! Emitted lines carry a monotonic elapsed-ms prefix (`[+12.345ms] `)
+//! taken from a process-wide epoch pinned at the first event, so
+//! interleaved stderr from a daemon serving concurrent requests can be
+//! re-ordered after the fact. The prefix wraps [`render`]'s output
+//! rather than changing it: the pinned `journal:` / `require --journal`
+//! substrings stay intact and every existing `contains`-style consumer
+//! keeps matching.
 
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Milliseconds elapsed since the event epoch (pinned at first use).
+/// Monotonic: taken from [`Instant`], never wall-clock.
+pub fn elapsed_ms() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64() * 1e3
+}
+
+/// Prefix a rendered event line with the monotonic elapsed-ms stamp:
+/// `[+12.345ms] topic: message`.
+pub fn stamp(line: &str) -> String {
+    format!("[+{:.3}ms] {line}", elapsed_ms())
+}
 
 /// Event severity. Only two levels: operational narration and warnings.
 /// Hard failures are `Err` values, not events.
@@ -38,14 +62,14 @@ pub fn render(topic: &str, severity: Severity, message: &str) -> String {
     format!("{topic}: {severity}{message}")
 }
 
-/// Emit an informational event to stderr.
+/// Emit an informational event to stderr, elapsed-ms-stamped.
 pub fn info(topic: &str, message: &str) {
-    eprintln!("{}", render(topic, Severity::Info, message));
+    eprintln!("{}", stamp(&render(topic, Severity::Info, message)));
 }
 
-/// Emit a warning event to stderr.
+/// Emit a warning event to stderr, elapsed-ms-stamped.
 pub fn warn(topic: &str, message: &str) {
-    eprintln!("{}", render(topic, Severity::Warn, message));
+    eprintln!("{}", stamp(&render(topic, Severity::Warn, message)));
 }
 
 #[cfg(test)]
@@ -68,5 +92,26 @@ mod tests {
         // substring assertions on either keep working.
         assert!(line.starts_with("journal: "));
         assert!(line.contains("corrupt tail truncated on resume"));
+    }
+
+    #[test]
+    fn stamp_prefixes_without_disturbing_the_rendered_line() {
+        let rendered = render("journal", Severity::Info, "3 outcome(s) replayed");
+        let stamped = stamp(&rendered);
+        // Shape: `[+<float>ms] journal: ...` — the pinned substrings
+        // survive because the stamp only prepends.
+        assert!(stamped.starts_with("[+"), "{stamped}");
+        let rest = stamped.strip_prefix("[+").expect("prefix");
+        let (ms, tail) = rest.split_once("ms] ").expect("ms] separator");
+        assert!(ms.parse::<f64>().is_ok(), "stamp is a float: {ms}");
+        assert_eq!(tail, rendered);
+        assert!(stamped.contains("journal: "));
+    }
+
+    #[test]
+    fn elapsed_ms_is_monotonic() {
+        let a = elapsed_ms();
+        let b = elapsed_ms();
+        assert!(b >= a);
     }
 }

@@ -24,14 +24,22 @@
 //! - [`manifest`]: the run manifest — seed, flags, corpus digest, stage
 //!   wall times, quarantine and journal summaries — a plain serializable
 //!   struct the CLI writes atomically through `report::atomic`.
+//! - [`scope`]: the request-scoped counterpart to the global tracer — an
+//!   instantiable [`scope::TraceScope`] span sink the daemon attaches to
+//!   one request via [`ObsHooks`], so per-stage spans land with their
+//!   owning request instead of the process.
+//! - [`profile`]: a dependency-free sampling wall-clock profiler over
+//!   the logical span stacks, producing collapsed-stack output for
+//!   flamegraphs; runtime-togglable through the serve `profile` op.
 //! - [`progress`]: an opt-in stderr heartbeat with per-stage ETA.
 //! - [`procinfo`]: the peak-RSS sampler (`VmHWM` from procfs) behind
 //!   the `process.peak_rss_bytes` gauge and the CI memory ceiling.
 //! - [`events`]: the single formatter behind every operational stderr
-//!   line (`topic: message`), replacing the ad-hoc prints the CLI and
-//!   examples used to carry.
+//!   line (`[+elapsed-ms] topic: message`), replacing the ad-hoc prints
+//!   the CLI and examples used to carry.
 //! - [`validate`]: tiny structural validators for the trace JSONL,
-//!   metrics JSON and manifest JSON schemas, used by the CI gates.
+//!   metrics JSON, manifest JSON and request-log JSONL schemas, used by
+//!   the CI gates.
 
 #![warn(missing_docs)]
 
@@ -39,7 +47,9 @@ pub mod events;
 pub mod manifest;
 pub mod metrics;
 pub mod procinfo;
+pub mod profile;
 pub mod progress;
+pub mod scope;
 pub mod trace;
 pub mod validate;
 
@@ -47,7 +57,7 @@ use std::sync::Arc;
 
 /// Observability hooks threaded through a study run.
 ///
-/// The default (both `None`) is the fully-off configuration: the pipeline
+/// The default (all `None`) is the fully-off configuration: the pipeline
 /// pays nothing beyond a handful of `Option` checks. The process-global
 /// tracer is *not* part of this struct — spans are cheap enough to leave
 /// in place unconditionally and are gated by [`trace::enabled`].
@@ -58,6 +68,11 @@ pub struct ObsHooks {
     pub registry: Option<Arc<metrics::Registry>>,
     /// Progress heartbeat advanced as mining tasks complete.
     pub progress: Option<Arc<progress::Progress>>,
+    /// Request-scoped span sink: when set, the engine records per-stage
+    /// spans (journal replay, mining pass, per-task parse/diff/measures)
+    /// into this scope instead of leaving them attributable only to the
+    /// process. The daemon attaches one scope per request.
+    pub trace: Option<Arc<scope::TraceScope>>,
 }
 
 impl ObsHooks {
@@ -65,7 +80,7 @@ impl ObsHooks {
     pub fn with_registry(registry: Arc<metrics::Registry>) -> Self {
         ObsHooks {
             registry: Some(registry),
-            progress: None,
+            ..ObsHooks::default()
         }
     }
 }

@@ -109,6 +109,172 @@ impl Histogram {
             self.min
         }
     }
+
+    /// Approximate value at quantile `q` (in percent, `0..=100`) from the
+    /// bucket boundaries: the inclusive upper edge of the bucket holding
+    /// the `ceil(q·count/100)`-th observation, clamped into the observed
+    /// `[min, max]` range. Zero for an empty histogram. Log₂ buckets make
+    /// this a factor-of-two estimate — the right fidelity for a live
+    /// latency display, not for benchmarking.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (self.count.saturating_mul(q.min(100)))
+            .div_ceil(100)
+            .max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let edge = match Self::bucket_bound(i) {
+                    Some(bound) => bound.saturating_sub(1),
+                    None => self.max,
+                };
+                return edge.clamp(self.reported_min(), self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Seconds of traffic covered by one slot of a [`RedRing`].
+pub const RED_SLOT_SECS: u64 = 10;
+
+/// Number of slots in a [`RedRing`] — 30 × 10 s covers the 5-minute
+/// window; the 1-minute window reads the newest 6 slots.
+pub const RED_SLOTS: usize = 30;
+
+#[derive(Debug, Clone)]
+struct RedSlot {
+    /// Absolute slot number (`now_s / RED_SLOT_SECS`) this cell holds.
+    slot: u64,
+    requests: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+impl RedSlot {
+    fn reset(&mut self, slot: u64) {
+        self.slot = slot;
+        self.requests = 0;
+        self.errors = 0;
+        self.hist = Histogram::new();
+    }
+}
+
+/// Sliding-window RED (rate / errors / duration) accumulator: a ring of
+/// [`RED_SLOTS`] time slots, each holding a request count, an error
+/// count, and a duration [`Histogram`].
+///
+/// Callers inject time as whole seconds on a monotonic clock (the server
+/// passes seconds since its own start), which keeps the ring clock-free
+/// and unit-testable. Both [`RedRing::record`] and [`RedRing::window`]
+/// take the one internal lock, so a window snapshot is always a
+/// consistent cut — a concurrent scraper can never observe a torn
+/// histogram (pinned by the drain-scrape test in `crates/serve`).
+#[derive(Debug)]
+pub struct RedRing {
+    inner: Mutex<Vec<RedSlot>>,
+}
+
+impl Default for RedRing {
+    fn default() -> Self {
+        RedRing::new()
+    }
+}
+
+impl RedRing {
+    /// A fresh, empty ring.
+    pub fn new() -> RedRing {
+        RedRing {
+            inner: Mutex::new(
+                (0..RED_SLOTS)
+                    .map(|_| RedSlot {
+                        slot: u64::MAX,
+                        requests: 0,
+                        errors: 0,
+                        hist: Histogram::new(),
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<RedSlot>> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Record one finished request observed at `now_s` (monotonic whole
+    /// seconds) with the given duration and error flag.
+    pub fn record(&self, now_s: u64, duration_us: u64, error: bool) {
+        let slot = now_s / RED_SLOT_SECS;
+        let idx = (slot % RED_SLOTS as u64) as usize;
+        let mut ring = self.lock();
+        if ring[idx].slot != slot {
+            ring[idx].reset(slot);
+        }
+        ring[idx].requests += 1;
+        if error {
+            ring[idx].errors += 1;
+        }
+        ring[idx].hist.observe(duration_us);
+    }
+
+    /// Merge every slot overlapping the last `window_secs` seconds ending
+    /// at `now_s` into one consistent [`RedWindow`] snapshot.
+    pub fn window(&self, now_s: u64, window_secs: u64) -> RedWindow {
+        let newest = now_s / RED_SLOT_SECS;
+        let span = (window_secs.max(RED_SLOT_SECS) / RED_SLOT_SECS).min(RED_SLOTS as u64);
+        let oldest = newest.saturating_sub(span - 1);
+        let ring = self.lock();
+        let mut out = RedWindow {
+            window_secs: span * RED_SLOT_SECS,
+            requests: 0,
+            errors: 0,
+            duration: Histogram::new(),
+        };
+        for cell in ring.iter() {
+            if cell.slot >= oldest && cell.slot <= newest {
+                out.requests += cell.requests;
+                out.errors += cell.errors;
+                out.duration.merge(&cell.hist);
+            }
+        }
+        out
+    }
+}
+
+/// One consistent RED window snapshot from a [`RedRing`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedWindow {
+    /// Width of the window actually covered, in seconds.
+    pub window_secs: u64,
+    /// Requests finished inside the window.
+    pub requests: u64,
+    /// Of those, how many failed (`error` / shed / drained).
+    pub errors: u64,
+    /// Duration distribution of the window's requests, in µs.
+    pub duration: Histogram,
+}
+
+impl RedWindow {
+    /// Export the window as gauges under `prefix` (e.g. `serve.red.1m`):
+    /// `.requests`, `.errors`, `.p50_us`, `.p95_us`, `.p99_us`,
+    /// `.max_us`, and `.window_secs`. Gauges (not counters) because a
+    /// sliding window goes down as traffic ages out.
+    pub fn export_into(&self, registry: &Registry, prefix: &str) {
+        registry.set_gauge(&format!("{prefix}.requests"), self.requests);
+        registry.set_gauge(&format!("{prefix}.errors"), self.errors);
+        registry.set_gauge(&format!("{prefix}.p50_us"), self.duration.quantile(50));
+        registry.set_gauge(&format!("{prefix}.p95_us"), self.duration.quantile(95));
+        registry.set_gauge(&format!("{prefix}.p99_us"), self.duration.quantile(99));
+        registry.set_gauge(&format!("{prefix}.max_us"), self.duration.max);
+        registry.set_gauge(&format!("{prefix}.window_secs"), self.window_secs);
+    }
 }
 
 /// Handle to an atomic counter registered in a [`Registry`].
@@ -419,6 +585,70 @@ mod tests {
         assert!(prom.contains("cache_hits 4"));
         assert!(prom.contains("latency_bucket{le=\"+Inf\"} 2"));
         assert!(prom.contains("latency_count 2"));
+    }
+
+    #[test]
+    fn quantile_estimates_from_bucket_edges() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(50), 0);
+        for v in [10, 10, 10, 10, 10, 10, 10, 10, 10, 5000] {
+            h.observe(v);
+        }
+        // p50 lands in the [8,16) bucket → inclusive edge 15.
+        assert_eq!(h.quantile(50), 15);
+        // p100 lands in the top occupied bucket, clamped to the true max.
+        assert_eq!(h.quantile(100), 5000);
+        assert!(h.quantile(99) <= h.max);
+        assert!(h.quantile(0) >= h.min);
+    }
+
+    #[test]
+    fn red_ring_windows_slide_and_merge_consistently() {
+        let ring = RedRing::new();
+        ring.record(5, 100, false); // slot 0
+        ring.record(65, 200, true); // slot 6
+        ring.record(70, 300, false); // slot 7
+        // 1m window at t=75 covers slots 2..=7: excludes the t=5 request.
+        let w1 = ring.window(75, 60);
+        assert_eq!((w1.requests, w1.errors), (2, 1));
+        assert_eq!(w1.duration.count, 2);
+        assert_eq!(w1.duration.sum, 500);
+        // 5m window still sees everything.
+        let w5 = ring.window(75, 300);
+        assert_eq!((w5.requests, w5.errors), (3, 1));
+        // Much later, the ring has aged everything out of both windows.
+        let old = ring.window(5_000, 300);
+        assert_eq!(old.requests, 0);
+        // Windows are internally consistent (no tearing even in the
+        // single-threaded case: bucket sums match counts).
+        assert_eq!(w5.duration.buckets.iter().sum::<u64>(), w5.duration.count);
+    }
+
+    #[test]
+    fn red_ring_reuses_slots_across_wraparound() {
+        let ring = RedRing::new();
+        ring.record(0, 1, false);
+        // Same ring index RED_SLOTS slots later must evict the old slot.
+        let later = RED_SLOTS as u64 * RED_SLOT_SECS;
+        ring.record(later, 2, false);
+        let w = ring.window(later, 60);
+        assert_eq!(w.requests, 1);
+        assert_eq!(w.duration.sum, 2);
+    }
+
+    #[test]
+    fn red_window_exports_gauges() {
+        let ring = RedRing::new();
+        ring.record(3, 400, false);
+        ring.record(4, 800, true);
+        let r = Registry::new();
+        ring.window(5, 60).export_into(&r, "serve.red.1m");
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("serve.red.1m.requests"), Some(2));
+        assert_eq!(snap.gauge("serve.red.1m.errors"), Some(1));
+        assert_eq!(snap.gauge("serve.red.1m.window_secs"), Some(60));
+        assert_eq!(snap.gauge("serve.red.1m.max_us"), Some(800));
+        assert!(snap.gauge("serve.red.1m.p50_us").unwrap_or(0) >= 400);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Request-scoped span collection for the serving mode.
+//!
+//! The process-global tracer in [`crate::trace`] answers "what did this
+//! *process* do", which is the right shape for a one-shot batch study but
+//! useless for a resident daemon answering many simultaneous requests:
+//! every span lands in one undifferentiated pool. A [`TraceScope`] is the
+//! per-request counterpart — an instantiable span sink with its own epoch
+//! and sequence counter that the server attaches to [`crate::ObsHooks`]
+//! for exactly one request, so every stage span recorded through it is
+//! attributable to the owning request and can be exported as that
+//! request's own Chrome-trace JSONL.
+//!
+//! Scopes reuse the [`TraceEvent`] record and the deterministic
+//! `(ts_us, seq)` merge order from [`crate::trace`], so the same
+//! validators and viewers work on both whole-process and per-request
+//! trace files.
+
+use crate::trace::{merge_shards, to_chrome_jsonl, TraceEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A per-request span sink. Cheap to create (one `Instant` plus two empty
+/// cells); safe to record into from any worker thread.
+#[derive(Debug)]
+pub struct TraceScope {
+    epoch: Instant,
+    seq: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for TraceScope {
+    fn default() -> Self {
+        TraceScope::new()
+    }
+}
+
+impl TraceScope {
+    /// A fresh scope whose epoch (the zero point of every `ts_us`) is now.
+    pub fn new() -> TraceScope {
+        TraceScope {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Microseconds elapsed since this scope's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// An `Instant` translated into this scope's timeline, for callers
+    /// that synthesize child spans at explicit offsets.
+    pub fn ts_of(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Record one finished span with explicit timing. `tid` is a display
+    /// lane, not a real thread id — callers pick stable lanes (the server
+    /// uses `0`, the engine uses the worker slot) so per-request traces
+    /// render deterministically grouped in Perfetto.
+    pub fn record(
+        &self,
+        name: &str,
+        ts_us: u64,
+        dur_us: u64,
+        tid: u64,
+        args: Vec<(String, String)>,
+    ) {
+        let cat = name.split('.').next().unwrap_or_default().to_string();
+        let event = TraceEvent {
+            name: name.to_string(),
+            cat,
+            ts_us,
+            dur_us,
+            tid,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            args,
+        };
+        match self.events.lock() {
+            Ok(mut buf) => buf.push(event),
+            Err(poisoned) => poisoned.into_inner().push(event),
+        }
+    }
+
+    /// Record a span that started at `start` (an `Instant` taken inside
+    /// this scope's lifetime) and just finished.
+    pub fn record_since(&self, name: &str, start: Instant, tid: u64, args: Vec<(String, String)>) {
+        let ts_us = start.saturating_duration_since(self.epoch).as_micros() as u64;
+        let dur_us = start.elapsed().as_micros() as u64;
+        self.record(name, ts_us, dur_us, tid, args);
+    }
+
+    /// Open a guard that records `name` on drop (lane `0`, no args).
+    pub fn span(self: &Arc<Self>, name: &str) -> ScopeSpan {
+        ScopeSpan {
+            scope: Arc::clone(self),
+            name: name.to_string(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        match self.events.lock() {
+            Ok(buf) => buf.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        }
+    }
+
+    /// Whether no spans have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every recorded span out of the scope in the deterministic
+    /// `(ts_us, seq)` order shared with [`crate::trace::drain`].
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let taken = match self.events.lock() {
+            Ok(mut buf) => std::mem::take(&mut *buf),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        };
+        merge_shards(vec![taken])
+    }
+
+    /// Drain and render as Chrome-trace JSONL (same format as
+    /// `--trace-out`, so `validate_trace_jsonl` and Perfetto both apply).
+    pub fn to_chrome_jsonl(&self) -> String {
+        to_chrome_jsonl(&self.drain())
+    }
+}
+
+/// Guard returned by [`TraceScope::span`]; records its span on drop.
+#[derive(Debug)]
+pub struct ScopeSpan {
+    scope: Arc<TraceScope>,
+    name: String,
+    start: Instant,
+}
+
+impl Drop for ScopeSpan {
+    fn drop(&mut self) {
+        self.scope
+            .record_since(&self.name, self.start, 0, Vec::new());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_records_and_drains_in_order() {
+        let scope = Arc::new(TraceScope::new());
+        scope.record("b.second", 20, 5, 1, Vec::new());
+        scope.record("a.first", 10, 3, 0, vec![("k".to_string(), "v".to_string())]);
+        assert_eq!(scope.len(), 2);
+        let events = scope.drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a.first", "b.second"]);
+        assert_eq!(events[0].cat, "a");
+        assert!(scope.is_empty());
+    }
+
+    #[test]
+    fn scope_guard_records_on_drop_and_renders_valid_jsonl() {
+        let scope = Arc::new(TraceScope::new());
+        {
+            let _g = scope.span("serve.request");
+        }
+        scope.record("mine.task", 1, 2, 3, Vec::new());
+        let jsonl = scope.to_chrome_jsonl();
+        assert_eq!(crate::validate::validate_trace_jsonl(&jsonl), Ok(2));
+        assert!(jsonl.contains("serve.request"));
+    }
+
+    #[test]
+    fn scopes_are_independent() {
+        let a = TraceScope::new();
+        let b = TraceScope::new();
+        a.record("only.a", 0, 1, 0, Vec::new());
+        assert_eq!(b.len(), 0);
+        assert_eq!(a.drain().len(), 1);
+    }
+}

@@ -108,16 +108,24 @@ struct SpanInner {
     name: String,
     args: Vec<(&'static str, String)>,
     start: Instant,
+    /// Whether this guard pushed onto the profiler's logical stack — the
+    /// guard remembers so an enable/disable race can never unbalance it.
+    pushed: bool,
 }
 
 impl SpanGuard {
     /// Open a span. Call sites should go through [`span!`](crate::span),
     /// which checks [`enabled`] *before* evaluating any argument.
     pub fn enter(name: &str, args: Vec<(&'static str, String)>) -> SpanGuard {
+        let pushed = crate::profile::enabled();
+        if pushed {
+            crate::profile::push(name);
+        }
         SpanGuard(Some(SpanInner {
             name: name.to_string(),
             args,
             start: Instant::now(),
+            pushed,
         }))
     }
 
@@ -130,6 +138,9 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(inner) = self.0.take() else { return };
+        if inner.pushed {
+            crate::profile::pop();
+        }
         if !enabled() {
             return;
         }
@@ -162,14 +173,16 @@ impl Drop for SpanGuard {
 
 /// Open a span guard: `span!("mine.task", project = name)`.
 ///
-/// Arguments are only evaluated (and only allocate) when tracing is
-/// enabled; otherwise the macro is a single atomic load returning an
-/// inert guard. Bind the result (`let _span = span!(...)`) — the span
-/// closes when the guard drops.
+/// Arguments are only evaluated (and only allocate) when tracing or
+/// profiling is enabled; otherwise the macro is two relaxed atomic loads
+/// returning an inert guard. Bind the result (`let _span = span!(...)`) —
+/// the span closes when the guard drops. While the sampling profiler is
+/// on, the guard also publishes the span name on this thread's logical
+/// stack ([`crate::profile`]) so wall-clock samples carry real frames.
 #[macro_export]
 macro_rules! span {
     ($name:expr $(, $key:ident = $val:expr)* $(,)?) => {
-        if $crate::trace::enabled() {
+        if $crate::trace::enabled() || $crate::profile::enabled() {
             $crate::trace::SpanGuard::enter(
                 $name,
                 vec![$((stringify!($key), format!("{}", $val))),*],

@@ -211,6 +211,74 @@ pub fn validate_manifest_json(text: &str) -> Result<usize, String> {
     Ok(stages.len())
 }
 
+/// Schema version of the serve request log.
+pub const REQUEST_LOG_VERSION: u64 = 1;
+
+/// Validate a serve request log as emitted by `--request-log`: one JSON
+/// object per line with `v` = [`REQUEST_LOG_VERSION`], string
+/// `id`/`op`/`status` (status one of `ok`/`busy`/`draining`/`error`),
+/// integer `ts_ms`/`queue_us`/`wall_us`/`bytes_in`/`bytes_out`/
+/// `quarantined`, and `stages` an array of `[name, wall_us]` pairs.
+/// `ts_ms` must be non-decreasing across lines (the log is written in
+/// completion order under one lock). Returns the number of validated
+/// entries.
+pub fn validate_request_log_jsonl(text: &str) -> Result<usize, String> {
+    let mut count = 0usize;
+    let mut last_ts = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let ctx = format!("request-log line {}", idx + 1);
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("{ctx}: not valid JSON: {e}"))?;
+        if v.as_map().is_none() {
+            return Err(format!("{ctx}: not a JSON object"));
+        }
+        let version = expect_u64(&v, "v", &ctx)?;
+        if version != REQUEST_LOG_VERSION {
+            return Err(format!(
+                "{ctx}: unknown request-log version {version} (expected {REQUEST_LOG_VERSION})"
+            ));
+        }
+        let id = expect_str(&v, "id", &ctx)?;
+        if id.is_empty() {
+            return Err(format!("{ctx}: `id` is empty"));
+        }
+        expect_str(&v, "op", &ctx)?;
+        let status = expect_str(&v, "status", &ctx)?;
+        if !matches!(status, "ok" | "busy" | "draining" | "error") {
+            return Err(format!("{ctx}: unknown status {status:?}"));
+        }
+        let ts_ms = expect_u64(&v, "ts_ms", &ctx)?;
+        if ts_ms < last_ts {
+            return Err(format!(
+                "{ctx}: `ts_ms` {ts_ms} goes backwards (previous line was {last_ts})"
+            ));
+        }
+        last_ts = ts_ms;
+        expect_u64(&v, "queue_us", &ctx)?;
+        expect_u64(&v, "wall_us", &ctx)?;
+        expect_u64(&v, "bytes_in", &ctx)?;
+        expect_u64(&v, "bytes_out", &ctx)?;
+        expect_u64(&v, "quarantined", &ctx)?;
+        let stages = field(&v, "stages", &ctx)?
+            .as_seq()
+            .ok_or_else(|| format!("{ctx}: `stages` is not an array"))?;
+        for (i, stage) in stages.iter().enumerate() {
+            let sctx = format!("{ctx} stages[{i}]");
+            let Some(pair) = stage.as_seq() else {
+                return Err(format!("{sctx}: not a [name, wall_us] pair"));
+            };
+            if pair.len() != 2 || pair[0].as_str().is_none() || pair[1].as_u64().is_none() {
+                return Err(format!("{sctx}: expected [name, wall_us]"));
+            }
+        }
+        count += 1;
+    }
+    Ok(count)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +294,31 @@ mod tests {
         let bad_arg = good.replace("\"v\"", "3");
         let err = validate_trace_jsonl(&bad_arg).expect_err("args must be strings");
         assert!(err.contains("arg `k`"), "{err}");
+    }
+
+    #[test]
+    fn request_log_validator_checks_shape_and_monotonic_ts() {
+        let a = "{\"v\": 1, \"ts_ms\": 5, \"id\": \"req-1\", \"op\": \"study\", \"status\": \"ok\", \"queue_us\": 0, \"wall_us\": 900, \"bytes_in\": 40, \"bytes_out\": 8000, \"quarantined\": 0, \"stages\": [[\"parse\", 300], [\"diff\", 200]]}";
+        let b = "{\"v\": 1, \"ts_ms\": 7, \"id\": \"req-2\", \"op\": \"study\", \"status\": \"busy\", \"queue_us\": 0, \"wall_us\": 1, \"bytes_in\": 40, \"bytes_out\": 90, \"quarantined\": 0, \"stages\": []}";
+        let log = format!("{a}\n{b}\n");
+        assert_eq!(validate_request_log_jsonl(&log), Ok(2));
+        assert_eq!(validate_request_log_jsonl(""), Ok(0));
+
+        let reordered = format!("{b}\n{a}\n");
+        let err = validate_request_log_jsonl(&reordered).expect_err("ts must be monotonic");
+        assert!(err.contains("goes backwards"), "{err}");
+
+        let bad_status = a.replace("\"ok\"", "\"shrug\"");
+        let err = validate_request_log_jsonl(&bad_status).expect_err("status enum");
+        assert!(err.contains("unknown status"), "{err}");
+
+        let bad_stage = a.replace("[\"parse\", 300]", "[\"parse\"]");
+        let err = validate_request_log_jsonl(&bad_stage).expect_err("stage pair");
+        assert!(err.contains("stages[0]"), "{err}");
+
+        let bad_version = a.replace("\"v\": 1", "\"v\": 9");
+        let err = validate_request_log_jsonl(&bad_version).expect_err("version");
+        assert!(err.contains("version"), "{err}");
     }
 
     #[test]

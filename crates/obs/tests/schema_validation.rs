@@ -8,6 +8,7 @@
 //! SCHEVO_TRACE_FILE=trace.jsonl \
 //! SCHEVO_METRICS_FILE=metrics.json \
 //! SCHEVO_MANIFEST_FILE=manifest.json \
+//! SCHEVO_REQUEST_LOG_FILE=requests.jsonl \
 //!   cargo test -p schevo-obs --test schema_validation
 //! ```
 //!
@@ -19,7 +20,10 @@ use schevo_obs::manifest::{
 };
 use schevo_obs::metrics::Registry;
 use schevo_obs::trace::{to_chrome_jsonl, TraceEvent};
-use schevo_obs::validate::{validate_manifest_json, validate_metrics_json, validate_trace_jsonl};
+use schevo_obs::validate::{
+    validate_manifest_json, validate_metrics_json, validate_request_log_jsonl,
+    validate_trace_jsonl,
+};
 
 #[test]
 fn emitted_trace_jsonl_validates() {
@@ -126,10 +130,11 @@ fn validators_reject_wrong_shapes() {
 #[test]
 fn artifacts_on_disk_validate() {
     type Validator = fn(&str) -> Result<usize, String>;
-    let checks: [(&str, Validator); 3] = [
+    let checks: [(&str, Validator); 4] = [
         ("SCHEVO_TRACE_FILE", validate_trace_jsonl),
         ("SCHEVO_METRICS_FILE", validate_metrics_json),
         ("SCHEVO_MANIFEST_FILE", validate_manifest_json),
+        ("SCHEVO_REQUEST_LOG_FILE", validate_request_log_jsonl),
     ];
     for (var, check) in checks {
         let Ok(path) = std::env::var(var) else { continue };

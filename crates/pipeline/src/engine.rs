@@ -211,20 +211,38 @@ impl MiningEngine {
         let mut summary: Option<JournalSummary> = None;
         let mut replayed: HashMap<String, MineOutcome> = HashMap::new();
         let mut ctx: Option<JournalCtx> = None;
+        // Request-scoped span sink: when the caller (the serve daemon)
+        // attached a scope, per-stage spans land with the owning request
+        // instead of the process-global tracer.
+        let scope = o.obs.trace.clone();
         if let Some(path) = &o.durability.journal {
             let _span = span!("journal.open", resume = o.durability.resume);
+            let open_start = Instant::now();
             let mut s = JournalSummary::default();
             let writer = if o.durability.resume && path.exists() {
                 let _span = span!("journal.replay");
+                let replay_start = Instant::now();
                 let replay = replay_file(path)?;
                 s.corruption = replay.corruption;
+                let records = replay.records.len();
                 for r in replay.records {
                     replayed.insert(r.key, r.outcome);
+                }
+                if let Some(sc) = &scope {
+                    sc.record_since(
+                        "journal.replay",
+                        replay_start,
+                        0,
+                        vec![("records".to_string(), records.to_string())],
+                    );
                 }
                 JournalWriter::resume(path, replay.valid_len)?
             } else {
                 JournalWriter::create(path)?
             };
+            if let Some(sc) = &scope {
+                sc.record_since("journal.open", open_start, 0, Vec::new());
+            }
             ctx = Some(JournalCtx {
                 writer,
                 crash_after: o.durability.crash_after,
@@ -235,6 +253,7 @@ impl MiningEngine {
         let journaling = ctx.is_some();
 
         let _pass = span!("mine.pass", workers = workers);
+        let pass_start = Instant::now();
         if let Some(p) = o.obs.progress.as_deref() {
             p.begin_stage("mine", size_hint.unwrap_or(0) as u64);
         }
@@ -276,8 +295,10 @@ impl MiningEngine {
             }
         };
 
-        let work = |_seq: usize, c: &CandidateHistory| -> MineSlot {
+        let scope_ref = scope.as_deref();
+        let work = |seq: usize, c: &CandidateHistory| -> MineSlot {
             let _span = span!("mine.task", project = c.name);
+            let task_start = Instant::now();
             let mut tally = StageTally::default();
             let outcome = match policy {
                 MinePolicy::Graceful => {
@@ -289,6 +310,32 @@ impl MiningEngine {
                     quarantined: None,
                 },
             };
+            if let Some(sc) = scope_ref {
+                // One lane per worker slot keeps per-request traces
+                // readable in Perfetto; lane 0 is the caller thread.
+                let lane = (seq % workers) as u64 + 1;
+                sc.record_since(
+                    "mine.task",
+                    task_start,
+                    lane,
+                    vec![("project".to_string(), c.name.clone())],
+                );
+                // Child stage spans are synthesized from the task's stage
+                // tally: laid out sequentially from the task start, with
+                // durations the tally actually measured.
+                let mut at = sc.ts_of(task_start);
+                for (name, nanos) in [
+                    ("mine.parse", tally.parse_nanos),
+                    ("mine.diff", tally.diff_nanos),
+                    ("mine.measures", tally.profile_nanos),
+                ] {
+                    let us = nanos / 1_000;
+                    if us > 0 {
+                        sc.record(name, at, us, lane, Vec::new());
+                        at = at.saturating_add(us);
+                    }
+                }
+            }
             MineSlot {
                 outcome,
                 tally,
@@ -302,6 +349,7 @@ impl MiningEngine {
         // after its record is durable.
         let progress = o.obs.progress.as_deref();
         let mut ctx_slot = ctx;
+        let mut journal_append_nanos = 0u64;
         let on_complete = |seq: usize, slot: &MineSlot| {
             if let Some(p) = progress {
                 p.advance(1);
@@ -317,7 +365,10 @@ impl MiningEngine {
                 key,
                 outcome: slot.outcome.clone(),
             };
-            match ctx.writer.append(&record) {
+            let append_start = Instant::now();
+            let appended = ctx.writer.append(&record);
+            journal_append_nanos += append_start.elapsed().as_nanos() as u64;
+            match appended {
                 Ok(()) => {
                     if ctx.crash_after == Some(ctx.writer.commits()) {
                         // Deterministic whole-process crash, as unkind as
@@ -395,6 +446,40 @@ impl MiningEngine {
             s.stale_discarded = replayed.len();
         }
         let sources = stream.finish();
+
+        // Scoped aggregates: source/store reads and journal appends are
+        // many tiny interleaved slices, so they export as one rolled-up
+        // span each on the caller lane, plus the pass envelope itself.
+        if let Some(sc) = &scope {
+            let pass_ts = sc.ts_of(pass_start);
+            if source_nanos > 0 {
+                sc.record(
+                    "source.read",
+                    pass_ts,
+                    source_nanos / 1_000,
+                    0,
+                    vec![(
+                        "records_read".to_string(),
+                        sources.io.records_read.to_string(),
+                    )],
+                );
+            }
+            if journal_append_nanos > 0 {
+                sc.record(
+                    "journal.append",
+                    pass_ts,
+                    journal_append_nanos / 1_000,
+                    0,
+                    Vec::new(),
+                );
+            }
+            sc.record_since(
+                "mine.pass",
+                pass_start,
+                0,
+                vec![("workers".to_string(), workers.to_string())],
+            );
+        }
 
         // Registry fold: counters, quarantine classes, journal and
         // store/spill accounting — all deterministic (exports sort by
@@ -531,6 +616,36 @@ mod tests {
         .expect("squeezed");
         assert_eq!(baseline.mined, squeezed.mined);
         assert_eq!(baseline.quarantine, squeezed.quarantine);
+    }
+
+    #[test]
+    fn attached_trace_scope_captures_stage_spans_without_changing_output() {
+        let u = generate(UniverseConfig::small(2019, 12));
+        let bare = MiningEngine::new(StudyOptions::default())
+            .mine(&u)
+            .expect("bare");
+        let scope = Arc::new(schevo_obs::scope::TraceScope::new());
+        let mut options = StudyOptions {
+            workers: 4,
+            ..StudyOptions::default()
+        };
+        options.obs.trace = Some(Arc::clone(&scope));
+        let traced = MiningEngine::new(options).mine(&u).expect("traced");
+        assert_eq!(bare.mined, traced.mined, "scope must never perturb output");
+        assert_eq!(bare.quarantine, traced.quarantine);
+        let events = scope.drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"mine.pass"), "{names:?}");
+        assert_eq!(
+            names.iter().filter(|n| **n == "mine.task").count(),
+            u.expected.analyzed,
+            "one task span per analyzed candidate"
+        );
+        assert!(names.contains(&"mine.parse"), "{names:?}");
+        // Every span fits the request timeline and renders as valid
+        // Chrome-trace JSONL.
+        let jsonl = schevo_obs::trace::to_chrome_jsonl(&events);
+        assert!(schevo_obs::validate::validate_trace_jsonl(&jsonl).expect("valid") >= events.len());
     }
 
     #[test]

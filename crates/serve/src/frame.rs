@@ -20,8 +20,15 @@ use std::io::{Read, Write};
 /// field can force.
 pub const MAX_FRAME_LEN: u32 = 1 << 26;
 
-/// Frame header size: u32 length + 20-byte SHA-1.
-const HEADER_LEN: usize = 24;
+/// Frame header size: u32 length + 20-byte SHA-1. Public so the server
+/// can account true wire bytes (`header + payload`) per request in the
+/// request log without re-deriving the header layout.
+pub const HEADER_LEN: usize = 24;
+
+/// Total wire bytes one framed payload occupies: header plus payload.
+pub fn frame_len(payload_len: usize) -> usize {
+    HEADER_LEN + payload_len
+}
 
 /// Why a frame could not be read or written.
 #[derive(Debug)]

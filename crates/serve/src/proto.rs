@@ -14,8 +14,11 @@ pub struct Request {
     /// Caller-chosen request id; the server generates `req-N` when
     /// absent. Results are queryable by id (`op: "result"`).
     pub id: Option<String>,
-    /// What to do: `study`, `result`, `metrics`, `status`, `shutdown`.
+    /// What to do: `study`, `result`, `metrics`, `status`, `profile`,
+    /// `shutdown`.
     pub op: String,
+    /// `profile` op action: `start`, `stop`, or `status` (the default).
+    pub profile: Option<String>,
     /// Mining worker threads (server default when absent).
     pub workers: Option<u64>,
     /// Parse/diff cache on or off (server default when absent).
@@ -59,6 +62,12 @@ pub struct Response {
     pub inflight: Option<u64>,
     /// Studies served since startup (`op: "status"`).
     pub served: Option<u64>,
+    /// Whether the sampling profiler is running (`op: "profile"`).
+    pub profiling: Option<bool>,
+    /// Collapsed-stack profile samples (`op: "profile"`, actions `stop`
+    /// and `status`) — one `frame;frame count` line per distinct stack,
+    /// ready for `flamegraph.pl` / speedscope.
+    pub profile_stacks: Option<String>,
 }
 
 impl Response {
@@ -144,6 +153,7 @@ mod tests {
             cache: Some(false),
             resume: Some(true),
             deadline_ms: Some(30_000),
+            profile: None,
         };
         let bytes = encode_request(&req).expect("encode");
         assert_eq!(decode_request(&bytes).expect("decode"), req);

@@ -10,7 +10,7 @@
 //! the same store and options — whatever else the server is doing
 //! concurrently.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{frame_len, read_frame, write_frame};
 use crate::proto::{decode_request, encode_response, Request, Response};
 use parking_lot::Mutex;
 use schevo_corpus::store::{ShardStore, StoreError};
@@ -18,12 +18,16 @@ use schevo_obs::manifest::{
     stages_from_snapshot, ClassCount, JournalManifest, QuarantineManifest, RunManifest,
     MANIFEST_VERSION,
 };
-use schevo_obs::metrics::Registry;
-use schevo_obs::ObsHooks;
+use schevo_obs::metrics::{RedRing, Registry};
+use schevo_obs::scope::TraceScope;
+use schevo_obs::trace::to_chrome_jsonl;
+use schevo_obs::validate::REQUEST_LOG_VERSION;
+use schevo_obs::{events, profile, ObsHooks};
 use schevo_pipeline::exec::watchdog;
 use schevo_pipeline::journal::DurabilityOptions;
 use schevo_pipeline::{try_run_study_engine, MiningEngine, StudyOptions, WarmCaches};
 use schevo_report::{fig04_csv, fig10_csv, study_to_json, write_atomic};
+use serde::Serialize;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::TcpListener;
@@ -60,6 +64,26 @@ pub struct ServerConfig {
     /// Where to flush the final metrics snapshot (Prometheus text,
     /// written atomically) when the server exits; `None` skips it.
     pub metrics_out: Option<PathBuf>,
+    /// Structured JSONL request log: one line per finished request (all
+    /// ops, including `busy`/`draining` rejections) with id, admission
+    /// outcome, queue wait, per-stage walls, quarantine count, and wire
+    /// bytes in/out. `None` logs nothing.
+    pub request_log: Option<PathBuf>,
+    /// Directory for per-request Chrome-trace JSONL exports
+    /// (`<dir>/<id>.trace.jsonl`); `None` exports none.
+    pub trace_dir: Option<PathBuf>,
+    /// Slow-study threshold: any study whose wall exceeds this many
+    /// milliseconds has its full span tree appended to
+    /// [`ServerConfig::slow_log`].
+    pub slow_ms: Option<u64>,
+    /// Where slow-study span trees are appended (JSONL, one object per
+    /// slow request). Only consulted when [`ServerConfig::slow_ms`] is
+    /// set.
+    pub slow_log: Option<PathBuf>,
+    /// Sampling interval of the always-on wall-clock profiler; `0`
+    /// leaves the profiler stopped at boot (the `profile` op can still
+    /// start it at runtime).
+    pub profile_interval_ms: u64,
 }
 
 impl ServerConfig {
@@ -78,6 +102,11 @@ impl ServerConfig {
             artifacts_dir: None,
             drain_deadline: Duration::from_secs(5),
             metrics_out: None,
+            request_log: None,
+            trace_dir: None,
+            slow_ms: None,
+            slow_log: None,
+            profile_interval_ms: 0,
         }
     }
 }
@@ -106,6 +135,19 @@ pub struct Server {
     journal_gate: Mutex<()>,
     shutdown: AtomicBool,
     draining: AtomicBool,
+    /// Monotonic zero point of request-log `ts_ms` stamps and the RED
+    /// ring's second counter.
+    epoch: Instant,
+    /// Sliding-window RED accumulator over every finished request.
+    red: RedRing,
+    /// Open request-log appender; `None` when unconfigured or the file
+    /// could not be opened (counted, never fatal).
+    request_log: Option<Mutex<std::fs::File>>,
+    /// Open slow-study-log appender, same lifecycle as the request log.
+    slow_log: Option<Mutex<std::fs::File>>,
+    /// Per-stage walls stashed by `run_study` for the request-log line,
+    /// keyed by request id and taken exactly once at log time.
+    log_details: Mutex<HashMap<String, Vec<(String, u64)>>>,
 }
 
 /// Set by the SIGINT/SIGTERM handler; polled by [`Server::serve`].
@@ -138,10 +180,96 @@ pub fn install_drain_signals() {
     }
 }
 
+/// Open `path` for appending, warning (never failing) when it cannot be
+/// opened: observability sinks must not take the daemon down.
+fn open_append(path: &PathBuf, what: &str) -> Option<Mutex<std::fs::File>> {
+    match std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        Ok(f) => Some(Mutex::new(f)),
+        Err(e) => {
+            events::warn(
+                "serve",
+                &format!("cannot open {what} {}: {e}; disabled", path.display()),
+            );
+            None
+        }
+    }
+}
+
+/// A request id reduced to a safe file-name stem: ids are
+/// client-suppliable, so anything outside `[A-Za-z0-9._-]` becomes `_`
+/// and the stem is capped at 80 chars (no path traversal, no absurd
+/// names).
+fn sanitize_id(id: &str) -> String {
+    let mut out: String = id
+        .chars()
+        .take(80)
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.trim_matches(['.', '_', '-']).is_empty() {
+        out = "request".to_string();
+    }
+    out
+}
+
+/// One request-log line (`--request-log`). Schema pinned by
+/// `schevo_obs::validate::validate_request_log_jsonl` and DESIGN.md.
+#[derive(Debug, Serialize)]
+struct RequestLogEntry {
+    v: u64,
+    ts_ms: u64,
+    id: String,
+    op: String,
+    status: String,
+    queue_us: u64,
+    wall_us: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+    quarantined: u64,
+    stages: Vec<(String, u64)>,
+}
+
+/// One slow-study line (`--slow-log`): the full span tree of a request
+/// whose wall exceeded `--slow-ms`.
+#[derive(Debug, Serialize)]
+struct SlowLogEntry {
+    id: String,
+    wall_us: u64,
+    threshold_ms: u64,
+    spans: Vec<SlowSpan>,
+}
+
+/// One span inside a [`SlowLogEntry`], flattened from [`TraceScope`].
+#[derive(Debug, Serialize)]
+struct SlowSpan {
+    name: String,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
 impl Server {
-    /// Open the store and build a server around it.
+    /// Open the store and build a server around it. When
+    /// [`ServerConfig::profile_interval_ms`] is nonzero the sampling
+    /// profiler starts immediately (always-on profiling).
     pub fn new(config: ServerConfig) -> Result<Server, StoreError> {
         let store = ShardStore::open(&config.store_dir)?;
+        let request_log = config
+            .request_log
+            .as_ref()
+            .and_then(|p| open_append(p, "request log"));
+        let slow_log = match (&config.slow_ms, &config.slow_log) {
+            (Some(_), Some(p)) => open_append(p, "slow log"),
+            _ => None,
+        };
+        if config.profile_interval_ms > 0 {
+            profile::start(config.profile_interval_ms);
+        }
         Ok(Server {
             config,
             store,
@@ -154,6 +282,11 @@ impl Server {
             journal_gate: Mutex::new(()),
             shutdown: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            epoch: Instant::now(),
+            red: RedRing::new(),
+            request_log,
+            slow_log,
+            log_details: Mutex::new(HashMap::new()),
         })
     }
 
@@ -193,17 +326,34 @@ impl Server {
                     return false;
                 }
             };
-            let (response, shutdown) = match decode_request(&payload) {
+            let arrival = Instant::now();
+            let bytes_in = frame_len(payload.len()) as u64;
+            let decoded = decode_request(&payload);
+            let op = match &decoded {
+                Ok(r) => r.op.clone(),
+                Err(_) => "invalid".to_string(),
+            };
+            // Queue wait: time between the frame being fully on hand and
+            // dispatch starting. Tiny on this one-thread-per-connection
+            // transport, but the request-log schema reserves the field so
+            // a queued executor can fill it without a version bump.
+            let dispatched = Instant::now();
+            let queue_us = dispatched.duration_since(arrival).as_micros() as u64;
+            let (response, shutdown) = match decoded {
                 Ok(request) => self.dispatch(request),
                 Err(e) => {
                     self.registry.add("serve.bad_requests", 1);
                     (Response::error(None, &e), false)
                 }
             };
+            let wall_us = dispatched.elapsed().as_micros() as u64;
             let Ok(bytes) = encode_response(&response) else {
                 return shutdown;
             };
-            if write_frame(stream, &bytes).is_err() {
+            let bytes_out = frame_len(bytes.len()) as u64;
+            let write_ok = write_frame(stream, &bytes).is_ok();
+            self.log_request(&response, &op, queue_us, wall_us, bytes_in, bytes_out);
+            if !write_ok {
                 return shutdown;
             }
             if shutdown {
@@ -212,23 +362,125 @@ impl Server {
         }
     }
 
+    /// Append one request-log line, if the log is configured. The
+    /// `ts_ms` stamp is taken *inside* the file lock, so stamps are
+    /// monotonically non-decreasing in file order even under concurrent
+    /// connections. Per-stage walls stashed by `run_study` under this
+    /// request's id are taken exactly once here.
+    fn log_request(
+        &self,
+        response: &Response,
+        op: &str,
+        queue_us: u64,
+        wall_us: u64,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) {
+        let Some(file) = &self.request_log else {
+            return;
+        };
+        // Undecodable requests and id-less `result` lookups have no id to
+        // echo; `-` keeps the line schema-valid (ids are never empty).
+        let id = response.id.clone().unwrap_or_else(|| "-".to_string());
+        let stages = self.log_details.lock().remove(&id).unwrap_or_default();
+        let mut entry = RequestLogEntry {
+            v: REQUEST_LOG_VERSION,
+            ts_ms: 0,
+            id,
+            op: op.to_string(),
+            status: response.status.clone(),
+            queue_us,
+            wall_us,
+            bytes_in,
+            bytes_out,
+            quarantined: response.quarantined.unwrap_or(0),
+            stages,
+        };
+        let mut guard = file.lock();
+        entry.ts_ms = self.epoch.elapsed().as_millis() as u64;
+        if let Ok(line) = serde_json::to_string(&entry) {
+            if writeln!(&mut *guard, "{line}").is_err() {
+                self.registry.add("serve.request_log_errors", 1);
+            }
+        }
+    }
+
     /// Handle one decoded request. Returns the response and whether the
     /// server should shut down.
+    ///
+    /// Every request leaves with an id: client-supplied ids are echoed,
+    /// and the server mints `req-N` for id-less requests of every op
+    /// except `result` (a `result` lookup without an id is a typed
+    /// error — the id *is* the query). Every dispatch, whatever its
+    /// outcome, lands one observation in the sliding-window RED ring.
     pub fn dispatch(&self, request: Request) -> (Response, bool) {
         self.registry.add("serve.requests", 1);
-        match request.op.as_str() {
+        let mut request = request;
+        if request.id.is_none() && request.op != "result" {
+            request.id = Some(format!("req-{}", self.next_id.fetch_add(1, Ordering::SeqCst)));
+        }
+        let started = Instant::now();
+        let (mut response, shutdown) = match request.op.as_str() {
             "study" if self.is_draining() => {
                 self.registry.add("serve.drained_away", 1);
-                (Response::draining(request.id), false)
+                (Response::draining(request.id.clone()), false)
             }
             "study" => (self.admit_study(&request), false),
             "result" => (self.lookup_result(&request), false),
             "metrics" => (self.metrics_response(&request), false),
             "status" => (self.status_response(&request), false),
-            "shutdown" => (Response::ok(request.id), true),
+            "profile" => (self.profile_response(&request), false),
+            "shutdown" => (Response::ok(request.id.clone()), true),
             other => (
-                Response::error(request.id, &format!("unknown op `{other}`")),
+                Response::error(request.id.clone(), &format!("unknown op `{other}`")),
                 false,
+            ),
+        };
+        if response.id.is_none() {
+            response.id = request.id;
+        }
+        let wall_us = started.elapsed().as_micros() as u64;
+        if request.op == "study" && response.status == "ok" {
+            self.registry.observe("serve.study.wall_us", wall_us);
+        }
+        self.red.record(
+            self.epoch.elapsed().as_secs(),
+            wall_us,
+            response.status == "error",
+        );
+        (response, shutdown)
+    }
+
+    /// Runtime profiler control (`op: "profile"`): `start` turns the
+    /// sampling profiler on (idempotent), `stop` turns it off and
+    /// returns the collapsed stacks, `status` (the default) reports
+    /// whether it is running plus a non-destructive snapshot.
+    fn profile_response(&self, request: &Request) -> Response {
+        match request.profile.as_deref().unwrap_or("status") {
+            "start" => {
+                let interval = match self.config.profile_interval_ms {
+                    0 => 5,
+                    ms => ms,
+                };
+                profile::start(interval);
+                Response {
+                    profiling: Some(true),
+                    ..Response::ok(request.id.clone())
+                }
+            }
+            "stop" => Response {
+                profiling: Some(false),
+                profile_stacks: profile::stop(),
+                ..Response::ok(request.id.clone())
+            },
+            "status" => Response {
+                profiling: Some(profile::status().is_some()),
+                profile_stacks: profile::collapsed(),
+                ..Response::ok(request.id.clone())
+            },
+            other => Response::error(
+                request.id.clone(),
+                &format!("unknown profile action `{other}`"),
             ),
         }
     }
@@ -241,11 +493,25 @@ impl Server {
         }
     }
 
+    /// Refresh the exported sliding-window RED gauges (1m and 5m) from
+    /// the ring. Called before every snapshot so scrapes always see
+    /// current windows.
+    fn export_red(&self) {
+        let now_s = self.epoch.elapsed().as_secs();
+        self.red
+            .window(now_s, 60)
+            .export_into(&self.registry, "serve.red.1m");
+        self.red
+            .window(now_s, 300)
+            .export_into(&self.registry, "serve.red.5m");
+    }
+
     fn metrics_response(&self, request: &Request) -> Response {
         self.registry
             .set_gauge("serve.inflight", self.inflight.load(Ordering::SeqCst) as u64);
         self.registry
             .set_gauge("serve.served", self.served.load(Ordering::SeqCst));
+        self.export_red();
         Response {
             metrics: Some(self.registry.snapshot().to_prometheus()),
             ..Response::ok(request.id.clone())
@@ -314,11 +580,20 @@ impl Server {
             DurabilityOptions::default()
         };
         let request_registry = Arc::new(Registry::new());
+        // A per-request span scope is only worth paying for when some
+        // sink will consume it; without one, the engine sees `trace:
+        // None` and records nothing — that is the bare fast path the
+        // overhead fence measures against.
+        let scope = (self.config.trace_dir.is_some() || self.slow_log.is_some())
+            .then(|| Arc::new(TraceScope::new()));
         let options = StudyOptions {
             workers,
             cache,
             durability,
-            obs: ObsHooks::with_registry(request_registry.clone()),
+            obs: ObsHooks {
+                trace: scope.clone(),
+                ..ObsHooks::with_registry(request_registry.clone())
+            },
             ..StudyOptions::default()
         };
         let engine = MiningEngine::new(options).with_warm(&self.warm);
@@ -406,6 +681,65 @@ impl Server {
                 corrupt_tail: j.corruption.as_ref().map(|c| c.to_string()),
             }),
         };
+        if let Some(scope) = &scope {
+            scope.record_since(
+                "serve.request",
+                started,
+                0,
+                vec![
+                    ("id".to_string(), id.clone()),
+                    ("workers".to_string(), workers.to_string()),
+                ],
+            );
+            let events = scope.drain();
+            if let Some(dir) = &self.config.trace_dir {
+                let path = dir.join(format!("{}.trace.jsonl", sanitize_id(&id)));
+                let exported = std::fs::create_dir_all(dir)
+                    .map_err(|e| e.to_string())
+                    .and_then(|()| {
+                        write_atomic(&path, to_chrome_jsonl(&events).as_bytes())
+                            .map_err(|e| e.to_string())
+                    });
+                if exported.is_err() {
+                    self.registry.add("serve.trace_export_errors", 1);
+                }
+            }
+            if let (Some(slow_ms), Some(file)) = (self.config.slow_ms, &self.slow_log) {
+                // Compared in microseconds so a threshold of 0 means
+                // "every study is slow" — the deterministic log-everything
+                // mode tests and drills use.
+                let wall_us = started.elapsed().as_micros() as u64;
+                if wall_us > slow_ms.saturating_mul(1000) {
+                    self.registry.add("serve.slow_studies", 1);
+                    let entry = SlowLogEntry {
+                        id: id.clone(),
+                        wall_us: started.elapsed().as_micros() as u64,
+                        threshold_ms: slow_ms,
+                        spans: events
+                            .iter()
+                            .map(|e| SlowSpan {
+                                name: e.name.clone(),
+                                ts_us: e.ts_us,
+                                dur_us: e.dur_us,
+                                tid: e.tid,
+                            })
+                            .collect(),
+                    };
+                    if let Ok(line) = serde_json::to_string(&entry) {
+                        let mut guard = file.lock();
+                        let _ = writeln!(&mut *guard, "{line}");
+                    }
+                }
+            }
+        }
+        if self.request_log.is_some() {
+            let stages: Vec<(String, u64)> = manifest
+                .stages
+                .iter()
+                .map(|s| (s.name.clone(), s.wall_us))
+                .collect();
+            self.log_details.lock().insert(id.clone(), stages);
+        }
         self.registry.add("serve.studies_ok", 1);
         self.registry
             .add("serve.quarantined", study.quarantine.quarantined.len() as u64);
@@ -490,6 +824,7 @@ impl Server {
             .set_gauge("serve.inflight", self.inflight.load(Ordering::SeqCst) as u64);
         self.registry
             .set_gauge("serve.served", self.served.load(Ordering::SeqCst));
+        self.export_red();
         let text = self.registry.snapshot().to_prometheus();
         if write_atomic(path, text.as_bytes()).is_err() {
             self.registry.add("serve.metrics_flush_errors", 1);

@@ -1,0 +1,370 @@
+//! Request-scoped observability, in process: the request log accounts
+//! for every admitted, rejected (`busy`), and drained request exactly
+//! once with a schema-valid, monotonically stamped line; per-request
+//! traces and slow-study span trees export; and concurrent metric
+//! scrapes during a drain never tear a histogram snapshot or change the
+//! study bytes.
+
+use schevo_corpus::store::generate_into_store;
+use schevo_corpus::universe::UniverseConfig;
+use schevo_obs::validate::{validate_request_log_jsonl, validate_trace_jsonl};
+use schevo_serve::frame::{read_frame, write_frame};
+use schevo_serve::proto::{decode_response, encode_request, Request};
+use schevo_serve::{Server, ServerConfig};
+use serde_json::Value;
+use std::io::{Cursor, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn fresh_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("schevo_obs_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    generate_into_store(UniverseConfig::small(7, 40), &dir, 2).expect("tiny store");
+    dir
+}
+
+/// In-memory duplex, same shape the protocol proptests use: requests are
+/// scripted in, responses accumulate in `output`.
+struct MemStream {
+    input: Cursor<Vec<u8>>,
+    output: Vec<u8>,
+}
+
+impl MemStream {
+    fn scripted(requests: &[Request]) -> MemStream {
+        let mut input = Vec::new();
+        for r in requests {
+            let payload = encode_request(r).expect("encode");
+            write_frame(&mut input, &payload).expect("frame");
+        }
+        MemStream {
+            input: Cursor::new(input),
+            output: Vec::new(),
+        }
+    }
+
+    fn responses(&self) -> Vec<schevo_serve::Response> {
+        let mut out = Cursor::new(self.output.clone());
+        let mut decoded = Vec::new();
+        while let Ok(Some(payload)) = read_frame(&mut out) {
+            decoded.push(decode_response(&payload).expect("valid response"));
+        }
+        decoded
+    }
+}
+
+impl Read for MemStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.input.read(buf)
+    }
+}
+
+impl Write for MemStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.output.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drive one request through `serve_stream` (the layer that writes the
+/// request log) and return its response.
+fn roundtrip(server: &Server, request: Request) -> schevo_serve::Response {
+    let mut stream = MemStream::scripted(std::slice::from_ref(&request));
+    server.serve_stream(&mut stream);
+    let mut responses = stream.responses();
+    assert_eq!(responses.len(), 1, "one request, one response");
+    responses.remove(0)
+}
+
+fn study(id: &str) -> Request {
+    Request {
+        id: Some(id.to_string()),
+        op: "study".to_string(),
+        ..Request::default()
+    }
+}
+
+#[test]
+fn request_log_accounts_for_every_outcome_exactly_once() {
+    let store = fresh_store("log");
+    let log_path = store.join("requests.jsonl");
+    let trace_dir = store.join("traces");
+    let slow_path = store.join("slow.jsonl");
+    let mut config = ServerConfig::new(store.clone());
+    config.max_inflight = 1;
+    config.request_log = Some(log_path.clone());
+    config.trace_dir = Some(trace_dir.clone());
+    // Threshold 0: every served study is "slow", so the span-tree path
+    // runs deterministically.
+    config.slow_ms = Some(0);
+    config.slow_log = Some(slow_path.clone());
+    let server = Arc::new(Server::new(config).expect("server opens"));
+
+    // Round one: a clean study, a status, a metrics scrape, an unknown
+    // op, and an id-less result lookup — all logged.
+    let ok = roundtrip(&server, study("alpha"));
+    assert_eq!(ok.status, "ok");
+    let baseline = ok.study_json.clone().expect("study bytes");
+    assert_eq!(
+        roundtrip(&server, study("alpha")).study_json.as_deref(),
+        Some(baseline.as_str())
+    );
+    for op in ["status", "metrics", "nonsense"] {
+        let r = roundtrip(
+            &server,
+            Request {
+                op: op.to_string(),
+                ..Request::default()
+            },
+        );
+        assert!(
+            r.id.as_deref().is_some_and(|i| i.starts_with("req-")),
+            "server mints ids for id-less requests: {r:?}"
+        );
+    }
+    let no_id = roundtrip(
+        &server,
+        Request {
+            op: "result".to_string(),
+            ..Request::default()
+        },
+    );
+    assert_eq!(no_id.status, "error");
+
+    // Contended rounds: bursts of simultaneous studies against a cap of
+    // one, until admission control has shed at least one request.
+    let mut ok_count = 2u64; // the two alpha studies above
+    let mut busy_count = 0u64;
+    for round in 0.. {
+        assert!(round < 20, "20 bursts of 6 never produced a busy rejection");
+        let barrier = Arc::new(Barrier::new(6));
+        let handles: Vec<_> = (0..6)
+            .map(|k| {
+                let server = Arc::clone(&server);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    roundtrip(&server, study(&format!("burst-{round}-{k}")))
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h.join().expect("client thread");
+            match r.status.as_str() {
+                "ok" => {
+                    ok_count += 1;
+                    assert_eq!(
+                        r.study_json.as_deref(),
+                        Some(baseline.as_str()),
+                        "contended studies still serve the baseline bytes"
+                    );
+                }
+                "busy" => busy_count += 1,
+                other => panic!("unexpected status {other:?}"),
+            }
+        }
+        if busy_count > 0 {
+            break;
+        }
+    }
+
+    // Drain: the turned-away study is logged as `draining`.
+    server.begin_drain();
+    let drained = roundtrip(&server, study("too-late"));
+    assert_eq!(drained.status, "draining");
+
+    let text = std::fs::read_to_string(&log_path).expect("request log exists");
+    let lines = validate_request_log_jsonl(&text).expect("schema-valid, monotonic log");
+    // 2 alpha studies + 3 cheap ops + 1 id-less result + every burst
+    // request + 1 drained study — exactly once each.
+    assert_eq!(
+        lines as u64,
+        2 + 3 + 1 + (ok_count - 2) + busy_count + 1,
+        "every request appears exactly once:\n{text}"
+    );
+    let rows: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid line"))
+        .collect();
+    let count_status = |s: &str| {
+        rows.iter()
+            .filter(|r| r.get("status").and_then(Value::as_str) == Some(s))
+            .count() as u64
+    };
+    assert_eq!(count_status("busy"), busy_count, "busy accounted once each");
+    assert_eq!(count_status("draining"), 1, "drained accounted once");
+    assert_eq!(count_status("error"), 2, "unknown op + id-less result");
+    assert_eq!(count_status("ok"), ok_count + 2, "ok studies + status + metrics");
+    for row in &rows {
+        let op = row.get("op").and_then(Value::as_str).unwrap_or("");
+        let status = row.get("status").and_then(Value::as_str).unwrap_or("");
+        let stages = row.get("stages").and_then(Value::as_seq).expect("stages");
+        if op == "study" && status == "ok" {
+            assert!(
+                !stages.is_empty(),
+                "served studies carry per-stage walls: {row:?}"
+            );
+            let wall = row.get("wall_us").and_then(Value::as_u64).expect("wall_us");
+            for stage in stages {
+                let pair = stage.as_seq().expect("pair");
+                let stage_wall = pair[1].as_u64().expect("stage wall");
+                assert!(
+                    stage_wall <= wall,
+                    "a stage cannot outlast its request: {row:?}"
+                );
+            }
+        } else {
+            assert!(stages.is_empty(), "only served studies have stages: {row:?}");
+        }
+        assert!(row.get("bytes_in").and_then(Value::as_u64).unwrap_or(0) > 0);
+        assert!(row.get("bytes_out").and_then(Value::as_u64).unwrap_or(0) > 0);
+    }
+
+    // Every served study exported a per-request Chrome trace with the
+    // request envelope and engine stage spans attached to it.
+    let alpha = std::fs::read_to_string(trace_dir.join("alpha.trace.jsonl"))
+        .expect("per-request trace exported");
+    let events = validate_trace_jsonl(&alpha).expect("trace validates");
+    assert!(events >= 2, "envelope plus stage spans");
+    assert!(alpha.contains("serve.request"), "{alpha}");
+    assert!(alpha.contains("mine.pass"), "{alpha}");
+
+    // The slow log (threshold 0) holds one span tree per served study.
+    let slow = std::fs::read_to_string(&slow_path).expect("slow log exists");
+    let slow_rows: Vec<Value> = slow
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid slow line"))
+        .collect();
+    assert_eq!(slow_rows.len() as u64, ok_count, "one entry per served study");
+    for row in &slow_rows {
+        let spans = row.get("spans").and_then(Value::as_seq).expect("spans");
+        assert!(!spans.is_empty(), "slow entries carry the span tree");
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn hostile_request_ids_cannot_escape_the_trace_dir() {
+    let store = fresh_store("hostile");
+    let trace_dir = store.join("traces");
+    let mut config = ServerConfig::new(store.clone());
+    config.trace_dir = Some(trace_dir.clone());
+    let server = Server::new(config).expect("server opens");
+
+    let r = roundtrip(&server, study("../../escape/../etc/passwd"));
+    assert_eq!(r.status, "ok");
+    let entries: Vec<String> = std::fs::read_dir(&trace_dir)
+        .expect("trace dir exists")
+        .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(entries.len(), 1, "exactly one export, inside the dir");
+    assert!(
+        entries[0].ends_with(".trace.jsonl") && !entries[0].contains('/'),
+        "sanitized name: {entries:?}"
+    );
+    assert!(!store.join("escape").exists(), "no directory escape");
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// Every histogram in a Prometheus exposition must have its `+Inf`
+/// cumulative bucket equal to its `_count` — a torn snapshot (bucket
+/// increments visible without the count, or vice versa) breaks this.
+fn assert_untorn(text: &str) {
+    let mut inf: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some((name, value)) = line.split_once(' ') {
+            let Ok(v) = value.trim().parse::<u64>() else {
+                continue;
+            };
+            if let Some(base) = name.strip_suffix("_bucket{le=\"+Inf\"}") {
+                inf.insert(base.to_string(), v);
+            } else if let Some(base) = name.strip_suffix("_count") {
+                counts.insert(base.to_string(), v);
+            }
+        }
+    }
+    assert!(!inf.is_empty(), "exposition holds at least one histogram");
+    for (base, cumulative) in &inf {
+        assert_eq!(
+            Some(cumulative),
+            counts.get(base),
+            "torn histogram snapshot for {base}:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn concurrent_scrapes_during_drain_never_tear_and_bytes_hold() {
+    let store = fresh_store("tear");
+    let server = Arc::new(Server::new(ServerConfig::new(store.clone())).expect("server opens"));
+
+    let baseline = roundtrip(&server, study("pinned"));
+    assert_eq!(baseline.status, "ok");
+    let golden = baseline.study_json.expect("study bytes");
+
+    // Scrapers hammer metrics + status while studies run and a drain
+    // begins mid-flight.
+    let stop = Arc::new(AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let (m, _) = server.dispatch(Request {
+                        op: "metrics".to_string(),
+                        ..Request::default()
+                    });
+                    assert_eq!(m.status, "ok");
+                    assert_untorn(m.metrics.as_deref().expect("exposition text"));
+                    let (s, _) = server.dispatch(Request {
+                        op: "status".to_string(),
+                        ..Request::default()
+                    });
+                    assert_eq!(s.status, "ok");
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+    for k in 0..6 {
+        let r = roundtrip(&server, study(&format!("during-{k}")));
+        if k <= 3 {
+            assert_eq!(r.status, "ok", "pre-drain studies serve: {r:?}");
+            assert_eq!(
+                r.study_json.as_deref(),
+                Some(golden.as_str()),
+                "scraping never changes study bytes"
+            );
+        } else {
+            assert_eq!(r.status, "draining", "post-drain studies are turned away");
+        }
+        if k == 3 {
+            server.begin_drain();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for s in scrapers {
+        assert!(s.join().expect("scraper") > 0, "scrapers made progress");
+    }
+
+    // After the drain the pinned result is still byte-identical.
+    let fetched = roundtrip(
+        &server,
+        Request {
+            id: Some("pinned".to_string()),
+            op: "result".to_string(),
+            ..Request::default()
+        },
+    );
+    assert_eq!(fetched.status, "ok");
+    assert_eq!(fetched.study_json.as_deref(), Some(golden.as_str()));
+    let _ = std::fs::remove_dir_all(&store);
+}

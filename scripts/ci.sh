@@ -4,8 +4,10 @@
 # worker count and with the parse/diff cache on or off, the chaos suite
 # (fault injection + graceful degradation), the scale tier (sharded store
 # byte-identity plus a 20x streaming run under a fixed peak-RSS ceiling),
-# a deprecation gate over the legacy mine_all_* wrappers, and a panic-site
-# budget over the mining-path crates.
+# a deprecation gate over the legacy mine_all_* wrappers, a panic-site
+# budget over the mining-path crates, and a serving-mode observability
+# gate (request-log schema, request-id echo, `schevo top`, and an
+# instrumented-vs-bare overhead fence).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -305,6 +307,17 @@ if awk -v p="$fp_pct" 'BEGIN { exit !(p >= 1.0) }'; then
   exit 1
 fi
 echo "    disabled-failpoint overhead ${fp_pct}% (fence: <1%)"
+# The committed paper-tier histories must render as per-revision trend
+# tables and stay inside the 20% revision-over-revision median fence.
+for name in mine parse; do
+  if ! cargo run -q --release -p schevo-bench --bin perflab -- \
+    --history "BENCH_$name.json" > "$tmp/history-$name.txt"; then
+    echo "PERF REGRESSION: BENCH_$name.json history fence tripped:" >&2
+    cat "$tmp/history-$name.txt" >&2
+    exit 1
+  fi
+  tail -1 "$tmp/history-$name.txt" | sed 's/^/    /'
+done
 
 echo "==> serve: daemon smoke gate (2-client differential + metrics)"
 # The resident server must hand concurrent clients the exact bytes the
@@ -408,6 +421,126 @@ cargo run -q --release --bin schevo -- serve --connect "unix:$drain_sock" \
   --op shutdown >/dev/null 2>&1
 wait "$drain_pid" 2>/dev/null || true
 echo "    retry through restart returned byte-identical study bytes"
+
+echo "==> serve: observability gate (request log, id echo, top, overhead fence)"
+# Request-scoped observability against a real daemon: a supplied request
+# id must echo through a full round-trip (the client exits nonzero when
+# it does not), every request must land a schema-valid request-log line,
+# the per-request trace must validate, and `schevo top --once` must
+# render a live frame from one status+metrics poll.
+obs_dir="$tmp/serve-obs"
+mkdir -p "$obs_dir/traces"
+obs_serve_log="$tmp/serve-obs-daemon.log"
+cargo run -q --release --bin schevo -- serve --store-dir "$serve_store" \
+  --request-log "$obs_dir/requests.jsonl" --trace-dir "$obs_dir/traces" \
+  --slow-ms 0 --slow-log "$obs_dir/slow.jsonl" \
+  > "$obs_serve_log" 2>/dev/null &
+obs_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^serve: listening on //p' "$obs_serve_log" | head -1)
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "OBS-SERVE FAILURE: instrumented daemon never announced its address" >&2
+  kill "$obs_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! cargo run -q --release --bin schevo -- serve --connect "$addr" \
+  --op study --id ci-obs-echo --out "$tmp/obs-served.json" >/dev/null 2>&1; then
+  echo "OBS-SERVE FAILURE: request-id echo round-trip failed" >&2
+  kill "$obs_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! cmp -s "$serve_batch/study_results.json" "$tmp/obs-served.json"; then
+  echo "OBS-SERVE FAILURE: instrumented study diverged from the batch CLI" >&2
+  kill "$obs_pid" 2>/dev/null || true
+  exit 1
+fi
+echo "    supplied request id echoed; instrumented study bytes identical"
+top_out="$tmp/top.txt"
+if ! cargo run -q --release --bin schevo -- top --connect "$addr" --once \
+  > "$top_out" 2>/dev/null \
+  || ! grep -q '^schevo top' "$top_out" \
+  || ! grep -q '^  1m ' "$top_out" || ! grep -q '^  5m ' "$top_out"; then
+  echo "OBS-SERVE FAILURE: schevo top --once rendered no RED frame:" >&2
+  cat "$top_out" >&2
+  kill "$obs_pid" 2>/dev/null || true
+  exit 1
+fi
+echo "    schevo top --once rendered in-flight + 1m/5m RED windows"
+cargo run -q --release --bin schevo -- serve --connect "$addr" --op shutdown \
+  >/dev/null 2>&1
+wait "$obs_pid" 2>/dev/null || true
+# The request log and the per-request trace replay through the schema
+# validators (same env-var gate the batch artifacts use).
+SCHEVO_REQUEST_LOG_FILE="$obs_dir/requests.jsonl" \
+SCHEVO_TRACE_FILE="$obs_dir/traces/ci-obs-echo.trace.jsonl" \
+  cargo test -q --release -p schevo-obs --test schema_validation
+if [ "$(grep -c 'ci-obs-echo' "$obs_dir/requests.jsonl")" -ne 1 ]; then
+  echo "OBS-SERVE FAILURE: study not accounted exactly once in the request log" >&2
+  cat "$obs_dir/requests.jsonl" >&2
+  exit 1
+fi
+if [ ! -s "$obs_dir/slow.jsonl" ]; then
+  echo "OBS-SERVE FAILURE: --slow-ms 0 logged no slow-study span tree" >&2
+  exit 1
+fi
+echo "    request log + per-request trace schema-valid; slow log populated"
+# Serving-mode overhead fence: the min warm-request wall on a fully
+# instrumented daemon must stay within 5% of a bare one. Min, not
+# median: background load only inflates a timing, so the minimum
+# approximates quiet-box performance on a busy runner. Bare and
+# instrumented daemons are spawned in alternation (two rounds each) so
+# slow machine-level drift cancels instead of landing on one side.
+instr_dir="$tmp/serve-instr"
+mkdir -p "$instr_dir/traces"
+serve_repeat_min() {
+  # $1 = tag; rest = daemon flags. Prints the min wall of 20 warm
+  # same-connection repeats against a freshly spawned daemon.
+  local tag="$1"
+  shift
+  local log="$tmp/fence-$tag.log"
+  cargo run -q --release --bin schevo -- serve --store-dir "$serve_store" \
+    "$@" > "$log" 2>/dev/null &
+  local pid=$!
+  local a=""
+  for _ in $(seq 1 100); do
+    a=$(sed -n 's/^serve: listening on //p' "$log" | head -1)
+    [ -n "$a" ] && break
+    sleep 0.1
+  done
+  if [ -z "$a" ]; then
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  cargo run -q --release --bin schevo -- serve --connect "$a" --op study \
+    --repeat 20 > "$tmp/fence-$tag.txt" 2>/dev/null
+  sed -n 's/^repeat: min_wall_us=//p' "$tmp/fence-$tag.txt"
+  cargo run -q --release --bin schevo -- serve --connect "$a" --op shutdown \
+    >/dev/null 2>&1
+  wait "$pid" 2>/dev/null || true
+}
+bare_min=""
+instr_min=""
+for round in a b; do
+  b=$(serve_repeat_min "bare-$round" --profile-interval-ms 0)
+  i=$(serve_repeat_min "instr-$round" \
+    --request-log "$instr_dir/requests.jsonl" --trace-dir "$instr_dir/traces" \
+    --slow-ms 1000 --slow-log "$instr_dir/slow.jsonl" --profile-interval-ms 10)
+  if [ -z "$b" ] || [ -z "$i" ]; then
+    echo "OBS-SERVE FAILURE: fence round $round produced no min_wall_us" >&2
+    exit 1
+  fi
+  [ -z "$bare_min" ] || [ "$b" -lt "$bare_min" ] && bare_min=$b
+  [ -z "$instr_min" ] || [ "$i" -lt "$instr_min" ] && instr_min=$i
+done
+if awk -v i="$instr_min" -v b="$bare_min" 'BEGIN { exit !(i > b * 1.05) }'; then
+  echo "OBS-SERVE FAILURE: instrumented min ${instr_min}us vs bare ${bare_min}us (fence: +5%)" >&2
+  exit 1
+fi
+echo "    serving-mode overhead: instrumented min ${instr_min}us vs bare ${bare_min}us (fence: +5%)"
 
 echo "==> deprecation gate: no first-party callers of mine_all_*"
 # The legacy mine_all_* family survives only as #[deprecated] wrappers in

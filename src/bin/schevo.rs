@@ -53,6 +53,7 @@ fn main() {
         Some("export") => cmd_export(&args[1..]),
         Some("mine") => cmd_mine(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         Some("append") => cmd_append(&args[1..]),
         Some("scrub") => cmd_scrub(&args[1..]),
         Some("help") | None => {
@@ -104,12 +105,18 @@ fn print_help() {
          schevo serve --store-dir DIR [--port N | --socket PATH]\n               \
          [--max-inflight N] [--workers N] [--no-cache]\n               \
          [--journal PATH] [--deadline-ms N] [--artifacts DIR]\n               \
-         [--drain-deadline-ms N] [--final-metrics PATH]\n                                                    \
-         serve studies from a warm engine\n  \
-         schevo serve --connect ADDR --op study|result|metrics|status|shutdown\n               \
+         [--drain-deadline-ms N] [--final-metrics PATH]\n               \
+         [--request-log PATH] [--trace-dir DIR]\n               \
+         [--slow-ms N --slow-log PATH]\n               \
+         [--profile-interval-ms N]                          serve studies from a warm engine\n               \
+         (profiler samples at 10 ms by default; 0 disables)\n  \
+         schevo serve --connect ADDR --op study|result|metrics|status|profile|shutdown\n               \
          [--id ID] [--workers N] [--no-cache] [--resume]\n               \
-         [--deadline-ms N] [--out FILE]\n               \
+         [--deadline-ms N] [--out FILE] [--repeat N]\n               \
+         [--profile start|stop|status] [--stacks-out FILE]\n               \
          [--retries N] [--timeout-ms N]                     one client request\n  \
+         schevo top --connect ADDR [--once] [--interval-ms N]\n               \
+         [--count N] [--timeout-ms N]                       live RED/latency view of a daemon\n  \
          schevo append --store DIR --count N [--corrupt M] [--batch B]\n                                                    \
          append commits to a resident store\n  \
          schevo scrub --store DIR                           verify + repair a shard store\n  \
@@ -238,6 +245,7 @@ fn cmd_study(args: &[String]) -> i32 {
     let obs = schevo::obs::ObsHooks {
         registry: registry.clone(),
         progress: heartbeat.clone(),
+        ..schevo::obs::ObsHooks::default()
     };
 
     let journal_path = journal.clone();
@@ -686,6 +694,28 @@ fn cmd_serve(args: &[String]) -> i32 {
         events::warn("serve", "--crash-after requires --journal PATH");
         return 2;
     }
+    // --- observability flags ---
+    config.request_log = flag_value(args, "--request-log").map(std::path::PathBuf::from);
+    config.trace_dir = flag_value(args, "--trace-dir").map(std::path::PathBuf::from);
+    config.slow_ms = flag_value(args, "--slow-ms").and_then(|v| v.parse().ok());
+    config.slow_log = flag_value(args, "--slow-log").map(std::path::PathBuf::from);
+    if config.slow_ms.is_some() != config.slow_log.is_some() {
+        events::warn("serve", "--slow-ms and --slow-log must be given together");
+        return 2;
+    }
+    // The daemon profiles itself by default (10 ms wall-clock sampling);
+    // `--profile-interval-ms 0` turns always-on profiling off (the
+    // `profile` op can still start it at runtime).
+    config.profile_interval_ms = match flag_value(args, "--profile-interval-ms") {
+        None => 10,
+        Some(v) => match v.parse() {
+            Ok(ms) => ms,
+            Err(_) => {
+                events::warn("serve", "--profile-interval-ms must be a u64 (0 disables)");
+                return 2;
+            }
+        },
+    };
     let server = match Server::new(config) {
         Ok(s) => Arc::new(s),
         Err(e) => {
@@ -757,6 +787,7 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
     let request = Request {
         id: flag_value(args, "--id"),
         op: op.clone(),
+        profile: flag_value(args, "--profile"),
         workers: flag_value(args, "--workers").and_then(|v| v.parse().ok()),
         cache: args.iter().any(|a| a == "--no-cache").then_some(false),
         resume: args.iter().any(|a| a == "--resume").then_some(true),
@@ -768,7 +799,46 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
     let timeout = flag_value(args, "--timeout-ms")
         .and_then(|v| v.parse::<u64>().ok())
         .map(std::time::Duration::from_millis);
-    let response = if retries > 0 {
+    let repeat: u32 = flag_value(args, "--repeat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let response = if repeat > 1 {
+        // Warm-request timing: one connection, the same request N times,
+        // per-request walls on stdout. The ci.sh serving-mode overhead
+        // fence compares min walls across daemon configurations — min,
+        // because the first request pays cold caches and the rest
+        // measure the steady state the fence is about.
+        let mut conn = match schevo::serve::connect_timeout(addr, timeout) {
+            Ok(c) => c,
+            Err(e) => {
+                events::warn("serve", &format!("cannot connect to {addr}: {e}"));
+                return 1;
+            }
+        };
+        let mut last = None;
+        let mut min_wall_us = u64::MAX;
+        for i in 0..repeat {
+            let started = std::time::Instant::now();
+            match conn.roundtrip(&request) {
+                Ok(r) => {
+                    let wall_us = started.elapsed().as_micros() as u64;
+                    min_wall_us = min_wall_us.min(wall_us);
+                    println!("repeat: request {i} wall_us={wall_us} status={}", r.status);
+                    last = Some(r);
+                }
+                Err(e) => {
+                    events::warn("serve", &format!("request {i} failed: {e}"));
+                    return 1;
+                }
+            }
+        }
+        println!("repeat: min_wall_us={min_wall_us}");
+        match last {
+            Some(r) => r,
+            None => return 1,
+        }
+    } else if retries > 0 {
         // Reconnect-per-attempt with capped deterministic backoff: a
         // retry sequence that straddles a server restart still lands,
         // and `busy`/`draining` backpressure is retried, not fatal.
@@ -800,6 +870,24 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
             }
         }
     };
+    // Request-id propagation self-check: a supplied id must echo back,
+    // and any other op (the id is the query for `result`) must come back
+    // with a server-minted id.
+    if let Some(sent) = &request.id {
+        if response.id.as_deref() != Some(sent.as_str()) {
+            events::warn(
+                "serve",
+                &format!(
+                    "request id `{sent}` did not echo (got {:?})",
+                    response.id.as_deref()
+                ),
+            );
+            return 1;
+        }
+    } else if op != "result" && response.id.is_none() {
+        events::warn("serve", "server minted no request id");
+        return 1;
+    }
     match response.status.as_str() {
         "busy" => {
             events::warn("serve", "server is at its in-flight limit; retry later");
@@ -840,6 +928,27 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
             if let (Some(inflight), Some(served)) = (response.inflight, response.served) {
                 println!("serve: {inflight} in flight, {served} served");
             }
+            if let Some(profiling) = response.profiling {
+                println!(
+                    "profiler: {}",
+                    if profiling { "running" } else { "stopped" }
+                );
+            }
+            if let Some(stacks) = &response.profile_stacks {
+                match flag_value(args, "--stacks-out") {
+                    Some(path) => {
+                        if let Err(e) = schevo::report::write_atomic(
+                            std::path::Path::new(&path),
+                            stacks.as_bytes(),
+                        ) {
+                            events::warn("serve", &e.to_string());
+                            return 1;
+                        }
+                        events::info("serve", &format!("wrote {path}"));
+                    }
+                    None => print!("{stacks}"),
+                }
+            }
             if let Some(json) = &response.study_json {
                 match flag_value(args, "--out") {
                     Some(path) => {
@@ -861,6 +970,115 @@ fn serve_client(addr: &str, args: &[String]) -> i32 {
             0
         }
     }
+}
+
+/// Pull the plain `name value` samples out of a Prometheus exposition
+/// (comments and labelled histogram buckets are skipped).
+fn prom_samples(text: &str) -> std::collections::HashMap<String, u64> {
+    let mut out = std::collections::HashMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.contains('{') {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(' ') {
+            if let Ok(v) = value.trim().parse::<u64>() {
+                out.insert(name.to_string(), v);
+            }
+        }
+    }
+    out
+}
+
+/// One rendered frame of `schevo top`: in-flight/served plus the 1m/5m
+/// sliding-window RED table, from one status and one metrics round-trip.
+fn top_frame(conn: &mut schevo::serve::Conn, addr: &str, frame: u64) -> Result<String, String> {
+    use schevo::serve::proto::Request;
+    let status = conn
+        .roundtrip(&Request {
+            op: "status".to_string(),
+            ..Request::default()
+        })
+        .map_err(|e| format!("status request failed: {e}"))?;
+    let metrics = conn
+        .roundtrip(&Request {
+            op: "metrics".to_string(),
+            ..Request::default()
+        })
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    let samples = prom_samples(metrics.metrics.as_deref().unwrap_or(""));
+    let mut out = format!(
+        "schevo top — {addr} — frame {frame}\n  inflight {}   served {}   studies_ok {}   busy {}   errors {}\n",
+        status.inflight.unwrap_or(0),
+        status.served.unwrap_or(0),
+        samples.get("serve_studies_ok").copied().unwrap_or(0),
+        samples.get("serve_busy").copied().unwrap_or(0),
+        samples.get("serve_study_errors").copied().unwrap_or(0),
+    );
+    out.push_str(&format!(
+        "  {:<8}{:>10}{:>8}{:>10}{:>10}{:>10}{:>10}\n",
+        "window", "requests", "errors", "p50_us", "p95_us", "p99_us", "max_us"
+    ));
+    for win in ["1m", "5m"] {
+        let get = |suffix: &str| {
+            samples
+                .get(&format!("serve_red_{win}_{suffix}"))
+                .copied()
+                .unwrap_or(0)
+        };
+        out.push_str(&format!(
+            "  {:<8}{:>10}{:>8}{:>10}{:>10}{:>10}{:>10}\n",
+            win,
+            get("requests"),
+            get("errors"),
+            get("p50_us"),
+            get("p95_us"),
+            get("p99_us"),
+            get("max_us"),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_top(args: &[String]) -> i32 {
+    use schevo::obs::events;
+    let Some(addr) = flag_value(args, "--connect") else {
+        events::warn("top", "top needs --connect ADDR");
+        return 2;
+    };
+    let once = args.iter().any(|a| a == "--once");
+    let interval = std::time::Duration::from_millis(
+        flag_value(args, "--interval-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000),
+    );
+    let count: u64 = match flag_value(args, "--count").and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None if once => 1,
+        None => u64::MAX,
+    };
+    let timeout = flag_value(args, "--timeout-ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+    let mut conn = match schevo::serve::connect_timeout(&addr, timeout) {
+        Ok(c) => c,
+        Err(e) => {
+            events::warn("top", &format!("cannot connect to {addr}: {e}"));
+            return 1;
+        }
+    };
+    for frame in 0..count {
+        if frame > 0 {
+            std::thread::sleep(interval);
+        }
+        match top_frame(&mut conn, &addr, frame) {
+            Ok(rendered) => print!("{rendered}"),
+            Err(e) => {
+                events::warn("top", &e);
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 fn cmd_scrub(args: &[String]) -> i32 {
